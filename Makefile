@@ -1,0 +1,29 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench csv examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# regenerate every paper table/figure (text to stdout)
+bench:
+	dune exec bench/main.exe
+
+# same, also dropping one CSV per table under artifacts/
+csv:
+	dune exec bench/main.exe -- --csv artifacts
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/microservice_analysis.exe
+	dune exec examples/warp_width_study.exe
+	dune exec examples/porting_advisor.exe
+	dune exec examples/accelerator_design.exe
+
+clean:
+	dune clean

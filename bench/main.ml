@@ -1,0 +1,186 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation, plus the DESIGN.md ablations and a Bechamel
+   micro-benchmark of the framework itself.
+
+     dune exec bench/main.exe             -- everything
+     dune exec bench/main.exe -- fig1     -- one experiment
+     dune exec bench/main.exe -- table1 fig5 fig6 ...
+     dune exec bench/main.exe -- perf     -- Bechamel framework benchmarks
+
+   Experiment ids: table1 fig1 fig5a fig5b (fig5 = both) fig6 fig7 fig8
+   fig9 fig10 table2 xapp scaling simtcpu ablations perf. *)
+
+module E = Threadfuser_experiments
+module W = Threadfuser_workloads.Workload
+module Registry = Threadfuser_workloads.Registry
+module Analyzer = Threadfuser.Analyzer
+
+let all_ids =
+  [
+    "table1"; "fig1"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10";
+    "table2"; "xapp"; "scaling"; "simtcpu"; "ablations"; "perf";
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the framework's own pipeline stages.    *)
+
+let bechamel_suite () =
+  let open Bechamel in
+  let open Toolkit in
+  let bfs = Registry.find "bfs" in
+  let traced = W.trace_cpu bfs in
+  let tracer_test =
+    Test.make ~name:"tracer: bfs machine run"
+      (Staged.stage (fun () -> ignore (W.trace_cpu bfs)))
+  in
+  let dcfg_test =
+    Test.make ~name:"dcfg+ipdom: bfs traces"
+      (Staged.stage (fun () ->
+           let dcfgs =
+             Threadfuser_cfg.Dcfg.of_traces traced.W.prog traced.W.traces
+           in
+           ignore (Threadfuser_cfg.Ipdom.of_dcfgs dcfgs)))
+  in
+  let analyze_test =
+    Test.make ~name:"analyzer: bfs warp replay"
+      (Staged.stage (fun () ->
+           ignore (Analyzer.analyze traced.W.prog traced.W.traces)))
+  in
+  let vec = Registry.find "vectoradd" in
+  let vec_traced = W.trace_cpu vec in
+  let warp_trace_test =
+    Test.make ~name:"warp-trace gen + gpusim: vectoradd"
+      (Staged.stage (fun () ->
+           let r =
+             Analyzer.analyze
+               ~options:{ Analyzer.default_options with gen_warp_trace = true }
+               vec_traced.W.prog vec_traced.W.traces
+           in
+           ignore
+             (Threadfuser_gpusim.Gpusim.run
+                ~config:Threadfuser_gpusim.Config.tiny
+                (Option.get r.Analyzer.warp_trace))))
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let serial_test =
+    Test.make ~name:"trace serialization: bfs roundtrip"
+      (Staged.stage (fun () ->
+           ignore
+             (Threadfuser_trace.Serial.of_string
+                (Threadfuser_trace.Serial.to_string traced.W.traces))))
+  in
+  let pigz = Registry.find "pigz" in
+  let pigz_traced = W.trace_cpu ~threads:16 pigz in
+  let heavy_test =
+    Test.make ~name:"analyzer: pigz (16 threads) warp replay"
+      (Staged.stage (fun () ->
+           ignore (Analyzer.analyze pigz_traced.W.prog pigz_traced.W.traces)))
+  in
+  (* the paper's tracing-overhead claim (2-6x native execution): compare
+     the machine with tracing on vs off *)
+  let overhead name =
+    let w = Registry.find name in
+    let prog =
+      W.link ~alloc:w.W.alloc w.W.cpu Threadfuser_compiler.Compiler.O1
+    in
+    let time config =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to 5 do
+        let m = Threadfuser_machine.Machine.create ~config prog in
+        Threadfuser_workloads.Rtlib.init (Threadfuser_machine.Machine.memory m);
+        w.W.cpu.W.setup (Threadfuser_machine.Machine.memory m) ~scale:1;
+        ignore
+          (Threadfuser_machine.Machine.run_workers m ~worker:w.W.cpu.W.worker
+             ~args:(Array.init w.W.default_threads (fun tid ->
+                        w.W.cpu.W.args ~tid ~n:w.W.default_threads ~scale:1)))
+      done;
+      (Unix.gettimeofday () -. t0) /. 5.0
+    in
+    let traced = time W.machine_config in
+    let native = time { W.machine_config with Threadfuser_machine.Machine.trace = false } in
+    (name, traced /. native)
+  in
+  Fmt.pr "@.== Tracing overhead vs native execution (paper: 2-6x) ==@.";
+  List.iter
+    (fun name ->
+      let n, ratio = overhead name in
+      Fmt.pr "  %-16s %.2fx@." n ratio)
+    [ "pigz"; "x264"; "swaptions"; "bfs" ];
+  Fmt.pr "@.== Framework micro-benchmarks (Bechamel, monotonic clock) ==@.";
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Fmt.pr "  %-45s %12.0f ns/run@." name est
+          | Some _ | None -> Fmt.pr "  %-45s (no estimate)@." name)
+        results)
+    [ tracer_test; dcfg_test; analyze_test; warp_trace_test; serial_test; heavy_test ];
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  (* --csv DIR writes each table as <DIR>/<name>.csv alongside the text *)
+  let rec extract_csv acc = function
+    | "--csv" :: dir :: rest ->
+        Threadfuser_report.Table.set_csv_dir (Some dir);
+        extract_csv acc rest
+    | x :: rest -> extract_csv (x :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = extract_csv [] args in
+  let ids =
+    match args with
+    | [] -> all_ids
+    | l -> List.map (function "fig5a" | "fig5b" -> "fig5" | id -> id) l
+  in
+  let ctx = E.Ctx.create () in
+  (* results threaded into Table II *)
+  let fig5_stats = ref None and fig6_out = ref None and xapp_out = ref None in
+  let need id = List.mem id ids in
+  if need "table1" then E.Table1.run ctx;
+  if need "fig1" then E.Fig1.run ctx;
+  if need "fig5" then fig5_stats := Some (E.Fig5.run ctx);
+  if need "fig6" then fig6_out := Some (E.Fig6.run ctx);
+  if need "fig7" then ignore (E.Fig7.run ctx);
+  if need "fig8" then ignore (E.Fig8.run ctx);
+  if need "fig9" then ignore (E.Fig9.run ctx);
+  if need "fig10" then ignore (E.Fig10.run ctx);
+  if need "xapp" then xapp_out := Some (E.Xapp_exp.run ctx);
+  if need "table2" then begin
+    let fig5 =
+      match !fig5_stats with
+      | Some s -> s
+      | None -> E.Fig5.per_level (E.Fig5.samples ctx)
+    in
+    let rows, corr =
+      match !fig6_out with Some r -> r | None -> E.Fig6.run ctx
+    in
+    E.Table2.run ?xapp:!xapp_out ~fig5 ~speedup_corr:corr
+      ~time_error:(E.Fig6.time_error rows) ()
+  end;
+  if need "scaling" then ignore (E.Scaling.run ctx);
+  if need "simtcpu" then ignore (E.Simt_cpu.run ctx);
+  if need "ablations" then E.Ablations.run ctx;
+  if need "perf" then bechamel_suite ();
+  List.iter
+    (fun id ->
+      if not (List.mem id all_ids) then
+        Fmt.epr "unknown experiment id %s (known: %s)@." id
+          (String.concat " " all_ids))
+    ids

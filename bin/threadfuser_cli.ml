@@ -1,0 +1,437 @@
+(* The ThreadFuser command-line tool.
+
+     threadfuser list                         workload catalog (Table I)
+     threadfuser analyze pigz -w 16 -O O3     efficiency + divergence report
+     threadfuser sweep pigz                   warp-width sweep
+     threadfuser trace bfs -o bfs.tftrace     capture a trace file
+     threadfuser simulate vectoradd           cycle-level speedup projection
+     threadfuser correlate                    the Fig. 5 correlation study *)
+
+open Cmdliner
+module W = Threadfuser_workloads.Workload
+module Registry = Threadfuser_workloads.Registry
+module Compiler = Threadfuser_compiler.Compiler
+module Analyzer = Threadfuser.Analyzer
+module Metrics = Threadfuser.Metrics
+module Serial = Threadfuser_trace.Serial
+module E = Threadfuser_experiments
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+
+let workload_arg =
+  let parse s =
+    match Registry.find s with
+    | w -> Ok w
+    | exception Invalid_argument _ ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown workload %s (try `threadfuser list')" s))
+  in
+  let print ppf (w : W.t) = Fmt.string ppf w.W.name in
+  Arg.conv (parse, print)
+
+let workload_pos =
+  Arg.(
+    required
+    & pos 0 (some workload_arg) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,threadfuser list)).")
+
+let warp_size =
+  Arg.(
+    value & opt int 32
+    & info [ "w"; "warp-size" ] ~docv:"N" ~doc:"Warp width (lanes per warp).")
+
+let level_arg =
+  let parse s =
+    match Compiler.of_string s with
+    | Some l -> Ok l
+    | None -> Error (`Msg "optimization level must be O0, O1, O2 or O3")
+  in
+  Arg.conv (parse, Compiler.pp_level)
+
+let opt_level =
+  Arg.(
+    value
+    & opt level_arg Compiler.O1
+    & info [ "O"; "opt-level" ] ~docv:"LEVEL"
+        ~doc:"CPU compiler optimization level (O0..O3).")
+
+let threads =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "t"; "threads" ] ~docv:"N" ~doc:"Number of SIMT threads to trace.")
+
+let ignore_sync =
+  Arg.(
+    value & flag
+    & info [ "ignore-sync" ]
+        ~doc:"Do not serialize same-lock lanes (lock-oblivious estimate).")
+
+let options ~warp_size ~ignore_sync =
+  {
+    Analyzer.default_options with
+    warp_size;
+    sync = (if ignore_sync then Threadfuser.Emulator.Ignore_sync else Threadfuser.Emulator.Serialize);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                             *)
+
+let list_cmd =
+  let run () = E.Table1.run (E.Ctx.create ()) in
+  Cmd.v (Cmd.info "list" ~doc:"Print the workload catalog (paper Table I).")
+    Term.(const run $ const ())
+
+let analyze_run w warp_size level threads scale exclude ignore_sync
+    per_function per_warp timeline blocks json =
+  let options =
+    { (options ~warp_size ~ignore_sync) with Analyzer.record_timeline = timeline }
+  in
+  let r = W.analyze ~options ~level ?threads ~scale ~exclude w in
+  let rep = r.Analyzer.report in
+  if json then print_endline (Threadfuser_report.Report_json.to_string rep)
+  else begin
+  Fmt.pr "workload: %s (%s, %s)@." w.W.name w.W.suite w.W.description;
+  Fmt.pr "%a@." Metrics.pp_summary rep;
+  Fmt.pr
+    "memory:   heap %.2f txn/instr | stack %.2f | global %.2f@."
+    rep.Metrics.heap_mem.Metrics.txns_per_instr
+    rep.Metrics.stack_mem.Metrics.txns_per_instr
+    rep.Metrics.global_mem.Metrics.txns_per_instr;
+  Fmt.pr "sync:     %d acquires, %d intra-warp conflicts, %d serialized instrs@."
+    rep.Metrics.lock_acquires rep.Metrics.serializations
+    rep.Metrics.serialized_instrs;
+  if per_function then begin
+    Fmt.pr "@.per-function breakdown:@.";
+    Fmt.pr "%a" Metrics.pp_functions rep
+  end;
+  if per_warp then begin
+    Fmt.pr "@.per-warp breakdown:@.";
+    Fmt.pr "%a" Metrics.pp_warps rep
+  end;
+  if timeline then begin
+    Fmt.pr "@.divergence timeline (active lanes over issue slots):@.";
+    List.iter (fun tl -> Fmt.pr "  %a@." Threadfuser.Timeline.pp tl)
+      r.Analyzer.timelines
+  end;
+  if blocks then begin
+    Fmt.pr "@.hottest divergent basic blocks:@.";
+    Fmt.pr "%a" Metrics.pp_blocks rep
+  end
+  end
+
+let per_warp_flag =
+  Arg.(
+    value & flag
+    & info [ "warps" ] ~doc:"Print the per-warp efficiency breakdown.")
+
+let timeline_flag =
+  Arg.(
+    value & flag
+    & info [ "timeline" ]
+        ~doc:"Print each warp's occupancy sparkline over its issue slots.")
+
+let blocks_flag =
+  Arg.(
+    value & flag
+    & info [ "blocks" ]
+        ~doc:"Print the most issue-expensive divergent basic blocks.")
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Emit the full report as JSON instead of text.")
+
+let scale =
+  Arg.(
+    value & opt int 1
+    & info [ "scale" ] ~docv:"N" ~doc:"Synthetic input scale factor.")
+
+let exclude =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "exclude" ] ~docv:"FN,..."
+        ~doc:
+          "Exclude functions from tracing (their execution appears as            skipped instructions), like the paper's selective tracing.")
+
+let analyze_cmd =
+  let per_function =
+    Arg.(
+      value & flag
+      & info [ "f"; "per-function" ] ~doc:"Print the per-function report.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Trace a workload's MIMD execution and report its projected SIMT \
+          efficiency, memory divergence and synchronization behaviour.")
+    Term.(
+      const analyze_run $ workload_pos $ warp_size $ opt_level $ threads
+      $ scale $ exclude $ ignore_sync $ per_function $ per_warp_flag
+      $ timeline_flag $ blocks_flag $ json_flag)
+
+let sweep_run w threads =
+  Fmt.pr "warp-width sweep for %s:@." w.W.name;
+  List.iter
+    (fun warp_size ->
+      let r =
+        W.analyze ~options:{ Analyzer.default_options with warp_size } ?threads w
+      in
+      Fmt.pr "  warp %2d: %5.1f%%@." warp_size
+        (100. *. r.Analyzer.report.Metrics.simt_efficiency))
+    [ 2; 4; 8; 16; 32 ]
+
+let sweep_cmd =
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"SIMT efficiency across warp widths (2..32).")
+    Term.(const sweep_run $ workload_pos $ threads)
+
+let trace_run w level threads output =
+  let tr = W.trace_cpu ~level ?threads w in
+  Serial.to_file output tr.W.traces;
+  let stats =
+    Array.fold_left
+      (fun acc t ->
+        acc + (Threadfuser_trace.Thread_trace.stats t).Threadfuser_trace.Thread_trace.traced_instrs)
+      0 tr.W.traces
+  in
+  Fmt.pr "wrote %s: %d threads, %d traced instructions@." output
+    (Array.length tr.W.traces) stats
+
+let trace_cmd =
+  let output =
+    Arg.(
+      value
+      & opt string "trace.tftrace"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace file to write.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Capture a workload's per-thread dynamic traces to a file.")
+    Term.(const trace_run $ workload_pos $ opt_level $ threads $ output)
+
+let gpu_preset_arg =
+  let presets =
+    [
+      ("scaled", E.Fig6.gpu_config);
+      ("rtx3070", Threadfuser_gpusim.Config.rtx3070);
+      ("h100", Threadfuser_gpusim.Config.h100);
+      ("tiny", Threadfuser_gpusim.Config.tiny);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum presets) E.Fig6.gpu_config
+    & info [ "gpu" ] ~docv:"PRESET"
+        ~doc:"GPU configuration: scaled (default), rtx3070, h100 or tiny.")
+
+let simulate_run w threads gpu_config =
+  let ctx = E.Ctx.create ?threads () in
+  let tr = E.Ctx.traced ctx w in
+  let cpu_t = E.Fig6.cpu_seconds tr in
+  let r =
+    Threadfuser.Analyzer.analyze
+      ~options:{ Analyzer.default_options with gen_warp_trace = true }
+      tr.W.prog tr.W.traces
+  in
+  let wt = Option.get r.Analyzer.warp_trace in
+  let stats = Threadfuser_gpusim.Gpusim.run ~config:gpu_config wt in
+  let gpu_t = Threadfuser_gpusim.Gpusim.seconds ~config:gpu_config stats in
+  Fmt.pr "workload: %s@." w.W.name;
+  Fmt.pr "GPU: %a@." Threadfuser_gpusim.Gpusim.pp_stats stats;
+  Fmt.pr "CPU baseline: %.3f ms | GPU projection: %.3f ms | speedup %.2fx@."
+    (1000. *. cpu_t) (1000. *. gpu_t) (cpu_t /. gpu_t);
+  Fmt.pr "bottleneck: %s@."
+    (match Threadfuser_gpusim.Gpusim.bottleneck stats with
+    | `Memory -> "memory system (coalescing / bandwidth)"
+    | `Dependencies -> "instruction dependencies (ILP-bound)"
+    | `Throughput -> "compute throughput (healthy occupancy)")
+
+let simulate_cmd =
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:
+         "Run the cycle-level SIMT simulator on the workload's warp traces \
+          and project speedup over the multicore CPU model.")
+    Term.(const simulate_run $ workload_pos $ threads $ gpu_preset_arg)
+
+let correlate_cmd =
+  let run () = ignore (E.Fig5.run (E.Ctx.create ())) in
+  Cmd.v
+    (Cmd.info "correlate"
+       ~doc:
+         "Reproduce the paper's correlation study (Fig. 5) across compiler \
+          optimization levels.")
+    Term.(const run $ const ())
+
+let cfg_run w level threads function_name =
+  let tr = W.trace_cpu ~level ?threads w in
+  let dcfgs = Threadfuser_cfg.Dcfg.of_traces tr.W.prog tr.W.traces in
+  let fid =
+    match function_name with
+    | Some name -> Threadfuser_prog.Program.find_func tr.W.prog name
+    | None -> Threadfuser_prog.Program.find_func tr.W.prog w.W.cpu.W.worker
+  in
+  let ipdom = Threadfuser_cfg.Ipdom.compute dcfgs.(fid) in
+  print_string
+    (Threadfuser_cfg.Dot.to_string tr.W.prog dcfgs.(fid) (Some ipdom))
+
+let cfg_cmd =
+  let function_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "function" ] ~docv:"NAME"
+          ~doc:"Function to export (default: the worker).")
+  in
+  Cmd.v
+    (Cmd.info "cfg"
+       ~doc:
+         "Emit a workload function's dynamic CFG (with IPDOM reconvergence           edges) as Graphviz DOT on stdout.")
+    Term.(const cfg_run $ workload_pos $ opt_level $ threads $ function_name)
+
+let tracefile_run path =
+  let traces = Serial.of_file path in
+  Fmt.pr "%s: %d threads@." path (Array.length traces);
+  let module TT = Threadfuser_trace.Thread_trace in
+  let total = ref 0 in
+  Array.iter
+    (fun (t : TT.t) ->
+      let s = TT.stats t in
+      total := !total + s.TT.traced_instrs;
+      Fmt.pr
+        "  tid %3d: %6d instrs, %5d blocks, %5d loads, %5d stores, %4d lock          ops, %6d skipped (io %d / spin %d)@."
+        t.TT.tid s.TT.traced_instrs s.TT.blocks s.TT.loads s.TT.stores
+        s.TT.lock_ops
+        (s.TT.skipped_io + s.TT.skipped_spin)
+        s.TT.skipped_io s.TT.skipped_spin)
+    traces;
+  Fmt.pr "total traced instructions: %d@." !total
+
+let tracefile_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace file written by $(b,threadfuser trace).")
+  in
+  Cmd.v
+    (Cmd.info "tracefile" ~doc:"Inspect a serialized trace file.")
+    Term.(const tracefile_run $ path)
+
+let disasm_run w level output =
+  let prog = W.link ~alloc:w.W.alloc w.W.cpu level in
+  let text =
+    Threadfuser_prog.Asm_text.to_string
+      (Threadfuser_prog.Asm_text.disassemble prog)
+  in
+  match output with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+      Fmt.pr "wrote %s (%d functions, %d instructions)@." path
+        (Threadfuser_prog.Program.func_count prog)
+        (Threadfuser_prog.Program.total_instr_count prog)
+
+let disasm_cmd =
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to a file instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "disasm"
+       ~doc:
+         "Disassemble a workload (with its runtime library linked in) to           .tfasm text.")
+    Term.(const disasm_run $ workload_pos $ opt_level $ output)
+
+let asm_run path =
+  let surface = Threadfuser_prog.Asm_text.of_file path in
+  match Threadfuser_prog.Program.assemble surface with
+  | prog ->
+      Fmt.pr "%s assembles cleanly: %d functions, %d basic blocks, %d               instructions@."
+        path
+        (Threadfuser_prog.Program.func_count prog)
+        (Array.fold_left
+           (fun acc f -> acc + Threadfuser_prog.Program.block_count f)
+           0 prog.Threadfuser_prog.Program.funcs)
+        (Threadfuser_prog.Program.total_instr_count prog)
+  | exception Threadfuser_prog.Program.Assembly_error m ->
+      Fmt.epr "assembly error: %s@." m;
+      exit 1
+
+let asm_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:".tfasm source file.")
+  in
+  Cmd.v
+    (Cmd.info "asm" ~doc:"Parse and validate a .tfasm source file.")
+    Term.(const asm_run $ path)
+
+let warptrace_run w warp_size threads output =
+  let options =
+    { Analyzer.default_options with warp_size; gen_warp_trace = true }
+  in
+  let r = W.analyze ~options ?threads w in
+  let wt = Option.get r.Analyzer.warp_trace in
+  Threadfuser.Warp_serial.to_file output wt;
+  Fmt.pr "wrote %s: %d warps, %d micro-ops@." output
+    (Array.length wt.Threadfuser.Warp_trace.warps)
+    (Threadfuser.Warp_trace.total_ops wt)
+
+let warptrace_cmd =
+  let output =
+    Arg.(
+      value
+      & opt string "kernel.tfwarp"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Warp-trace file to write.")
+  in
+  Cmd.v
+    (Cmd.info "warptrace"
+       ~doc:
+         "Generate the warp-level RISC trace (the simulator integration           format) and write it to a file.")
+    Term.(const warptrace_run $ workload_pos $ warp_size $ threads $ output)
+
+let replay_run path =
+  let wt = Threadfuser.Warp_serial.of_file path in
+  Fmt.pr "%s: %d warps (width %d), %d micro-ops@." path
+    (Array.length wt.Threadfuser.Warp_trace.warps)
+    wt.Threadfuser.Warp_trace.warp_size
+    (Threadfuser.Warp_trace.total_ops wt);
+  let stats = Threadfuser_gpusim.Gpusim.run ~config:E.Fig6.gpu_config wt in
+  Fmt.pr "GPU (scaled 8-SM part): %a@." Threadfuser_gpusim.Gpusim.pp_stats stats
+
+let replay_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"Warp-trace file written by $(b,threadfuser warptrace).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Run the cycle-level simulator on a saved warp-trace file.")
+    Term.(const replay_run $ path)
+
+let main =
+  Cmd.group
+    (Cmd.info "threadfuser" ~version:"1.0.0"
+       ~doc:
+         "A SIMT analysis framework for MIMD programs (reproduction of the \
+          MICRO 2024 paper).")
+    [
+      list_cmd; analyze_cmd; sweep_cmd; trace_cmd; tracefile_cmd; cfg_cmd;
+      disasm_cmd; asm_cmd; warptrace_cmd; replay_cmd; simulate_cmd;
+      correlate_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,139 @@
+(* The paper's closing pitch (§V-B, §VII): use ThreadFuser to explore SIMT
+   accelerator designs *between* a multicore CPU and a GPU, driven by
+   general-purpose MIMD software rather than graphics/ML kernels.
+
+   This example sweeps the cycle-level simulator across SM counts, warp
+   widths and DRAM bandwidths for three very different workloads — a
+   coalesced kernel, a divergent tree search, and a lock-heavy
+   microservice — and prints where each stops scaling.  It also shows the
+   barrier primitive in a phased OpenMP-style kernel.
+
+     dune exec examples/accelerator_design.exe *)
+
+open Threadfuser
+module W = Threadfuser_workloads.Workload
+module Registry = Threadfuser_workloads.Registry
+module Gpusim = Threadfuser_gpusim.Gpusim
+module Config = Threadfuser_gpusim.Config
+module Table = Threadfuser_report.Table
+module Machine = Threadfuser_machine.Machine
+module Program = Threadfuser_prog.Program
+
+let picks = [ "vectoradd"; "b+tree"; "mcrouter-memcached" ]
+
+let warp_trace ~warp_size name =
+  let w = Registry.find name in
+  let r =
+    W.analyze
+      ~options:{ Analyzer.default_options with warp_size; gen_warp_trace = true }
+      ~threads:128 w
+  in
+  Option.get r.Analyzer.warp_trace
+
+let cycles config wt = (Gpusim.run ~config wt).Gpusim.cycles
+
+let () =
+  (* 1. SM scaling at fixed width *)
+  Fmt.pr "=== SM-count scaling (warp 32, cycles; lower is better) ===@.@.";
+  let sm_counts = [ 1; 2; 4; 8; 16 ] in
+  let t =
+    Table.create
+      ([ ("workload", Table.L) ]
+      @ List.map (fun n -> (Printf.sprintf "%d SMs" n, Table.R)) sm_counts)
+  in
+  List.iter
+    (fun name ->
+      let wt = warp_trace ~warp_size:32 name in
+      Table.add_row t
+        (name
+        :: List.map
+             (fun n_sms ->
+               Table.cell_int (cycles { Config.rtx3070 with Config.n_sms } wt))
+             sm_counts))
+    picks;
+  Table.print t;
+  Fmt.pr
+    "@.reading: at this occupancy (4 warps) none of these workloads buys \
+     anything past 1-2 SMs — the coalesced kernel is bandwidth-bound, the \
+     divergent and lock-bound ones are serialization-bound; more SMs even \
+     hurt the locked service by spreading its warps away from a shared \
+     L1.@.";
+
+  (* 2. warp width: narrow SIMD units trade front-end cost for divergence *)
+  Fmt.pr "@.=== Warp width (4 SMs, cycles) ===@.@.";
+  let widths = [ 4; 8; 16; 32 ] in
+  let t2 =
+    Table.create
+      ([ ("workload", Table.L) ]
+      @ List.map (fun w -> (Printf.sprintf "w=%d" w, Table.R)) widths)
+  in
+  let config = { Config.rtx3070 with Config.n_sms = 4 } in
+  List.iter
+    (fun name ->
+      Table.add_row t2
+        (name
+        :: List.map
+             (fun w -> Table.cell_int (cycles config (warp_trace ~warp_size:w name)))
+             widths))
+    picks;
+  Table.print t2;
+
+  (* 3. memory bandwidth sensitivity *)
+  Fmt.pr "@.=== DRAM bandwidth (8 SMs, warp 32, cycles) ===@.@.";
+  let bands = [ 1.0; 2.0; 4.0; 8.0 ] in
+  let t3 =
+    Table.create
+      ([ ("workload", Table.L) ]
+      @ List.map (fun b -> (Printf.sprintf "%.0f txn/cy" b, Table.R)) bands)
+  in
+  List.iter
+    (fun name ->
+      let wt = warp_trace ~warp_size:32 name in
+      Table.add_row t3
+        (name
+        :: List.map
+             (fun dram_txns_per_cycle ->
+               Table.cell_int
+                 (cycles
+                    { Config.rtx3070 with Config.n_sms = 8; dram_txns_per_cycle }
+                    wt))
+             bands))
+    picks;
+  Table.print t3;
+
+  (* 4. a phased OpenMP-style kernel with a team barrier, end to end *)
+  Fmt.pr "@.=== Barrier-phased kernel (OpenMP-style) ===@.@.";
+  let phased =
+    Program.assemble
+      [
+        Threadfuser_prog.Build.(
+          func "worker"
+            [
+              (* phase 1: publish a partial sum *)
+              mov (reg 6) (reg 0);
+              mul (reg 6) (imm 17);
+              mov (mem ~scale:8 ~index:0 ~disp:0x20000 ()) (reg 6);
+              barrier (imm 0x50000);
+              (* phase 2: reduce the two neighbors *)
+              mov (reg 7) (reg 0);
+              add (reg 7) (imm 1);
+              and_ (reg 7) (imm 63);
+              mov (reg 8) (mem ~scale:8 ~index:7 ~disp:0x20000 ());
+              add (reg 8) (reg 6);
+              mov (mem ~scale:8 ~index:0 ~disp:0x60000 ()) (reg 8);
+              ret;
+            ]);
+      ]
+  in
+  let machine = Machine.create phased in
+  let run =
+    Machine.run_workers machine ~worker:"worker"
+      ~args:(Array.init 64 (fun i -> [ i ]))
+  in
+  let res = Analyzer.analyze phased run.Machine.traces in
+  Fmt.pr
+    "phased kernel: %.1f%% SIMT efficiency, %d warp-level barrier crossings \
+     — team barriers are free inside a warp (all lanes arrive together), \
+     unlike locks.@."
+    (100. *. res.Analyzer.report.Metrics.simt_efficiency)
+    res.Analyzer.report.Metrics.barrier_syncs

@@ -1,0 +1,60 @@
+(* The paper's Fig. 7 case study as a runnable walkthrough: use
+   ThreadFuser's per-function reports to find the code that destroys
+   HDSearch-Midtier's SIMT efficiency, then verify the SIMT-aware fix.
+
+     dune exec examples/microservice_analysis.exe *)
+
+module W = Threadfuser_workloads.Workload
+module Registry = Threadfuser_workloads.Registry
+module Analyzer = Threadfuser.Analyzer
+module Metrics = Threadfuser.Metrics
+
+let pp_stage title (r : Analyzer.result) =
+  let rep = r.Analyzer.report in
+  Fmt.pr "@.%s@." title;
+  Fmt.pr "  overall SIMT efficiency: %.1f%%@."
+    (100. *. rep.Metrics.simt_efficiency);
+  Fmt.pr "  %-12s %8s %8s@." "function" "share" "eff";
+  List.iter
+    (fun (f : Metrics.func_stat) ->
+      Fmt.pr "  %-12s %7.1f%% %7.1f%%@." f.Metrics.func_name
+        (100. *. f.Metrics.instr_share)
+        (100. *. f.Metrics.efficiency))
+    rep.Metrics.per_function;
+  rep
+
+let () =
+  Fmt.pr "=== HDSearch-Midtier: why does this microservice hate warps? ===@.";
+  let broken = W.analyze (Registry.find "hdsearch-mid") in
+  let rep = pp_stage "-- step 1: as-written service --" broken in
+
+  (* step 2: let the report point at the culprit, like the paper does *)
+  let worst =
+    List.filter
+      (fun (f : Metrics.func_stat) -> f.Metrics.instr_share > 0.10)
+      rep.Metrics.per_function
+    |> List.sort (fun (a : Metrics.func_stat) b ->
+           compare a.Metrics.efficiency b.Metrics.efficiency)
+    |> List.hd
+  in
+  Fmt.pr
+    "@.-- step 2: diagnosis --@.  hottest inefficient function: %s (%.1f%% \
+     of instructions at %.1f%% efficiency)@."
+    worst.Metrics.func_name
+    (100. *. worst.Metrics.instr_share)
+    (100. *. worst.Metrics.efficiency);
+  Fmt.pr
+    "  the FLANN-style `getpoint' loop pushes a data-dependent number of \
+     candidates per request,@.  and every push_back funnels through the \
+     glibc allocator's one mutex (%d intra-warp conflicts).@."
+    rep.Metrics.serializations;
+
+  (* step 3: the paper's fix — uniform top-10 + concurrent allocator *)
+  let fixed = W.analyze Registry.hdsearch_mid_fixed in
+  let frep =
+    pp_stage "-- step 3: SIMT-aware fix (uniform top-10, concurrent allocator) --"
+      fixed
+  in
+  Fmt.pr "@.result: %.0f%% -> %.0f%% SIMT efficiency (paper: 6%% -> 90%%)@."
+    (100. *. rep.Metrics.simt_efficiency)
+    (100. *. frep.Metrics.simt_efficiency)

@@ -1,0 +1,96 @@
+(* Quickstart: write a tiny multithreaded "CPU program" in the mini-ISA,
+   run it on the MIMD machine to collect per-thread traces, and ask the
+   ThreadFuser analyzer how it would behave on SIMT hardware.
+
+     dune exec examples/quickstart.exe
+
+   The kernel is the classic porting question: each thread walks its slice
+   of a histogram and conditionally rescales — would this loop survive a
+   GPU port as-is? *)
+
+open Threadfuser_prog
+open Threadfuser_isa
+module Machine = Threadfuser_machine.Machine
+module Memory = Threadfuser_machine.Memory
+module Analyzer = Threadfuser.Analyzer
+module Metrics = Threadfuser.Metrics
+
+let histogram = 0x20000
+
+let out = 0x60000
+
+(* worker(tid): for the 16 bins of this thread's slice, rescale the large
+   ones (a data-dependent branch) and accumulate a checksum. *)
+let program =
+  Program.assemble
+    [
+      Build.(
+        func "worker"
+          [
+            mov (reg 6) (reg 0);
+            shl (reg 6) (imm 4);
+            (* first bin = tid * 16 *)
+            mov (reg 9) (imm 0);
+            for_up ~i:7 ~from_:(imm 0) ~below:(imm 16)
+              [
+                mov (reg 8) (reg 6);
+                add (reg 8) (reg 7);
+                mov (reg 10) (mem ~scale:8 ~index:8 ~disp:histogram ());
+                (* the porting hazard: a data-dependent diamond *)
+                if_ Cond.Gt (reg 10) (imm 700)
+                  ~then_:[ shr (reg 10) (imm 1); add (reg 9) (imm 3) ]
+                  ~else_:[ add (reg 9) (imm 1) ]
+                  ();
+                mov (mem ~scale:8 ~index:8 ~disp:out ()) (reg 10);
+              ];
+            mov (mem ~scale:8 ~index:0 ~disp:(out + 0x8000) ()) (reg 9);
+            ret;
+          ]);
+    ]
+
+let () =
+  (* 1. run 64 CPU threads under the deterministic machine, tracing each *)
+  let machine = Machine.create program in
+  let mem = Machine.memory machine in
+  let rng = Threadfuser_util.Lcg.create 2024 in
+  for i = 0 to 1023 do
+    Memory.store_i64 mem (histogram + (8 * i)) (Threadfuser_util.Lcg.int rng 1000)
+  done;
+  let run =
+    Machine.run_workers machine ~worker:"worker"
+      ~args:(Array.init 64 (fun tid -> [ tid ]))
+  in
+  Fmt.pr "traced %d threads, %d instructions executed@."
+    (Array.length run.Machine.traces)
+    run.Machine.instrs_executed;
+
+  (* 2. fuse the threads into warps and replay them on the SIMT stack *)
+  let result = Analyzer.analyze program run.Machine.traces in
+  let rep = result.Analyzer.report in
+  Fmt.pr "@.%a@." Metrics.pp_summary rep;
+
+  (* 3. read the verdict *)
+  Fmt.pr "@.verdict: " ;
+  if rep.Metrics.simt_efficiency > 0.9 then
+    Fmt.pr "SIMT-friendly — port as-is and expect good lane utilization.@."
+  else if rep.Metrics.simt_efficiency > 0.5 then
+    Fmt.pr
+      "moderately divergent (%.0f%%) — profitable, but the branch deserves \
+       a predication/SoA pass first.@."
+      (100. *. rep.Metrics.simt_efficiency)
+  else
+    Fmt.pr "SIMT-hostile (%.0f%%) — restructure before porting.@."
+      (100. *. rep.Metrics.simt_efficiency);
+
+  (* 4. warp-width what-if, one line per width *)
+  Fmt.pr "@.warp-width sensitivity:@.";
+  List.iter
+    (fun warp_size ->
+      let r =
+        Analyzer.analyze
+          ~options:{ Analyzer.default_options with warp_size }
+          program run.Machine.traces
+      in
+      Fmt.pr "  warp %2d -> %.1f%%@." warp_size
+        (100. *. r.Analyzer.report.Metrics.simt_efficiency))
+    [ 4; 8; 16; 32 ]

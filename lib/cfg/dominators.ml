@@ -1,0 +1,77 @@
+(** Iterative dominator computation (Cooper–Harvey–Kennedy, "A Simple, Fast
+    Dominance Algorithm").  Used with the graph reversed to obtain
+    post-dominators, which is how GPGPU-Sim-style IPDOM reconvergence tables
+    are built (paper §III).
+
+    Nodes are integers in [0, n).  Nodes unreachable from [entry] get
+    idom = -1. *)
+
+type t = {
+  idom : int array; (* idom.(entry) = entry; -1 for unreachable *)
+  rpo_index : int array; (* position in reverse postorder; -1 unreachable *)
+}
+
+let reverse_postorder ~n ~entry ~succs =
+  let visited = Array.make n false in
+  let order = ref [] in
+  (* Iterative DFS with an explicit stack of (node, remaining successors). *)
+  let stack = ref [ (entry, ref (succs entry)) ] in
+  visited.(entry) <- true;
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (node, rest) :: tail -> (
+        match !rest with
+        | [] ->
+            order := node :: !order;
+            stack := tail
+        | s :: more ->
+            rest := more;
+            if not visited.(s) then begin
+              visited.(s) <- true;
+              stack := (s, ref (succs s)) :: !stack
+            end)
+  done;
+  Array.of_list !order
+
+(** [compute ~n ~entry ~succs ~preds] returns immediate dominators w.r.t.
+    [entry].  For post-dominators, pass the reversed graph (swap succs and
+    preds, entry = the exit node). *)
+let compute ~n ~entry ~succs ~preds : t =
+  let rpo = reverse_postorder ~n ~entry ~succs in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i node -> rpo_index.(node) <- i) rpo;
+  let idom = Array.make n (-1) in
+  idom.(entry) <- entry;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_index.(a) > rpo_index.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> entry then begin
+          let new_idom =
+            List.fold_left
+              (fun acc p ->
+                if rpo_index.(p) < 0 || idom.(p) < 0 then acc
+                else match acc with None -> Some p | Some a -> Some (intersect a p))
+              None (preds b)
+          in
+          match new_idom with
+          | Some d when idom.(b) <> d ->
+              idom.(b) <- d;
+              changed := true
+          | Some _ | None -> ()
+        end)
+      rpo
+  done;
+  { idom; rpo_index }
+
+(** [dominates t a b] — does [a] dominate [b]?  Walks the idom chain. *)
+let dominates t a b =
+  let rec walk b = b = a || (t.idom.(b) <> b && t.idom.(b) >= 0 && walk t.idom.(b)) in
+  t.rpo_index.(b) >= 0 && walk b

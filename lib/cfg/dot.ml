@@ -1,0 +1,51 @@
+(** Graphviz export of dynamic CFGs, annotated with IPDOM reconvergence
+    edges — handy when debugging why the analyzer picked a reconvergence
+    point (render with [dot -Tsvg]). *)
+
+module Program = Threadfuser_prog.Program
+
+let escape s =
+  String.concat "\\\"" (String.split_on_char '"' s)
+
+(** [emit ppf prog dcfg ipdom] writes one digraph for the DCFG's function.
+    Solid edges are observed control flow; dashed grey edges point from
+    each block to its immediate post-dominator. *)
+let emit ppf (prog : Program.t) (dcfg : Dcfg.t) (ipdom : Ipdom.t option) =
+  let f = Program.func prog dcfg.Dcfg.func in
+  Fmt.pf ppf "digraph \"%s\" {@." (escape f.Program.name);
+  Fmt.pf ppf "  rankdir=TB; node [shape=box, fontname=\"monospace\"];@.";
+  (* nodes: observed blocks plus the virtual exit *)
+  for b = 0 to dcfg.Dcfg.n_blocks - 1 do
+    if dcfg.Dcfg.observed.(b) then begin
+      let block = f.Program.blocks.(b) in
+      let label =
+        match block.Program.src_label with
+        | Some l -> Printf.sprintf "b%d (%s)\\n%d instrs" b l (Array.length block.Program.instrs)
+        | None -> Printf.sprintf "b%d\\n%d instrs" b (Array.length block.Program.instrs)
+      in
+      Fmt.pf ppf "  n%d [label=\"%s\"%s];@." b (escape label)
+        (if b = 0 then ", style=bold" else "")
+    end
+  done;
+  Fmt.pf ppf "  n%d [label=\"exit\", shape=doublecircle];@." dcfg.Dcfg.exit_node;
+  (* observed edges *)
+  Array.iteri
+    (fun from_ succs ->
+      List.iter (fun to_ -> Fmt.pf ppf "  n%d -> n%d;@." from_ to_) succs)
+    dcfg.Dcfg.succs;
+  (* reconvergence edges *)
+  (match ipdom with
+  | None -> ()
+  | Some ip ->
+      for b = 0 to dcfg.Dcfg.n_blocks - 1 do
+        if dcfg.Dcfg.observed.(b) && List.length dcfg.Dcfg.succs.(b) > 1 then
+          Fmt.pf ppf
+            "  n%d -> n%d [style=dashed, color=grey, label=\"reconv\"];@." b
+            (Ipdom.reconvergence_point ip b)
+      done);
+  Fmt.pf ppf "}@."
+
+let to_string prog dcfg ipdom =
+  let buf = Buffer.create 1024 in
+  emit (Fmt.with_buffer buf) prog dcfg ipdom;
+  Buffer.contents buf

@@ -1,0 +1,72 @@
+(** Immediate post-dominator tables, one per function DCFG.
+
+    The immediate post-dominator of a block is the first block guaranteed to
+    execute on every path from it to the function's (virtual) exit — the
+    reconvergence point the SIMT stack pushes when threads diverge at that
+    block (paper §II/§III, the GPGPU-Sim IPDOM algorithm). *)
+
+type t = {
+  dcfg : Dcfg.t;
+  ipdom : int array; (* node -> immediate post-dominator node *)
+  depth : int array; (* length of the node's post-dominator chain to exit *)
+}
+
+(** Post-dominators = dominators of the reversed graph rooted at exit. *)
+let compute (dcfg : Dcfg.t) : t =
+  let n = Dcfg.n_nodes dcfg in
+  let doms =
+    Dominators.compute ~n ~entry:dcfg.exit_node
+      ~succs:(fun v -> dcfg.preds.(v))
+      ~preds:(fun v -> dcfg.succs.(v))
+  in
+  let ipdom =
+    Array.init n (fun v ->
+        if v = dcfg.exit_node then dcfg.exit_node
+        else if doms.Dominators.idom.(v) < 0 then
+          (* Block never observed reaching exit (e.g. never traced at all):
+             fall back to the conservative reconvergence point. *)
+          dcfg.exit_node
+        else doms.Dominators.idom.(v))
+  in
+  (* Chain depth to exit (the post-dominator tree is rooted at exit). *)
+  let depth = Array.make n (-1) in
+  depth.(dcfg.exit_node) <- 0;
+  let rec depth_of v =
+    if depth.(v) >= 0 then depth.(v)
+    else begin
+      let d = 1 + depth_of ipdom.(v) in
+      depth.(v) <- d;
+      d
+    end
+  in
+  for v = 0 to n - 1 do
+    ignore (depth_of v)
+  done;
+  { dcfg; ipdom; depth }
+
+let reconvergence_point t block = t.ipdom.(block)
+
+(** [post_dominates t a b] — is [a] on every path from [b] to exit? *)
+let post_dominates t a b =
+  let rec walk b = b = a || (t.ipdom.(b) <> b && walk t.ipdom.(b)) in
+  walk b
+
+(** Nearest common post-dominator of two nodes: the first block guaranteed
+    to execute on every path to exit from either — the reconvergence point
+    for a warp whose lanes stand at [a] and [b].  Computed by lifting the
+    deeper node along its post-dominator chain (LCA in the post-dominator
+    tree). *)
+let nearest_common_post_dominator t a b =
+  let a = ref a and b = ref b in
+  while !a <> !b do
+    if t.depth.(!a) > t.depth.(!b) then a := t.ipdom.(!a)
+    else if t.depth.(!b) > t.depth.(!a) then b := t.ipdom.(!b)
+    else begin
+      a := t.ipdom.(!a);
+      b := t.ipdom.(!b)
+    end
+  done;
+  !a
+
+(** Table for a whole program: one entry per function. *)
+let of_dcfgs (dcfgs : Dcfg.t array) : t array = Array.map compute dcfgs

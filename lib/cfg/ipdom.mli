@@ -1,0 +1,30 @@
+(** Immediate post-dominator tables (one per function DCFG).
+
+    The immediate post-dominator of a block is the first block guaranteed
+    to execute on every path from it to the function's virtual exit — the
+    reconvergence point the SIMT stack pushes when threads diverge there
+    (paper §II/§III, the GPGPU-Sim IPDOM discipline). *)
+
+type t = {
+  dcfg : Dcfg.t;
+  ipdom : int array;  (** node -> immediate post-dominator *)
+  depth : int array;  (** post-dominator-chain length to exit *)
+}
+
+val compute : Dcfg.t -> t
+
+(** The IPDOM of a block (the function's exit node for blocks with no
+    tighter reconvergence point). *)
+val reconvergence_point : t -> int -> int
+
+(** [post_dominates t a b] — is [a] on every path from [b] to exit? *)
+val post_dominates : t -> int -> int -> bool
+
+(** Nearest common post-dominator of two nodes: the first block guaranteed
+    to execute on every path to exit from either — where a warp whose lanes
+    stand at the two nodes can reconverge (LCA in the post-dominator
+    tree).  Used for both branch divergence and post-lock-serialization
+    regrouping. *)
+val nearest_common_post_dominator : t -> int -> int -> int
+
+val of_dcfgs : Dcfg.t array -> t array

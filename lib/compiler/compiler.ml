@@ -1,0 +1,39 @@
+(** Optimization-level pipelines, mirroring the gcc -O0/-O1/-O2/-O3 binaries
+    the paper traces (§IV):
+
+    - [O0]: the register-spilling deoptimizer — every variable lives in
+      memory, inflating (stack-segment) memory traffic;
+    - [O1]: the program as written (the paper found -O1 correlates best
+      with GPU hardware);
+    - [O2]: local redundant-load elimination — fewer memory instructions;
+    - [O3]: O2 plus loop unrolling and if-conversion — also removes control
+      divergence, which makes SIMT-efficiency predictions optimistic
+      relative to the GPU binary, as the paper observes. *)
+
+open Threadfuser_prog
+
+type level = O0 | O1 | O2 | O3
+
+let all_levels = [ O0; O1; O2; O3 ]
+
+let to_string = function O0 -> "O0" | O1 -> "O1" | O2 -> "O2" | O3 -> "O3"
+
+let of_string = function
+  | "O0" | "o0" -> Some O0
+  | "O1" | "o1" -> Some O1
+  | "O2" | "o2" -> Some O2
+  | "O3" | "o3" -> Some O3
+  | _ -> None
+
+(** Apply a level's pass pipeline to a surface program. *)
+let apply level (p : Surface.t) : Surface.t =
+  match level with
+  | O0 -> Spill.apply p
+  | O1 -> p
+  | O2 -> Loadelim.apply p
+  | O3 -> Loadelim.apply (Ifconv.apply (Unroll.apply p))
+
+(** Convenience: apply and assemble in one step. *)
+let compile level (p : Surface.t) : Program.t = Program.assemble (apply level p)
+
+let pp_level ppf l = Fmt.string ppf (to_string l)

@@ -1,0 +1,30 @@
+(** Optimization-level pipelines mirroring the gcc -O0..-O3 binaries the
+    paper traces (§IV):
+
+    - [O0]: register-spilling deoptimizer — every register use reloads from
+      and every definition stores to a TLS home slot, inflating
+      stack-segment memory traffic like an unoptimizing compiler;
+    - [O1]: the program as written (the paper's best-correlating level);
+    - [O2]: local redundant-load elimination;
+    - [O3]: O2 + loop unrolling + if-conversion — removes control
+      divergence the GPU binary keeps, making SIMT-efficiency predictions
+      optimistic, as the paper observes.
+
+    All passes are semantics-preserving (property-tested in
+    [test/test_compiler.ml]). *)
+
+type level = O0 | O1 | O2 | O3
+
+val all_levels : level list
+
+val to_string : level -> string
+
+val of_string : string -> level option
+
+(** Apply the level's pass pipeline to a surface program. *)
+val apply : level -> Threadfuser_prog.Surface.t -> Threadfuser_prog.Surface.t
+
+(** [apply] then assemble. *)
+val compile : level -> Threadfuser_prog.Surface.t -> Threadfuser_prog.Program.t
+
+val pp_level : Format.formatter -> level -> unit

@@ -1,0 +1,139 @@
+(** -O3 if-conversion: turn short, side-effect-free branch diamonds into
+    straight-line conditional moves.
+
+    This is the optimization the paper identifies as the main reason gcc -O3
+    binaries *overestimate* SIMT efficiency relative to GPU hardware: the
+    CPU compiler removes control divergence that the GPU binary still has
+    (paper §IV).  Two shapes are recognised:
+
+    {v
+      cmp a, b                         cmp a, b
+      jCC  Lend          ==>           cmov !CC r, v      (per then-mov)
+      mov r, v  (then)
+    Lend:
+
+      cmp a, b                         cmp a, b
+      jCC  Lelse                       mov r, v'          (else movs)
+      mov r, v   (then)      ==>       cmov !CC r, v      (then movs)
+      jmp Lend
+    Lelse:
+      mov r, v'  (else)
+    Lend:
+    v}
+
+    Safety conditions: every conditional instruction is a register-to-
+    register/immediate move (no memory, no flag update); in the
+    if/else shape the else-path's writes are a subset of the then-path's
+    writes (so they are overwritten when the then-path logically runs) and
+    are disjoint from the then-path's reads.  Labels made unreferenced by
+    the rewrite are dropped when no other branch targets them. *)
+
+open Threadfuser_isa
+open Threadfuser_prog
+
+(* A convertible conditional instruction: plain register move from a
+   register or immediate. *)
+let simple_mov = function
+  | Instr.Mov (Width.W8, Operand.Reg r, (Operand.Reg _ | Operand.Imm _ as src)) ->
+      Some (r, src)
+  | _ -> None
+
+let src_reg = function Operand.Reg r -> [ r ] | _ -> []
+
+(* Collect a run of simple movs from the item list. *)
+let rec take_movs acc items =
+  match items with
+  | Surface.Ins i :: rest -> (
+      match simple_mov i with
+      | Some mv -> take_movs (mv :: acc) rest
+      | None -> (List.rev acc, items))
+  | _ -> (List.rev acc, items)
+
+let cmovs cond movs =
+  List.map
+    (fun (r, src) -> Surface.Ins (Instr.Cmov (cond, Operand.Reg r, src)))
+    movs
+
+let movs_plain movs =
+  List.map
+    (fun (r, src) -> Surface.Ins (Instr.Mov (Width.W8, Operand.Reg r, src)))
+    movs
+
+(* Try to convert a diamond starting at [items]; returns the replacement and
+   the remaining items, plus the labels whose branch references were
+   removed. *)
+let try_convert items =
+  match items with
+  | Surface.Ins (Instr.Cmp (_, _, _) as cmp) :: Surface.Ins (Instr.Jcc (cc, l1)) :: rest
+    -> (
+      let then_movs, after_then = take_movs [] rest in
+      if then_movs = [] then None
+      else
+        match after_then with
+        (* shape 1: no else branch; l1 is the join label *)
+        | Surface.Label l1' :: _ when l1' = l1 ->
+            Some
+              ( [ Surface.Ins cmp ] @ cmovs (Cond.negate cc) then_movs,
+                after_then,
+                [ l1 ] )
+        (* shape 2: if/else *)
+        | Surface.Ins (Instr.Jmp lend) :: Surface.Label l1' :: after_else_label
+          when l1' = l1 -> (
+            let else_movs, after_else = take_movs [] after_else_label in
+            match after_else with
+            | Surface.Label lend' :: _ when lend' = lend && else_movs <> [] ->
+                let then_writes = List.map fst then_movs in
+                let then_reads = List.concat_map (fun (_, s) -> src_reg s) then_movs in
+                let else_writes = List.map fst else_movs in
+                let else_reads = List.concat_map (fun (_, s) -> src_reg s) else_movs in
+                let subset xs ys = List.for_all (fun x -> List.mem x ys) xs in
+                let disjoint xs ys = List.for_all (fun x -> not (List.mem x ys)) xs in
+                (* The cmp operands must also be insensitive to the else
+                   movs: flags are latched at the cmp, so that is automatic;
+                   but else movs must not clobber then-mov sources. *)
+                if
+                  subset else_writes then_writes
+                  && disjoint else_writes then_reads
+                  && disjoint else_writes else_reads
+                then
+                  Some
+                    ( [ Surface.Ins cmp ]
+                      @ movs_plain else_movs
+                      @ cmovs (Cond.negate cc) then_movs,
+                      after_else,
+                      [ l1; lend ] )
+                else None
+            | _ -> None)
+        | _ -> None)
+  | _ -> None
+
+let apply_func (f : Surface.func) : Surface.func =
+  let removed = Hashtbl.create 8 in
+  let rec go items =
+    match items with
+    | [] -> []
+    | item :: rest -> (
+        match try_convert items with
+        | Some (replacement, remaining, dropped_refs) ->
+            List.iter
+              (fun l ->
+                Hashtbl.replace removed l
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt removed l)))
+              dropped_refs;
+            replacement @ go remaining
+        | None -> item :: go rest)
+  in
+  let body = go f.Surface.body in
+  (* Drop labels that no branch references any more. *)
+  let refs = Pass_util.label_refs body in
+  let body =
+    List.filter
+      (fun item ->
+        match item with
+        | Surface.Label l -> Hashtbl.mem refs l || not (Hashtbl.mem removed l)
+        | Surface.Ins _ -> true)
+      body
+  in
+  { f with Surface.body = body }
+
+let apply (p : Surface.t) : Surface.t = List.map apply_func p

@@ -1,0 +1,114 @@
+(** -O2-style local redundancy elimination.
+
+    Within each basic block the pass remembers which register holds the
+    value last loaded from (or stored to) a syntactic memory operand, and
+    rewrites subsequent loads of the same operand into register moves
+    (dropping them entirely when source and destination coincide).  The
+    cache is conservatively flushed at every label, terminator, memory
+    write, or synchronization point, and entries die when a register they
+    mention is overwritten — so the rewrite is sound even across threads as
+    long as racing accesses are protected by locks/atomics (which flush).
+
+    This reproduces the gcc -O2/-O3 behaviour the paper observed: fewer
+    memory instructions than the -O0/-O1 binaries, pulling the predicted
+    transaction counts below the GPU oracle's. *)
+
+open Threadfuser_isa
+open Threadfuser_prog
+
+(* Cache key: access width + the syntactic memory operand. *)
+module Key = struct
+  type t = Width.t * Operand.mem
+
+  let equal (a : t) (b : t) = a = b
+end
+
+type state = { mutable entries : (Key.t * Reg.t) list }
+
+let flush st = st.entries <- []
+
+let kill_reg st r =
+  st.entries <-
+    List.filter
+      (fun (((_, m) : Key.t), holder) ->
+        holder <> r && not (List.mem r (Operand.mem_regs m)))
+      st.entries
+
+let lookup st key =
+  List.find_map (fun (k, r) -> if Key.equal k key then Some r else None) st.entries
+
+let remember st key r =
+  st.entries <- (key, r) :: List.filter (fun (k, _) -> not (Key.equal k key)) st.entries
+
+let rewrite_instr st (i : Pass_util.instr) : Pass_util.instr option =
+  let result =
+    match i with
+    (* load: forward from a register that already holds the value *)
+    | Instr.Mov (w, Operand.Reg r, Operand.Mem m) -> (
+        match lookup st (w, m) with
+        | Some holder when holder = r -> None (* value already there *)
+        | Some holder -> Some (Instr.Mov (w, Operand.Reg r, Operand.Reg holder))
+        | None -> Some i)
+    | Instr.Binop (op, w, Operand.Reg r, Operand.Mem m) -> (
+        match lookup st (w, m) with
+        | Some holder -> Some (Instr.Binop (op, w, Operand.Reg r, Operand.Reg holder))
+        | None -> Some i)
+    | Instr.Cmp (w, a, Operand.Mem m) -> (
+        match lookup st (w, m) with
+        | Some holder -> Some (Instr.Cmp (w, a, Operand.Reg holder))
+        | None -> Some i)
+    | Instr.Cmp (w, Operand.Mem m, b) -> (
+        match lookup st (w, m) with
+        | Some holder -> Some (Instr.Cmp (w, Operand.Reg holder, b))
+        | None -> Some i)
+    | _ -> Some i
+  in
+  (* Update the cache according to the *original* instruction's effects. *)
+  (if Pass_util.writes_memory i then flush st
+   else
+     match i with
+     | Instr.Call _ | Instr.Lock_acquire _ | Instr.Lock_release _ | Instr.Io _ ->
+         flush st
+     | _ -> ());
+  List.iter (kill_reg st) (Pass_util.written_regs i);
+  (* Register new facts (after kills, so a load into an addressing register
+     of its own operand does not survive). *)
+  (match i with
+  | Instr.Mov (w, Operand.Reg r, Operand.Mem m) ->
+      if not (List.mem r (Operand.mem_regs m)) then remember st (w, m) r
+  | Instr.Mov (w, Operand.Mem m, Operand.Reg r) ->
+      (* store-to-load forwarding: memory now holds r (if widths match) *)
+      if w = Width.W8 && not (List.mem r (Operand.mem_regs m)) then
+        remember st (w, m) r
+  | _ -> ());
+  result
+
+(* Note: store-to-load forwarding is W8-only because a narrow store
+   truncates memory while the register keeps the full word; forwarding
+   *loads* of any width is fine since the register holds exactly the
+   zero-extended loaded value. *)
+
+let apply_func (f : Surface.func) : Surface.func =
+  let st = { entries = [] } in
+  let body =
+    List.filter_map
+      (fun item ->
+        match item with
+        | Surface.Label _ ->
+            flush st;
+            Some item
+        | Surface.Ins i ->
+            let keep =
+              if Instr.is_terminator i then begin
+                let r = rewrite_instr st i in
+                flush st;
+                r
+              end
+              else rewrite_instr st i
+            in
+            Option.map (fun i -> Surface.Ins i) keep)
+      f.Surface.body
+  in
+  { f with Surface.body = body }
+
+let apply (p : Surface.t) : Surface.t = List.map apply_func p

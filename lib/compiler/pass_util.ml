@@ -1,0 +1,72 @@
+(** Shared helpers for the optimization passes: register read/write sets of
+    surface instructions and label reference counting. *)
+
+open Threadfuser_isa
+
+type instr = (string, string) Instr.t
+
+(* Registers an instruction reads (including address computation and the
+   read half of read-modify-write destinations). *)
+let read_regs (i : instr) : Reg.t list =
+  let src = Operand.src_regs in
+  let dst_addr o = match o with Operand.Mem m -> Operand.mem_regs m | _ -> [] in
+  let dst_rmw o =
+    match o with
+    | Operand.Reg r -> [ r ]
+    | Operand.Mem m -> Operand.mem_regs m
+    | Operand.Imm _ -> []
+  in
+  match i with
+  | Instr.Mov (_, dst, s) -> src s @ dst_addr dst
+  | Instr.Cmov (_, dst, s) -> src s @ dst_rmw dst
+  | Instr.Lea (_, m) -> Operand.mem_regs m
+  | Instr.Binop (_, _, dst, s) -> src s @ dst_rmw dst
+  | Instr.Unop (_, _, dst) -> dst_rmw dst
+  | Instr.Cmp (_, a, b) -> src a @ src b
+  | Instr.Lock_acquire o | Instr.Lock_release o | Instr.Io (_, o)
+  | Instr.Barrier o ->
+      src o
+  | Instr.Atomic_rmw (_, _, m, s) -> Operand.mem_regs m @ src s
+  | Instr.Jcc _ | Instr.Jmp _ | Instr.Call _ | Instr.Ret | Instr.Halt -> []
+
+(* Registers an instruction writes. *)
+let written_regs (i : instr) : Reg.t list =
+  match i with
+  | Instr.Mov (_, Operand.Reg r, _)
+  | Instr.Cmov (_, Operand.Reg r, _)
+  | Instr.Binop (_, _, Operand.Reg r, _)
+  | Instr.Unop (_, _, Operand.Reg r) ->
+      [ r ]
+  | Instr.Lea (r, _) -> [ r ]
+  | Instr.Mov _ | Instr.Cmov _ | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _
+  | Instr.Jcc _ | Instr.Jmp _ | Instr.Call _ | Instr.Ret | Instr.Lock_acquire _
+  | Instr.Lock_release _ | Instr.Atomic_rmw _ | Instr.Io _ | Instr.Barrier _
+  | Instr.Halt ->
+      []
+
+(* Whether the instruction writes memory (used to invalidate caches). *)
+let writes_memory (i : instr) =
+  match i with
+  | Instr.Mov (_, Operand.Mem _, _)
+  | Instr.Binop (_, _, Operand.Mem _, _)
+  | Instr.Unop (_, _, Operand.Mem _)
+  | Instr.Atomic_rmw _ ->
+      true
+  | Instr.Mov _ | Instr.Binop _ | Instr.Unop _ | Instr.Cmov _ | Instr.Lea _
+  | Instr.Cmp _ | Instr.Jcc _ | Instr.Jmp _ | Instr.Call _ | Instr.Ret
+  | Instr.Lock_acquire _ | Instr.Lock_release _ | Instr.Io _ | Instr.Barrier _
+  | Instr.Halt ->
+      false
+
+(* Labels referenced by branches in a function body. *)
+let label_refs (body : Threadfuser_prog.Surface.item list) =
+  let refs = Hashtbl.create 16 in
+  let bump l = Hashtbl.replace refs l (1 + Option.value ~default:0 (Hashtbl.find_opt refs l)) in
+  List.iter
+    (fun item ->
+      match item with
+      | Threadfuser_prog.Surface.Ins (Instr.Jcc (_, l)) -> bump l
+      | Threadfuser_prog.Surface.Ins (Instr.Jmp l) -> bump l
+      | Threadfuser_prog.Surface.Ins _ | Threadfuser_prog.Surface.Label _ -> ())
+    body;
+  refs

@@ -1,0 +1,50 @@
+(** The -O0 "deoptimizer": spill every register to memory around every use,
+    the way an unoptimizing compiler keeps each variable in its stack slot.
+
+    Each general register r0..r13 gets a home slot in the thread-local
+    storage area ([tls + 8*r], inside the thread's stack segment).  Before
+    every instruction its source registers are reloaded from their slots;
+    after it, written registers are stored back.  The function entry spills
+    the argument registers so thread-start register state reaches the slots.
+
+    The transformation preserves the invariant slot(r) = reg(r) at every
+    instruction boundary, so semantics are untouched while memory traffic
+    balloons — reproducing gcc -O0's effect on the paper's Fig. 5b
+    correlation (more transactions, stack-segment divergence). *)
+
+open Threadfuser_isa
+open Threadfuser_prog
+
+(* sp and tls must stay in registers; spilling them would tear down
+   addressing itself. *)
+let spillable r = r >= 0 && r < Reg.tls
+
+let slot r = Operand.Mem (Operand.mem ~base:Reg.tls ~disp:(8 * r) ())
+
+let load_reg r = Surface.Ins (Instr.Mov (Width.W8, Operand.Reg r, slot r))
+
+let store_reg r = Surface.Ins (Instr.Mov (Width.W8, slot r, Operand.Reg r))
+
+let dedup l = List.sort_uniq compare l
+
+let rewrite_instr (i : Pass_util.instr) : Surface.item list =
+  let reads = dedup (List.filter spillable (Pass_util.read_regs i)) in
+  let writes = dedup (List.filter spillable (Pass_util.written_regs i)) in
+  (* The instruction itself may carry a memory operand; reloading its
+     addressing registers first keeps the operand's meaning. *)
+  List.map load_reg reads @ [ Surface.Ins i ] @ List.map store_reg writes
+
+let arg_spills = List.init 6 (fun r -> store_reg (Reg.arg r))
+
+let apply_func (f : Surface.func) : Surface.func =
+  let body =
+    List.concat_map
+      (fun item ->
+        match item with
+        | Surface.Label _ -> [ item ]
+        | Surface.Ins i -> rewrite_instr i)
+      f.Surface.body
+  in
+  { f with Surface.body = arg_spills @ body }
+
+let apply (p : Surface.t) : Surface.t = List.map apply_func p

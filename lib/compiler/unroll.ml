@@ -1,0 +1,65 @@
+(** -O3 loop unrolling for simple top-tested loops.
+
+    Recognizes the canonical while-loop shape the builder (and most
+    compilers) emit and duplicates test+body [factor] times, keeping every
+    exit test so the transformation is trivially semantics-preserving while
+    cutting the back-edge jumps and enlarging straight-line blocks:
+
+    {v
+    Lhead:                       Lhead:
+      cmp a, b                     cmp a, b ; jCC Lend ; body
+      jCC Lend          ==>        cmp a, b ; jCC Lend ; body
+      body (straight line)         ... (factor copies) ...
+      jmp Lhead                    jmp Lhead
+    Lend:                        Lend:
+    v}
+
+    Only loops whose body is straight-line (no labels, no control flow other
+    than the back edge) and that are not jump targets from elsewhere are
+    rewritten. *)
+
+open Threadfuser_isa
+open Threadfuser_prog
+
+let default_factor = 4
+
+(* Split items into (straight-line body, rest) where body contains no
+   labels and no terminators. *)
+let rec take_straight acc items =
+  match items with
+  | (Surface.Ins i as item) :: rest when not (Instr.is_terminator i) ->
+      take_straight (item :: acc) rest
+  | _ -> (List.rev acc, items)
+
+let try_unroll ~factor refs items =
+  match items with
+  | Surface.Label lhead
+    :: Surface.Ins (Instr.Cmp (_, _, _) as cmp)
+    :: Surface.Ins (Instr.Jcc (cc, lend))
+    :: rest -> (
+      let body, after_body = take_straight [] rest in
+      match after_body with
+      | Surface.Ins (Instr.Jmp lhead') :: (Surface.Label lend' :: _ as tail)
+        when lhead' = lhead && lend' = lend
+             (* the head must only be targeted by its own back edge *)
+             && Hashtbl.find_opt refs lhead = Some 1 ->
+          let copy = (Surface.Ins cmp :: Surface.Ins (Instr.Jcc (cc, lend)) :: body) in
+          let copies = List.concat (List.init factor (fun _ -> copy)) in
+          Some ((Surface.Label lhead :: copies) @ [ Surface.Ins (Instr.Jmp lhead) ], tail)
+      | _ -> None)
+  | _ -> None
+
+let apply_func ?(factor = default_factor) (f : Surface.func) : Surface.func =
+  let refs = Pass_util.label_refs f.Surface.body in
+  let rec go items =
+    match items with
+    | [] -> []
+    | item :: rest -> (
+        match try_unroll ~factor refs items with
+        | Some (replacement, remaining) -> replacement @ go remaining
+        | None -> item :: go rest)
+  in
+  { f with Surface.body = go f.Surface.body }
+
+let apply ?factor (p : Surface.t) : Surface.t =
+  List.map (apply_func ?factor) p

@@ -1,0 +1,211 @@
+(** The ThreadFuser analyzer: the public entry point tying the pipeline
+    together (paper Fig. 3b).
+
+    {[ traces --> DCFG --> IPDOM --> warp formation --> SIMT-stack
+       emulation --> efficiency / divergence report (+ warp traces) ]}
+
+    Typical use:
+
+    {[
+      let machine = Machine.create prog in
+      setup (Machine.memory machine);
+      let run = Machine.run_workers machine ~worker ~args in
+      let result = Analyzer.analyze prog run.traces in
+      Fmt.pr "%a@." Metrics.pp_summary result.report
+    ]} *)
+
+module Program = Threadfuser_prog.Program
+module Thread_trace = Threadfuser_trace.Thread_trace
+module Dcfg = Threadfuser_cfg.Dcfg
+module Ipdom = Threadfuser_cfg.Ipdom
+
+type options = {
+  warp_size : int;
+  batching : Batching.t;
+  sync : Emulator.sync_mode; (* serialize same-lock lanes or ignore locks *)
+  reconv : Emulator.reconv_mode; (* IPDOM or function-exit-only (ablation) *)
+  gen_warp_trace : bool; (* also produce the simulator trace *)
+  record_timeline : bool; (* record per-warp occupancy timelines *)
+}
+
+let default_options =
+  {
+    warp_size = 32;
+    batching = Batching.Sequential;
+    sync = Emulator.Serialize;
+    reconv = Emulator.Ipdom_reconv;
+    gen_warp_trace = false;
+    record_timeline = false;
+  }
+
+type result = {
+  report : Metrics.report;
+  warp_trace : Warp_trace.t option;
+  timelines : Timeline.t list; (* in warp order; empty unless recorded *)
+  dcfgs : Dcfg.t array;
+  ipdoms : Ipdom.t array;
+  options : options;
+}
+
+let build_report (options : options) prog (emu : Emulator.t) ~n_threads ~n_warps
+    ~per_warp ~skipped_io ~skipped_spin ~skipped_excluded =
+  let total_instrs = emu.Emulator.thread_instrs in
+  let per_function =
+    let stats = ref [] in
+    Array.iteri
+      (fun fid issues ->
+        if issues > 0 then
+          stats :=
+            {
+              Metrics.fid;
+              func_name = Program.func_name prog fid;
+              issues;
+              thread_instrs = emu.Emulator.func_instrs.(fid);
+              efficiency =
+                Metrics.efficiency ~issues
+                  ~thread_instrs:emu.Emulator.func_instrs.(fid)
+                  ~warp_size:options.warp_size;
+              instr_share =
+                (if total_instrs = 0 then 0.0
+                 else
+                   float_of_int emu.Emulator.func_instrs.(fid)
+                   /. float_of_int total_instrs);
+            }
+            :: !stats)
+      emu.Emulator.func_issues;
+    List.sort
+      (fun (a : Metrics.func_stat) (b : Metrics.func_stat) ->
+        compare b.thread_instrs a.thread_instrs)
+      !stats
+  in
+  (* hottest divergent blocks: ranked by wasted issue slots
+     (issues * warp_size - instrs), keeping clearly-divergent ones *)
+  let hot_blocks =
+    let acc = ref [] in
+    Array.iteri
+      (fun fid per_block ->
+        Array.iteri
+          (fun bid issues ->
+            if issues > 0 then begin
+              let instrs = emu.Emulator.block_instrs.(fid).(bid) in
+              let eff =
+                Metrics.efficiency ~issues ~thread_instrs:instrs
+                  ~warp_size:options.warp_size
+              in
+              if eff < 0.9 then
+                acc :=
+                  {
+                    Metrics.block_fid = fid;
+                    block_func = Program.func_name prog fid;
+                    block_id = bid;
+                    src_label =
+                      (Program.func prog fid).Program.blocks.(bid).Program.src_label;
+                    block_issues = issues;
+                    block_instrs = instrs;
+                    block_efficiency = eff;
+                  }
+                  :: !acc
+            end)
+          per_block)
+      emu.Emulator.block_issues;
+    List.sort
+      (fun (a : Metrics.block_stat) (b : Metrics.block_stat) ->
+        compare
+          ((b.block_issues * options.warp_size) - b.block_instrs)
+          ((a.block_issues * options.warp_size) - a.block_instrs))
+      !acc
+    |> List.filteri (fun i _ -> i < 10)
+  in
+  let c = emu.Emulator.coalesce in
+  let total_mem_txns, total_mem_issues = Coalesce.totals c in
+  {
+    Metrics.warp_size = options.warp_size;
+    n_threads;
+    n_warps;
+    per_warp;
+    hot_blocks;
+    issues = emu.Emulator.issues;
+    thread_instrs = total_instrs;
+    simt_efficiency =
+      Metrics.efficiency ~issues:emu.Emulator.issues ~thread_instrs:total_instrs
+        ~warp_size:options.warp_size;
+    per_function;
+    stack_mem = Metrics.segment_stat c.Coalesce.stack;
+    heap_mem = Metrics.segment_stat c.Coalesce.heap;
+    global_mem = Metrics.segment_stat c.Coalesce.global;
+    total_mem_txns;
+    total_mem_issues;
+    skipped_io;
+    skipped_spin;
+    skipped_excluded;
+    lock_acquires = emu.Emulator.lock_acquires;
+    barrier_syncs = emu.Emulator.barrier_syncs;
+    serializations = emu.Emulator.serializations;
+    serialized_instrs = emu.Emulator.serialized_instrs;
+  }
+
+(** Run the full analysis pipeline over a trace set. *)
+let analyze ?(options = default_options) prog (traces : Thread_trace.t array) :
+    result =
+  let dcfgs = Dcfg.of_traces prog traces in
+  let ipdoms = Ipdom.of_dcfgs dcfgs in
+  let warps = Batching.form options.batching ~warp_size:options.warp_size traces in
+  let wt_builder =
+    if options.gen_warp_trace then
+      Some
+        (Warp_trace.Builder.create ~warp_size:options.warp_size
+           ~n_warps:(Array.length warps))
+    else None
+  in
+  let emu =
+    Emulator.create ?warp_trace:wt_builder prog ipdoms
+      {
+        Emulator.warp_size = options.warp_size;
+        sync = options.sync;
+        reconv = options.reconv;
+        record_timeline = options.record_timeline;
+      }
+  in
+  let skipped_io = ref 0 and skipped_spin = ref 0 in
+  let skipped_excluded = ref 0 in
+  let per_warp = ref [] in
+  Array.iteri
+    (fun warp_id tids ->
+      let cursors = Array.map (fun tid -> Cursor.of_trace traces.(tid)) tids in
+      let issues0 = emu.Emulator.issues
+      and instrs0 = emu.Emulator.thread_instrs in
+      Emulator.run_warp emu ~warp_id cursors;
+      let warp_issues = emu.Emulator.issues - issues0
+      and warp_instrs = emu.Emulator.thread_instrs - instrs0 in
+      per_warp :=
+        {
+          Metrics.warp_id;
+          warp_issues;
+          warp_instrs;
+          warp_efficiency =
+            Metrics.efficiency ~issues:warp_issues ~thread_instrs:warp_instrs
+              ~warp_size:options.warp_size;
+          lanes = Array.length tids;
+        }
+        :: !per_warp;
+      Array.iter
+        (fun (c : Cursor.t) ->
+          skipped_io := !skipped_io + c.Cursor.skipped_io;
+          skipped_spin := !skipped_spin + c.Cursor.skipped_spin;
+          skipped_excluded := !skipped_excluded + c.Cursor.skipped_excluded)
+        cursors)
+    warps;
+  let report =
+    build_report options prog emu ~n_threads:(Array.length traces)
+      ~n_warps:(Array.length warps) ~per_warp:(List.rev !per_warp)
+      ~skipped_io:!skipped_io ~skipped_spin:!skipped_spin
+      ~skipped_excluded:!skipped_excluded
+  in
+  {
+    report;
+    warp_trace = Option.map Warp_trace.Builder.finish wt_builder;
+    timelines = List.rev emu.Emulator.timelines;
+    dcfgs;
+    ipdoms;
+    options;
+  }

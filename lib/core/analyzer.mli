@@ -1,0 +1,44 @@
+(** The ThreadFuser analyzer — the framework's public entry point
+    (paper Fig. 3b):
+
+    {v traces -> DCFG -> IPDOM -> warp formation -> SIMT-stack replay
+       -> efficiency / divergence report (+ warp traces) v}
+
+    Typical use:
+
+    {[
+      let machine = Machine.create prog in
+      (* ... write inputs into (Machine.memory machine) ... *)
+      let run = Machine.run_workers machine ~worker ~args in
+      let result = Analyzer.analyze prog run.Machine.traces in
+      Fmt.pr "%a@." Metrics.pp_summary result.Analyzer.report
+    ]} *)
+
+type options = {
+  warp_size : int;
+  batching : Batching.t;
+  sync : Emulator.sync_mode;
+  reconv : Emulator.reconv_mode;
+  gen_warp_trace : bool;  (** also produce the simulator trace *)
+  record_timeline : bool;  (** record per-warp occupancy timelines *)
+}
+
+(** warp 32, sequential batching, lock serialization on, IPDOM
+    reconvergence, no warp-trace generation. *)
+val default_options : options
+
+type result = {
+  report : Metrics.report;
+  warp_trace : Warp_trace.t option;
+  timelines : Timeline.t list;  (** in warp order; empty unless recorded *)
+  dcfgs : Threadfuser_cfg.Dcfg.t array;
+  ipdoms : Threadfuser_cfg.Ipdom.t array;
+  options : options;
+}
+
+(** Run the full analysis pipeline over a trace set. *)
+val analyze :
+  ?options:options ->
+  Threadfuser_prog.Program.t ->
+  Threadfuser_trace.Thread_trace.t array ->
+  result

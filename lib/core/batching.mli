@@ -1,0 +1,23 @@
+(** Warp-formation (thread-batching) policies (paper §III: "different
+    batching algorithms can be explored").
+
+    - [Sequential]: threads [0..W-1] form warp 0, etc. (the paper's
+      default);
+    - [Strided]: threads dealt round-robin across warps;
+    - [Signature_greedy]: threads sorted by a hash of their dynamic
+      control-flow prefix so similar threads share a warp — a software
+      take on dynamic warp formation. *)
+
+type t = Sequential | Strided | Signature_greedy
+
+val to_string : t -> string
+
+val all : t list
+
+(** Control-flow-prefix hash used by [Signature_greedy]. *)
+val signature : ?prefix:int -> Threadfuser_trace.Thread_trace.t -> int
+
+(** [form policy ~warp_size traces] partitions thread ids into warps (the
+    last may be partial). *)
+val form :
+  t -> warp_size:int -> Threadfuser_trace.Thread_trace.t array -> int array array

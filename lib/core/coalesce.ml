@@ -1,0 +1,91 @@
+(** Memory-coalescing model (paper §III, Fig. 4).
+
+    Accesses from the active lanes of one warp-level memory instruction are
+    merged into the minimal set of 32-byte transactions, exactly as GPU
+    load/store units do.  Transactions are counted separately per address
+    segment (stack / heap / global) so the analyzer can reproduce the
+    paper's heap-vs-stack divergence breakdown (Fig. 10). *)
+
+module Layout = Threadfuser_machine.Layout
+
+let transaction_bytes = 32
+
+(** Distinct 32 B lines covered by [(addr, size)] accesses. *)
+let count_transactions (accesses : (int * int) list) =
+  let lines = Hashtbl.create 8 in
+  List.iter
+    (fun (addr, size) ->
+      let first = addr / transaction_bytes
+      and last = (addr + max 1 size - 1) / transaction_bytes in
+      for line = first to last do
+        Hashtbl.replace lines line ()
+      done)
+    accesses;
+  Hashtbl.length lines
+
+type seg_counters = {
+  mutable ld_txns : int;
+  mutable st_txns : int;
+  mutable ld_issues : int; (* warp-level load instructions touching the segment *)
+  mutable st_issues : int;
+  mutable ld_lanes : int; (* per-lane accesses *)
+  mutable st_lanes : int;
+}
+
+let seg_counters () =
+  { ld_txns = 0; st_txns = 0; ld_issues = 0; st_issues = 0; ld_lanes = 0; st_lanes = 0 }
+
+type t = {
+  stack : seg_counters;
+  heap : seg_counters;
+  global : seg_counters;
+}
+
+let create () = { stack = seg_counters (); heap = seg_counters (); global = seg_counters () }
+
+let seg t (segment : Layout.segment) =
+  match segment with
+  | Layout.Stack -> t.stack
+  | Layout.Heap -> t.heap
+  | Layout.Global -> t.global
+
+(** Record one warp-level memory instruction: [lanes] is the (addr, size)
+    list over active lanes.  Accesses are split by segment and coalesced
+    within each; returns the total transaction count. *)
+let record t ~is_store (lanes : (int * int) list) =
+  let by_seg = [ (Layout.Stack, ref []); (Layout.Heap, ref []); (Layout.Global, ref []) ] in
+  List.iter
+    (fun (addr, size) ->
+      let cell = List.assoc (Layout.segment_of addr) by_seg in
+      cell := (addr, size) :: !cell)
+    lanes;
+  List.fold_left
+    (fun total (segment, cell) ->
+      match !cell with
+      | [] -> total
+      | accesses ->
+          let txns = count_transactions accesses in
+          let c = seg t segment in
+          if is_store then begin
+            c.st_txns <- c.st_txns + txns;
+            c.st_issues <- c.st_issues + 1;
+            c.st_lanes <- c.st_lanes + List.length accesses
+          end
+          else begin
+            c.ld_txns <- c.ld_txns + txns;
+            c.ld_issues <- c.ld_issues + 1;
+            c.ld_lanes <- c.ld_lanes + List.length accesses
+          end;
+          total + txns)
+    0 by_seg
+
+let totals t =
+  let f c = (c.ld_txns + c.st_txns, c.ld_issues + c.st_issues) in
+  let a, b = f t.stack and c, d = f t.heap and e, g = f t.global in
+  (a + c + e, b + d + g)
+
+(** Mean 32 B transactions per warp-level load/store in a segment. *)
+let txns_per_instr c =
+  let issues = c.ld_issues + c.st_issues in
+  if issues = 0 then 0.0
+  else float_of_int (c.ld_txns + c.st_txns) /. float_of_int issues

@@ -1,0 +1,36 @@
+(** Memory-coalescing model (paper §III, Fig. 4): the active lanes' accesses
+    of one warp-level memory instruction merge into the minimal set of
+    32-byte transactions, counted separately per address segment
+    (stack/heap/global) for the paper's Fig. 10 breakdown. *)
+
+val transaction_bytes : int
+
+(** Distinct 32 B lines covered by [(addr, size)] accesses. *)
+val count_transactions : (int * int) list -> int
+
+type seg_counters = {
+  mutable ld_txns : int;
+  mutable st_txns : int;
+  mutable ld_issues : int;  (** warp-level load instructions in the segment *)
+  mutable st_issues : int;
+  mutable ld_lanes : int;  (** per-lane accesses *)
+  mutable st_lanes : int;
+}
+
+type t = {
+  stack : seg_counters;
+  heap : seg_counters;
+  global : seg_counters;
+}
+
+val create : unit -> t
+
+(** Record one warp-level memory instruction ([lanes] = active lanes'
+    [(addr, size)] pairs); returns the total transactions generated. *)
+val record : t -> is_store:bool -> (int * int) list -> int
+
+(** Total (transactions, warp-level memory instructions) over all segments. *)
+val totals : t -> int * int
+
+(** Mean 32 B transactions per warp-level load/store in a segment. *)
+val txns_per_instr : seg_counters -> float

@@ -1,0 +1,41 @@
+(** A reading position in one thread's dynamic trace.
+
+    The warp emulator drives one cursor per lane.  [Skip] events carry no
+    control flow; they are absorbed transparently whenever the cursor is
+    inspected and accumulated into the skip counters (paper Fig. 8). *)
+
+type control =
+  | C_block of {
+      func : int;
+      block : int;
+      n_instr : int;
+      accesses : Threadfuser_trace.Event.access array;
+    }
+  | C_call of int
+  | C_ret
+  | C_lock of int
+  | C_unlock of int
+  | C_barrier of int
+  | C_end
+
+type t = {
+  tid : int;
+  events : Threadfuser_trace.Event.t array;
+  mutable pos : int;
+  mutable skipped_io : int;
+  mutable skipped_spin : int;
+  mutable skipped_excluded : int;
+}
+
+val of_trace : Threadfuser_trace.Thread_trace.t -> t
+
+(** Next control item without consuming it (skips are absorbed). *)
+val peek : t -> control
+
+(** Consume the item [peek] would return. *)
+val advance : t -> unit
+
+(** [peek] then [advance]. *)
+val next : t -> control
+
+val at_end : t -> bool

@@ -1,0 +1,450 @@
+(** The SIMT-stack warp emulator — ThreadFuser's analysis core (paper §III).
+
+    Given the per-thread traces of the lanes fused into one warp, the
+    emulator replays them in lock-step under the stack-based IPDOM
+    reconvergence discipline of real SIMT hardware:
+
+    - a stack entry holds a function context, the next node to execute, the
+      node at which the entry pops (its reconvergence point) and an active
+      mask;
+    - executing a block consumes one [Block] event from every active lane
+      and charges one lock-step issue per instruction;
+    - when lanes branch to different blocks, the entry retargets to the
+      divergent block's immediate post-dominator and one child entry per
+      distinct destination is pushed;
+    - calls push a function frame whose reconvergence point is the callee's
+      virtual exit (the per-function DCFG discipline);
+    - lock acquires by lanes contending on the same lock serialize those
+      lanes through their critical sections ([Serialize] mode; [Serialize_all]
+      serializes every lane, [Ignore_sync] none), exactly one lane active at
+      a time, reconverging afterwards through the ordinary divergence
+      mechanism (their nearest common post-dominator, i.e. the post-unlock
+      continuation).
+
+    The emulator simultaneously drives the coalescing model and (optionally)
+    emits the cracked warp-level RISC trace for the cycle simulator. *)
+
+module Program = Threadfuser_prog.Program
+module Event = Threadfuser_trace.Event
+module Ipdom = Threadfuser_cfg.Ipdom
+module Vec = Threadfuser_util.Vec
+open Threadfuser_isa
+
+exception Emulation_error of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Emulation_error s)) fmt
+
+type sync_mode = Serialize | Serialize_all | Ignore_sync
+
+type reconv_mode = Ipdom_reconv | Function_exit_reconv
+
+type config = {
+  warp_size : int;
+  sync : sync_mode;
+  reconv : reconv_mode;
+  record_timeline : bool;
+}
+
+type t = {
+  prog : Program.t;
+  ipdoms : Ipdom.t array; (* per function *)
+  config : config;
+  coalesce : Coalesce.t;
+  func_issues : int array;
+  func_instrs : int array;
+  block_issues : int array array; (* per function, per block *)
+  block_instrs : int array array;
+  mutable issues : int;
+  mutable thread_instrs : int;
+  mutable lock_acquires : int;
+  mutable serializations : int;
+  mutable serialized_instrs : int;
+  mutable barrier_syncs : int; (* warp-level barrier crossings *)
+  mutable wt : Warp_trace.Builder.t option;
+  mutable wt_warp : int; (* warp currently being emitted *)
+  mutable tl_current : Timeline.sample Vec.t option; (* active warp's samples *)
+  mutable timelines : Timeline.t list; (* finished warps, reversed *)
+}
+
+let create ?(warp_trace : Warp_trace.Builder.t option) prog ipdoms config =
+  {
+    prog;
+    ipdoms;
+    config;
+    coalesce = Coalesce.create ();
+    func_issues = Array.make (Program.func_count prog) 0;
+    func_instrs = Array.make (Program.func_count prog) 0;
+    block_issues =
+      Array.init (Program.func_count prog) (fun fid ->
+          Array.make (Program.block_count (Program.func prog fid)) 0);
+    block_instrs =
+      Array.init (Program.func_count prog) (fun fid ->
+          Array.make (Program.block_count (Program.func prog fid)) 0);
+    issues = 0;
+    thread_instrs = 0;
+    lock_acquires = 0;
+    serializations = 0;
+    serialized_instrs = 0;
+    barrier_syncs = 0;
+    wt = warp_trace;
+    wt_warp = 0;
+    tl_current = None;
+    timelines = [];
+  }
+
+let exit_node t fid = (Program.func t.prog fid).Program.blocks |> Array.length
+
+(* ------------------------------------------------------------------ *)
+(* Block execution: accounting, coalescing, warp-trace emission.       *)
+
+(* Execute block [block] of [func] for the lanes in [lane_accesses]
+   ((lane, trace accesses) pairs).  All bookkeeping lives here so the
+   lock-step path and the scalar serialized path stay consistent. *)
+let count_block t ~func ~block ~mask ~(lane_accesses : (int * Event.access array) list) =
+  let f = Program.func t.prog func in
+  let instrs = f.Program.blocks.(block).Program.instrs in
+  let n = Array.length instrs in
+  let active = List.length lane_accesses in
+  t.issues <- t.issues + n;
+  t.thread_instrs <- t.thread_instrs + (n * active);
+  (match t.tl_current with
+  | Some v -> Vec.push v { Timeline.n_instr = n; active }
+  | None -> ());
+  t.func_issues.(func) <- t.func_issues.(func) + n;
+  t.func_instrs.(func) <- t.func_instrs.(func) + (n * active);
+  t.block_issues.(func).(block) <- t.block_issues.(func).(block) + n;
+  t.block_instrs.(func).(block) <- t.block_instrs.(func).(block) + (n * active);
+  (* Per-lane read pointers into the (ioff-sorted) access arrays. *)
+  let ptrs = List.map (fun (lane, accs) -> (lane, accs, ref 0)) lane_accesses in
+  let emit_wt = t.wt in
+  for ioff = 0 to n - 1 do
+    let loads = ref [] and stores = ref [] in
+    (* gathered as (lane, addr, size), newest first *)
+    List.iter
+      (fun (lane, accs, p) ->
+        while
+          !p < Array.length accs && accs.(!p).Event.ioff = ioff
+        do
+          let a = accs.(!p) in
+          if a.Event.is_store then stores := (lane, a.Event.addr, a.Event.size) :: !stores
+          else loads := (lane, a.Event.addr, a.Event.size) :: !loads;
+          incr p
+        done)
+      ptrs;
+    if !loads <> [] then
+      ignore
+        (Coalesce.record t.coalesce ~is_store:false
+           (List.map (fun (_, a, s) -> (a, s)) !loads));
+    if !stores <> [] then
+      ignore
+        (Coalesce.record t.coalesce ~is_store:true
+           (List.map (fun (_, a, s) -> (a, s)) !stores));
+    match emit_wt with
+    | None -> ()
+    | Some wt ->
+        let lane_addrs accesses =
+          match accesses with
+          | [] -> None
+          | l ->
+              let a = Array.make t.config.warp_size (-1) in
+              List.iter (fun (lane, addr, _) -> a.(lane) <- addr) l;
+              Some a
+        in
+        let size =
+          match (!loads, !stores) with
+          | (_, _, s) :: _, _ | _, (_, _, s) :: _ -> s
+          | [], [] -> 0
+        in
+        let mem =
+          { Crack.load = lane_addrs !loads; store = lane_addrs !stores; size }
+        in
+        List.iter
+          (fun op -> Warp_trace.Builder.emit wt ~warp:t.wt_warp mask op)
+          (Crack.crack instrs.(ioff) mem)
+  done;
+  instrs.(n - 1)
+
+(* ------------------------------------------------------------------ *)
+(* The SIMT stack                                                       *)
+
+type entry = {
+  e_func : int;
+  mutable pc : int; (* node: block id or the function's exit node *)
+  e_reconv : int;
+  mutable e_mask : Mask.t;
+}
+
+(* Check the lane is positioned at the expected block and return its
+   recorded memory accesses. *)
+let block_accesses_of_lane cursors func node lane =
+  match Cursor.peek cursors.(lane) with
+  | Cursor.C_block { func = f; block = b; accesses; _ }
+    when f = func && b = node ->
+      accesses
+  | c ->
+      errf "lane %d: expected block f%d.b%d, trace has %s" lane func node
+        (match c with
+        | Cursor.C_block b -> Printf.sprintf "block f%d.b%d" b.func b.block
+        | Cursor.C_call f -> Printf.sprintf "call f%d" f
+        | Cursor.C_ret -> "return"
+        | Cursor.C_lock _ -> "lock"
+        | Cursor.C_unlock _ -> "unlock"
+        | Cursor.C_barrier _ -> "barrier"
+        | Cursor.C_end -> "end of trace")
+
+(* Reconvergence point for a divergence whose lanes stand at [targets]
+   inside [e]: the nearest common post-dominator of the targets (for plain
+   branch divergence this is the diverging block's IPDOM; after lock
+   serialization some lanes are already deep in the region, and the NCP
+   places reconvergence after the critical section, per the paper's
+   "unlock of one of the threads" rule).  The result is clamped to the
+   entry's own reconvergence point when it would escape past it (possible
+   because the DCFG merges paths from all calling contexts), and forced to
+   the function exit in the ablation mode. *)
+let reconv_for t (e : entry) targets =
+  match t.config.reconv with
+  | Function_exit_reconv -> exit_node t e.e_func
+  | Ipdom_reconv -> (
+      let tbl = t.ipdoms.(e.e_func) in
+      match targets with
+      | [] -> e.e_reconv
+      | first :: rest ->
+          let r =
+            List.fold_left (Ipdom.nearest_common_post_dominator tbl) first rest
+          in
+          if r = e.e_reconv then r
+          else if Ipdom.post_dominates tbl r e.e_reconv then e.e_reconv
+          else r)
+
+(* Scalar replay of one lane's critical section: consume events until the
+   matching unlock of [lock_addr], charging every block as a one-lane
+   issue. *)
+let scalar_critical_section t cursors lane lock_addr =
+  let c = cursors.(lane) in
+  let before = t.thread_instrs in
+  let rec go () =
+    match Cursor.next c with
+    | Cursor.C_block { func; block; accesses; _ } ->
+        ignore
+          (count_block t ~func ~block ~mask:(Mask.singleton lane)
+             ~lane_accesses:[ (lane, accesses) ]);
+        go ()
+    | Cursor.C_call _ | Cursor.C_ret -> go ()
+    | Cursor.C_lock _ ->
+        t.lock_acquires <- t.lock_acquires + 1;
+        go ()
+    | Cursor.C_barrier _ -> go ()
+    | Cursor.C_unlock a -> if a = lock_addr then () else go ()
+    | Cursor.C_end -> errf "lane %d: trace ended inside critical section" lane
+  in
+  go ();
+  t.serialized_instrs <- t.serialized_instrs + (t.thread_instrs - before)
+
+(* After executing [block], group the active lanes by the next block they
+   enter and update the stack accordingly. *)
+let regroup t stack (e : entry) block cursors =
+  let lanes = Mask.to_list e.e_mask in
+  let targets =
+    List.map
+      (fun lane ->
+        match Cursor.peek cursors.(lane) with
+        | Cursor.C_block b when b.func = e.e_func -> (lane, b.block)
+        | c ->
+            errf "lane %d: expected a block of f%d after f%d.b%d, got %s" lane
+              e.e_func e.e_func block
+              (match c with
+              | Cursor.C_block b -> Printf.sprintf "block f%d.b%d" b.func b.block
+              | Cursor.C_call _ -> "call"
+              | Cursor.C_ret -> "return"
+              | Cursor.C_lock _ -> "lock"
+              | Cursor.C_unlock _ -> "unlock"
+              | Cursor.C_barrier _ -> "barrier"
+              | Cursor.C_end -> "end of trace"))
+      lanes
+  in
+  let groups = Hashtbl.create 4 in
+  List.iter
+    (fun (lane, target) ->
+      let mask = try Hashtbl.find groups target with Not_found -> Mask.empty in
+      Hashtbl.replace groups target (Mask.add mask lane))
+    targets;
+  if Hashtbl.length groups = 1 then
+    Hashtbl.iter (fun target _ -> e.pc <- target) groups
+  else begin
+    let distinct = Hashtbl.fold (fun target _ acc -> target :: acc) groups [] in
+    let r = reconv_for t e distinct in
+    e.pc <- r;
+    (* Push one child per distinct destination (other than the
+       reconvergence point itself), deterministically ordered. *)
+    let children =
+      Hashtbl.fold
+        (fun target mask acc -> if target = r then acc else (target, mask) :: acc)
+        groups []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (target, mask) ->
+        Vec.push stack { e_func = e.e_func; pc = target; e_reconv = r; e_mask = mask })
+      children
+  end
+
+(* Handle the lock-acquire terminator: consume the lock events, serialize
+   same-lock contenders, then regroup. *)
+let handle_locks t stack (e : entry) block cursors =
+  let lanes = Mask.to_list e.e_mask in
+  let addrs =
+    List.map
+      (fun lane ->
+        match Cursor.next cursors.(lane) with
+        | Cursor.C_lock a ->
+            t.lock_acquires <- t.lock_acquires + 1;
+            (lane, a)
+        | _ -> errf "lane %d: expected lock acquire after f%d.b%d" lane e.e_func block)
+      lanes
+  in
+  (match t.config.sync with
+  | Ignore_sync -> ()
+  | Serialize_all ->
+      (* pessimistic policy: any lock acquire serializes the whole warp's
+         critical sections, regardless of the addresses (one of the
+         alternative designs the paper defers to future work) *)
+      if List.length addrs > 1 then begin
+        t.serializations <- t.serializations + 1;
+        List.iter (fun (lane, a) -> scalar_critical_section t cursors lane a) addrs
+      end
+  | Serialize ->
+      let by_addr = Hashtbl.create 4 in
+      List.iter
+        (fun (lane, a) ->
+          let l = try Hashtbl.find by_addr a with Not_found -> [] in
+          Hashtbl.replace by_addr a (lane :: l))
+        addrs;
+      let conflicting =
+        Hashtbl.fold
+          (fun a lanes acc ->
+            if List.length lanes > 1 then (a, List.rev lanes) :: acc else acc)
+          by_addr []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (a, lanes) ->
+          t.serializations <- t.serializations + 1;
+          List.iter (fun lane -> scalar_critical_section t cursors lane a) lanes)
+        conflicting);
+  regroup t stack e block cursors
+
+(* ------------------------------------------------------------------ *)
+(* Warp main loop                                                       *)
+
+(** Replay one warp.  [cursors.(lane)] is the lane's trace cursor; all
+    lanes must start at the same worker function. *)
+let run_warp t ~warp_id (cursors : Cursor.t array) =
+  t.wt_warp <- warp_id;
+  if t.config.record_timeline then
+    t.tl_current <- Some (Vec.create ~capacity:256 { Timeline.n_instr = 0; active = 0 });
+  let n_lanes = Array.length cursors in
+  if n_lanes = 0 then ()
+  else begin
+    let worker =
+      match Cursor.peek cursors.(0) with
+      | Cursor.C_block b ->
+          if b.block <> 0 then errf "warp %d: trace does not start at entry" warp_id;
+          b.func
+      | _ -> errf "warp %d: empty trace" warp_id
+    in
+    let stack =
+      Vec.create { e_func = 0; pc = 0; e_reconv = 0; e_mask = Mask.empty }
+    in
+    Vec.push stack
+      {
+        e_func = worker;
+        pc = 0;
+        e_reconv = exit_node t worker;
+        e_mask = Mask.of_list (List.init n_lanes (fun i -> i));
+      };
+    while not (Vec.is_empty stack) do
+      let e = Vec.top stack in
+      if e.pc = e.e_reconv then ignore (Vec.pop stack)
+      else if e.pc = exit_node t e.e_func then
+        errf "warp %d: entry reached f%d's exit without popping" warp_id e.e_func
+      else begin
+        let block = e.pc in
+        let lanes = Mask.to_list e.e_mask in
+        (* Consume this block from every active lane. *)
+        let lane_accesses =
+          List.map
+            (fun lane ->
+              let accesses = block_accesses_of_lane cursors e.e_func block lane in
+              Cursor.advance cursors.(lane);
+              (lane, accesses))
+            lanes
+        in
+        let term = count_block t ~func:e.e_func ~block ~mask:e.e_mask ~lane_accesses in
+        match term with
+        | Instr.Call callee -> (
+            (* an excluded callee leaves no Call event: the lanes jump
+               straight to the continuation block (paper §III's selective
+               tracing) *)
+            match Cursor.peek cursors.(List.hd lanes) with
+            | Cursor.C_call _ ->
+                List.iter (fun lane -> Cursor.advance cursors.(lane)) lanes;
+                e.pc <- block + 1;
+                Vec.push stack
+                  {
+                    e_func = callee;
+                    pc = 0;
+                    e_reconv = exit_node t callee;
+                    e_mask = e.e_mask;
+                  }
+            | _ -> regroup t stack e block cursors)
+        | Instr.Ret ->
+            List.iter
+              (fun lane ->
+                match Cursor.next cursors.(lane) with
+                | Cursor.C_ret -> ()
+                | _ -> errf "lane %d: expected return after f%d.b%d" lane e.e_func block)
+              lanes;
+            e.pc <- exit_node t e.e_func
+        | Instr.Halt -> e.pc <- exit_node t e.e_func
+        | Instr.Lock_acquire _ -> handle_locks t stack e block cursors
+        | Instr.Barrier _ ->
+            (* all lanes arrive together (same block): within the warp a
+               team barrier is free; count it and continue in lockstep *)
+            List.iter
+              (fun lane ->
+                match Cursor.next cursors.(lane) with
+                | Cursor.C_barrier _ -> ()
+                | _ ->
+                    errf "lane %d: expected barrier after f%d.b%d" lane e.e_func
+                      block)
+              lanes;
+            t.barrier_syncs <- t.barrier_syncs + 1;
+            regroup t stack e block cursors
+        | Instr.Lock_release _ ->
+            List.iter
+              (fun lane ->
+                match Cursor.next cursors.(lane) with
+                | Cursor.C_unlock _ -> ()
+                | _ -> errf "lane %d: expected unlock after f%d.b%d" lane e.e_func block)
+              lanes;
+            regroup t stack e block cursors
+        | Instr.Jcc _ | Instr.Jmp _ | Instr.Io _ | Instr.Mov _ | Instr.Cmov _
+        | Instr.Lea _ | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _
+        | Instr.Atomic_rmw _ ->
+            regroup t stack e block cursors
+      end
+    done;
+    Array.iteri
+      (fun lane c ->
+        if not (Cursor.at_end c) then
+          errf "warp %d lane %d: %d unconsumed trace events" warp_id lane
+            (Array.length c.events - c.pos))
+      cursors;
+    match t.tl_current with
+    | Some v ->
+        t.timelines <-
+          { Timeline.warp_id; warp_size = t.config.warp_size; samples = Vec.to_array v }
+          :: t.timelines;
+        t.tl_current <- None
+    | None -> ()
+  end

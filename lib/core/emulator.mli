@@ -1,0 +1,68 @@
+(** The SIMT-stack warp emulator — ThreadFuser's analysis core (paper §III).
+
+    Replays the per-thread traces of one warp's lanes in lock-step under
+    the stack-based IPDOM reconvergence discipline of real SIMT hardware:
+    divergent branches push one stack entry per distinct destination with
+    the nearest-common-post-dominator as the reconvergence point; calls
+    push function frames that reconverge at the callee's virtual exit; and
+    lanes contending on the same lock serialize through their critical
+    sections one at a time ([Serialize] mode), reconverging afterwards
+    through the ordinary divergence mechanism.
+
+    Most users want {!Analyzer.analyze}, which drives this module. *)
+
+exception Emulation_error of string
+(** Trace/program mismatch (an emulator invariant violation, not a user
+    error under normal use). *)
+
+type sync_mode =
+  | Serialize
+      (** serialize only lanes contending on the same lock (paper §III) *)
+  | Serialize_all
+      (** pessimistic: any lock acquire serializes every lane's critical
+          section — one of the alternative designs the paper's §III defers
+          to future work *)
+  | Ignore_sync  (** lock-oblivious estimate (paper Fig. 9's comparison) *)
+
+type reconv_mode =
+  | Ipdom_reconv  (** per-block IPDOM reconvergence (real hardware) *)
+  | Function_exit_reconv  (** ablation: reconverge only at function end *)
+
+type config = {
+  warp_size : int;
+  sync : sync_mode;
+  reconv : reconv_mode;
+  record_timeline : bool;  (** record per-warp occupancy samples *)
+}
+
+type t = {
+  prog : Threadfuser_prog.Program.t;
+  ipdoms : Threadfuser_cfg.Ipdom.t array;
+  config : config;
+  coalesce : Coalesce.t;
+  func_issues : int array;  (** per-function warp-level issues *)
+  func_instrs : int array;  (** per-function thread instructions *)
+  block_issues : int array array;  (** per function, per block *)
+  block_instrs : int array array;
+  mutable issues : int;
+  mutable thread_instrs : int;
+  mutable lock_acquires : int;
+  mutable serializations : int;
+  mutable serialized_instrs : int;
+  mutable barrier_syncs : int;  (** warp-level barrier crossings *)
+  mutable wt : Warp_trace.Builder.t option;
+  mutable wt_warp : int;
+  mutable tl_current : Timeline.sample Threadfuser_util.Vec.t option;
+  mutable timelines : Timeline.t list;  (** finished warps, reversed *)
+}
+
+val create :
+  ?warp_trace:Warp_trace.Builder.t ->
+  Threadfuser_prog.Program.t ->
+  Threadfuser_cfg.Ipdom.t array ->
+  config ->
+  t
+
+(** Replay one warp; [cursors.(lane)] is the lane's trace cursor.  Counters
+    accumulate across calls, so one [t] serves a whole grid of warps. *)
+val run_warp : t -> warp_id:int -> Cursor.t array -> unit

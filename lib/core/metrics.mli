@@ -1,0 +1,85 @@
+(** Analyzer outputs: whole-program and per-function SIMT statistics.
+
+    SIMT efficiency follows the paper's Equation 1:
+    [thread_instrs / (issues * warp_size)], where [issues] counts
+    instructions fetched once per warp (lock-step slots) and
+    [thread_instrs] counts instructions summed over the active lanes. *)
+
+type func_stat = {
+  fid : int;
+  func_name : string;
+  issues : int;  (** warp-level lock-step issues attributed to the function *)
+  thread_instrs : int;  (** per-thread instructions, exclusive of callees *)
+  efficiency : float;
+  instr_share : float;  (** fraction of all thread instructions *)
+}
+
+type block_stat = {
+  block_fid : int;
+  block_func : string;
+  block_id : int;
+  src_label : string option;  (** surface label, when the block had one *)
+  block_issues : int;
+  block_instrs : int;
+  block_efficiency : float;
+}
+
+type warp_stat = {
+  warp_id : int;
+  warp_issues : int;
+  warp_instrs : int;
+  warp_efficiency : float;
+  lanes : int;  (** threads actually in the warp (the tail may be partial) *)
+}
+
+type segment_stat = {
+  txns : int;  (** 32 B transactions *)
+  mem_issues : int;  (** warp-level load/store instructions *)
+  txns_per_instr : float;
+}
+
+type report = {
+  warp_size : int;
+  n_threads : int;
+  n_warps : int;
+  issues : int;
+  thread_instrs : int;
+  simt_efficiency : float;
+  per_function : func_stat list;  (** sorted by descending instruction share *)
+  per_warp : warp_stat list;  (** per-warp breakdown, in warp order *)
+  hot_blocks : block_stat list;
+      (** the most issue-expensive divergent basic blocks — the paper's
+          "pinpoint code regions" at finer-than-function granularity *)
+  stack_mem : segment_stat;
+  heap_mem : segment_stat;
+  global_mem : segment_stat;
+  total_mem_txns : int;
+  total_mem_issues : int;
+  skipped_io : int;
+  skipped_spin : int;
+  skipped_excluded : int;  (** instructions inside excluded functions *)
+  lock_acquires : int;
+  barrier_syncs : int;  (** warp-level team-barrier crossings *)
+  serializations : int;  (** same-lock warp conflict groups serialized *)
+  serialized_instrs : int;  (** instructions executed one-lane-at-a-time *)
+}
+
+(** Equation 1; defined as 1.0 when nothing was issued. *)
+val efficiency : issues:int -> thread_instrs:int -> warp_size:int -> float
+
+val segment_stat : Coalesce.seg_counters -> segment_stat
+
+(** Fraction of dynamic instructions traced (vs skipped I/O + lock spin) —
+    the quantity of paper Fig. 8. *)
+val traced_fraction : report -> float
+
+(** Mean 32 B transactions per warp-level load/store over all segments. *)
+val txns_per_mem_instr : report -> float
+
+val pp_summary : Format.formatter -> report -> unit
+
+val pp_warps : Format.formatter -> report -> unit
+
+val pp_blocks : Format.formatter -> report -> unit
+
+val pp_functions : Format.formatter -> report -> unit

@@ -1,0 +1,64 @@
+(** Divergence timelines: the active-lane count of a warp over its
+    lock-step issue slots, as recorded by the emulator when
+    [record_timeline] is on.  Rendered as a unicode sparkline, this is the
+    quickest way to *see* where a workload's divergence lives (ramp-down
+    tails = loop-trip divergence; low plateaus = serialized regions). *)
+
+type sample = { n_instr : int; active : int }
+
+type t = { warp_id : int; warp_size : int; samples : sample array }
+
+let total_issues t =
+  Array.fold_left (fun acc s -> acc + s.n_instr) 0 t.samples
+
+(** Issue-weighted mean active-lane count. *)
+let mean_active t =
+  let issues = total_issues t in
+  if issues = 0 then 0.0
+  else
+    Array.fold_left (fun acc s -> acc +. float_of_int (s.n_instr * s.active)) 0.0 t.samples
+    /. float_of_int issues
+
+let glyphs = [| " "; "\xe2\x96\x81"; "\xe2\x96\x82"; "\xe2\x96\x83";
+                "\xe2\x96\x84"; "\xe2\x96\x85"; "\xe2\x96\x86";
+                "\xe2\x96\x87"; "\xe2\x96\x88" |]
+(* U+2581..U+2588, one eighth-block per occupancy step *)
+
+(** [sparkline ?width t] — the warp's occupancy over time, bucketed into
+    [width] cells; each cell's height is the issue-weighted mean active
+    fraction within its slice. *)
+let sparkline ?(width = 60) t =
+  let issues = total_issues t in
+  if issues = 0 then String.make width ' '
+  else begin
+    let per_bucket = float_of_int issues /. float_of_int width in
+    let cells = Array.make width 0.0 in
+    let weights = Array.make width 0.0 in
+    let pos = ref 0.0 in
+    Array.iter
+      (fun s ->
+        (* distribute the sample's issues over the buckets it spans *)
+        let remaining = ref (float_of_int s.n_instr) in
+        while !remaining > 0.0 do
+          let bucket = min (width - 1) (int_of_float (!pos /. per_bucket)) in
+          let room = ((float_of_int (bucket + 1)) *. per_bucket) -. !pos in
+          let take = Float.min !remaining (Float.max room 1e-9) in
+          cells.(bucket) <- cells.(bucket) +. (take *. float_of_int s.active);
+          weights.(bucket) <- weights.(bucket) +. take;
+          pos := !pos +. take;
+          remaining := !remaining -. take
+        done)
+      t.samples;
+    let buf = Buffer.create (width * 3) in
+    Array.iteri
+      (fun i w ->
+        let frac = if w = 0.0 then 0.0 else cells.(i) /. w /. float_of_int t.warp_size in
+        let level = int_of_float (ceil (frac *. 8.0)) in
+        Buffer.add_string buf glyphs.(max 0 (min 8 level)))
+      weights;
+    Buffer.contents buf
+  end
+
+let pp ppf t =
+  Fmt.pf ppf "warp %2d |%s| mean %.1f/%d lanes" t.warp_id (sparkline t)
+    (mean_active t) t.warp_size

@@ -1,0 +1,20 @@
+(** Divergence timelines: a warp's active-lane count over its lock-step
+    issue slots (recorded when {!Analyzer.options.record_timeline} is on).
+    Rendered as a sparkline, this shows *where* divergence lives: ramp-down
+    tails are loop-trip divergence, low plateaus are serialized regions. *)
+
+type sample = { n_instr : int; active : int }
+
+type t = { warp_id : int; warp_size : int; samples : sample array }
+
+(** Total lock-step issue slots covered (equals the warp's issue count). *)
+val total_issues : t -> int
+
+(** Issue-weighted mean active-lane count. *)
+val mean_active : t -> float
+
+(** Occupancy over time bucketed into [width] cells of eighth-block
+    glyphs. *)
+val sparkline : ?width:int -> t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,174 @@
+(** Warp-trace files — the on-disk form of ThreadFuser's simulator
+    integration (paper §III generates trace files that feed Accel-Sim).
+
+    A line-oriented text format, one micro-op per line:
+
+    {v
+      TFWARP1 <warp_size> <n_warps>
+      W <warp_id> <n_ops>
+      <mask-hex> <cls> <dst> <n-srcs> <srcs...> -
+      <mask-hex> <cls> <dst> <n-srcs> <srcs...> M <L|S> <size> <G|P> <addrs...>
+    v}
+
+    Memory micro-ops list one address per lane ([-] for inactive lanes);
+    [G]/[P] select the global/local (private) space.  The format
+    round-trips exactly ([of_string (to_string t) = t]). *)
+
+open Threadfuser_isa
+
+exception Corrupt of string
+
+let magic = "TFWARP1"
+
+let cls_to_string = Opclass.to_string
+
+let cls_of_string = function
+  | "ialu" -> Opclass.Ialu
+  | "imul" -> Opclass.Imul
+  | "idiv" -> Opclass.Idiv
+  | "falu" -> Opclass.Falu
+  | "fmul" -> Opclass.Fmul
+  | "fdiv" -> Opclass.Fdiv
+  | "load" -> Opclass.Load
+  | "store" -> Opclass.Store
+  | "branch" -> Opclass.Branch
+  | "callret" -> Opclass.Callret
+  | "sync" -> Opclass.Sync
+  | s -> raise (Corrupt ("unknown op class " ^ s))
+
+let emit_entry buf warp_size (e : Warp_trace.entry) =
+  let op = e.Warp_trace.op in
+  Buffer.add_string buf (Printf.sprintf "%x" (Mask.to_list e.Warp_trace.mask |> List.fold_left (fun a l -> a lor (1 lsl l)) 0));
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (cls_to_string op.Warp_trace.cls);
+  Buffer.add_string buf (Printf.sprintf " %d %d" op.Warp_trace.dst (Array.length op.Warp_trace.srcs));
+  Array.iter (fun s -> Buffer.add_string buf (Printf.sprintf " %d" s)) op.Warp_trace.srcs;
+  (match op.Warp_trace.mem with
+  | None -> Buffer.add_string buf " -"
+  | Some m ->
+      Buffer.add_string buf
+        (Printf.sprintf " M %c %d %c"
+           (if m.Warp_trace.is_store then 'S' else 'L')
+           m.Warp_trace.size
+           (match m.Warp_trace.space with Warp_trace.Global -> 'G' | Warp_trace.Local -> 'P'));
+      for lane = 0 to warp_size - 1 do
+        let a = m.Warp_trace.addrs.(lane) in
+        if a < 0 then Buffer.add_string buf " -"
+        else Buffer.add_string buf (Printf.sprintf " %x" a)
+      done);
+  Buffer.add_char buf '\n'
+
+let to_buffer (t : Warp_trace.t) =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d %d\n" magic t.Warp_trace.warp_size
+       (Array.length t.Warp_trace.warps));
+  Array.iter
+    (fun (w : Warp_trace.warp) ->
+      Buffer.add_string buf
+        (Printf.sprintf "W %d %d\n" w.Warp_trace.warp_id
+           (Array.length w.Warp_trace.ops));
+      Array.iter (emit_entry buf t.Warp_trace.warp_size) w.Warp_trace.ops)
+    t.Warp_trace.warps;
+  buf
+
+let to_string t = Buffer.contents (to_buffer t)
+
+(* ---- parsing ----------------------------------------------------------- *)
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let parse_entry warp_size line : Warp_trace.entry =
+  let toks = String.split_on_char ' ' line in
+  match toks with
+  | mask_s :: cls_s :: dst_s :: nsrc_s :: rest -> (
+      let mask_bits = int_of_string ("0x" ^ mask_s) in
+      let mask =
+        Mask.of_list
+          (List.filter (fun l -> mask_bits land (1 lsl l) <> 0)
+             (List.init Mask.max_lanes (fun i -> i)))
+      in
+      let n_srcs = int_of_string nsrc_s in
+      let rec take n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> fail "truncated srcs"
+        | x :: tl -> take (n - 1) (x :: acc) tl
+      in
+      let srcs, rest = take n_srcs [] rest in
+      let srcs = Array.of_list (List.map int_of_string srcs) in
+      let dst = int_of_string dst_s in
+      let cls = cls_of_string cls_s in
+      match rest with
+      | [ "-" ] -> { Warp_trace.mask; op = { Warp_trace.cls; dst; srcs; mem = None } }
+      | "M" :: ls :: size_s :: space_s :: addr_toks ->
+          if List.length addr_toks <> warp_size then
+            fail "expected %d lane addresses, got %d" warp_size
+              (List.length addr_toks);
+          let addrs =
+            Array.of_list
+              (List.map
+                 (fun t -> if t = "-" then -1 else int_of_string ("0x" ^ t))
+                 addr_toks)
+          in
+          let mem =
+            {
+              Warp_trace.is_store =
+                (match ls with
+                | "S" -> true
+                | "L" -> false
+                | _ -> fail "bad L/S flag %s" ls);
+              size = int_of_string size_s;
+              space =
+                (match space_s with
+                | "G" -> Warp_trace.Global
+                | "P" -> Warp_trace.Local
+                | _ -> fail "bad space %s" space_s);
+              addrs;
+            }
+          in
+          { Warp_trace.mask; op = { Warp_trace.cls; dst; srcs; mem = Some mem } }
+      | _ -> fail "malformed op line: %s" line)
+  | _ -> fail "malformed op line: %s" line
+
+let of_string s : Warp_trace.t =
+  let lines = String.split_on_char '\n' s in
+  match lines with
+  | header :: rest -> (
+      match String.split_on_char ' ' header with
+      | [ m; ws; nw ] when m = magic ->
+          let warp_size = int_of_string ws and n_warps = int_of_string nw in
+          let cursor = ref rest in
+          let next_line () =
+            match !cursor with
+            | [] -> fail "unexpected end of file"
+            | l :: tl ->
+                cursor := tl;
+                l
+          in
+          let warps =
+            Array.init n_warps (fun _ ->
+                match String.split_on_char ' ' (next_line ()) with
+                | [ "W"; id_s; n_s ] ->
+                    let warp_id = int_of_string id_s in
+                    let n_ops = int_of_string n_s in
+                    let ops =
+                      Array.init n_ops (fun _ -> parse_entry warp_size (next_line ()))
+                    in
+                    { Warp_trace.warp_id; ops }
+                | _ -> fail "expected warp header")
+          in
+          { Warp_trace.warp_size; warps }
+      | _ -> fail "bad magic")
+  | [] -> fail "empty file"
+
+let to_file path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc (to_buffer t))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,16 @@
+(** Warp-trace files — the on-disk form of ThreadFuser's simulator
+    integration (paper §III): a line-oriented text format carrying one
+    cracked micro-op per line with its active mask and per-lane addresses.
+    Round-trips exactly. *)
+
+exception Corrupt of string
+
+val to_buffer : Warp_trace.t -> Buffer.t
+
+val to_string : Warp_trace.t -> string
+
+val of_string : string -> Warp_trace.t
+
+val to_file : string -> Warp_trace.t -> unit
+
+val of_file : string -> Warp_trace.t

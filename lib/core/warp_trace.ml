@@ -1,0 +1,70 @@
+(** Warp-level RISC instruction traces — ThreadFuser's Accel-Sim
+    integration format (paper §III, "Generating warp-based instruction
+    traces").
+
+    Each element is one micro-op executed by a warp under an active mask.
+    CISC instructions have already been cracked ({!Crack}); memory micro-ops
+    carry one address per lane (or [-1] for inactive lanes) with stack
+    accesses routed to the [Local] space and heap/global accesses to
+    [Global], as the paper does when mapping x86 onto the simulator's
+    virtual ISA. *)
+
+module Vec = Threadfuser_util.Vec
+
+type space = Local | Global
+
+(* Register ids for dependence tracking: 0..15 architectural, 16 = flags,
+   17 = the cracking temporary, -1 = none. *)
+let flags_reg = 16
+
+let temp_reg = 17
+
+let reg_file_size = 18
+
+type mem_op = {
+  is_store : bool;
+  size : int;
+  space : space;
+  addrs : int array; (* length = warp size; -1 for inactive lanes *)
+}
+
+type mop = {
+  cls : Threadfuser_isa.Opclass.t;
+  dst : int; (* destination register, -1 if none *)
+  srcs : int array;
+  mem : mem_op option;
+}
+
+type entry = { mask : Mask.t; op : mop }
+
+type warp = { warp_id : int; ops : entry array }
+
+type t = { warp_size : int; warps : warp array }
+
+let dummy_entry =
+  {
+    mask = Mask.empty;
+    op = { cls = Threadfuser_isa.Opclass.Ialu; dst = -1; srcs = [||]; mem = None };
+  }
+
+(** Builder for one warp's stream. *)
+module Builder = struct
+  type warp_trace = t
+
+  type t = { warp_size : int; streams : entry Vec.t array }
+
+  let create ~warp_size ~n_warps =
+    { warp_size; streams = Array.init n_warps (fun _ -> Vec.create ~capacity:1024 dummy_entry) }
+
+  let emit t ~warp mask op = Vec.push t.streams.(warp) { mask; op }
+
+  let finish t : warp_trace =
+    {
+      warp_size = t.warp_size;
+      warps =
+        Array.mapi (fun warp_id v -> { warp_id; ops = Vec.to_array v }) t.streams;
+    }
+end
+
+let total_ops t =
+  Array.fold_left (fun acc w -> acc + Array.length w.ops) 0 t.warps

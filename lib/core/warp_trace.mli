@@ -1,0 +1,53 @@
+(** Warp-level RISC instruction traces — ThreadFuser's simulator-integration
+    format (paper §III, "Generating warp-based instruction traces").
+
+    Each entry is one micro-op executed by a warp under an active mask;
+    CISC instructions have been cracked by {!Crack}; memory micro-ops carry
+    one address per lane with stack accesses routed to [Local] space and
+    heap/global to [Global]. *)
+
+type space = Local | Global
+
+(** Register ids for dependence tracking: 0..15 architectural, {!flags_reg},
+    {!temp_reg}; -1 = none. *)
+val flags_reg : int
+
+val temp_reg : int
+
+(** Size of the scoreboard register file (architectural + virtual). *)
+val reg_file_size : int
+
+type mem_op = {
+  is_store : bool;
+  size : int;
+  space : space;
+  addrs : int array;  (** one per lane; -1 for inactive lanes *)
+}
+
+type mop = {
+  cls : Threadfuser_isa.Opclass.t;
+  dst : int;  (** destination register, -1 if none *)
+  srcs : int array;
+  mem : mem_op option;
+}
+
+type entry = { mask : Mask.t; op : mop }
+
+type warp = { warp_id : int; ops : entry array }
+
+type t = { warp_size : int; warps : warp array }
+
+module Builder : sig
+  type warp_trace := t
+
+  type t
+
+  val create : warp_size:int -> n_warps:int -> t
+
+  val emit : t -> warp:int -> Mask.t -> mop -> unit
+
+  val finish : t -> warp_trace
+end
+
+(** Total micro-ops across all warps. *)
+val total_ops : t -> int

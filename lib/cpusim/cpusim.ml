@@ -1,0 +1,93 @@
+(** First-order multicore CPU timing model.
+
+    The paper normalizes its Fig. 6 GPU projections against multi-threaded
+    execution on a real CPU; this model plays that role.  Each thread's
+    dynamic trace is replayed on an in-order core at one instruction per
+    cycle plus memory stalls from a private-L1 / shared-L2 / DRAM-latency
+    hierarchy (reusing the {!Threadfuser_gpusim.Cache} model).  Threads are
+    assigned round-robin to cores; a core runs its threads back to back and
+    the program finishes when the slowest core does.  Skipped regions (I/O,
+    lock spinning) are charged at one cycle per skipped instruction. *)
+
+module Cache = Threadfuser_gpusim.Cache
+module Event = Threadfuser_trace.Event
+module Thread_trace = Threadfuser_trace.Thread_trace
+
+type config = {
+  n_cores : int;
+  l1 : Cache.config;
+  l1_miss_penalty : int; (* to L2 *)
+  l2 : Cache.config;
+  l2_miss_penalty : int; (* to DRAM *)
+  clock_ghz : float;
+}
+
+(* A Xeon-class 20-core part, like the paper's trace machine. *)
+let default_config =
+  {
+    n_cores = 20;
+    l1 = { Cache.size_bytes = 32 * 1024; assoc = 8; line_bytes = 64 };
+    l1_miss_penalty = 12;
+    l2 = { Cache.size_bytes = 8 * 1024 * 1024; assoc = 16; line_bytes = 64 };
+    l2_miss_penalty = 180;
+    clock_ghz = 3.0;
+  }
+
+type stats = {
+  cycles : int; (* max over cores *)
+  core_cycles : int array;
+  instructions : int;
+  l1_hit_rate : float;
+}
+
+(* Cycles to execute one thread's trace on a core with the given caches. *)
+let thread_cycles config l1 l2 (trace : Thread_trace.t) =
+  let cycles = ref 0 in
+  Array.iter
+    (fun (e : Event.t) ->
+      match e with
+      | Event.Block b ->
+          cycles := !cycles + b.n_instr;
+          Array.iter
+            (fun (a : Event.access) ->
+              if not (Cache.access l1 a.Event.addr) then begin
+                cycles := !cycles + config.l1_miss_penalty;
+                if not (Cache.access l2 a.Event.addr) then
+                  cycles := !cycles + config.l2_miss_penalty
+              end)
+            b.accesses
+      | Event.Skip { n_instr; _ } -> cycles := !cycles + n_instr
+      | Event.Lock_acq _ | Event.Lock_rel _ -> cycles := !cycles + 20
+      | Event.Barrier _ -> cycles := !cycles + 40
+      | Event.Call _ | Event.Return -> cycles := !cycles + 2)
+    trace.events;
+  !cycles
+
+let run ?(config = default_config) (traces : Thread_trace.t array) : stats =
+  let l2 = Cache.create config.l2 in
+  let core_l1 = Array.init config.n_cores (fun _ -> Cache.create config.l1) in
+  let core_cycles = Array.make config.n_cores 0 in
+  let instructions = ref 0 in
+  Array.iteri
+    (fun i trace ->
+      let core = i mod config.n_cores in
+      core_cycles.(core) <-
+        core_cycles.(core) + thread_cycles config core_l1.(core) l2 trace;
+      instructions :=
+        !instructions + (Thread_trace.stats trace).Thread_trace.traced_instrs)
+    traces;
+  let l1_hits = Array.fold_left (fun a c -> a + c.Cache.hits) 0 core_l1 in
+  let l1_total =
+    Array.fold_left (fun a c -> a + c.Cache.hits + c.Cache.misses) 0 core_l1
+  in
+  {
+    cycles = Array.fold_left max 0 core_cycles;
+    core_cycles;
+    instructions = !instructions;
+    l1_hit_rate =
+      (if l1_total = 0 then 0.0 else float_of_int l1_hits /. float_of_int l1_total);
+  }
+
+(** Wall-clock seconds at the configured clock. *)
+let seconds ~config (s : stats) =
+  float_of_int s.cycles /. (config.clock_ghz *. 1e9)

@@ -1,0 +1,74 @@
+(** Shared experiment context: memoizes traced workloads and analyzer runs
+    so the figure generators do not re-trace the same binaries.
+
+    [scale] grows the synthetic inputs; [threads] overrides each workload's
+    default SIMT thread count (the paper's Table I counts, scaled down so
+    the whole evaluation runs in seconds — see EXPERIMENTS.md). *)
+
+module W = Threadfuser_workloads.Workload
+module Compiler = Threadfuser_compiler.Compiler
+module Analyzer = Threadfuser.Analyzer
+
+type t = {
+  threads : int option;
+  scale : int;
+  traces : (string * Compiler.level * bool, W.traced) Hashtbl.t;
+  analyses : (string * Compiler.level * bool * int, Analyzer.result) Hashtbl.t;
+}
+
+let create ?threads ?(scale = 1) () =
+  { threads; scale; traces = Hashtbl.create 64; analyses = Hashtbl.create 64 }
+
+let threads_for t (w : W.t) = Option.value ~default:w.W.default_threads t.threads
+
+(** Traced CPU run of [w] compiled at [level]. *)
+let traced ?(level = Compiler.O1) t (w : W.t) : W.traced =
+  let key = (w.W.name, level, false) in
+  match Hashtbl.find_opt t.traces key with
+  | Some tr -> tr
+  | None ->
+      let tr =
+        W.trace_cpu ~level ~threads:(threads_for t w) ~scale:t.scale w
+      in
+      Hashtbl.add t.traces key tr;
+      tr
+
+(** Traced CUDA-variant run (correlation workloads only). *)
+let traced_cuda t (w : W.t) : W.traced option =
+  let key = (w.W.name, Compiler.O2, true) in
+  match Hashtbl.find_opt t.traces key with
+  | Some tr -> Some tr
+  | None ->
+      Option.map
+        (fun tr ->
+          Hashtbl.add t.traces key tr;
+          tr)
+        (W.trace_cuda ~threads:(threads_for t w) ~scale:t.scale w)
+
+(** Analyzer result over the CPU traces. *)
+let analysis ?(level = Compiler.O1) ?(options = Analyzer.default_options) t
+    (w : W.t) : Analyzer.result =
+  let key = (w.W.name, level, false, Hashtbl.hash options) in
+  match Hashtbl.find_opt t.analyses key with
+  | Some r -> r
+  | None ->
+      let tr = traced ~level t w in
+      let r = Analyzer.analyze ~options tr.W.prog tr.W.traces in
+      Hashtbl.add t.analyses key r;
+      r
+
+(** Analyzer result over the CUDA-variant traces — the "hardware oracle"
+    for the §IV correlation study (an SPMD program's warp replay *is* what
+    the GPU's SIMT front-end executes). *)
+let analysis_cuda ?(options = Analyzer.default_options) t (w : W.t) :
+    Analyzer.result option =
+  let key = (w.W.name, Compiler.O2, true, Hashtbl.hash options) in
+  match Hashtbl.find_opt t.analyses key with
+  | Some r -> Some r
+  | None ->
+      Option.map
+        (fun (tr : W.traced) ->
+          let r = Analyzer.analyze ~options tr.W.prog tr.W.traces in
+          Hashtbl.add t.analyses key r;
+          r)
+        (traced_cuda t w)

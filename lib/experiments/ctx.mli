@@ -1,0 +1,37 @@
+(** Shared experiment context: memoizes traced workloads and analyzer
+    results so the figure generators do not re-trace the same binaries.
+    [threads] overrides every workload's default SIMT thread count;
+    [scale] grows the synthetic inputs. *)
+
+type t
+
+val create : ?threads:int -> ?scale:int -> unit -> t
+
+val threads_for : t -> Threadfuser_workloads.Workload.t -> int
+
+(** Traced CPU run at an optimization level (default O1), memoized. *)
+val traced :
+  ?level:Threadfuser_compiler.Compiler.level ->
+  t ->
+  Threadfuser_workloads.Workload.t ->
+  Threadfuser_workloads.Workload.traced
+
+(** Traced CUDA-variant run (correlation workloads only), memoized. *)
+val traced_cuda :
+  t -> Threadfuser_workloads.Workload.t -> Threadfuser_workloads.Workload.traced option
+
+(** Analyzer result over the CPU traces, memoized per (level, options). *)
+val analysis :
+  ?level:Threadfuser_compiler.Compiler.level ->
+  ?options:Threadfuser.Analyzer.options ->
+  t ->
+  Threadfuser_workloads.Workload.t ->
+  Threadfuser.Analyzer.result
+
+(** Analyzer result over the CUDA-variant traces — the "hardware oracle"
+    of the correlation study. *)
+val analysis_cuda :
+  ?options:Threadfuser.Analyzer.options ->
+  t ->
+  Threadfuser_workloads.Workload.t ->
+  Threadfuser.Analyzer.result option

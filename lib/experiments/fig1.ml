@@ -1,0 +1,58 @@
+(** Paper Fig. 1: estimated SIMT efficiency of all 36 MIMD workloads at warp
+    sizes 8, 16 and 32.  The paper's headline landscape: efficiency falls
+    with warp width; uniform kernels (N-body, MD5) barely move while
+    divergent ones (Pigz, BFS) are strongly width-sensitive. *)
+
+module W = Threadfuser_workloads.Workload
+module Registry = Threadfuser_workloads.Registry
+module Table = Threadfuser_report.Table
+module Analyzer = Threadfuser.Analyzer
+module Metrics = Threadfuser.Metrics
+
+let warp_sizes = [ 8; 16; 32 ]
+
+type row = { workload : string; eff : (int * float) list }
+
+let series ctx : row list =
+  List.map
+    (fun (w : W.t) ->
+      let eff =
+        List.map
+          (fun warp_size ->
+            let options = { Analyzer.default_options with warp_size } in
+            let r = Ctx.analysis ~options ctx w in
+            (warp_size, r.Analyzer.report.Metrics.simt_efficiency))
+          warp_sizes
+      in
+      { workload = w.W.name; eff })
+    Registry.all
+
+let build rows =
+  let t =
+    Table.create
+      ([ ("workload", Table.L) ]
+      @ List.map (fun w -> (Printf.sprintf "warp %d" w, Table.R)) warp_sizes)
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        (r.workload :: List.map (fun (_, e) -> Table.cell_pct e) r.eff))
+    rows;
+  t
+
+let run ctx =
+  Fmt.pr "@.== Fig. 1: SIMT efficiency vs warp size (8/16/32) ==@.";
+  let rows = series ctx in
+  Table.print ~name:"fig1" (build rows);
+  (* the paper's two headline observations *)
+  let eff name w =
+    let r = List.find (fun r -> r.workload = name) rows in
+    List.assoc w r.eff
+  in
+  Fmt.pr
+    "@.observations: pigz %.0f%% @8 vs %.0f%% @32 (width-sensitive); nbody \
+     varies %.1f points; md5 varies %.1f points (width-insensitive)@.@."
+    (100. *. eff "pigz" 8)
+    (100. *. eff "pigz" 32)
+    (100. *. (eff "nbody" 8 -. eff "nbody" 32))
+    (100. *. (eff "md5" 8 -. eff "md5" 32))

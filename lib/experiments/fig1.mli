@@ -1,0 +1,12 @@
+(** Paper Fig. 1: SIMT efficiency of all 36 workloads at warp sizes
+    8/16/32. *)
+
+val warp_sizes : int list
+
+type row = { workload : string; eff : (int * float) list }
+
+val series : Ctx.t -> row list
+
+val build : row list -> Threadfuser_report.Table.t
+
+val run : Ctx.t -> unit

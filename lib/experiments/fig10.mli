@@ -1,0 +1,13 @@
+(** Paper Fig. 10: memory divergence — 32 B transactions per load/store,
+    split into heap/stack/global segments. *)
+
+type row = {
+  workload : string;
+  heap : Threadfuser.Metrics.segment_stat;
+  stack : Threadfuser.Metrics.segment_stat;
+  global : Threadfuser.Metrics.segment_stat;
+}
+
+val series : Ctx.t -> row list
+
+val run : Ctx.t -> row list

@@ -1,0 +1,181 @@
+(** Paper Fig. 5: correlation of ThreadFuser's predictions against SIMT
+    hardware across CPU compiler optimization levels.
+
+    The role of the NVIDIA H100 + Nsight Compute is played by the golden
+    SPMD run: the CUDA-style variant of each correlation workload replayed
+    by the warp emulator, whose efficiency and 32 B-transaction counts are
+    exactly what SIMT hardware performance counters report for that kernel.
+    ThreadFuser's *prediction* analyzes the CPU binary compiled at
+    -O0/-O1/-O2/-O3 (paper §IV).
+
+    (a) SIMT-efficiency correlation: MAE and Pearson per level; the paper
+        sees near-perfect correlation at O0/O1 and optimistic estimates at
+        O3 (gcc if-converts divergence the GPU binary keeps).
+    (b) Memory-transaction correlation: O0 inflates transactions (every
+        variable in memory), higher levels converge. *)
+
+module W = Threadfuser_workloads.Workload
+module Registry = Threadfuser_workloads.Registry
+module Compiler = Threadfuser_compiler.Compiler
+module Table = Threadfuser_report.Table
+module Stats = Threadfuser_stats.Stats
+module Analyzer = Threadfuser.Analyzer
+module Metrics = Threadfuser.Metrics
+
+type sample = {
+  workload : string;
+  level : Compiler.level;
+  predicted_eff : float;
+  hardware_eff : float;
+  predicted_txns : float; (* per kilo-instruction, to normalize sizes *)
+  hardware_txns : float;
+  predicted_total : int; (* absolute 32 B transaction counts (log-log plot) *)
+  hardware_total : int;
+}
+
+let txn_rate (r : Analyzer.result) =
+  let rep = r.Analyzer.report in
+  1000.0
+  *. float_of_int rep.Metrics.total_mem_txns
+  /. float_of_int (max 1 rep.Metrics.thread_instrs)
+
+let samples ctx : sample list =
+  List.concat_map
+    (fun (w : W.t) ->
+      match Ctx.analysis_cuda ctx w with
+      | None -> []
+      | Some oracle ->
+          let hardware_eff = oracle.Analyzer.report.Metrics.simt_efficiency in
+          let hardware_txns = txn_rate oracle in
+          let hardware_total = oracle.Analyzer.report.Metrics.total_mem_txns in
+          List.map
+            (fun level ->
+              let r = Ctx.analysis ~level ctx w in
+              {
+                workload = w.W.name;
+                level;
+                predicted_eff = r.Analyzer.report.Metrics.simt_efficiency;
+                hardware_eff;
+                predicted_txns = txn_rate r;
+                hardware_txns;
+                predicted_total = r.Analyzer.report.Metrics.total_mem_txns;
+                hardware_total;
+              })
+            Compiler.all_levels)
+    Registry.correlation
+
+type level_stats = {
+  level : Compiler.level;
+  eff_mae : float;
+  eff_corr : float;
+  eff_bias : float; (* mean signed error: positive = overestimate *)
+  txn_mape : float;
+  txn_corr : float;
+}
+
+let per_level (samples : sample list) : level_stats list =
+  List.map
+    (fun level ->
+      let s = List.filter (fun (s : sample) -> s.level = level) samples in
+      let pe = Array.of_list (List.map (fun s -> s.predicted_eff) s) in
+      let he = Array.of_list (List.map (fun s -> s.hardware_eff) s) in
+      (* the paper plots absolute transaction counts on a log-log scale;
+         correlate the logs of the totals *)
+      let pt =
+        Array.of_list
+          (List.map (fun s -> log10 (1. +. float_of_int s.predicted_total)) s)
+      in
+      let ht =
+        Array.of_list
+          (List.map (fun s -> log10 (1. +. float_of_int s.hardware_total)) s)
+      in
+      {
+        level;
+        eff_mae = Stats.mae ~predicted:pe ~reference:he;
+        eff_corr = Stats.pearson pe he;
+        eff_bias =
+          Stats.mean
+            (Array.of_list (List.map (fun s -> s.predicted_eff -. s.hardware_eff) s));
+        txn_mape =
+          Stats.mape
+            ~predicted:(Array.of_list (List.map (fun s -> s.predicted_txns) s))
+            ~reference:(Array.of_list (List.map (fun s -> s.hardware_txns) s));
+        txn_corr = Stats.pearson pt ht;
+      })
+    Compiler.all_levels
+
+let build_detail samples =
+  let t =
+    Table.create
+      [
+        ("workload", Table.L);
+        ("level", Table.L);
+        ("pred eff", Table.R);
+        ("hw eff", Table.R);
+        ("pred txn/ki", Table.R);
+        ("hw txn/ki", Table.R);
+      ]
+  in
+  List.iter
+    (fun s ->
+      Table.add_row t
+        [
+          s.workload;
+          Compiler.to_string s.level;
+          Table.cell_pct s.predicted_eff;
+          Table.cell_pct s.hardware_eff;
+          Table.cell_float s.predicted_txns;
+          Table.cell_float s.hardware_txns;
+        ])
+    samples;
+  t
+
+let build_summary stats =
+  let t =
+    Table.create
+      [
+        ("level", Table.L);
+        ("eff MAE", Table.R);
+        ("eff Correl", Table.R);
+        ("eff bias", Table.R);
+        ("txn MAE%", Table.R);
+        ("txn Correl", Table.R);
+      ]
+  in
+  List.iter
+    (fun s ->
+      Table.add_row t
+        [
+          Compiler.to_string s.level;
+          Table.cell_pct s.eff_mae;
+          Table.cell_float ~digits:3 s.eff_corr;
+          Printf.sprintf "%+.1f%%" (100. *. s.eff_bias);
+          Table.cell_pct s.txn_mape;
+          Table.cell_float ~digits:3 s.txn_corr;
+        ])
+    stats;
+  t
+
+(* Error-dispersion statistics the paper quotes (std of errors, share of
+   samples within one standard deviation). *)
+let dispersion samples =
+  let errors =
+    Array.of_list
+      (List.map (fun s -> s.predicted_eff -. s.hardware_eff) samples)
+  in
+  (Stats.stddev errors, Stats.within_stddev errors)
+
+let run ctx =
+  Fmt.pr "@.== Fig. 5: correlation vs SIMT hardware across gcc -O levels ==@.";
+  let s = samples ctx in
+  Fmt.pr "@.-- per-sample detail (11 correlation workloads x 4 levels) --@.";
+  Table.print ~name:"fig5_detail" (build_detail s);
+  Fmt.pr "@.-- (a) SIMT efficiency and (b) memory transactions, per level --@.";
+  let stats = per_level s in
+  Table.print ~name:"fig5_summary" (build_summary stats);
+  let std, within = dispersion s in
+  Fmt.pr
+    "@.efficiency error dispersion: std %.1f%%, %.0f%% of samples within one \
+     std of the mean@.@."
+    (100. *. std) (100. *. within);
+  stats

@@ -1,0 +1,29 @@
+(** Paper Fig. 6: projected GPU speedup vs the multicore CPU baseline,
+    with the CUDA-trace series as validation. *)
+
+val gpu_config : Threadfuser_gpusim.Config.t
+
+val cpu_config : Threadfuser_cpusim.Cpusim.config
+
+type row = {
+  workload : string;
+  has_cuda : bool;
+  speedup_tf : float;
+  speedup_cuda : float option;
+  gpu : Threadfuser_gpusim.Gpusim.stats;
+}
+
+(** (GPU seconds, simulator stats) for a traced run's warp trace. *)
+val gpu_seconds : Threadfuser_workloads.Workload.traced -> float * Threadfuser_gpusim.Gpusim.stats
+
+val cpu_seconds : Threadfuser_workloads.Workload.traced -> float
+
+val series : Ctx.t -> row list
+
+(** Pearson correlation between the two speedup series (the paper's 0.97). *)
+val speedup_correlation : row list -> float
+
+(** Mean relative execution-time error between the series. *)
+val time_error : row list -> float
+
+val run : Ctx.t -> row list * float

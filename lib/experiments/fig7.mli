@@ -1,0 +1,4 @@
+(** Paper Fig. 7: the HDSearch-Midtier per-function case study and its
+    SIMT-aware fix. *)
+
+val run : Ctx.t -> Threadfuser.Analyzer.result * Threadfuser.Analyzer.result

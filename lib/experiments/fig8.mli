@@ -1,0 +1,10 @@
+(** Paper Fig. 8: share of dynamic instructions traced vs skipped (I/O and
+    lock spinning) per microservice. *)
+
+type row = { workload : string; traced : float; io : float; spin : float }
+
+val series : Ctx.t -> row list
+
+val geomean_traced : row list -> float
+
+val run : Ctx.t -> row list * float

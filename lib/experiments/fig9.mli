@@ -1,0 +1,13 @@
+(** Paper Fig. 9: warp efficiency of the microservices with intra-warp
+    lock serialization emulated vs ignored. *)
+
+type row = {
+  workload : string;
+  eff_locks : float;
+  eff_nolocks : float;
+  serializations : int;
+}
+
+val series : Ctx.t -> row list
+
+val run : Ctx.t -> row list

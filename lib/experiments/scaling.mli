@@ -1,0 +1,12 @@
+(** Thread-count scaling validation of the paper's bounded-tracing claim
+    (§V-A): efficiency should be stable as more threads are traced. *)
+
+val thread_counts : int list
+
+type row = { workload : string; eff : (int * float) list; spread : float }
+
+val series : Ctx.t -> row list
+
+val build : row list -> Threadfuser_report.Table.t
+
+val run : Ctx.t -> row list

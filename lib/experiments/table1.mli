@@ -1,0 +1,5 @@
+(** Paper Table I: the studied-workload catalog. *)
+
+val build : Ctx.t -> Threadfuser_report.Table.t
+
+val run : Ctx.t -> unit

@@ -1,0 +1,55 @@
+(** Paper Table II: XAPP vs ThreadFuser.  Qualitative rows follow the
+    paper; the accuracy rows carry this reproduction's measurements — the
+    ThreadFuser column from the Fig. 5/Fig. 6 runs and (when the [xapp]
+    experiment ran) the {!Xapp_exp} reimplementation's leave-one-out error
+    next to XAPP's published number. *)
+
+module Table = Threadfuser_report.Table
+module Compiler = Threadfuser_compiler.Compiler
+
+let build ?(xapp : Xapp_exp.summary option) ~(fig5 : Fig5.level_stats list)
+    ~speedup_corr ~time_error () =
+  let o1 = List.find (fun s -> s.Fig5.level = Compiler.O1) fig5 in
+  let t =
+    Table.create [ ("metric", Table.L); ("XAPP", Table.L); ("ThreadFuser (this repo)", Table.L) ]
+  in
+  List.iter (Table.add_row t)
+    [
+      [ "input"; "CPU code"; "CPU MIMD traces" ];
+      [
+        "output";
+        "GPU speedup projection";
+        "SIMT efficiency, memory divergence, cycle-level estimate, source \
+         bottlenecks";
+      ];
+      [ "analysis"; "profiling + ML model"; "dynamic CFG + SIMT-stack replay" ];
+      [
+        "accuracy: SIMT efficiency";
+        "n/a";
+        Printf.sprintf "%.1f%% MAE at -O1 (correl %.2f)" (100. *. o1.Fig5.eff_mae)
+          o1.Fig5.eff_corr;
+      ];
+      [
+        "accuracy: memory";
+        "n/a";
+        Printf.sprintf "%.0f%% MAE at -O1 (correl %.2f)"
+          (100. *. o1.Fig5.txn_mape) o1.Fig5.txn_corr;
+      ];
+      [
+        "accuracy: execution time";
+        (match xapp with
+        | Some s ->
+            Printf.sprintf "26.9%% (published); %.0f%% for our reimplementation"
+              (100. *. s.Xapp_exp.xapp_mean_err)
+        | None -> "26.9% error (published)");
+        Printf.sprintf "%.2f speedup correlation, %.0f%% time error"
+          speedup_corr (100. *. time_error);
+      ];
+      [ "hardware support"; "only GPUs"; "any SIMT hardware (via warp traces)" ];
+    ];
+  t
+
+let run ?xapp ~fig5 ~speedup_corr ~time_error () =
+  Fmt.pr "@.== Table II: XAPP vs ThreadFuser ==@.";
+  Table.print ~name:"table2" (build ?xapp ~fig5 ~speedup_corr ~time_error ());
+  Fmt.pr "@."

@@ -1,0 +1,18 @@
+(** Paper Table II: XAPP vs ThreadFuser, with this reproduction's measured
+    accuracy numbers. *)
+
+val build :
+  ?xapp:Xapp_exp.summary ->
+  fig5:Fig5.level_stats list ->
+  speedup_corr:float ->
+  time_error:float ->
+  unit ->
+  Threadfuser_report.Table.t
+
+val run :
+  ?xapp:Xapp_exp.summary ->
+  fig5:Fig5.level_stats list ->
+  speedup_corr:float ->
+  time_error:float ->
+  unit ->
+  unit

@@ -1,0 +1,20 @@
+(** The XAPP baseline comparison behind Table II: leave-one-out regression
+    over profile features vs ThreadFuser's replay-based projection, both
+    against the CUDA-trace ground truth. *)
+
+type row = {
+  workload : string;
+  actual : float;
+  xapp_pred : float;
+  xapp_err : float;
+  tf_pred : float;
+  tf_err : float;
+}
+
+type summary = { rows : row list; xapp_mean_err : float; tf_mean_err : float }
+
+val collect : Ctx.t -> summary
+
+val build : summary -> Threadfuser_report.Table.t
+
+val run : Ctx.t -> summary

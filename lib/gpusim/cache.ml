@@ -1,0 +1,71 @@
+(** Set-associative LRU cache model shared by the GPU and CPU timing
+    simulators.  Tracks tags only (no data); [access] reports hit/miss and
+    allocates on miss. *)
+
+type config = { size_bytes : int; assoc : int; line_bytes : int }
+
+type t = {
+  config : config;
+  n_sets : int;
+  tags : int array; (* set * assoc + way; -1 = invalid *)
+  stamps : int array; (* LRU timestamps *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create config =
+  let lines = config.size_bytes / config.line_bytes in
+  if lines <= 0 || lines mod config.assoc <> 0 then
+    invalid_arg "Cache.create: size/assoc/line mismatch";
+  let n_sets = lines / config.assoc in
+  {
+    config;
+    n_sets;
+    tags = Array.make lines (-1);
+    stamps = Array.make lines 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+  }
+
+(** [access t addr] — true on hit.  Misses allocate (LRU victim). *)
+let access t addr =
+  t.clock <- t.clock + 1;
+  let line_addr = addr / t.config.line_bytes in
+  let set = line_addr mod t.n_sets in
+  let tag = line_addr / t.n_sets in
+  let base = set * t.config.assoc in
+  let hit = ref false in
+  (try
+     for way = 0 to t.config.assoc - 1 do
+       if t.tags.(base + way) = tag then begin
+         t.stamps.(base + way) <- t.clock;
+         hit := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !hit then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* evict the LRU way *)
+    let victim = ref base in
+    for way = 1 to t.config.assoc - 1 do
+      if t.stamps.(base + way) < t.stamps.(!victim) then victim := base + way
+    done;
+    t.tags.(!victim) <- tag;
+    t.stamps.(!victim) <- t.clock;
+    false
+  end
+
+let hit_rate t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0.0 else float_of_int t.hits /. float_of_int total
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

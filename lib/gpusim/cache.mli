@@ -1,0 +1,24 @@
+(** Set-associative LRU cache model (tags only) shared by the GPU and CPU
+    timing simulators. *)
+
+type config = { size_bytes : int; assoc : int; line_bytes : int }
+
+type t = {
+  config : config;
+  n_sets : int;
+  tags : int array;
+  stamps : int array;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(** Raises if size/assoc/line do not divide evenly. *)
+val create : config -> t
+
+(** [access t addr] — true on hit; misses allocate (LRU victim). *)
+val access : t -> int -> bool
+
+val hit_rate : t -> float
+
+val reset_stats : t -> unit

@@ -1,0 +1,78 @@
+(** GPU simulator configuration.  The default preset is loosely modelled on
+    the RTX-3070-class part the paper configures Accel-Sim with (Fig. 6):
+    46 SMs, 32-wide warps, a small L1 per SM, a shared L2, and a
+    bandwidth-limited GDDR channel. *)
+
+open Threadfuser_isa
+
+type scheduler = Gto | Lrr
+
+type t = {
+  n_sms : int;
+  max_warps_per_sm : int; (* resident warps per SM *)
+  issue_width : int; (* instructions issued per SM per cycle *)
+  mshr_per_warp : int; (* outstanding loads a warp may have *)
+  scheduler : scheduler;
+  l1 : Cache.config;
+  l1_latency : int;
+  l2 : Cache.config;
+  l2_latency : int;
+  dram_latency : int;
+  dram_txns_per_cycle : float;
+  clock_ghz : float;
+}
+
+let rtx3070 =
+  {
+    n_sms = 46;
+    max_warps_per_sm = 32;
+    issue_width = 2;
+    mshr_per_warp = 8;
+    scheduler = Gto;
+    l1 = { Cache.size_bytes = 128 * 1024; assoc = 8; line_bytes = 32 };
+    l1_latency = 30;
+    l2 = { Cache.size_bytes = 4 * 1024 * 1024; assoc = 16; line_bytes = 32 };
+    l2_latency = 90;
+    dram_latency = 250;
+    dram_txns_per_cycle = 8.0;
+    clock_ghz = 1.5;
+  }
+
+(* An H100-class part (the paper's correlation hardware): many more SMs,
+   a much larger L2 and HBM-class bandwidth. *)
+let h100 =
+  {
+    rtx3070 with
+    n_sms = 132;
+    max_warps_per_sm = 64;
+    issue_width = 4;
+    l2 = { Cache.size_bytes = 50 * 1024 * 1024; assoc = 16; line_bytes = 32 };
+    dram_latency = 350;
+    dram_txns_per_cycle = 48.0;
+    clock_ghz = 1.8;
+  }
+
+(* A smaller part for unit tests: exposes contention with few warps. *)
+let tiny =
+  {
+    rtx3070 with
+    n_sms = 2;
+    max_warps_per_sm = 4;
+    l1 = { Cache.size_bytes = 4 * 1024; assoc = 4; line_bytes = 32 };
+    l2 = { Cache.size_bytes = 32 * 1024; assoc = 8; line_bytes = 32 };
+    dram_txns_per_cycle = 1.0;
+  }
+
+(** Execution latency per micro-op class (cycles). *)
+let latency_of (c : Opclass.t) =
+  match c with
+  | Opclass.Ialu -> 4
+  | Opclass.Imul -> 6
+  | Opclass.Idiv -> 24
+  | Opclass.Falu -> 4
+  | Opclass.Fmul -> 5
+  | Opclass.Fdiv -> 20
+  | Opclass.Branch -> 4
+  | Opclass.Callret -> 5
+  | Opclass.Sync -> 12
+  | Opclass.Load | Opclass.Store -> 0 (* determined by the memory system *)

@@ -1,0 +1,283 @@
+(** Trace-driven cycle-level SIMT simulator — the repository's stand-in for
+    Accel-Sim (paper §III, §V-A).
+
+    Consumes the warp-level RISC traces the analyzer generates
+    ({!Threadfuser.Warp_trace}) and models:
+
+    - multiple SMs, each holding a bounded set of resident warps, with
+      greedy-then-oldest (or loose-round-robin) scheduling and a configurable
+      issue width;
+    - in-order per-warp issue gated by a register scoreboard and an MSHR
+      limit on outstanding loads;
+    - a per-SM L1, a shared L2 and a bandwidth-limited DRAM channel, with
+      per-access coalescing into 32 B transactions (the lane addresses come
+      from the trace);
+    - functional-unit latencies per micro-op class.
+
+    The output is total cycles plus pipeline/memory statistics, from which
+    the Fig. 6 speedup projections are produced. *)
+
+module Warp_trace = Threadfuser.Warp_trace
+module Mask = Threadfuser.Mask
+
+type stats = {
+  cycles : int;
+  instructions : int; (* warp-level micro-ops issued *)
+  thread_instructions : int; (* summed over active lanes *)
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  dram_transactions : int;
+  idle_cycles : int; (* cycles where no SM issued *)
+  (* per-SM-cycle stall attribution: when a resident SM issues nothing,
+     the cycle is charged to the priority warp's blocking reason *)
+  stall_dependency : int; (* waiting on a register produced by ALU work *)
+  stall_memory : int; (* waiting on an outstanding load / MSHR slot *)
+  stall_empty : int; (* SM had no resident warps *)
+}
+
+let ipc s =
+  if s.cycles = 0 then 0.0
+  else float_of_int s.instructions /. float_of_int s.cycles
+
+(* ------------------------------------------------------------------ *)
+
+type warp_rt = {
+  wid : int;
+  ops : Warp_trace.entry array;
+  mutable next : int;
+  reg_ready : int array;
+  mutable outstanding : int list; (* completion cycles of in-flight loads *)
+}
+
+type stall_reason = Dep_alu | Dep_mem
+
+type issue_result = Issued | Not_ready of int * stall_reason | Done
+
+type sm = {
+  l1 : Cache.t;
+  mutable resident : warp_rt list; (* scheduling priority order *)
+  pending : warp_rt Queue.t;
+}
+
+type t = {
+  config : Config.t;
+  l2 : Cache.t;
+  dram : Dram.t;
+  sms : sm array;
+  mutable thread_instructions : int;
+}
+
+let lines_of_mem (m : Warp_trace.mem_op) =
+  let lines = ref [] in
+  Array.iter
+    (fun addr ->
+      if addr >= 0 then begin
+        let first = addr / 32
+        and last = (addr + max 1 m.Warp_trace.size - 1) / 32 in
+        for l = first to last do
+          if not (List.mem l !lines) then lines := l :: !lines
+        done
+      end)
+    m.Warp_trace.addrs;
+  !lines
+
+(* Completion cycle of a memory operation issued at [now]: each of its 32 B
+   transactions walks the hierarchy; the op completes when the last does. *)
+let memory_time t sm ~now (m : Warp_trace.mem_op) =
+  let cfg = t.config in
+  List.fold_left
+    (fun worst line ->
+      let addr = line * 32 in
+      let time =
+        if Cache.access sm.l1 addr then now + cfg.Config.l1_latency
+        else if Cache.access t.l2 addr then
+          now + cfg.Config.l1_latency + cfg.Config.l2_latency
+        else
+          Dram.access t.dram ~now + cfg.Config.l1_latency
+          + cfg.Config.l2_latency
+      in
+      max worst time)
+    (now + cfg.Config.l1_latency)
+    (lines_of_mem m)
+
+let try_issue t sm ~now (w : warp_rt) : issue_result =
+  if w.next >= Array.length w.ops then Done
+  else begin
+    let entry = w.ops.(w.next) in
+    let op = entry.Warp_trace.op in
+    let dep_ready =
+      Array.fold_left
+        (fun acc r -> if r >= 0 then max acc w.reg_ready.(r) else acc)
+        0 op.Warp_trace.srcs
+    in
+    if dep_ready > now then begin
+      (* attribute the dependency to memory if an outstanding load will
+         complete exactly then (the common long-latency case) *)
+      let reason =
+        if List.exists (fun c -> c >= dep_ready) w.outstanding then Dep_mem
+        else Dep_alu
+      in
+      Not_ready (dep_ready, reason)
+    end
+    else begin
+      w.outstanding <- List.filter (fun c -> c > now) w.outstanding;
+      let mshr_full =
+        match op.Warp_trace.mem with
+        | Some m ->
+            (not m.Warp_trace.is_store)
+            && List.length w.outstanding >= t.config.Config.mshr_per_warp
+        | None -> false
+      in
+      if mshr_full then
+        Not_ready (List.fold_left min max_int w.outstanding, Dep_mem)
+      else begin
+        (let completion =
+           match op.Warp_trace.mem with
+           | Some m ->
+               let c = memory_time t sm ~now m in
+               if not m.Warp_trace.is_store then
+                 w.outstanding <- c :: w.outstanding;
+               c
+           | None -> now + Config.latency_of op.Warp_trace.cls
+         in
+         if op.Warp_trace.dst >= 0 then
+           w.reg_ready.(op.Warp_trace.dst) <- completion);
+        w.next <- w.next + 1;
+        t.thread_instructions <-
+          t.thread_instructions + Mask.count entry.Warp_trace.mask;
+        Issued
+      end
+    end
+  end
+
+(** Run a kernel (one warp trace) to completion. *)
+let run ?(config = Config.rtx3070) (wt : Warp_trace.t) : stats =
+  let t =
+    {
+      config;
+      l2 = Cache.create config.Config.l2;
+      dram =
+        Dram.create ~latency:config.Config.dram_latency
+          ~transactions_per_cycle:config.Config.dram_txns_per_cycle;
+      sms =
+        Array.init config.Config.n_sms (fun _ ->
+            {
+              l1 = Cache.create config.Config.l1;
+              resident = [];
+              pending = Queue.create ();
+            });
+      thread_instructions = 0;
+    }
+  in
+  Array.iteri
+    (fun i (w : Warp_trace.warp) ->
+      if Array.length w.Warp_trace.ops > 0 then
+        Queue.add
+          {
+            wid = w.Warp_trace.warp_id;
+            ops = w.Warp_trace.ops;
+            next = 0;
+            reg_ready = Array.make Warp_trace.reg_file_size 0;
+            outstanding = [];
+          }
+          t.sms.(i mod config.Config.n_sms).pending)
+    wt.Warp_trace.warps;
+  let cycle = ref 0 and instructions = ref 0 and idle = ref 0 in
+  let stall_dep = ref 0 and stall_mem = ref 0 and stall_empty = ref 0 in
+  let work_left () =
+    Array.exists
+      (fun sm -> sm.resident <> [] || not (Queue.is_empty sm.pending))
+      t.sms
+  in
+  while work_left () do
+    let issued_any = ref false and next_event = ref max_int in
+    Array.iter
+      (fun sm ->
+        let sm_issued_before = !instructions in
+        let first_reason = ref None in
+        while
+          List.length sm.resident < config.Config.max_warps_per_sm
+          && not (Queue.is_empty sm.pending)
+        do
+          sm.resident <- sm.resident @ [ Queue.pop sm.pending ]
+        done;
+        let issued = ref 0 in
+        let issued_warps = ref [] and stalled = ref [] in
+        List.iter
+          (fun w ->
+            if !issued >= config.Config.issue_width then stalled := w :: !stalled
+            else
+              match try_issue t sm ~now:!cycle w with
+              | Issued ->
+                  incr issued;
+                  incr instructions;
+                  issued_any := true;
+                  issued_warps := w :: !issued_warps
+              | Not_ready (e, reason) ->
+                  if e < !next_event then next_event := e;
+                  if !first_reason = None then first_reason := Some reason;
+                  stalled := w :: !stalled
+              | Done -> () (* retire from residency *))
+          sm.resident;
+        (* GTO: warps that issued keep priority; LRR: they rotate to the
+           back. *)
+        sm.resident <-
+          (match config.Config.scheduler with
+          | Config.Gto -> List.rev_append !issued_warps (List.rev !stalled)
+          | Config.Lrr -> List.rev_append !stalled (List.rev !issued_warps));
+        (* stall attribution for this SM-cycle *)
+        if !instructions = sm_issued_before then begin
+          match (!first_reason, sm.resident) with
+          | _, [] -> incr stall_empty
+          | Some Dep_mem, _ -> incr stall_mem
+          | Some Dep_alu, _ -> incr stall_dep
+          | None, _ :: _ -> incr stall_dep
+        end)
+      t.sms;
+    if !issued_any then incr cycle
+    else begin
+      let target =
+        if !next_event = max_int then !cycle + 1
+        else max (!cycle + 1) !next_event
+      in
+      idle := !idle + (target - !cycle);
+      cycle := target
+    end
+  done;
+  {
+    cycles = !cycle;
+    instructions = !instructions;
+    thread_instructions = t.thread_instructions;
+    l1_hits = Array.fold_left (fun acc sm -> acc + sm.l1.Cache.hits) 0 t.sms;
+    l1_misses = Array.fold_left (fun acc sm -> acc + sm.l1.Cache.misses) 0 t.sms;
+    l2_hits = t.l2.Cache.hits;
+    l2_misses = t.l2.Cache.misses;
+    dram_transactions = t.dram.Dram.transactions;
+    idle_cycles = !idle;
+    stall_dependency = !stall_dep;
+    stall_memory = !stall_mem;
+    stall_empty = !stall_empty;
+  }
+
+(** Wall-clock seconds at the configured core clock. *)
+let seconds ~(config : Config.t) (s : stats) =
+  float_of_int s.cycles /. (config.Config.clock_ghz *. 1e9)
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "cycles=%d instrs=%d ipc=%.2f l1=%d/%d l2=%d/%d dram=%d idle=%d      stalls[mem=%d dep=%d empty=%d]"
+    s.cycles s.instructions (ipc s) s.l1_hits s.l1_misses s.l2_hits
+    s.l2_misses s.dram_transactions s.idle_cycles s.stall_memory
+    s.stall_dependency s.stall_empty
+
+(* Dominant bottleneck, for advisor-style summaries.  Stall counters count
+   stall *episodes* (the cycle loop skips ahead through quiet periods), so
+   they are compared against each other and against the issue count rather
+   than against raw cycles. *)
+let bottleneck s =
+  let total = s.stall_memory + s.stall_dependency in
+  if total * 4 < s.instructions then `Throughput
+  else if s.stall_memory >= s.stall_dependency then `Memory
+  else `Dependencies

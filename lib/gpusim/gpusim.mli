@@ -1,0 +1,35 @@
+(** Trace-driven cycle-level SIMT simulator — the stand-in for Accel-Sim
+    (paper §III, §V-A).
+
+    Consumes the analyzer's warp-level RISC traces and models multiple SMs
+    with bounded warp residency, GTO/LRR scheduling, in-order per-warp
+    issue gated by a register scoreboard and an MSHR limit, per-SM L1s, a
+    shared L2 and a bandwidth-limited DRAM channel. *)
+
+type stats = {
+  cycles : int;
+  instructions : int;  (** warp-level micro-ops issued *)
+  thread_instructions : int;  (** summed over active lanes *)
+  l1_hits : int;
+  l1_misses : int;
+  l2_hits : int;
+  l2_misses : int;
+  dram_transactions : int;
+  idle_cycles : int;  (** cycles where no SM issued *)
+  stall_dependency : int;  (** SM-cycles blocked on ALU-produced registers *)
+  stall_memory : int;  (** SM-cycles blocked on outstanding loads / MSHRs *)
+  stall_empty : int;  (** SM-cycles with no resident warps *)
+}
+
+val ipc : stats -> float
+
+(** Run one kernel (a whole warp trace) to completion. *)
+val run : ?config:Config.t -> Threadfuser.Warp_trace.t -> stats
+
+(** Wall-clock seconds at the configured core clock. *)
+val seconds : config:Config.t -> stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit
+
+(** Dominant bottleneck classification for advisor-style summaries. *)
+val bottleneck : stats -> [ `Memory | `Dependencies | `Throughput ]

@@ -1,0 +1,35 @@
+(** Branch conditions, evaluated against the flags set by the most recent
+    [Cmp] (or flag-setting ALU) instruction.  Comparisons are signed over
+    the values as truncated/extended by the comparison's width. *)
+
+type t = Eq | Ne | Lt | Le | Gt | Ge
+
+let negate = function
+  | Eq -> Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+(** [eval c a b] decides [a c b]. *)
+let eval c a b =
+  match c with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let pp ppf c = Fmt.string ppf (to_string c)

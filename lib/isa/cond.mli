@@ -1,0 +1,15 @@
+(** Branch conditions, evaluated against the flags latched by the most
+    recent [Cmp].  Comparisons are signed over the width-adjusted values. *)
+
+type t = Eq | Ne | Lt | Le | Gt | Ge
+
+val negate : t -> t
+
+(** [eval c a b] decides [a c b]. *)
+val eval : t -> int -> int -> bool
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,92 @@
+(** The ThreadFuser mini-ISA instruction set.
+
+    CISC-flavoured: ALU instructions may take one memory operand as either
+    source or destination, like x86, which is what makes the analyzer's
+    CISC-to-RISC cracking meaningful.  The type is polymorphic in the
+    representation of jump targets (['lbl]) and callees (['fn]): surface
+    programs use strings for both; assembled programs use block indices and
+    function indices (see {!Threadfuser_prog.Program}).
+
+    Instructions that interact with the outside world at other than
+    register/ALU granularity — [Call], [Ret], [Jmp], [Jcc], [Lock_acquire],
+    [Lock_release], [Io], [Halt] — terminate the basic block they appear in,
+    matching the PIN tracer's BBL boundaries in the paper. *)
+
+type io_dir = In | Out
+
+type ('lbl, 'fn) t =
+  | Mov of Width.t * Operand.t * Operand.t (* dst <- src *)
+  | Cmov of Cond.t * Operand.t * Operand.t (* dst <- src if flags satisfy *)
+  | Lea of Reg.t * Operand.mem (* dst <- address of mem *)
+  | Binop of Op.binop * Width.t * Operand.t * Operand.t (* dst <- dst op src *)
+  | Unop of Op.unop * Width.t * Operand.t (* dst <- op dst *)
+  | Cmp of Width.t * Operand.t * Operand.t (* set flags from a ? b *)
+  | Jcc of Cond.t * 'lbl
+  | Jmp of 'lbl
+  | Call of 'fn
+  | Ret
+  | Lock_acquire of Operand.t (* operand evaluates to the mutex address *)
+  | Lock_release of Operand.t
+  | Atomic_rmw of Op.binop * Width.t * Operand.mem * Operand.t (* mem <- mem op src, atomically *)
+  | Io of io_dir * Operand.t (* untraced I/O work costing [operand] instructions *)
+  | Barrier of Operand.t (* OpenMP-style team barrier named by the operand *)
+  | Halt
+
+(** Whether the instruction ends its basic block. *)
+let is_terminator = function
+  | Jcc _ | Jmp _ | Call _ | Ret | Lock_acquire _ | Lock_release _ | Io _
+  | Barrier _ | Halt ->
+      true
+  | Mov _ | Cmov _ | Lea _ | Binop _ | Unop _ | Cmp _ | Atomic_rmw _ -> false
+
+(** Whether control can fall through to the next instruction/block. *)
+let falls_through = function
+  | Jmp _ | Ret | Halt -> false
+  | Jcc _ | Call _ | Lock_acquire _ | Lock_release _ | Io _ | Barrier _
+  | Mov _ | Cmov _ | Lea _ | Binop _ | Unop _ | Cmp _ | Atomic_rmw _ ->
+      true
+
+(* Count of memory operands; the assembler rejects instructions with > 1. *)
+let mem_operand_count instr =
+  let c o = if Operand.is_mem o then 1 else 0 in
+  match instr with
+  | Mov (_, dst, src) | Binop (_, _, dst, src) | Cmov (_, dst, src) ->
+      c dst + c src
+  | Unop (_, _, dst) -> c dst
+  | Cmp (_, a, b) -> c a + c b
+  | Atomic_rmw (_, _, _, src) -> 1 + c src
+  | Lock_acquire o | Lock_release o | Io (_, o) | Barrier o -> c o
+  | Lea _ | Jcc _ | Jmp _ | Call _ | Ret | Halt -> 0
+
+let pp ~pp_lbl ~pp_fn ppf (instr : ('lbl, 'fn) t) =
+  let o = Operand.pp and w = Width.pp in
+  match instr with
+  | Mov (width, dst, src) -> Fmt.pf ppf "mov.%a %a, %a" w width o dst o src
+  | Cmov (c, dst, src) -> Fmt.pf ppf "cmov.%a %a, %a" Cond.pp c o dst o src
+  | Lea (r, m) -> Fmt.pf ppf "lea %a, %a" Reg.pp r Operand.pp_mem m
+  | Binop (op, width, dst, src) ->
+      Fmt.pf ppf "%a.%a %a, %a" Op.pp_binop op w width o dst o src
+  | Unop (op, width, dst) -> Fmt.pf ppf "%a.%a %a" Op.pp_unop op w width o dst
+  | Cmp (width, a, b) -> Fmt.pf ppf "cmp.%a %a, %a" w width o a o b
+  | Jcc (c, l) -> Fmt.pf ppf "j%a %a" Cond.pp c pp_lbl l
+  | Jmp l -> Fmt.pf ppf "jmp %a" pp_lbl l
+  | Call f -> Fmt.pf ppf "call %a" pp_fn f
+  | Ret -> Fmt.string ppf "ret"
+  | Lock_acquire a -> Fmt.pf ppf "lock_acquire %a" o a
+  | Lock_release a -> Fmt.pf ppf "lock_release %a" o a
+  | Atomic_rmw (op, width, m, src) ->
+      Fmt.pf ppf "atomic_%a.%a %a, %a" Op.pp_binop op w width Operand.pp_mem m
+        o src
+  | Io (In, cost) -> Fmt.pf ppf "io.in %a" o cost
+  | Io (Out, cost) -> Fmt.pf ppf "io.out %a" o cost
+  | Barrier b -> Fmt.pf ppf "barrier %a" o b
+  | Halt -> Fmt.string ppf "halt"
+
+let pp_surface ppf (instr : (string, string) t) =
+  pp ~pp_lbl:Fmt.string ~pp_fn:Fmt.string ppf instr
+
+let pp_resolved ppf (instr : (int, int) t) =
+  pp
+    ~pp_lbl:(fun ppf b -> Fmt.pf ppf ".b%d" b)
+    ~pp_fn:(fun ppf f -> Fmt.pf ppf "@%d" f)
+    ppf instr

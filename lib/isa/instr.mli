@@ -1,0 +1,59 @@
+(** The mini-ISA instruction set.
+
+    CISC-flavoured: ALU instructions may take one memory operand as source
+    or destination, like x86 — which is what makes the analyzer's
+    CISC-to-RISC cracking meaningful.  Polymorphic in the representation of
+    jump targets (['lbl]) and callees (['fn]): surface programs use
+    strings; assembled programs use block and function indices.
+
+    Control-transfer and interaction instructions ([Call], [Ret], [Jmp],
+    [Jcc], [Lock_acquire], [Lock_release], [Io], [Halt]) terminate their
+    basic block, matching the PIN tracer's BBL boundaries. *)
+
+type io_dir = In | Out
+
+type ('lbl, 'fn) t =
+  | Mov of Width.t * Operand.t * Operand.t  (** dst <- src *)
+  | Cmov of Cond.t * Operand.t * Operand.t
+      (** dst <- src if the latched flags satisfy the condition *)
+  | Lea of Reg.t * Operand.mem  (** dst <- address of mem *)
+  | Binop of Op.binop * Width.t * Operand.t * Operand.t  (** dst <- dst op src *)
+  | Unop of Op.unop * Width.t * Operand.t
+  | Cmp of Width.t * Operand.t * Operand.t  (** latch flags from a ? b *)
+  | Jcc of Cond.t * 'lbl
+  | Jmp of 'lbl
+  | Call of 'fn
+  | Ret
+  | Lock_acquire of Operand.t
+      (** the operand names the mutex: memory operands denote their address
+          (like [lea]); registers and immediates their value *)
+  | Lock_release of Operand.t
+  | Atomic_rmw of Op.binop * Width.t * Operand.mem * Operand.t
+      (** mem <- mem op src, atomically *)
+  | Io of io_dir * Operand.t
+      (** untraced I/O work costing [operand] instructions (paper Fig. 8) *)
+  | Barrier of Operand.t
+      (** OpenMP-style team barrier: every live thread must arrive before
+          any proceeds.  The operand names the barrier like a lock. *)
+  | Halt
+
+(** Whether the instruction ends its basic block. *)
+val is_terminator : ('lbl, 'fn) t -> bool
+
+(** Whether control can fall through to the next instruction/block. *)
+val falls_through : ('lbl, 'fn) t -> bool
+
+(** Memory-operand count; the assembler rejects instructions with more
+    than one. *)
+val mem_operand_count : ('lbl, 'fn) t -> int
+
+val pp :
+  pp_lbl:(Format.formatter -> 'lbl -> unit) ->
+  pp_fn:(Format.formatter -> 'fn -> unit) ->
+  Format.formatter ->
+  ('lbl, 'fn) t ->
+  unit
+
+val pp_surface : Format.formatter -> (string, string) t -> unit
+
+val pp_resolved : Format.formatter -> (int, int) t -> unit

@@ -1,0 +1,46 @@
+(** Functional-unit classes used by the timing models to pick execution
+    latencies for cracked micro-ops. *)
+
+type t =
+  | Ialu (* integer add/logic/shift/compare/lea/move *)
+  | Imul
+  | Idiv
+  | Falu (* fp add/sub/min/max *)
+  | Fmul
+  | Fdiv (* also fsqrt *)
+  | Load
+  | Store
+  | Branch
+  | Callret
+  | Sync (* lock acquire / release *)
+
+let of_binop : Op.binop -> t = function
+  | Op.Mul -> Imul
+  | Op.Div | Op.Rem -> Idiv
+  | Op.Fadd | Op.Fsub -> Falu
+  | Op.Fmul -> Fmul
+  | Op.Fdiv -> Fdiv
+  | Op.Add | Op.Sub | Op.And | Op.Or | Op.Xor | Op.Shl | Op.Shr | Op.Sar
+  | Op.Min | Op.Max ->
+      Ialu
+
+let of_unop : Op.unop -> t = function
+  | Op.Neg | Op.Not -> Ialu
+  | Op.Fsqrt -> Fdiv
+
+let to_string = function
+  | Ialu -> "ialu"
+  | Imul -> "imul"
+  | Idiv -> "idiv"
+  | Falu -> "falu"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+  | Load -> "load"
+  | Store -> "store"
+  | Branch -> "branch"
+  | Callret -> "callret"
+  | Sync -> "sync"
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf c = Fmt.string ppf (to_string c)

@@ -1,0 +1,25 @@
+(** Functional-unit classes the timing models use to pick execution
+    latencies for cracked micro-ops. *)
+
+type t =
+  | Ialu
+  | Imul
+  | Idiv
+  | Falu
+  | Fmul
+  | Fdiv
+  | Load
+  | Store
+  | Branch
+  | Callret
+  | Sync
+
+val of_binop : Op.binop -> t
+
+val of_unop : Op.unop -> t
+
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,53 @@
+(** Instruction operands.
+
+    A memory operand follows the x86 addressing form
+    [base + index * scale + disp].  The assembler enforces the CISC
+    restriction that an instruction carries at most one memory operand, so
+    every traced x86-style instruction cracks into at most one load and one
+    store micro-op (see {!Threadfuser_isa.Micro}). *)
+
+type mem = {
+  base : Reg.t option;
+  index : (Reg.t * int) option; (* scale in {1,2,4,8} *)
+  disp : int;
+}
+
+type t = Reg of Reg.t | Imm of int | Mem of mem
+
+let mem ?base ?index ?(disp = 0) () =
+  (match index with
+  | Some (_, s) when s <> 1 && s <> 2 && s <> 4 && s <> 8 ->
+      invalid_arg "Operand.mem: scale must be 1, 2, 4 or 8"
+  | Some _ | None -> ());
+  { base; index; disp }
+
+let is_mem = function Mem _ -> true | Reg _ | Imm _ -> false
+
+(** Registers read when computing a memory operand's address. *)
+let mem_regs m =
+  let base = match m.base with Some r -> [ r ] | None -> [] in
+  match m.index with Some (r, _) -> r :: base | None -> base
+
+(** Registers read to evaluate the operand as a source. *)
+let src_regs = function
+  | Reg r -> [ r ]
+  | Imm _ -> []
+  | Mem m -> mem_regs m
+
+let pp_mem ppf m =
+  let pp_base ppf = function
+    | Some r -> Reg.pp ppf r
+    | None -> Fmt.string ppf ""
+  in
+  let pp_index ppf = function
+    | Some (r, s) -> Fmt.pf ppf "+%a*%d" Reg.pp r s
+    | None -> ()
+  in
+  Fmt.pf ppf "[%a%a%s%d]" pp_base m.base pp_index m.index
+    (if m.disp >= 0 then "+" else "")
+    m.disp
+
+let pp ppf = function
+  | Reg r -> Reg.pp ppf r
+  | Imm n -> Fmt.pf ppf "$%d" n
+  | Mem m -> pp_mem ppf m

@@ -1,0 +1,26 @@
+(** Instruction operands.  Memory operands use the x86 addressing form
+    [base + index*scale + disp]; the assembler enforces at most one memory
+    operand per instruction. *)
+
+type mem = {
+  base : Reg.t option;
+  index : (Reg.t * int) option;  (** scale in {1,2,4,8} *)
+  disp : int;
+}
+
+(** Raises on an invalid scale. *)
+val mem : ?base:Reg.t -> ?index:Reg.t * int -> ?disp:int -> unit -> mem
+
+type t = Reg of Reg.t | Imm of int | Mem of mem
+
+val is_mem : t -> bool
+
+(** Registers read when computing a memory operand's address. *)
+val mem_regs : mem -> Reg.t list
+
+(** Registers read to evaluate the operand as a source. *)
+val src_regs : t -> Reg.t list
+
+val pp_mem : Format.formatter -> mem -> unit
+
+val pp : Format.formatter -> t -> unit

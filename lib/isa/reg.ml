@@ -1,0 +1,41 @@
+(** Architectural registers of the ThreadFuser mini-ISA.
+
+    Sixteen 64-bit general-purpose registers, x86-64-like.  Two have a fixed
+    role enforced by convention:
+
+    - [sp] (r15) is the stack pointer; the machine initialises it to the top
+      of each thread's private stack segment.
+    - [tls] (r14) points at the thread's thread-local-storage area (used by
+      the O0 "spill everything" compiler pass and by the runtime library for
+      per-thread allocator arenas).
+
+    The calling convention passes up to six arguments in [arg 0..5]
+    (r0..r5) and returns results in r0.  There are no callee-saved
+    registers; callers keep live values out of the callee's clobber set. *)
+
+type t = int
+
+let count = 16
+
+let sp = 15
+
+let tls = 14
+
+(** [r i] is general register [i]; raises on out-of-range indices. *)
+let r i : t =
+  if i < 0 || i >= count then invalid_arg "Reg.r";
+  i
+
+(** [arg i] is the register carrying the [i]-th function argument. *)
+let arg i : t =
+  if i < 0 || i > 5 then invalid_arg "Reg.arg";
+  i
+
+let ret : t = 0
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf (reg : t) =
+  if reg = sp then Fmt.string ppf "sp"
+  else if reg = tls then Fmt.string ppf "tls"
+  else Fmt.pf ppf "r%d" reg

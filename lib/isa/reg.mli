@@ -1,0 +1,27 @@
+(** Architectural registers of the mini-ISA: sixteen 64-bit general-purpose
+    registers, x86-64-like.  Two have fixed roles: {!sp} (r15) is the stack
+    pointer; {!tls} (r14) points at the thread's thread-local storage.  The
+    calling convention passes up to six arguments in r0..r5 and returns in
+    r0; there are no callee-saved registers. *)
+
+type t = int
+(** Kept transparent: register numbers index register files directly in the
+    machine and the simulators' scoreboards. *)
+
+val count : int
+
+val sp : t
+
+val tls : t
+
+(** [r i] — general register [i]; raises outside [0, count). *)
+val r : int -> t
+
+(** [arg i] — the register carrying the [i]-th function argument (i <= 5). *)
+val arg : int -> t
+
+val ret : t
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+(** Memory-access widths.
+
+    Loads of [W1], [W2] and [W4] zero-extend into the 64-bit register;
+    [W8] moves the full word.  Stores truncate. *)
+
+type t = W1 | W2 | W4 | W8
+
+let bytes = function W1 -> 1 | W2 -> 2 | W4 -> 4 | W8 -> 8
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf w = Fmt.pf ppf "w%d" (bytes w)

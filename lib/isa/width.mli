@@ -1,0 +1,10 @@
+(** Memory-access widths.  Loads of [W1]/[W2]/[W4] zero-extend into the
+    64-bit register; [W8] moves the full word.  Stores truncate. *)
+
+type t = W1 | W2 | W4 | W8
+
+val bytes : t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,54 @@
+(** The MIMD CPU emulator — ThreadFuser's stand-in for "run the unmodified
+    binary under Intel PIN" (paper Fig. 3a).
+
+    Executes an assembled program with any number of software threads under
+    a deterministic round-robin scheduler (quantum in basic blocks) and
+    emits per-thread dynamic traces: executed blocks with per-instruction
+    memory accesses, call/return markers, lock acquire/release events, and
+    skipped-instruction records for I/O and lock spinning.
+
+    Locks are futex-like: a contended acquire blocks the thread; release
+    transfers ownership FIFO, and the waiter's wasted time is charged as
+    [spin_cost] skipped instructions per scheduling slot spent waiting. *)
+
+exception Machine_error of string
+(** Deadlock, runaway execution, recursive locking, call-depth overflow,
+    or other dynamic errors. *)
+
+type config = {
+  trace : bool;  (** record events (disable for timing-only runs) *)
+  quantum : int;  (** basic blocks per scheduling slot *)
+  spin_cost : int;  (** skipped instructions per slot spent lock-waiting *)
+  max_instrs : int;  (** global execution budget *)
+  max_call_depth : int;
+  untraced_functions : string list;
+      (** selective tracing (paper §III): calls into these functions (and
+          everything beneath them) execute normally but appear in traces as
+          a single [Skip Excluded] record *)
+}
+
+val default_config : config
+
+type t
+
+type result = {
+  traces : Threadfuser_trace.Thread_trace.t array;
+  final_regs : int array array;  (** per-thread final register file *)
+  instrs_executed : int;
+}
+
+val create : ?config:config -> Threadfuser_prog.Program.t -> t
+
+(** The machine's memory, for host-side input setup and result checks. *)
+val memory : t -> Memory.t
+
+val instrs_executed : t -> int
+
+(** [run_workers m ~worker ~args] spawns one thread per element of [args]
+    (thread [i] starts in function [worker] with [args.(i)] in the argument
+    registers) and runs all threads to completion — the paper's
+    one-CPU-thread-per-SIMT-thread extraction. *)
+val run_workers : t -> worker:string -> args:int list array -> result
+
+(** Run a single function on one thread; returns its r0. *)
+val run_func : t -> fn:string -> args:int list -> int

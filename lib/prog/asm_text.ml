@@ -1,0 +1,406 @@
+(** Textual assembly for mini-ISA programs: an emitter and a parser that
+    round-trip exactly, so programs can be shipped, inspected and edited as
+    `.tfasm` files — the repository's equivalent of handing ThreadFuser a
+    binary without source.
+
+    {v
+      func worker {
+      b0:
+        mov.w8 r1, r0
+        and.w8 r1, $1
+        cmp.w8 r1, $0
+        jne b2
+      b1:
+        fadd.w8 r2, [r1+r3*8+4096]
+        jmp b3
+      ...
+      }
+    v}
+
+    Operands: [rN] / [sp] / [tls] registers, [$n] immediates (decimal, or
+    [0x..]), and [[base+index*scale+disp]] memory references.  Labels are
+    one identifier followed by [:]; jump targets name labels, call targets
+    name functions. *)
+
+open Threadfuser_isa
+
+exception Parse_error of string
+
+let fail fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+(* ---------------------------------------------------------------- *)
+(* Emission                                                          *)
+
+let string_of_reg (r : Reg.t) =
+  if r = Reg.sp then "sp" else if r = Reg.tls then "tls" else Printf.sprintf "r%d" r
+
+let string_of_mem (m : Operand.mem) =
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf '[';
+  let first = ref true in
+  let plus () = if !first then first := false else Buffer.add_char buf '+' in
+  (match m.Operand.base with
+  | Some r ->
+      plus ();
+      Buffer.add_string buf (string_of_reg r)
+  | None -> ());
+  (match m.Operand.index with
+  | Some (r, s) ->
+      plus ();
+      Buffer.add_string buf (string_of_reg r);
+      Buffer.add_string buf (Printf.sprintf "*%d" s)
+  | None -> ());
+  if m.Operand.disp <> 0 || !first then begin
+    if (not !first) && m.Operand.disp >= 0 then Buffer.add_char buf '+';
+    Buffer.add_string buf (string_of_int m.Operand.disp)
+  end;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
+let string_of_operand (o : Operand.t) =
+  match o with
+  | Operand.Reg r -> string_of_reg r
+  | Operand.Imm n -> "$" ^ string_of_int n
+  | Operand.Mem m -> string_of_mem m
+
+let wsuf w = "." ^ Fmt.str "%a" Width.pp w
+
+let emit_instr buf (i : (string, string) Instr.t) =
+  let o = string_of_operand in
+  let line =
+    match i with
+    | Instr.Mov (w, d, s) -> Printf.sprintf "mov%s %s, %s" (wsuf w) (o d) (o s)
+    | Instr.Cmov (c, d, s) ->
+        Printf.sprintf "cmov.%s %s, %s" (Cond.to_string c) (o d) (o s)
+    | Instr.Lea (r, m) -> Printf.sprintf "lea %s, %s" (string_of_reg r) (string_of_mem m)
+    | Instr.Binop (op, w, d, s) ->
+        Printf.sprintf "%s%s %s, %s" (Op.binop_to_string op) (wsuf w) (o d) (o s)
+    | Instr.Unop (op, w, d) ->
+        Printf.sprintf "%s%s %s" (Op.unop_to_string op) (wsuf w) (o d)
+    | Instr.Cmp (w, a, b) -> Printf.sprintf "cmp%s %s, %s" (wsuf w) (o a) (o b)
+    | Instr.Jcc (c, l) -> Printf.sprintf "j%s %s" (Cond.to_string c) l
+    | Instr.Jmp l -> Printf.sprintf "jmp %s" l
+    | Instr.Call f -> Printf.sprintf "call %s" f
+    | Instr.Ret -> "ret"
+    | Instr.Lock_acquire a -> Printf.sprintf "lock_acquire %s" (o a)
+    | Instr.Lock_release a -> Printf.sprintf "lock_release %s" (o a)
+    | Instr.Atomic_rmw (op, w, m, s) ->
+        Printf.sprintf "atomic_%s%s %s, %s" (Op.binop_to_string op) (wsuf w)
+          (string_of_mem m) (o s)
+    | Instr.Io (Instr.In, c) -> Printf.sprintf "io.in %s" (o c)
+    | Instr.Io (Instr.Out, c) -> Printf.sprintf "io.out %s" (o c)
+    | Instr.Barrier b -> Printf.sprintf "barrier %s" (o b)
+    | Instr.Halt -> "halt"
+  in
+  Buffer.add_string buf "  ";
+  Buffer.add_string buf line;
+  Buffer.add_char buf '\n'
+
+let emit_func buf (f : Surface.func) =
+  Buffer.add_string buf (Printf.sprintf "func %s {\n" f.Surface.name);
+  List.iter
+    (fun item ->
+      match item with
+      | Surface.Label l -> Buffer.add_string buf (l ^ ":\n")
+      | Surface.Ins i -> emit_instr buf i)
+    f.Surface.body;
+  Buffer.add_string buf "}\n"
+
+let to_string (p : Surface.t) =
+  let buf = Buffer.create 4096 in
+  List.iter (emit_func buf) p;
+  Buffer.contents buf
+
+(** Disassemble an assembled program back to emittable surface form
+    (block ids become labels [bN]). *)
+let disassemble (p : Program.t) : Surface.t =
+  Array.to_list p.Program.funcs
+  |> List.map (fun (f : Program.func) ->
+         let body = ref [] in
+         Array.iteri
+           (fun bid (b : Program.block) ->
+             body := Surface.Label (Printf.sprintf "b%d" bid) :: !body;
+             Array.iter
+               (fun (i : (int, int) Instr.t) ->
+                 let surf : (string, string) Instr.t =
+                   match i with
+                   | Instr.Jcc (c, t) -> Instr.Jcc (c, Printf.sprintf "b%d" t)
+                   | Instr.Jmp t -> Instr.Jmp (Printf.sprintf "b%d" t)
+                   | Instr.Call callee -> Instr.Call (Program.func_name p callee)
+                   | Instr.Mov (w, a, b) -> Instr.Mov (w, a, b)
+                   | Instr.Cmov (c, a, b) -> Instr.Cmov (c, a, b)
+                   | Instr.Lea (r, m) -> Instr.Lea (r, m)
+                   | Instr.Binop (op, w, a, b) -> Instr.Binop (op, w, a, b)
+                   | Instr.Unop (op, w, a) -> Instr.Unop (op, w, a)
+                   | Instr.Cmp (w, a, b) -> Instr.Cmp (w, a, b)
+                   | Instr.Ret -> Instr.Ret
+                   | Instr.Lock_acquire a -> Instr.Lock_acquire a
+                   | Instr.Lock_release a -> Instr.Lock_release a
+                   | Instr.Atomic_rmw (op, w, m, s) -> Instr.Atomic_rmw (op, w, m, s)
+                   | Instr.Io (d, c) -> Instr.Io (d, c)
+                   | Instr.Barrier b -> Instr.Barrier b
+                   | Instr.Halt -> Instr.Halt
+                 in
+                 body := Surface.Ins surf :: !body)
+               b.Program.instrs)
+           f.Program.blocks;
+         { Surface.name = f.Program.name; body = List.rev !body })
+
+(* ---------------------------------------------------------------- *)
+(* Parsing                                                           *)
+
+let parse_reg tok : Reg.t option =
+  match tok with
+  | "sp" -> Some Reg.sp
+  | "tls" -> Some Reg.tls
+  | _ ->
+      if String.length tok >= 2 && tok.[0] = 'r' then
+        match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+        | Some n when n >= 0 && n < Reg.count -> Some (Reg.r n)
+        | _ -> None
+      else None
+
+let parse_int tok =
+  match int_of_string_opt tok with
+  | Some n -> n
+  | None -> fail "bad integer %s" tok
+
+(* memory operand body, without the brackets: terms joined by '+' (a
+   leading '-' on the displacement is folded into the term) *)
+let parse_mem body : Operand.mem =
+  (* normalize "a+b-c" to terms *)
+  let terms = ref [] in
+  let cur = Buffer.create 8 in
+  String.iter
+    (fun ch ->
+      if ch = '+' then begin
+        if Buffer.length cur > 0 then terms := Buffer.contents cur :: !terms;
+        Buffer.clear cur
+      end
+      else if ch = '-' then begin
+        if Buffer.length cur > 0 then terms := Buffer.contents cur :: !terms;
+        Buffer.clear cur;
+        Buffer.add_char cur '-'
+      end
+      else if ch <> ' ' then Buffer.add_char cur ch)
+    body;
+  if Buffer.length cur > 0 then terms := Buffer.contents cur :: !terms;
+  let base = ref None and index = ref None and disp = ref 0 in
+  List.iter
+    (fun term ->
+      match String.index_opt term '*' with
+      | Some k ->
+          let r = String.sub term 0 k in
+          let s = String.sub term (k + 1) (String.length term - k - 1) in
+          let reg =
+            match parse_reg r with Some r -> r | None -> fail "bad index register %s" r
+          in
+          if !index <> None then fail "two index registers in %s" body;
+          index := Some (reg, parse_int s)
+      | None -> (
+          match parse_reg term with
+          | Some r ->
+              if !base = None then base := Some r
+              else if !index = None then index := Some (r, 1)
+              else fail "too many registers in %s" body
+          | None -> disp := !disp + parse_int term))
+    (List.rev !terms);
+  Operand.mem ?base:!base ?index:!index ~disp:!disp ()
+
+let parse_operand tok : Operand.t =
+  let tok = String.trim tok in
+  if tok = "" then fail "empty operand";
+  if tok.[0] = '$' then
+    Operand.Imm (parse_int (String.sub tok 1 (String.length tok - 1)))
+  else if tok.[0] = '[' then begin
+    if tok.[String.length tok - 1] <> ']' then fail "unterminated memory operand %s" tok;
+    Operand.Mem (parse_mem (String.sub tok 1 (String.length tok - 2)))
+  end
+  else
+    match parse_reg tok with
+    | Some r -> Operand.Reg r
+    | None -> fail "bad operand %s" tok
+
+let parse_width s =
+  match s with
+  | "w1" -> Width.W1
+  | "w2" -> Width.W2
+  | "w4" -> Width.W4
+  | "w8" -> Width.W8
+  | _ -> fail "bad width %s" s
+
+let parse_cond s =
+  match s with
+  | "eq" -> Cond.Eq
+  | "ne" -> Cond.Ne
+  | "lt" -> Cond.Lt
+  | "le" -> Cond.Le
+  | "gt" -> Cond.Gt
+  | "ge" -> Cond.Ge
+  | _ -> fail "bad condition %s" s
+
+let binop_of_string s =
+  match s with
+  | "add" -> Some Op.Add
+  | "sub" -> Some Op.Sub
+  | "mul" -> Some Op.Mul
+  | "div" -> Some Op.Div
+  | "rem" -> Some Op.Rem
+  | "and" -> Some Op.And
+  | "or" -> Some Op.Or
+  | "xor" -> Some Op.Xor
+  | "shl" -> Some Op.Shl
+  | "shr" -> Some Op.Shr
+  | "sar" -> Some Op.Sar
+  | "min" -> Some Op.Min
+  | "max" -> Some Op.Max
+  | "fadd" -> Some Op.Fadd
+  | "fsub" -> Some Op.Fsub
+  | "fmul" -> Some Op.Fmul
+  | "fdiv" -> Some Op.Fdiv
+  | _ -> None
+
+let unop_of_string s =
+  match s with
+  | "neg" -> Some Op.Neg
+  | "not" -> Some Op.Not
+  | "fsqrt" -> Some Op.Fsqrt
+  | _ -> None
+
+(* split "mnemonic operands..." -> (head, [operand strings]) *)
+let split_line line =
+  match String.index_opt line ' ' with
+  | None -> (line, [])
+  | Some k ->
+      let head = String.sub line 0 k in
+      let rest = String.sub line (k + 1) (String.length line - k - 1) in
+      (head, List.map String.trim (String.split_on_char ',' rest))
+
+let parse_instr line : (string, string) Instr.t =
+  let head, ops = split_line line in
+  let mnemonic, suffix =
+    match String.index_opt head '.' with
+    | Some k ->
+        ( String.sub head 0 k,
+          Some (String.sub head (k + 1) (String.length head - k - 1)) )
+    | None -> (head, None)
+  in
+  let width () = match suffix with Some s -> parse_width s | None -> Width.W8 in
+  let op1 () = match ops with [ a ] -> parse_operand a | _ -> fail "expected 1 operand: %s" line in
+  let op2 () =
+    match ops with
+    | [ a; b ] -> (parse_operand a, parse_operand b)
+    | _ -> fail "expected 2 operands: %s" line
+  in
+  let mem_of o =
+    match o with Operand.Mem m -> m | _ -> fail "expected memory operand: %s" line
+  in
+  match mnemonic with
+  | "mov" ->
+      let d, s = op2 () in
+      Instr.Mov (width (), d, s)
+  | "cmov" ->
+      let c = match suffix with Some s -> parse_cond s | None -> fail "cmov needs a condition" in
+      let d, s = op2 () in
+      Instr.Cmov (c, d, s)
+  | "lea" -> (
+      let d, s = op2 () in
+      match d with
+      | Operand.Reg r -> Instr.Lea (r, mem_of s)
+      | _ -> fail "lea destination must be a register: %s" line)
+  | "cmp" ->
+      let a, b = op2 () in
+      Instr.Cmp (width (), a, b)
+  | "jmp" -> (
+      match ops with [ l ] -> Instr.Jmp l | _ -> fail "jmp needs a label: %s" line)
+  | "call" -> (
+      match ops with [ f ] -> Instr.Call f | _ -> fail "call needs a function: %s" line)
+  | "ret" -> Instr.Ret
+  | "halt" -> Instr.Halt
+  | "lock_acquire" -> Instr.Lock_acquire (op1 ())
+  | "lock_release" -> Instr.Lock_release (op1 ())
+  | "barrier" -> Instr.Barrier (op1 ())
+  | "io" -> (
+      match suffix with
+      | Some "in" -> Instr.Io (Instr.In, op1 ())
+      | Some "out" -> Instr.Io (Instr.Out, op1 ())
+      | _ -> fail "io needs .in or .out: %s" line)
+  | _ -> (
+      (* conditional jumps: j<cond> *)
+      if String.length mnemonic > 1 && mnemonic.[0] = 'j' && suffix = None then
+        let c = parse_cond (String.sub mnemonic 1 (String.length mnemonic - 1)) in
+        match ops with [ l ] -> Instr.Jcc (c, l) | _ -> fail "jcc needs a label: %s" line
+      else if String.length mnemonic > 7 && String.sub mnemonic 0 7 = "atomic_" then
+        let opname = String.sub mnemonic 7 (String.length mnemonic - 7) in
+        match binop_of_string opname with
+        | Some op ->
+            let d, s = op2 () in
+            Instr.Atomic_rmw (op, width (), mem_of d, s)
+        | None -> fail "bad atomic op: %s" line
+      else
+        match (binop_of_string mnemonic, unop_of_string mnemonic) with
+        | Some op, _ ->
+            let d, s = op2 () in
+            Instr.Binop (op, width (), d, s)
+        | None, Some op -> Instr.Unop (op, width (), op1 ())
+        | None, None -> fail "unknown mnemonic: %s" line)
+
+let of_string (s : string) : Surface.t =
+  let lines = String.split_on_char '\n' s in
+  let funcs = ref [] in
+  let current = ref None in
+  List.iteri
+    (fun lineno raw ->
+      let line =
+        (* strip comments and whitespace *)
+        let raw = match String.index_opt raw '#' with
+          | Some k -> String.sub raw 0 k
+          | None -> raw
+        in
+        String.trim raw
+      in
+      let err fmt = Fmt.kstr (fun m -> fail "line %d: %s" (lineno + 1) m) fmt in
+      if line = "" then ()
+      else if String.length line > 5 && String.sub line 0 5 = "func " then begin
+        if !current <> None then err "nested func";
+        let rest = String.trim (String.sub line 5 (String.length line - 5)) in
+        let name =
+          match String.index_opt rest '{' with
+          | Some k -> String.trim (String.sub rest 0 k)
+          | None -> err "expected '{' after func name"
+        in
+        current := Some (name, ref [])
+      end
+      else if line = "}" then begin
+        match !current with
+        | Some (name, body) ->
+            funcs := { Surface.name; body = List.rev !body } :: !funcs;
+            current := None
+        | None -> err "unmatched '}'"
+      end
+      else
+        match !current with
+        | None -> err "instruction outside func: %s" line
+        | Some (_, body) ->
+            if line.[String.length line - 1] = ':' then
+              body := Surface.Label (String.sub line 0 (String.length line - 1)) :: !body
+            else
+              body :=
+                (try Surface.Ins (parse_instr line)
+                 with Parse_error m -> err "%s" m)
+                :: !body)
+    lines;
+  if !current <> None then fail "unterminated func";
+  List.rev !funcs
+
+let to_file path p =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string p))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

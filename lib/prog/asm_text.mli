@@ -1,0 +1,20 @@
+(** Textual assembly (`.tfasm`) for mini-ISA programs — emitter, parser and
+    disassembler.  [of_string (to_string p)] re-assembles to a structurally
+    identical program, so programs travel as text without builder source
+    (the repository's closed-source-binary workflow). *)
+
+exception Parse_error of string
+
+(** Emit surface form as assembly text. *)
+val to_string : Surface.t -> string
+
+(** Parse assembly text back to surface form.  [#] starts a comment. *)
+val of_string : string -> Surface.t
+
+(** Assembled program back to emittable surface form (block ids become
+    [bN] labels; call targets become function names). *)
+val disassemble : Program.t -> Surface.t
+
+val to_file : string -> Surface.t -> unit
+
+val of_file : string -> Surface.t

@@ -1,0 +1,193 @@
+(** Assembled programs.
+
+    [assemble] lowers a {!Surface.t} into indexed form:
+
+    - each function's body is split into basic blocks.  A block starts at a
+      label (or at function entry) and ends at the first terminator
+      instruction ({!Threadfuser_isa.Instr.is_terminator}) or just before
+      the next label;
+    - jump targets become block indices within the function, call targets
+      become function indices within the program;
+    - structural properties are validated: at most one memory operand per
+      instruction, all targets defined, no fall-through past the end of a
+      function, every block reachable only through defined edges.
+
+    Block 0 is always the function's entry block. *)
+
+open Threadfuser_isa
+
+exception Assembly_error of string
+
+let errf fmt = Fmt.kstr (fun s -> raise (Assembly_error s)) fmt
+
+type block = {
+  instrs : (int, int) Instr.t array;
+  src_label : string option; (* surface label this block started at, if any *)
+}
+
+type func = { name : string; fid : int; blocks : block array }
+
+type t = { funcs : func array; index : (string, int) Hashtbl.t }
+
+let func_count t = Array.length t.funcs
+
+let func t fid = t.funcs.(fid)
+
+let func_name t fid = t.funcs.(fid).name
+
+let find_func t name =
+  match Hashtbl.find_opt t.index name with
+  | Some fid -> fid
+  | None -> errf "unknown function %s" name
+
+let block_count f = Array.length f.blocks
+
+(* Split a surface body into proto-blocks of surface instructions.  Each
+   proto-block records the labels that point at its start. *)
+let split_blocks fname body =
+  let blocks = ref [] in
+  (* (labels, rev instrs) list, reversed *)
+  let cur_labels = ref [] and cur_instrs = ref [] and open_block = ref true in
+  let flush () =
+    if !open_block then begin
+      blocks := (List.rev !cur_labels, List.rev !cur_instrs) :: !blocks;
+      cur_labels := [];
+      cur_instrs := []
+    end;
+    open_block := false
+  in
+  let start_block () =
+    if not !open_block then begin
+      open_block := true;
+      cur_labels := [];
+      cur_instrs := []
+    end
+  in
+  List.iter
+    (fun item ->
+      match item with
+      | Surface.Label l ->
+          (* A label in the middle of a block ends it (fall-through edge). *)
+          if !open_block && !cur_instrs <> [] then flush ();
+          start_block ();
+          cur_labels := l :: !cur_labels
+      | Surface.Ins i ->
+          if Instr.mem_operand_count i > 1 then
+            errf "%s: instruction has more than one memory operand" fname;
+          start_block ();
+          cur_instrs := i :: !cur_instrs;
+          if Instr.is_terminator i then flush ())
+    body;
+  if !open_block then flush ();
+  List.rev !blocks
+
+let assemble (surface : Surface.t) : t =
+  let index = Hashtbl.create 64 in
+  List.iteri
+    (fun fid (f : Surface.func) ->
+      if Hashtbl.mem index f.name then errf "duplicate function %s" f.name;
+      Hashtbl.add index f.name fid)
+    surface;
+  let assemble_func fid (f : Surface.func) =
+    if f.body = [] then errf "%s: empty function" f.name;
+    let protos = split_blocks f.name f.body in
+    (* Drop empty proto-blocks by merging their labels into the next
+       non-empty block. *)
+    let rec merge = function
+      | (labels, []) :: (labels', instrs) :: rest ->
+          merge ((labels @ labels', instrs) :: rest)
+      | [ (_, []) ] -> errf "%s: function ends with a dangling label" f.name
+      | proto :: rest -> proto :: merge rest
+      | [] -> []
+    in
+    let protos = Array.of_list (merge protos) in
+    if Array.length protos = 0 then errf "%s: empty function" f.name;
+    let label_index = Hashtbl.create 16 in
+    Array.iteri
+      (fun bid (labels, _) ->
+        List.iter
+          (fun l ->
+            if Hashtbl.mem label_index l then
+              errf "%s: duplicate label %s" f.name l;
+            Hashtbl.add label_index l bid)
+          labels)
+      protos;
+    let n_blocks = Array.length protos in
+    let resolve_label l =
+      match Hashtbl.find_opt label_index l with
+      | Some bid -> bid
+      | None -> errf "%s: undefined label %s" f.name l
+    in
+    let resolve_call callee =
+      match Hashtbl.find_opt index callee with
+      | Some target -> target
+      | None -> errf "%s: call to undefined function %s" f.name callee
+    in
+    let resolve_instr (i : (string, string) Instr.t) : (int, int) Instr.t =
+      match i with
+      | Instr.Jcc (c, l) -> Instr.Jcc (c, resolve_label l)
+      | Instr.Jmp l -> Instr.Jmp (resolve_label l)
+      | Instr.Call callee -> Instr.Call (resolve_call callee)
+      | Instr.Mov (w, a, b) -> Instr.Mov (w, a, b)
+      | Instr.Cmov (c, a, b) -> Instr.Cmov (c, a, b)
+      | Instr.Lea (r, m) -> Instr.Lea (r, m)
+      | Instr.Binop (op, w, a, b) -> Instr.Binop (op, w, a, b)
+      | Instr.Unop (op, w, a) -> Instr.Unop (op, w, a)
+      | Instr.Cmp (w, a, b) -> Instr.Cmp (w, a, b)
+      | Instr.Ret -> Instr.Ret
+      | Instr.Lock_acquire a -> Instr.Lock_acquire a
+      | Instr.Lock_release a -> Instr.Lock_release a
+      | Instr.Atomic_rmw (op, w, m, s) -> Instr.Atomic_rmw (op, w, m, s)
+      | Instr.Io (d, c) -> Instr.Io (d, c)
+      | Instr.Barrier o -> Instr.Barrier o
+      | Instr.Halt -> Instr.Halt
+    in
+    let blocks =
+      Array.mapi
+        (fun bid (labels, instrs) ->
+          let instrs = Array.of_list (List.map resolve_instr instrs) in
+          if Array.length instrs = 0 then
+            errf "%s: internal error: empty block %d" f.name bid;
+          (* A block that can fall through must have a successor block. *)
+          let last = instrs.(Array.length instrs - 1) in
+          if Instr.falls_through last && bid = n_blocks - 1 then
+            errf "%s: control falls off the end of the function" f.name;
+          { instrs; src_label = (match labels with l :: _ -> Some l | [] -> None) })
+        protos
+    in
+    { name = f.name; fid; blocks }
+  in
+  let funcs = Array.of_list (List.mapi assemble_func surface) in
+  { funcs; index }
+
+(* Static successor blocks within the same function (calls fall through;
+   Ret/Halt have none). *)
+let block_succs (f : func) bid =
+  let b = f.blocks.(bid) in
+  let last = b.instrs.(Array.length b.instrs - 1) in
+  let fall = if Instr.falls_through last then [ bid + 1 ] else [] in
+  match last with
+  | Instr.Jmp target -> [ target ]
+  | Instr.Jcc (_, target) -> if target = bid + 1 then fall else target :: fall
+  | Instr.Ret | Instr.Halt -> []
+  | Instr.Call _ | Instr.Lock_acquire _ | Instr.Lock_release _ | Instr.Io _
+  | Instr.Barrier _ | Instr.Mov _ | Instr.Cmov _ | Instr.Lea _ | Instr.Binop _
+  | Instr.Unop _ | Instr.Cmp _ | Instr.Atomic_rmw _ ->
+      fall
+
+let instr_count f =
+  Array.fold_left (fun acc b -> acc + Array.length b.instrs) 0 f.blocks
+
+let total_instr_count t =
+  Array.fold_left (fun acc f -> acc + instr_count f) 0 t.funcs
+
+let pp_func ppf f =
+  Fmt.pf ppf "func %s (#%d):@." f.name f.fid;
+  Array.iteri
+    (fun bid b ->
+      let lbl = match b.src_label with Some l -> " (" ^ l ^ ")" | None -> "" in
+      Fmt.pf ppf ".b%d%s:@." bid lbl;
+      Array.iter (fun i -> Fmt.pf ppf "  %a@." Instr.pp_resolved i) b.instrs)
+    f.blocks
+
+let pp ppf t = Array.iter (pp_func ppf) t.funcs

@@ -1,0 +1,48 @@
+(** Assembled programs: functions split into basic blocks with resolved
+    jump targets (block indices) and call targets (function indices).
+
+    Blocks end at terminator instructions
+    ({!Threadfuser_isa.Instr.is_terminator}) or label boundaries; block 0
+    is always the function entry.  [assemble] validates the structural
+    invariants the rest of the system relies on: at most one memory operand
+    per instruction, all targets defined, no fall-through past the end of a
+    function. *)
+
+open Threadfuser_isa
+
+exception Assembly_error of string
+
+type block = {
+  instrs : (int, int) Instr.t array;
+  src_label : string option;  (** surface label this block started at *)
+}
+
+type func = { name : string; fid : int; blocks : block array }
+
+type t = { funcs : func array; index : (string, int) Hashtbl.t }
+
+(** [assemble surface] — raises {!Assembly_error} on invalid programs. *)
+val assemble : Surface.t -> t
+
+val func_count : t -> int
+
+val func : t -> int -> func
+
+val func_name : t -> int -> string
+
+(** Function id by name; raises {!Assembly_error} if unknown. *)
+val find_func : t -> string -> int
+
+val block_count : func -> int
+
+(** Static successor block ids within the function (calls fall through;
+    [Ret]/[Halt] have none). *)
+val block_succs : func -> int -> int list
+
+val instr_count : func -> int
+
+val total_instr_count : t -> int
+
+val pp_func : Format.formatter -> func -> unit
+
+val pp : Format.formatter -> t -> unit

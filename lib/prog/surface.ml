@@ -1,0 +1,18 @@
+(** Surface (pre-assembly) program form: a list of functions, each a flat
+    list of labels and instructions with symbolic jump/call targets.  This is
+    what the builder DSL ({!Build}) produces and what {!Program.assemble}
+    consumes. *)
+
+type item = Label of string | Ins of (string, string) Threadfuser_isa.Instr.t
+
+type func = { name : string; body : item list }
+
+type t = func list
+
+let pp_item ppf = function
+  | Label l -> Fmt.pf ppf "%s:" l
+  | Ins i -> Fmt.pf ppf "  %a" Threadfuser_isa.Instr.pp_surface i
+
+let pp_func ppf f =
+  Fmt.pf ppf "func %s:@." f.name;
+  List.iter (fun item -> Fmt.pf ppf "%a@." pp_item item) f.body

@@ -1,0 +1,73 @@
+(** JSON rendering of analyzer reports (for CI and notebooks). *)
+
+module Metrics = Threadfuser.Metrics
+
+let of_segment (s : Metrics.segment_stat) =
+  Json.Obj
+    [
+      ("transactions", Json.Int s.Metrics.txns);
+      ("mem_instructions", Json.Int s.Metrics.mem_issues);
+      ("transactions_per_instruction", Json.Float s.Metrics.txns_per_instr);
+    ]
+
+let of_func (f : Metrics.func_stat) =
+  Json.Obj
+    [
+      ("name", Json.String f.Metrics.func_name);
+      ("issues", Json.Int f.Metrics.issues);
+      ("thread_instructions", Json.Int f.Metrics.thread_instrs);
+      ("efficiency", Json.Float f.Metrics.efficiency);
+      ("instruction_share", Json.Float f.Metrics.instr_share);
+    ]
+
+let of_warp (w : Metrics.warp_stat) =
+  Json.Obj
+    [
+      ("warp_id", Json.Int w.Metrics.warp_id);
+      ("lanes", Json.Int w.Metrics.lanes);
+      ("issues", Json.Int w.Metrics.warp_issues);
+      ("thread_instructions", Json.Int w.Metrics.warp_instrs);
+      ("efficiency", Json.Float w.Metrics.warp_efficiency);
+    ]
+
+let of_report (r : Metrics.report) =
+  Json.Obj
+    [
+      ("warp_size", Json.Int r.Metrics.warp_size);
+      ("threads", Json.Int r.Metrics.n_threads);
+      ("warps", Json.Int r.Metrics.n_warps);
+      ("issues", Json.Int r.Metrics.issues);
+      ("thread_instructions", Json.Int r.Metrics.thread_instrs);
+      ("simt_efficiency", Json.Float r.Metrics.simt_efficiency);
+      ("traced_fraction", Json.Float (Metrics.traced_fraction r));
+      ( "memory",
+        Json.Obj
+          [
+            ("stack", of_segment r.Metrics.stack_mem);
+            ("heap", of_segment r.Metrics.heap_mem);
+            ("global", of_segment r.Metrics.global_mem);
+            ("total_transactions", Json.Int r.Metrics.total_mem_txns);
+            ("total_mem_instructions", Json.Int r.Metrics.total_mem_issues);
+            ( "transactions_per_instruction",
+              Json.Float (Metrics.txns_per_mem_instr r) );
+          ] );
+      ( "synchronization",
+        Json.Obj
+          [
+            ("lock_acquires", Json.Int r.Metrics.lock_acquires);
+            ("barrier_syncs", Json.Int r.Metrics.barrier_syncs);
+            ("warp_lock_conflicts", Json.Int r.Metrics.serializations);
+            ("serialized_instructions", Json.Int r.Metrics.serialized_instrs);
+          ] );
+      ( "skipped",
+        Json.Obj
+          [
+            ("io_instructions", Json.Int r.Metrics.skipped_io);
+            ("spin_instructions", Json.Int r.Metrics.skipped_spin);
+            ("excluded_instructions", Json.Int r.Metrics.skipped_excluded);
+          ] );
+      ("per_function", Json.List (List.map of_func r.Metrics.per_function));
+      ("per_warp", Json.List (List.map of_warp r.Metrics.per_warp));
+    ]
+
+let to_string r = Json.to_string (of_report r)

@@ -1,0 +1,74 @@
+(** The statistics used in the paper's correlation study (§IV): mean
+    absolute error against a reference, Pearson correlation ("Correl"),
+    standard deviation of errors, and geometric means for Fig. 8-style
+    summaries. *)
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.mean";
+  Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let stddev a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.stddev";
+  let m = mean a in
+  let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+  sqrt (ss /. float_of_int n)
+
+(** Mean absolute error of [predicted] against [reference]. *)
+let mae ~predicted ~reference =
+  if Array.length predicted <> Array.length reference then
+    invalid_arg "Stats.mae: length mismatch";
+  if Array.length predicted = 0 then invalid_arg "Stats.mae: empty";
+  let s = ref 0.0 in
+  Array.iteri (fun i p -> s := !s +. abs_float (p -. reference.(i))) predicted;
+  !s /. float_of_int (Array.length predicted)
+
+(** Mean absolute *relative* error (|p - r| / r, r <> 0 entries only). *)
+let mape ~predicted ~reference =
+  if Array.length predicted <> Array.length reference then
+    invalid_arg "Stats.mape: length mismatch";
+  let s = ref 0.0 and n = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if reference.(i) <> 0.0 then begin
+        s := !s +. abs_float ((p -. reference.(i)) /. reference.(i));
+        incr n
+      end)
+    predicted;
+  if !n = 0 then 0.0 else !s /. float_of_int !n
+
+(** Pearson correlation coefficient; 0 when either series is constant. *)
+let pearson x y =
+  if Array.length x <> Array.length y then invalid_arg "Stats.pearson";
+  let n = Array.length x in
+  if n < 2 then invalid_arg "Stats.pearson: need at least two points";
+  let mx = mean x and my = mean y in
+  let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dx = x.(i) -. mx and dy = y.(i) -. my in
+    sxy := !sxy +. (dx *. dy);
+    sxx := !sxx +. (dx *. dx);
+    syy := !syy +. (dy *. dy)
+  done;
+  if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
+
+(** Geometric mean; all entries must be positive. *)
+let geomean a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.geomean";
+  let s =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive entry";
+        acc +. log x)
+      0.0 a
+  in
+  exp (s /. float_of_int n)
+
+(** Fraction of samples within [k] standard deviations of the mean, as the
+    paper reports for its error distributions. *)
+let within_stddev ?(k = 1.0) a =
+  let m = mean a and sd = stddev a in
+  let inside = Array.fold_left (fun acc x -> if abs_float (x -. m) <= k *. sd then acc + 1 else acc) 0 a in
+  float_of_int inside /. float_of_int (Array.length a)

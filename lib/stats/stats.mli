@@ -1,0 +1,21 @@
+(** The statistics used in the paper's correlation study (§IV). *)
+
+val mean : float array -> float
+
+(** Population standard deviation. *)
+val stddev : float array -> float
+
+(** Mean absolute error of [predicted] against [reference]. *)
+val mae : predicted:float array -> reference:float array -> float
+
+(** Mean absolute relative error (entries with zero reference skipped). *)
+val mape : predicted:float array -> reference:float array -> float
+
+(** Pearson correlation coefficient; 0 when either series is constant. *)
+val pearson : float array -> float array -> float
+
+(** Geometric mean; raises on non-positive entries. *)
+val geomean : float array -> float
+
+(** Fraction of samples within [k] standard deviations of the mean. *)
+val within_stddev : ?k:float -> float array -> float

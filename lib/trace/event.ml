@@ -1,0 +1,71 @@
+(** Dynamic per-thread trace events.
+
+    This is the abstraction the paper's PIN-based tracer produces: a stream
+    of executed basic blocks with per-instruction memory accesses,
+    call/return markers, synchronization-primitive invocations, and
+    "skipped" regions (I/O and lock spinning, cf. paper Fig. 8).
+
+    Event order within a thread:
+    - a [Block] event is emitted when the block finishes executing and
+      carries all memory accesses its instructions performed;
+    - a block ending in a call is followed by [Call], then the callee's
+      events, then [Return], then the caller's next block;
+    - a block ending in a lock acquire is followed by (optionally a
+      [Skip Spin]) then [Lock_acq] once the lock is held. *)
+
+type access = {
+  ioff : int; (* instruction offset within the block *)
+  addr : int;
+  size : int;
+  is_store : bool;
+}
+
+type skip_reason = Io | Spin | Excluded
+
+type t =
+  | Block of { func : int; block : int; n_instr : int; accesses : access array }
+  | Call of int (* callee function id *)
+  | Return
+  | Lock_acq of int (* lock address *)
+  | Lock_rel of int
+  | Barrier of int (* team barrier passed (address names the barrier) *)
+  | Skip of { reason : skip_reason; n_instr : int }
+
+let no_accesses : access array = [||]
+
+let pp_access ppf a =
+  Fmt.pf ppf "%s@%d:0x%x/%d" (if a.is_store then "st" else "ld") a.ioff a.addr
+    a.size
+
+let pp ppf = function
+  | Block b ->
+      Fmt.pf ppf "block f%d.b%d n=%d [%a]" b.func b.block b.n_instr
+        Fmt.(array ~sep:comma pp_access)
+        b.accesses
+  | Call f -> Fmt.pf ppf "call f%d" f
+  | Return -> Fmt.string ppf "return"
+  | Lock_acq a -> Fmt.pf ppf "lock_acq 0x%x" a
+  | Lock_rel a -> Fmt.pf ppf "lock_rel 0x%x" a
+  | Barrier a -> Fmt.pf ppf "barrier 0x%x" a
+  | Skip { reason = Io; n_instr } -> Fmt.pf ppf "skip.io %d" n_instr
+  | Skip { reason = Spin; n_instr } -> Fmt.pf ppf "skip.spin %d" n_instr
+  | Skip { reason = Excluded; n_instr } -> Fmt.pf ppf "skip.excluded %d" n_instr
+
+let equal_access (a : access) (b : access) = a = b
+
+let equal (a : t) (b : t) =
+  match (a, b) with
+  | Block x, Block y ->
+      x.func = y.func && x.block = y.block && x.n_instr = y.n_instr
+      && Array.length x.accesses = Array.length y.accesses
+      && Array.for_all2 equal_access x.accesses y.accesses
+  | Call x, Call y -> x = y
+  | Return, Return -> true
+  | Lock_acq x, Lock_acq y | Lock_rel x, Lock_rel y | Barrier x, Barrier y ->
+      x = y
+  | Skip x, Skip y -> x.reason = y.reason && x.n_instr = y.n_instr
+  | ( ( Block _ | Call _ | Return | Lock_acq _ | Lock_rel _ | Barrier _
+      | Skip _ ),
+      ( Block _ | Call _ | Return | Lock_acq _ | Lock_rel _ | Barrier _
+      | Skip _ ) ) ->
+      false

@@ -1,0 +1,169 @@
+(** Binary serialization of traces.
+
+    Format (all integers LEB128 varints over the two's-complement bit
+    pattern): a magic header, a thread count, then per thread the tid, the
+    event count and the events.  Event tags:
+
+    {v
+      0 Block   func block n_instr n_accesses (ioff addr size is_store)*
+      1 Call    func
+      2 Return
+      3 Lock_acq addr
+      4 Lock_rel addr
+      5 Skip    reason(0=io,1=spin) n_instr
+      6 Barrier addr
+    v}
+
+    The format supports both in-memory buffers and files, so traces can be
+    captured once and re-analyzed under many warp configurations, like the
+    paper's trace files feeding Accel-Sim. *)
+
+let magic = "TFTRACE1"
+
+(* -- varint primitives -------------------------------------------------- *)
+
+(* Encodes the two's-complement bit pattern with a logical shift, so every
+   OCaml int round-trips (negatives cost 9 bytes; they are rare in traces). *)
+let write_uint buf n =
+  let n = ref n in
+  let continue_ = ref true in
+  while !continue_ do
+    let b = !n land 0x7f in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue_ := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+let write_int = write_uint
+
+type reader = { data : string; mutable pos : int }
+
+exception Corrupt of string
+
+let read_byte r =
+  if r.pos >= String.length r.data then raise (Corrupt "truncated");
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let read_uint r =
+  let rec go shift acc =
+    let b = read_byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 <> 0 then go (shift + 7) acc else acc
+  in
+  go 0 0
+
+let read_int = read_uint
+
+(* -- events ------------------------------------------------------------- *)
+
+let write_event buf (e : Event.t) =
+  match e with
+  | Event.Block b ->
+      write_uint buf 0;
+      write_uint buf b.func;
+      write_uint buf b.block;
+      write_uint buf b.n_instr;
+      write_uint buf (Array.length b.accesses);
+      Array.iter
+        (fun (a : Event.access) ->
+          write_uint buf a.ioff;
+          write_int buf a.addr;
+          write_uint buf a.size;
+          write_uint buf (if a.is_store then 1 else 0))
+        b.accesses
+  | Event.Call f ->
+      write_uint buf 1;
+      write_uint buf f
+  | Event.Return -> write_uint buf 2
+  | Event.Lock_acq a ->
+      write_uint buf 3;
+      write_int buf a
+  | Event.Lock_rel a ->
+      write_uint buf 4;
+      write_int buf a
+  | Event.Skip { reason; n_instr } ->
+      write_uint buf 5;
+      write_uint buf
+        (match reason with Event.Io -> 0 | Event.Spin -> 1 | Event.Excluded -> 2);
+      write_uint buf n_instr
+  | Event.Barrier a ->
+      write_uint buf 6;
+      write_int buf a
+
+let read_event r : Event.t =
+  match read_uint r with
+  | 0 ->
+      let func = read_uint r in
+      let block = read_uint r in
+      let n_instr = read_uint r in
+      let n_acc = read_uint r in
+      let accesses =
+        Array.init n_acc (fun _ ->
+            let ioff = read_uint r in
+            let addr = read_int r in
+            let size = read_uint r in
+            let is_store = read_uint r = 1 in
+            { Event.ioff; addr; size; is_store })
+      in
+      Event.Block { func; block; n_instr; accesses }
+  | 1 -> Event.Call (read_uint r)
+  | 2 -> Event.Return
+  | 3 -> Event.Lock_acq (read_int r)
+  | 4 -> Event.Lock_rel (read_int r)
+  | 5 ->
+      let reason =
+        match read_uint r with
+        | 0 -> Event.Io
+        | 1 -> Event.Spin
+        | 2 -> Event.Excluded
+        | n -> raise (Corrupt (Printf.sprintf "bad skip reason %d" n))
+      in
+      let n_instr = read_uint r in
+      Event.Skip { reason; n_instr }
+  | 6 -> Event.Barrier (read_int r)
+  | n -> raise (Corrupt (Printf.sprintf "bad event tag %d" n))
+
+(* -- whole traces ------------------------------------------------------- *)
+
+let to_buffer (traces : Thread_trace.t array) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  write_uint buf (Array.length traces);
+  Array.iter
+    (fun (t : Thread_trace.t) ->
+      write_uint buf t.tid;
+      write_uint buf (Array.length t.events);
+      Array.iter (write_event buf) t.events)
+    traces;
+  buf
+
+let to_string traces = Buffer.contents (to_buffer traces)
+
+let of_string s : Thread_trace.t array =
+  let n_magic = String.length magic in
+  if String.length s < n_magic || String.sub s 0 n_magic <> magic then
+    raise (Corrupt "bad magic");
+  let r = { data = s; pos = n_magic } in
+  let n_threads = read_uint r in
+  Array.init n_threads (fun _ ->
+      let tid = read_uint r in
+      let n_events = read_uint r in
+      let events = Array.init n_events (fun _ -> read_event r) in
+      { Thread_trace.tid; events })
+
+let to_file path traces =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc (to_buffer traces))
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,28 @@
+(** Binary serialization of trace sets (LEB128 varints over the
+    two's-complement bit pattern), so traces can be captured once and
+    re-analyzed under many warp configurations — the paper's trace files. *)
+
+exception Corrupt of string
+(** Raised by the readers on malformed or truncated input. *)
+
+val to_buffer : Thread_trace.t array -> Buffer.t
+
+val to_string : Thread_trace.t array -> string
+
+val of_string : string -> Thread_trace.t array
+
+val to_file : string -> Thread_trace.t array -> unit
+
+val of_file : string -> Thread_trace.t array
+
+(** {2 Low-level varint primitives} (exposed for tests) *)
+
+type reader = { data : string; mutable pos : int }
+
+val write_uint : Buffer.t -> int -> unit
+
+val write_int : Buffer.t -> int -> unit
+
+val read_uint : reader -> int
+
+val read_int : reader -> int

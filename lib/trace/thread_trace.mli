@@ -1,0 +1,32 @@
+(** The dynamic trace of one CPU thread, plus summary statistics. *)
+
+type t = { tid : int; events : Event.t array }
+
+type stats = {
+  traced_instrs : int;  (** instructions inside [Block] events *)
+  skipped_io : int;
+  skipped_spin : int;
+  skipped_excluded : int;
+  blocks : int;
+  loads : int;
+  stores : int;
+  lock_ops : int;  (** acquires + releases *)
+  barriers : int;
+}
+
+val stats : t -> stats
+
+(** Mutable trace under construction; the machine appends as it executes. *)
+module Builder : sig
+  type trace := t
+
+  type t
+
+  val create : int -> t
+
+  val emit : t -> Event.t -> unit
+
+  val finish : t -> trace
+end
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,41 @@
+(** Deterministic pseudo-random number generator.
+
+    Workload inputs must be reproducible across runs and independent of the
+    OCaml standard library's generator, so the whole repository draws its
+    synthetic data from this explicit 64-bit linear congruential generator
+    (Knuth's MMIX constants). *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int (seed lxor 0x5deece66d) }
+
+let mult = 6364136223846793005L
+
+let incr = 1442695040888963407L
+
+let next_int64 t =
+  t.state <- Int64.add (Int64.mul t.state mult) incr;
+  t.state
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 17)
+
+(** [int t bound] draws uniformly from [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Lcg.int";
+  bits t mod bound
+
+(** [int_range t lo hi] draws uniformly from [lo, hi] inclusive. *)
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Lcg.int_range";
+  lo + int t (hi - lo + 1)
+
+(** [bool t p_num p_den] is true with probability [p_num/p_den]. *)
+let chance t p_num p_den = int t p_den < p_num
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

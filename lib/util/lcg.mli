@@ -1,0 +1,25 @@
+(** Deterministic 64-bit linear congruential PRNG (Knuth's MMIX constants).
+
+    All synthetic workload inputs are drawn from this generator so that
+    every run of the repository is bit-reproducible. *)
+
+type t
+
+val create : int -> t
+
+val next_int64 : t -> int64
+
+(** 46 random bits as a non-negative int. *)
+val bits : t -> int
+
+(** [int t bound] draws uniformly from [0, bound); raises on [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_range t lo hi] draws uniformly from [lo, hi] inclusive. *)
+val int_range : t -> int -> int -> int
+
+(** [chance t num den] is true with probability [num/den]. *)
+val chance : t -> int -> int -> bool
+
+(** In-place Fisher–Yates shuffle. *)
+val shuffle : t -> 'a array -> unit

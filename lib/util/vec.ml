@@ -1,0 +1,88 @@
+(** Growable arrays.
+
+    OCaml 5.1's standard library has no [Dynarray]; this is the small subset
+    the tracer and analyzer need.  Elements are stored densely in an array
+    that doubles on overflow. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a; (* filler for unused slots; never observable *)
+}
+
+let create ?(capacity = 16) dummy =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity dummy; len = 0; dummy }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Vec.get";
+  t.data.(i)
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Vec.set";
+  t.data.(i) <- x
+
+let ensure_capacity t n =
+  if n > Array.length t.data then begin
+    let capacity = ref (Array.length t.data) in
+    while !capacity < n do
+      capacity := !capacity * 2
+    done;
+    let data = Array.make !capacity t.dummy in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let push t x =
+  ensure_capacity t (t.len + 1);
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then invalid_arg "Vec.pop";
+  t.len <- t.len - 1;
+  let x = t.data.(t.len) in
+  t.data.(t.len) <- t.dummy;
+  x
+
+let top t =
+  if t.len = 0 then invalid_arg "Vec.top";
+  t.data.(t.len - 1)
+
+let clear t =
+  Array.fill t.data 0 t.len t.dummy;
+  t.len <- 0
+
+let to_array t = Array.sub t.data 0 t.len
+
+let of_array dummy a =
+  let t = create ~capacity:(max 1 (Array.length a)) dummy in
+  Array.iter (push t) a;
+  t
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec loop i = i < t.len && (p t.data.(i) || loop (i + 1)) in
+  loop 0
+
+let to_list t = List.rev (fold_left (fun acc x -> x :: acc) [] t)

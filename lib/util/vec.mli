@@ -1,0 +1,43 @@
+(** Growable arrays (OCaml 5.1 has no [Dynarray]).
+
+    A [Vec.t] stores elements densely in an array that doubles on overflow.
+    The [dummy] element passed at creation fills unused capacity and is
+    never observable through the API. *)
+
+type 'a t
+
+(** [create ?capacity dummy] is an empty vector. *)
+val create : ?capacity:int -> 'a -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [get t i] — raises [Invalid_argument] outside [0, length). *)
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+
+val push : 'a t -> 'a -> unit
+
+(** Remove and return the last element; raises [Invalid_argument] if empty. *)
+val pop : 'a t -> 'a
+
+(** The last element without removing it. *)
+val top : 'a t -> 'a
+
+val clear : 'a t -> unit
+
+val to_array : 'a t -> 'a array
+
+val of_array : 'a -> 'a array -> 'a t
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val to_list : 'a t -> 'a list

@@ -1,0 +1,30 @@
+(** The full studied-workload catalog — the paper's Table I.
+
+    36 workloads across six suites; 11 of them (Rodinia + Paropoly + the
+    two microbenchmarks) carry CUDA-style variants and form the correlation
+    set of §IV.  [hdsearch_mid_fixed] is the extra Fig. 7 case-study
+    variant and is not part of the 36. *)
+
+let all : Workload.t list =
+  W_rodinia.all @ W_paropoly.all @ W_micro.all @ W_usuite.all @ W_dsb.all
+  @ W_parsec.all @ W_other.all
+
+let correlation : Workload.t list =
+  List.filter (fun (w : Workload.t) -> w.Workload.cuda <> None) all
+
+let microservices : Workload.t list =
+  List.filter
+    (fun (w : Workload.t) -> w.Workload.category = Workload.Microservice)
+    all
+
+let hdsearch_mid_fixed : Workload.t = W_usuite.hdsearch_mid_fixed
+
+let find name : Workload.t =
+  match
+    List.find_opt (fun (w : Workload.t) -> w.Workload.name = name)
+      (hdsearch_mid_fixed :: all)
+  with
+  | Some w -> w
+  | None -> Fmt.invalid_arg "unknown workload %s" name
+
+let names () = List.map (fun (w : Workload.t) -> w.Workload.name) all

@@ -1,0 +1,19 @@
+(** The full studied-workload catalog — the paper's Table I: 36 workloads
+    across six suites, 11 of them with CUDA-style counterparts. *)
+
+val all : Workload.t list
+
+(** The 11 workloads with CUDA variants (the §IV correlation set). *)
+val correlation : Workload.t list
+
+(** The 13 μSuite + DeathStarBench services (Figs. 8, 9, 10). *)
+val microservices : Workload.t list
+
+(** The Fig. 7 case-study variant (not part of the 36). *)
+val hdsearch_mid_fixed : Workload.t
+
+(** Lookup by name (including [hdsearch-mid-fixed]); raises
+    [Invalid_argument] on unknown names. *)
+val find : string -> Workload.t
+
+val names : unit -> string list

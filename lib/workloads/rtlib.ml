@@ -1,0 +1,167 @@
+(** The IR runtime library linked into every workload program.
+
+    Provides the services a C++ workload gets from libc/libstdc++, written
+    in the mini-ISA itself so their instructions and synchronization show up
+    in traces exactly like the real library code does under PIN:
+
+    - [__malloc]: dynamic allocation.  In [Glibc] mode a single global
+      mutex guards the heap — the paper's observation that the glibc
+      allocator serializes threads inside [new] (§V-B).  In [Concurrent]
+      mode each thread bumps a private arena derived from its TLS base,
+      modelling a fine-grained, high-throughput data-center allocator.
+    - [__free]: records the free (glibc mode takes the same lock).
+    - [__rand]: per-thread 48-bit LCG seeded from the TLS address.
+    - [__hash]: FNV-1a over a byte range.
+    - [__memcpy]: byte copy loop.
+
+    Register discipline: all runtime functions use r0..r5 only (arguments
+    and scratch), so callers keep long-lived values in r6..r13. *)
+
+open Threadfuser_isa
+open Threadfuser_prog
+open Build
+module Layout = Threadfuser_machine.Layout
+
+type alloc_mode = Glibc | Concurrent
+
+(* Global runtime state (inside the globals segment). *)
+let heap_break = 0x10000 (* glibc-mode bump pointer *)
+
+let alloc_lock = 0x10008 (* glibc-mode allocator mutex *)
+
+let alloc_count = 0x10010 (* allocation counter (bookkeeping traffic) *)
+
+(* TLS offsets used by the runtime (the O0 spill pass uses 0..0x70). *)
+let tls_bump = 0x700 (* concurrent-mode per-thread bump pointer *)
+
+let tls_rand = 0x708 (* per-thread PRNG state *)
+
+let arena_bytes = 256 * 1024
+
+(** Host-side initialization of runtime globals; run before any workload. *)
+let init mem =
+  Threadfuser_machine.Memory.store_i64 mem heap_break Layout.heap_base
+
+(* __malloc, glibc flavour: one global lock around the heap bump.  The
+   critical section does real work (header write, counter update) so
+   serialized threads burn representative instructions. *)
+let malloc_glibc =
+  func "__malloc"
+    [
+      (* round the size up to 16 and add a 16-byte header *)
+      add (reg 0) (imm 31);
+      and_ (reg 0) (imm (-16));
+      lock_acquire (imm alloc_lock);
+      mov (reg 1) (mem ~disp:heap_break ());
+      mov (reg 2) (reg 1);
+      add (reg 2) (reg 0);
+      mov (mem ~disp:heap_break ()) (reg 2);
+      binop Op.Add (mem ~disp:alloc_count ()) (imm 1);
+      (* header: stored size *)
+      mov (mem ~base:1 ()) (reg 0);
+      lock_release (imm alloc_lock);
+      mov (reg 0) (reg 1);
+      add (reg 0) (imm 16);
+      ret;
+    ]
+
+(* __malloc, concurrent flavour: lock-free per-thread arenas.  The arena
+   base is derived from the TLS base, which is unique per thread. *)
+let malloc_concurrent =
+  func "__malloc"
+    [
+      add (reg 0) (imm 31);
+      and_ (reg 0) (imm (-16));
+      mov (reg 1) (mem ~base:Reg.tls ~disp:tls_bump ());
+      if_ Cond.Eq (reg 1) (imm 0)
+        ~then_:
+          [ seq
+             [
+               (* arena = heap_base + thread_index * arena_bytes *)
+               mov (reg 1) tls;
+               sub (reg 1) (imm Layout.stack_region_base);
+               div (reg 1) (imm Layout.stack_size);
+               mul (reg 1) (imm arena_bytes);
+               add (reg 1) (imm Layout.heap_base);
+             ] ]
+        ();
+      mov (reg 2) (reg 1);
+      add (reg 2) (reg 0);
+      mov (mem ~base:Reg.tls ~disp:tls_bump ()) (reg 2);
+      mov (mem ~base:1 ()) (reg 0);
+      mov (reg 0) (reg 1);
+      add (reg 0) (imm 16);
+      ret;
+    ]
+
+let free_glibc =
+  func "__free"
+    [
+      lock_acquire (imm alloc_lock);
+      binop Op.Sub (mem ~disp:alloc_count ()) (imm 1);
+      lock_release (imm alloc_lock);
+      ret;
+    ]
+
+let free_concurrent = func "__free" [ ret ]
+
+(* __rand: Java-style 48-bit LCG per thread; state lives in TLS and is
+   lazily seeded from the TLS base (unique per thread). *)
+let rand_fn =
+  func "__rand"
+    [
+      mov (reg 0) (mem ~base:Reg.tls ~disp:tls_rand ());
+      if_ Cond.Eq (reg 0) (imm 0)
+        ~then_:
+          [ seq [ mov (reg 0) tls; mul (reg 0) (imm 2654435761); add (reg 0) (imm 12345) ] ]
+        ();
+      mul (reg 0) (imm 0x5deece66d);
+      add (reg 0) (imm 0xb);
+      and_ (reg 0) (imm 0xffffffffffff);
+      mov (mem ~base:Reg.tls ~disp:tls_rand ()) (reg 0);
+      shr (reg 0) (imm 16);
+      ret;
+    ]
+
+(* __hash: FNV-1a over [r0, r0+r1); result in r0. *)
+let hash_fn =
+  func "__hash"
+    [
+      mov (reg 2) (reg 0);
+      mov (reg 3) (reg 0);
+      add (reg 3) (reg 1);
+      mov (reg 0) (imm 0x1b873593);
+      while_ Cond.Lt (reg 2) (reg 3)
+        [
+          mov ~w:Width.W1 (reg 4) (mem ~base:2 ());
+          xor (reg 0) (reg 4);
+          mul (reg 0) (imm 0x1000193);
+          and_ (reg 0) (imm 0x3fffffffffff);
+          add (reg 2) (imm 1);
+        ];
+      ret;
+    ]
+
+(* __memcpy(dst=r0, src=r1, n=r2): byte loop; returns dst. *)
+let memcpy_fn =
+  func "__memcpy"
+    [
+      mov (reg 3) (imm 0);
+      while_ Cond.Lt (reg 3) (reg 2)
+        [
+          mov ~w:Width.W1 (reg 4) (mem ~base:1 ~index:3 ());
+          mov ~w:Width.W1 (mem ~base:0 ~index:3 ()) (reg 4);
+          add (reg 3) (imm 1);
+        ];
+      ret;
+    ]
+
+(** Runtime functions for the chosen allocator mode; append to every
+    workload's function list before assembly. *)
+let funcs mode : Surface.t =
+  let malloc, free =
+    match mode with
+    | Glibc -> (malloc_glibc, free_glibc)
+    | Concurrent -> (malloc_concurrent, free_concurrent)
+  in
+  [ malloc; free; rand_fn; hash_fn; memcpy_fn ]

@@ -1,0 +1,379 @@
+(** DeathStarBench social-network microservices (Table I): Post, Text,
+    UrlShort, UniqueID, UserTag and User.  One SIMT thread = one request.
+    UniqueID deliberately uses one coarse global lock (its real
+    implementation guards a shared sequence counter), making it the Fig. 9
+    showcase for intra-warp lock serialization; the others use fine-grained
+    sharded locks. *)
+
+open Threadfuser_prog.Build
+open Threadfuser_isa
+open Wl_common
+module Memory = Threadfuser_machine.Memory
+
+let req_base = region 10
+
+let text_bytes = 64
+
+let setup_requests mem ~seed ~threads =
+  (* request text: spaces roughly every 2-9 bytes to form tokens *)
+  let g = Threadfuser_util.Lcg.create seed in
+  for t = 0 to threads - 1 do
+    let base = req_base + (text_bytes * t) in
+    let i = ref 0 in
+    while !i < text_bytes do
+      let tok = Threadfuser_util.Lcg.int_range g 2 9 in
+      for j = !i to min (text_bytes - 1) (!i + tok - 1) do
+        Memory.store_byte mem (base + j) (97 + Threadfuser_util.Lcg.int g 26)
+      done;
+      i := !i + tok;
+      if !i < text_bytes then begin
+        Memory.store_byte mem (base + !i) 32;
+        incr i
+      end
+    done
+  done
+
+let mk ~name ~description ?(default_threads = 64) ?(alloc = Rtlib.Concurrent)
+    program ~setup ~worker =
+  Workload.make ~category:Workload.Microservice ~alloc ~name
+    ~suite:"DeathStarBench" ~description ~table_threads:2048 ~default_threads
+    { Workload.program; worker; setup; args = (fun ~tid ~n:_ ~scale:_ -> [ tid ]) }
+
+(* r6 = this request's text address *)
+let load_text_addr =
+  seq [ mov (reg 6) (reg 0); mul (reg 6) (imm text_bytes); add (reg 6) (imm req_base) ]
+
+(* Tokenize the 64-byte text: count space-separated tokens into r12.
+   Token lengths are data-dependent, so the inner state machine diverges
+   mildly across requests. *)
+let tokenize_loop =
+  seq
+    [
+      mov (reg 12) (imm 0);
+      mov (reg 7) (imm 0);
+      while_ Cond.Lt (reg 7) (imm text_bytes)
+        [
+          mov ~w:Width.W1 (reg 8) (mem ~base:6 ~index:7 ());
+          if_ Cond.Eq (reg 8) (imm 32) ~then_:[ add (reg 12) (imm 1) ] ();
+          add (reg 7) (imm 1);
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+module Post = struct
+  let shard_locks = 64
+
+  let shard_heads = region 0
+
+  let setup mem ~scale =
+    ignore scale;
+    setup_requests mem ~seed:61 ~threads:512;
+    ignore mem
+
+  let worker =
+    func "worker"
+      [
+        io_in (imm 80);
+        load_text_addr;
+        tokenize_loop;
+        (* allocate the post object and copy the text into it *)
+        mov (reg 0) (imm (text_bytes + 32));
+        call "__malloc";
+        mov (reg 9) (reg 0);
+        mov (mem ~base:9 ()) (reg 12);
+        (* token count header *)
+        mov (reg 0) (reg 9);
+        add (reg 0) (imm 16);
+        mov (reg 1) (reg 6);
+        mov (reg 2) (imm text_bytes);
+        call "__memcpy";
+        (* link into the author's shard under a sharded lock *)
+        mov (reg 10) (reg 0);
+        rem (reg 10) (imm shard_locks);
+        mov (reg 11) (reg 10);
+        mul (reg 11) (imm 64);
+        add (reg 11) (imm lock_base);
+        lock_acquire (reg 11);
+        mov (reg 13) (mem ~scale:8 ~index:10 ~disp:shard_heads ());
+        mov (mem ~base:9 ~disp:8 ()) (reg 13);
+        mov (mem ~scale:8 ~index:10 ~disp:shard_heads ()) (reg 9);
+        lock_release (reg 11);
+        io_out (imm 60);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"post" ~description:"compose post: tokenize, allocate, shard insert"
+      [ worker ] ~setup ~worker:"worker"
+end
+
+module Text = struct
+  let url_table = region 0 (* 64 known-url hashes *)
+
+  let setup mem ~scale =
+    ignore scale;
+    setup_requests mem ~seed:62 ~threads:512;
+    fill_random mem ~seed:63 ~addr:url_table ~n:64 ~bound:(1 lsl 30)
+
+  let worker =
+    func "worker"
+      [
+        io_in (imm 35);
+        load_text_addr;
+        tokenize_loop;
+        (* token hashes land in a heap-allocated buffer *)
+        mov (reg 0) (imm 64);
+        call "__malloc";
+        mov (reg 10) (reg 0);
+        (* hash each 8-byte chunk and check it against the url table *)
+        mov (reg 13) (imm 0);
+        for_up ~i:7 ~from_:(imm 0) ~below:(imm (text_bytes / 8))
+          [
+            mov (reg 0) (reg 6);
+            mov (reg 8) (reg 7);
+            shl (reg 8) (imm 3);
+            add (reg 0) (reg 8);
+            mov (reg 1) (imm 8);
+            call "__hash";
+            mov (mem ~base:10 ~index:7 ~scale:8 ()) (reg 0);
+            and_ (reg 0) (imm 63);
+            mov (reg 9) (mem ~scale:8 ~index:0 ~disp:url_table ());
+            if_ Cond.Ne (reg 9) (imm 0) ~then_:[ add (reg 13) (imm 1) ] ();
+          ];
+        io_out (imm 35);
+        mov (reg 0) (reg 13);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"text" ~description:"text service: tokenize and url-match"
+      [ worker ] ~setup ~worker:"worker"
+end
+
+module Urlshort = struct
+  let table = region 0
+
+  let n_buckets = 64
+
+  let setup mem ~scale =
+    ignore scale;
+    setup_requests mem ~seed:64 ~threads:512
+
+  let worker =
+    func "worker"
+      [
+        io_in (imm 40);
+        load_text_addr;
+        mov (reg 0) (reg 6);
+        mov (reg 1) (imm 32);
+        call "__hash";
+        mov (reg 7) (reg 0);
+        (* base62-encode: fixed 7-digit loop *)
+        mov (reg 8) (imm 0);
+        for_up ~i:9 ~from_:(imm 0) ~below:(imm 7)
+          [
+            mov (reg 10) (reg 7);
+            rem (reg 10) (imm 62);
+            shl (reg 8) (imm 6);
+            or_ (reg 8) (reg 10);
+            div (reg 7) (imm 62);
+          ];
+        (* insert under a bucket lock *)
+        mov (reg 11) (reg 8);
+        rem (reg 11) (imm n_buckets);
+        mov (reg 12) (reg 11);
+        mul (reg 12) (imm 64);
+        add (reg 12) (imm lock_base);
+        lock_acquire (reg 12);
+        mov (mem ~scale:8 ~index:11 ~disp:table ()) (reg 8);
+        lock_release (reg 12);
+        io_out (imm 40);
+        mov (reg 0) (reg 8);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"urlshort" ~description:"url shortener: hash, base62, bucket insert"
+      [ worker ] ~setup ~worker:"worker"
+end
+
+module Uniqueid = struct
+  let counter = region 0
+
+  let coarse_lock = lock_base + (63 * 64)
+
+  let setup mem ~scale =
+    ignore scale;
+    setup_requests mem ~seed:65 ~threads:512
+
+  let worker =
+    func "worker"
+      [
+        io_in (imm 20);
+        (* timestamp-ish arithmetic from the request id (murmur-style) *)
+        mov (reg 6) (reg 0);
+        for_up ~i:8 ~from_:(imm 0) ~below:(imm 6)
+          [
+            mul (reg 6) (imm 1_000_003);
+            mov (reg 9) (reg 6);
+            shr (reg 9) (imm 23);
+            xor (reg 6) (reg 9);
+            and_ (reg 6) (imm 0x3fffffffffff);
+          ];
+        xor (reg 6) (imm 0x5bd1e995);
+        (* one coarse lock guards the shared sequence counter *)
+        lock_acquire (imm coarse_lock);
+        mov (reg 7) (mem ~disp:counter ());
+        add (reg 7) (imm 1);
+        mov (mem ~disp:counter ()) (reg 7);
+        lock_release (imm coarse_lock);
+        shl (reg 6) (imm 12);
+        or_ (reg 6) (reg 7);
+        io_out (imm 20);
+        mov (reg 0) (reg 6);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"uniqueid"
+      ~description:"id generator: coarse-locked shared counter (Fig. 9 stressor)"
+      [ worker ] ~setup ~worker:"worker"
+end
+
+module Usertag = struct
+  let tag_offsets = region 0 (* per user: offset and count into the tag pool *)
+
+  let tag_pool = region 1
+
+  let filter = region 2 (* 8 filter tags *)
+
+  let setup mem ~scale =
+    ignore scale;
+    setup_requests mem ~seed:66 ~threads:512;
+    let g = Threadfuser_util.Lcg.create 67 in
+    let off = ref 0 in
+    for u = 0 to 511 do
+      let count = Threadfuser_util.Lcg.int_range g 4 16 in
+      Memory.store_i64 mem (tag_offsets + (16 * u)) !off;
+      Memory.store_i64 mem (tag_offsets + (16 * u) + 8) count;
+      for _ = 1 to count do
+        Memory.store_i64 mem (tag_pool + (8 * !off)) (Threadfuser_util.Lcg.int g 128);
+        incr off
+      done
+    done;
+    fill_random mem ~seed:68 ~addr:filter ~n:8 ~bound:128
+
+  let worker =
+    func "worker"
+      [
+        io_in (imm 40);
+        (* user's tag slice: offset r7, count r8 (data-dependent) *)
+        mov (reg 6) (reg 0);
+        shl (reg 6) (imm 4);
+        mov (reg 7) (mem ~base:6 ~disp:tag_offsets ());
+        mov (reg 8) (mem ~base:6 ~disp:(tag_offsets + 8) ());
+        mov (reg 13) (imm 0);
+        (* the match list is a heap-allocated vector *)
+        mov (reg 0) (imm 128);
+        call "__malloc";
+        mov (reg 5) (reg 0);
+        (* intersect with the 8 filter tags *)
+        mov (reg 9) (imm 0);
+        while_ Cond.Lt (reg 9) (reg 8)
+          [
+            mov (reg 10) (reg 7);
+            add (reg 10) (reg 9);
+            mov (reg 10) (mem ~scale:8 ~index:10 ~disp:tag_pool ());
+            for_up ~i:11 ~from_:(imm 0) ~below:(imm 8)
+              [
+                mov (reg 12) (mem ~scale:8 ~index:11 ~disp:filter ());
+                if_ Cond.Eq (reg 12) (reg 10)
+                  ~then_:
+                    [
+                      mov (mem ~base:5 ~index:13 ~scale:8 ()) (reg 10);
+                      add (reg 13) (imm 1);
+                    ]
+                  ();
+              ];
+            add (reg 9) (imm 1);
+          ];
+        io_out (imm 40);
+        mov (reg 0) (reg 13);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"usertag" ~description:"tag intersection with variable set sizes"
+      [ worker ] ~setup ~worker:"worker"
+end
+
+module User = struct
+  let pw_hashes = region 0
+
+  let setup mem ~scale =
+    ignore scale;
+    setup_requests mem ~seed:69 ~threads:512;
+    (* store the 4-round hash of each request's first 16 bytes so logins
+       succeed *)
+    for t = 0 to 511 do
+      let addr = req_base + (text_bytes * t) in
+      let h = ref (W_usuite.host_fnv mem addr 16) in
+      for _ = 1 to 12 do
+        h := !h * 0x1000193;
+        h := !h lxor (!h lsr 15);
+        h := !h land 0x3fffffffffff
+      done;
+      Memory.store_i64 mem (pw_hashes + (8 * t)) !h
+    done
+
+  let worker =
+    func "worker"
+      [
+        io_in (imm 25);
+        mov (reg 10) (reg 0);
+        (* user id *)
+        load_text_addr;
+        mov (reg 0) (reg 6);
+        mov (reg 1) (imm 16);
+        call "__hash";
+        (* three extra key-stretching rounds; all-uniform *)
+        for_up ~i:7 ~from_:(imm 0) ~below:(imm 12)
+          [
+            mul (reg 0) (imm 0x1000193);
+            mov (reg 8) (reg 0);
+            shr (reg 8) (imm 15);
+            xor (reg 0) (reg 8);
+            and_ (reg 0) (imm 0x3fffffffffff);
+          ];
+        (* compare against the stored credential *)
+        mov (reg 9) (mem ~scale:8 ~index:10 ~disp:pw_hashes ());
+        mov (reg 11) (reg 0);
+        if_ Cond.Eq (reg 9) (reg 11)
+          ~then_:[ mov (reg 12) (imm 1) ]
+          ~else_:[ mov (reg 12) (imm 0) ]
+          ();
+        (* session token allocated on the heap *)
+        mov (reg 0) (imm 24);
+        call "__malloc";
+        mov (mem ~base:0 ()) (reg 11);
+        mov (mem ~base:0 ~disp:8 ()) (reg 12);
+        io_out (imm 25);
+        mov (reg 0) (reg 12);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"user" ~description:"login: key-stretched hash compare"
+      [ worker ] ~setup ~worker:"worker"
+end
+
+let all =
+  [
+    Post.workload;
+    Text.workload;
+    Urlshort.workload;
+    Uniqueid.workload;
+    Usertag.workload;
+    User.workload;
+  ]

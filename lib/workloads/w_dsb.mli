@@ -1,0 +1,4 @@
+(** DeathStarBench services (Table I): Post, Text, UrlShort, UniqueID,
+    UserTag, User. *)
+
+val all : Workload.t list

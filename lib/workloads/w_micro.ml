@@ -1,0 +1,95 @@
+(** Microbenchmarks (Table I "Micro Benchmark"): VectorAdd and an
+    uncoalesced vector multiply-add — the two kernels the paper wrote to
+    anchor the memory-divergence correlation.  Both are control-uniform
+    (SIMT efficiency 1.0); they differ only in access pattern. *)
+
+open Threadfuser_prog.Build
+open Threadfuser_isa
+open Wl_common
+
+let elems_per_thread = 4
+
+let a_base = region 0
+
+let b_base = region 1
+
+let c_base = region 2
+
+let setup mem ~scale =
+  let n = 4096 * scale in
+  fill_random mem ~seed:11 ~addr:a_base ~n ~bound:1_000_000;
+  fill_random mem ~seed:12 ~addr:b_base ~n ~bound:1_000_000
+
+let args ~tid ~n ~scale:_ = [ tid; n ]
+
+(* Grid-stride mapping, element index = (tid + k*n) * stride: adjacent
+   threads touch adjacent elements, as a GPU kernel would.  [stride] = 1 is
+   perfectly coalesced; [stride] = 16 puts lanes 128 bytes apart. *)
+let vector_kernel ~name ~stride =
+  func name
+    [
+      (* r0 = tid, r1 = n *)
+      mov (reg 6) (reg 0);
+      for_up ~i:7 ~from_:(imm 0) ~below:(imm elems_per_thread)
+        [
+          mov (reg 8) (reg 7);
+          mul (reg 8) (reg 1);
+          add (reg 8) (reg 6);
+          mul (reg 8) (imm (8 * stride));
+          mov (reg 9) (mem ~base:8 ~disp:a_base ());
+          fadd (reg 9) (mem ~base:8 ~disp:b_base ());
+          fmul (reg 9) (imm 3);
+          mov (mem ~base:8 ~disp:c_base ()) (reg 9);
+        ];
+      ret;
+    ]
+
+(* CUDA flavour: pointer-walking instead of indexed addressing (what nvcc
+   emits for the canonical grid-stride kernel); same elements touched. *)
+let vector_kernel_cuda ~name ~stride =
+  func name
+    [
+      mov (reg 6) (reg 0);
+      mul (reg 6) (imm (8 * stride));
+      mov (reg 10) (reg 1);
+      mul (reg 10) (imm (8 * stride));
+      (* per-iteration pointer step *)
+      mov (reg 7) (imm 0);
+      while_ Cond.Lt (reg 7) (imm elems_per_thread)
+        [
+          mov (reg 9) (mem ~base:6 ~disp:a_base ());
+          fadd (reg 9) (mem ~base:6 ~disp:b_base ());
+          fmul (reg 9) (imm 3);
+          mov (mem ~base:6 ~disp:c_base ()) (reg 9);
+          add (reg 6) (reg 10);
+          add (reg 7) (imm 1);
+        ];
+      ret;
+    ]
+
+let mk ~name ~description ~stride =
+  Workload.make ~category:Workload.Correlation ~name ~suite:"Micro Benchmark"
+    ~description ~table_threads:1024 ~default_threads:128
+    ~cuda:
+      {
+        Workload.program = [ vector_kernel_cuda ~name:"worker" ~stride ];
+        worker = "worker";
+        setup;
+        args;
+      }
+    {
+      Workload.program = [ vector_kernel ~name:"worker" ~stride ];
+      worker = "worker";
+      setup;
+      args;
+    }
+
+let vectoradd =
+  mk ~name:"vectoradd" ~stride:1
+    ~description:"unit-stride vector multiply-add; fully coalesced"
+
+let uncoalesced =
+  mk ~name:"uncoalesced" ~stride:16
+    ~description:"128-byte-strided vector multiply-add; one transaction per lane"
+
+let all = [ vectoradd; uncoalesced ]

@@ -1,0 +1,8 @@
+(** The two microbenchmarks (Table I): coalesced and strided vector
+    multiply-add. *)
+
+val vectoradd : Workload.t
+
+val uncoalesced : Workload.t
+
+val all : Workload.t list

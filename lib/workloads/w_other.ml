@@ -1,0 +1,275 @@
+(** The remaining Table I workloads: Pigz (parallel gzip — the paper's
+    canonical low-efficiency case), Rotate and MD5 (from the TU-Berlin
+    benchmark suite [7] — both near-perfectly uniform). *)
+
+open Threadfuser_prog.Build
+open Threadfuser_isa
+open Wl_common
+module Memory = Threadfuser_machine.Memory
+
+(* ------------------------------------------------------------------ *)
+(* pigz: per-thread 1 KiB block, greedy LZ77 with a hash chain.         *)
+
+module Pigz = struct
+  let block_bytes = 1024
+
+  let data = region 0
+
+  let out_lens = region 8
+
+  (* per-thread 256-entry hash table of last positions, in TLS *)
+  let tls_htab = 0x400
+
+  let setup mem ~scale =
+    ignore scale;
+    (* blocks of very different compressibility: thread t's block repeats
+       with probability ~ (t mod 16) / 16 *)
+    for t = 0 to 255 do
+      fill_random_bytes mem ~seed:(90 + t)
+        ~addr:(data + (block_bytes * t))
+        ~n:block_bytes
+        ~skew:(97 * (t mod 32) / 32)
+    done
+
+  (* Huffman-style literal emission: a balanced branch tree over byte
+     classes, each leaf doing distinct bit-packing work.  Deflate's
+     length/literal code table has exactly this shape, and it is what makes
+     pigz's control flow so SIMT-hostile: every lane takes a different leaf
+     almost every iteration. *)
+  let rec literal_emit lo hi depth =
+    if depth = 0 then
+      (* leaf: class-specific emission work *)
+      seq
+        [
+          mov (reg 4) (reg 5);
+          shl (reg 4) (imm (1 + (lo / 32 mod 5)));
+          xor (reg 4) (imm (lo * 2654435761));
+          add (reg 13) (reg 4);
+          shr (reg 13) (imm (lo / 64 mod 3));
+          and_ (reg 13) (imm 0xffffff);
+          add (reg 7) (imm 1);
+        ]
+    else begin
+      let mid = (lo + hi) / 2 in
+      if_ Cond.Lt (reg 5) (imm mid)
+        ~then_:[ literal_emit lo mid (depth - 1) ]
+        ~else_:[ literal_emit mid hi (depth - 1) ]
+        ()
+    end
+
+  let worker =
+    func "worker"
+      [
+        (* r6 = block base, r7 = pos, r8 = end, r13 = emitted tokens *)
+        mov (reg 6) (reg 0);
+        mul (reg 6) (imm block_bytes);
+        add (reg 6) (imm data);
+        mov (reg 7) (imm 0);
+        mov (reg 13) (imm 0);
+        while_ Cond.Lt (reg 7) (imm (block_bytes - 8))
+          [
+            (* hash the 3 bytes at pos *)
+            mov ~w:Width.W1 (reg 9) (mem ~base:6 ~index:7 ());
+            mov ~w:Width.W1 (reg 10) (mem ~base:6 ~index:7 ~disp:1 ());
+            shl (reg 10) (imm 4);
+            xor (reg 9) (reg 10);
+            mov ~w:Width.W1 (reg 10) (mem ~base:6 ~index:7 ~disp:2 ());
+            shl (reg 10) (imm 2);
+            xor (reg 9) (reg 10);
+            and_ (reg 9) (imm 255);
+            (* candidate = htab[h]; htab[h] = pos *)
+            shl (reg 9) (imm 3);
+            add (reg 9) (imm tls_htab);
+            add (reg 9) tls;
+            mov (reg 10) (mem ~base:9 ());
+            mov (mem ~base:9 ()) (reg 7);
+            (* match length: extend while bytes equal (data-dependent!) *)
+            mov (reg 11) (imm 0);
+            if_ Cond.Gt (reg 7) (imm 0)
+              ~then_:
+                [ seq
+                   [
+                     label ".extend";
+                     cmp (reg 11) (imm 192);
+                     jcc Cond.Ge ".extend_done";
+                     mov (reg 4) (reg 10);
+                     add (reg 4) (reg 11);
+                     cmp (reg 4) (reg 7);
+                     jcc Cond.Ge ".extend_done";
+                     mov ~w:Width.W1 (reg 5) (mem ~base:6 ~index:4 ());
+                     mov (reg 3) (reg 7);
+                     add (reg 3) (reg 11);
+                     cmp ~w:Width.W1 (reg 5) (mem ~base:6 ~index:3 ());
+                     jcc Cond.Ne ".extend_done";
+                     add (reg 11) (imm 1);
+                     jmp ".extend";
+                     label ".extend_done";
+                   ] ]
+              ();
+            (* emit a match or a literal; a match also inserts the hash of
+               every covered position, like zlib's deflate does — a long,
+               data-dependent inner loop only some lanes run *)
+            if_ Cond.Ge (reg 11) (imm 3)
+              ~then_:
+                [ seq
+                    [
+                      mov (reg 12) (imm 1);
+                      while_ Cond.Lt (reg 12) (reg 11)
+                        [
+                          mov (reg 4) (reg 7);
+                          add (reg 4) (reg 12);
+                          mov ~w:Width.W1 (reg 9) (mem ~base:6 ~index:4 ());
+                          mov ~w:Width.W1 (reg 10) (mem ~base:6 ~index:4 ~disp:1 ());
+                          shl (reg 10) (imm 4);
+                          xor (reg 9) (reg 10);
+                          and_ (reg 9) (imm 255);
+                          shl (reg 9) (imm 3);
+                          add (reg 9) (imm tls_htab);
+                          add (reg 9) tls;
+                          mov (mem ~base:9 ()) (reg 4);
+                          add (reg 12) (imm 1);
+                        ];
+                      add (reg 7) (reg 11);
+                    ] ]
+              ~else_:
+                [ mov ~w:Width.W1 (reg 5) (mem ~base:6 ~index:7 ());
+                  literal_emit 0 256 3;
+                ]
+              ();
+            add (reg 13) (imm 1);
+          ];
+        mov (mem ~scale:8 ~index:0 ~disp:out_lens ()) (reg 13);
+        ret;
+      ]
+
+  let workload =
+    Workload.make ~category:Workload.Other ~name:"pigz" ~suite:"Others"
+      ~description:"greedy LZ77 deflate: data-dependent match extension"
+      ~table_threads:128 ~default_threads:64
+      { Workload.program = [ worker ]; worker = "worker"; setup;
+        args = (fun ~tid ~n:_ ~scale:_ -> [ tid ]) }
+end
+
+(* ------------------------------------------------------------------ *)
+(* rotate: 90-degree image rotation, one row per thread.                *)
+
+module Rotate = struct
+  let src = region 0
+
+  let dst = region 1
+
+  let img_w = 256
+
+  let setup mem ~scale =
+    ignore scale;
+    fill_random_bytes mem ~seed:84 ~addr:src ~n:(img_w * img_w) ~skew:0
+
+  let worker =
+    func "worker"
+      [
+        (* dst[x][W-1-y] = src[y][x]; y = tid *)
+        mov (reg 6) (reg 0);
+        mul (reg 6) (imm img_w);
+        mov (reg 7) (imm (img_w - 1));
+        sub (reg 7) (reg 0);
+        for_up ~i:8 ~from_:(imm 0) ~below:(imm img_w)
+          [
+            mov (reg 9) (reg 6);
+            add (reg 9) (reg 8);
+            mov ~w:Width.W1 (reg 10) (mem ~index:9 ~disp:src ());
+            mov (reg 11) (reg 8);
+            mul (reg 11) (imm img_w);
+            add (reg 11) (reg 7);
+            mov ~w:Width.W1 (mem ~index:11 ~disp:dst ()) (reg 10);
+          ];
+        ret;
+      ]
+
+  let workload =
+    Workload.make ~category:Workload.Other ~name:"rotate" ~suite:"Others"
+      ~description:"image rotation: uniform control, transposed stores"
+      ~table_threads:1024 ~default_threads:64
+      { Workload.program = [ worker ]; worker = "worker"; setup;
+        args = (fun ~tid ~n:_ ~scale:_ -> [ tid ]) }
+end
+
+(* ------------------------------------------------------------------ *)
+(* md5: 64 fixed rounds per 64-byte chunk; the uniformity benchmark.    *)
+
+module Md5 = struct
+  let data = region 0 (* one 64-byte chunk per thread *)
+
+  let sines = region 1 (* the 64 round constants *)
+
+  let digests = region 2
+
+  let setup mem ~scale =
+    ignore scale;
+    fill_random_bytes mem ~seed:85 ~addr:data ~n:(64 * 512) ~skew:0;
+    fill_random mem ~seed:86 ~addr:sines ~n:64 ~bound:(1 lsl 32)
+
+  let mask32 = 0xffffffff
+
+  let worker =
+    func "worker"
+      [
+        (* chunk base *)
+        mov (reg 6) (reg 0);
+        shl (reg 6) (imm 6);
+        add (reg 6) (imm data);
+        (* a, b, c, d *)
+        mov (reg 7) (imm 0x67452301);
+        mov (reg 8) (imm 0xefcdab89);
+        mov (reg 9) (imm 0x98badcfe);
+        mov (reg 10) (imm 0x10325476);
+        for_up ~i:11 ~from_:(imm 0) ~below:(imm 64)
+          [
+            (* f = (b & c) | (~b & d)  — one round family for all 64 *)
+            mov (reg 12) (reg 8);
+            and_ (reg 12) (reg 9);
+            mov (reg 13) (reg 8);
+            not_ (reg 13);
+            and_ (reg 13) (reg 10);
+            or_ (reg 12) (reg 13);
+            (* f += a + K[i] + M[i mod 16] *)
+            add (reg 12) (reg 7);
+            add (reg 12) (mem ~scale:8 ~index:11 ~disp:sines ());
+            mov (reg 13) (reg 11);
+            and_ (reg 13) (imm 15);
+            shl (reg 13) (imm 2);
+            add (reg 13) (reg 6);
+            mov ~w:Width.W4 (reg 5) (mem ~base:13 ());
+            add (reg 12) (reg 5);
+            and_ (reg 12) (imm mask32);
+            (* rotate left 7 (32-bit) *)
+            mov (reg 13) (reg 12);
+            shl (reg 13) (imm 7);
+            shr (reg 12) (imm 25);
+            or_ (reg 12) (reg 13);
+            and_ (reg 12) (imm mask32);
+            (* a,b,c,d = d, b+rot, b, c *)
+            mov (reg 5) (reg 10);
+            mov (reg 10) (reg 9);
+            mov (reg 9) (reg 8);
+            add (reg 12) (reg 8);
+            and_ (reg 12) (imm mask32);
+            mov (reg 8) (reg 12);
+            mov (reg 7) (reg 5);
+          ];
+        (* digest = a ^ b ^ c ^ d *)
+        xor (reg 7) (reg 8);
+        xor (reg 7) (reg 9);
+        xor (reg 7) (reg 10);
+        mov (mem ~scale:8 ~index:0 ~disp:digests ()) (reg 7);
+        ret;
+      ]
+
+  let workload =
+    Workload.make ~category:Workload.Other ~name:"md5" ~suite:"Others"
+      ~description:"MD5-style rounds: perfectly uniform control"
+      ~table_threads:512 ~default_threads:128
+      { Workload.program = [ worker ]; worker = "worker"; setup;
+        args = (fun ~tid ~n:_ ~scale:_ -> [ tid ]) }
+end
+
+let all = [ Pigz.workload; Rotate.workload; Md5.workload ]

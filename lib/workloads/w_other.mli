@@ -1,0 +1,4 @@
+(** The remaining Table I workloads: pigz (the low-efficiency showcase),
+    rotate and md5 (the uniformity benchmarks). *)
+
+val all : Workload.t list

@@ -1,0 +1,445 @@
+(** Paropoly correlation workloads (Table I): BFS, Connected Components,
+    PageRank and N-body.  The paper reimplemented these with pthreads, so —
+    unlike Rodinia — the CPU and CUDA variants here are structurally
+    different programs (e.g. the CPU N-body uses an array-of-structures
+    layout where the CUDA version uses structure-of-arrays), which injects
+    the realistic correlation error the paper reports. *)
+
+open Threadfuser_prog.Build
+open Threadfuser_isa
+open Wl_common
+module Memory = Threadfuser_machine.Memory
+module Lcg = Threadfuser_util.Lcg
+
+let mk ~name ~description ~table_threads ?(default_threads = 128) ~cuda cpu =
+  Workload.make ~category:Workload.Correlation ~name ~suite:"Paropoly"
+    ~description ~table_threads ~default_threads ~cuda cpu
+
+(* ------------------------------------------------------------------ *)
+(* BFS: the pthread version is edge-centric; the CUDA one node-centric. *)
+
+module Bfs = struct
+  let src = region 0
+
+  let dst = region 1
+
+  let level = region 2
+
+  let row_off = region 3 (* CSR (kept for graph construction checks) *)
+
+  let cols = region 4
+
+  let edges_aos = region 5 (* (src,dst) 16-byte records for the CUDA port *)
+
+  let n_nodes scale = 256 * scale
+
+  let edges_per_thread = 8
+
+  let setup mem ~scale =
+    let n = n_nodes scale in
+    let g = Lcg.create 31 in
+    (* random edges, grouped by source so both variants see the same graph *)
+    let adj = Array.init n (fun _ -> List.init (Lcg.int_range g 1 8) (fun _ -> Lcg.int g n)) in
+    let e = ref 0 in
+    Array.iteri
+      (fun u nbrs ->
+        Memory.store_i64 mem (row_off + (8 * u)) !e;
+        List.iter
+          (fun v ->
+            Memory.store_i64 mem (src + (8 * !e)) u;
+            Memory.store_i64 mem (dst + (8 * !e)) v;
+            Memory.store_i64 mem (cols + (8 * !e)) v;
+            Memory.store_i64 mem (edges_aos + (16 * !e)) u;
+            Memory.store_i64 mem (edges_aos + (16 * !e) + 8) v;
+            incr e)
+          nbrs)
+      adj;
+    Memory.store_i64 mem (row_off + (8 * n)) !e;
+    set_param mem 0 !e;
+    (* current level = 2 for ~35% of nodes *)
+    for i = 0 to n - 1 do
+      if Lcg.chance g 35 100 then Memory.store_i64 mem (level + (8 * i)) 2
+    done
+
+  (* pthread/CPU: one thread per chunk of edges *)
+  let cpu_worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        mul (reg 6) (imm edges_per_thread);
+        mov (reg 7) (reg 6);
+        add (reg 7) (imm edges_per_thread);
+        min_ (reg 7) (p 0);
+        while_ Cond.Lt (reg 6) (reg 7)
+          [
+            mov (reg 8) (mem ~scale:8 ~index:6 ~disp:src ());
+            if_ Cond.Eq (mem ~scale:8 ~index:8 ~disp:level ()) (imm 2)
+              ~then_:
+                [ seq
+                   [
+                     mov (reg 9) (mem ~scale:8 ~index:6 ~disp:dst ());
+                     if_ Cond.Eq (mem ~scale:8 ~index:9 ~disp:level ()) (imm 0)
+                       ~then_:
+                         [
+                           atomic_rmw Op.Max
+                             (mem ~scale:8 ~index:9 ~disp:level ())
+                             (imm 3);
+                         ]
+                       ();
+                   ] ]
+              ();
+            add (reg 6) (imm 1);
+          ];
+        ret;
+      ]
+
+  (* CUDA: the same edge-centric algorithm, but reading 16-byte AoS edge
+     records (the GPU port packs (src,dst) pairs) instead of two separate
+     arrays — same control flow, different memory profile. *)
+  let cuda_worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        mul (reg 6) (imm edges_per_thread);
+        mov (reg 7) (reg 6);
+        add (reg 7) (imm edges_per_thread);
+        min_ (reg 7) (p 0);
+        while_ Cond.Lt (reg 6) (reg 7)
+          [
+            mov (reg 10) (reg 6);
+            shl (reg 10) (imm 4);
+            mov (reg 8) (mem ~base:10 ~disp:edges_aos ());
+            if_ Cond.Eq (mem ~scale:8 ~index:8 ~disp:level ()) (imm 2)
+              ~then_:
+                [ seq
+                    [
+                      mov (reg 9) (mem ~base:10 ~disp:(edges_aos + 8) ());
+                      if_ Cond.Eq (mem ~scale:8 ~index:9 ~disp:level ()) (imm 0)
+                        ~then_:
+                          [
+                            atomic_rmw Op.Max
+                              (mem ~scale:8 ~index:9 ~disp:level ())
+                              (imm 3);
+                          ]
+                        ();
+                    ] ]
+              ();
+            add (reg 6) (imm 1);
+          ];
+        ret;
+      ]
+
+  let args = (fun ~tid ~n:_ ~scale:_ -> [ tid ])
+
+  let workload =
+    mk ~name:"bfs-par" ~description:"edge-centric BFS level (CPU) vs node-centric (CUDA)"
+      ~table_threads:4096
+      ~cuda:{ Workload.program = [ cuda_worker ]; worker = "worker"; setup; args }
+      { Workload.program = [ cpu_worker ]; worker = "worker"; setup; args }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Connected Components by label propagation.                          *)
+
+module Cc = struct
+  let row_off = region 0
+
+  let cols = region 1
+
+  let labels = region 2
+
+  let changed = region 3
+
+  let setup mem ~scale =
+    let n = 256 * scale in
+    let g = Lcg.create 32 in
+    let e = ref 0 in
+    for u = 0 to n - 1 do
+      Memory.store_i64 mem (row_off + (8 * u)) !e;
+      let deg = Lcg.int_range g 1 6 in
+      for _ = 1 to deg do
+        Memory.store_i64 mem (cols + (8 * !e)) (Lcg.int g n);
+        incr e
+      done;
+      Memory.store_i64 mem (labels + (8 * u)) u
+    done;
+    Memory.store_i64 mem (row_off + (8 * n)) !e
+
+  (* CPU: branchy running minimum + conditional store *)
+  let cpu_worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        mov (reg 9) (mem ~scale:8 ~index:6 ~disp:labels ());
+        mov (reg 10) (reg 9);
+        mov (reg 7) (mem ~scale:8 ~index:6 ~disp:row_off ());
+        lea 8 (mem ~base:6 ~disp:1 ());
+        mov (reg 8) (mem ~scale:8 ~index:8 ~disp:row_off ());
+        while_ Cond.Lt (reg 7) (reg 8)
+          [
+            mov (reg 11) (mem ~scale:8 ~index:7 ~disp:cols ());
+            mov (reg 12) (mem ~scale:8 ~index:11 ~disp:labels ());
+            if_ Cond.Lt (reg 12) (reg 9) ~then_:[ mov (reg 9) (reg 12) ] ();
+            add (reg 7) (imm 1);
+          ];
+        if_ Cond.Lt (reg 9) (reg 10)
+          ~then_:
+            [
+              mov (mem ~scale:8 ~index:6 ~disp:labels ()) (reg 9);
+              atomic_rmw Op.Or (mem ~disp:changed ()) (imm 1);
+            ]
+          ();
+        ret;
+      ]
+
+  (* CUDA: min-based, branch-free inner loop *)
+  let cuda_worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        mov (reg 9) (mem ~scale:8 ~index:6 ~disp:labels ());
+        mov (reg 10) (reg 9);
+        mov (reg 7) (mem ~scale:8 ~index:6 ~disp:row_off ());
+        lea 8 (mem ~base:6 ~disp:1 ());
+        mov (reg 8) (mem ~scale:8 ~index:8 ~disp:row_off ());
+        while_ Cond.Lt (reg 7) (reg 8)
+          [
+            mov (reg 11) (mem ~scale:8 ~index:7 ~disp:cols ());
+            min_ (reg 9) (mem ~scale:8 ~index:11 ~disp:labels ());
+            add (reg 7) (imm 1);
+          ];
+        if_ Cond.Lt (reg 9) (reg 10)
+          ~then_:
+            [
+              mov (mem ~scale:8 ~index:6 ~disp:labels ()) (reg 9);
+              atomic_rmw Op.Or (mem ~disp:changed ()) (imm 1);
+            ]
+          ();
+        ret;
+      ]
+
+  let args = (fun ~tid ~n:_ ~scale:_ -> [ tid ])
+
+  let workload =
+    mk ~name:"cc" ~description:"connected components label propagation"
+      ~table_threads:4096
+      ~cuda:{ Workload.program = [ cuda_worker ]; worker = "worker"; setup; args }
+      { Workload.program = [ cpu_worker ]; worker = "worker"; setup; args }
+end
+
+(* ------------------------------------------------------------------ *)
+(* PageRank over in-edges.                                             *)
+
+module Pagerank = struct
+  let row_off = region 0
+
+  let cols = region 1
+
+  let rank = region 2
+
+  let degree = region 3
+
+  let contrib = region 4 (* CUDA precomputes rank/degree *)
+
+  let out = region 5
+
+  let setup mem ~scale =
+    let n = 256 * scale in
+    let g = Lcg.create 33 in
+    let e = ref 0 in
+    for u = 0 to n - 1 do
+      Memory.store_i64 mem (row_off + (8 * u)) !e;
+      let deg = Lcg.int_range g 1 10 in
+      for _ = 1 to deg do
+        Memory.store_i64 mem (cols + (8 * !e)) (Lcg.int g n);
+        incr e
+      done;
+      let r = Lcg.int_range g 1000 10_000 in
+      let d = Lcg.int_range g 1 10 in
+      Memory.store_i64 mem (rank + (8 * u)) r;
+      Memory.store_i64 mem (degree + (8 * u)) d;
+      Memory.store_i64 mem (contrib + (8 * u)) (r / d)
+    done;
+    Memory.store_i64 mem (row_off + (8 * n)) !e
+
+  (* CPU: divide inside the gather loop *)
+  let cpu_worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        mov (reg 9) (imm 0);
+        mov (reg 7) (mem ~scale:8 ~index:6 ~disp:row_off ());
+        lea 8 (mem ~base:6 ~disp:1 ());
+        mov (reg 8) (mem ~scale:8 ~index:8 ~disp:row_off ());
+        while_ Cond.Lt (reg 7) (reg 8)
+          [
+            mov (reg 10) (mem ~scale:8 ~index:7 ~disp:cols ());
+            mov (reg 11) (mem ~scale:8 ~index:10 ~disp:rank ());
+            fdiv (reg 11) (mem ~scale:8 ~index:10 ~disp:degree ());
+            fadd (reg 9) (reg 11);
+            add (reg 7) (imm 1);
+          ];
+        fmul (reg 9) (imm 85);
+        fdiv (reg 9) (imm 100);
+        fadd (reg 9) (imm 150);
+        mov (mem ~scale:8 ~index:6 ~disp:out ()) (reg 9);
+        ret;
+      ]
+
+  (* CUDA: gathers precomputed contributions (one load per edge) *)
+  let cuda_worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        mov (reg 9) (imm 0);
+        mov (reg 7) (mem ~scale:8 ~index:6 ~disp:row_off ());
+        lea 8 (mem ~base:6 ~disp:1 ());
+        mov (reg 8) (mem ~scale:8 ~index:8 ~disp:row_off ());
+        while_ Cond.Lt (reg 7) (reg 8)
+          [
+            mov (reg 10) (mem ~scale:8 ~index:7 ~disp:cols ());
+            fadd (reg 9) (mem ~scale:8 ~index:10 ~disp:contrib ());
+            add (reg 7) (imm 1);
+          ];
+        fmul (reg 9) (imm 85);
+        fdiv (reg 9) (imm 100);
+        fadd (reg 9) (imm 150);
+        mov (mem ~scale:8 ~index:6 ~disp:out ()) (reg 9);
+        ret;
+      ]
+
+  let args = (fun ~tid ~n:_ ~scale:_ -> [ tid ])
+
+  let workload =
+    mk ~name:"pagerank" ~description:"PageRank gather over variable in-degree"
+      ~table_threads:4096
+      ~cuda:{ Workload.program = [ cuda_worker ]; worker = "worker"; setup; args }
+      { Workload.program = [ cpu_worker ]; worker = "worker"; setup; args }
+end
+
+(* ------------------------------------------------------------------ *)
+(* N-body: AoS on the CPU, SoA in the CUDA variant.                    *)
+
+module Nbody = struct
+  let bodies_aos = region 0 (* x,y,z,m interleaved, 32 B per body *)
+
+  let xs = region 1
+
+  let ys = region 2
+
+  let zs = region 3
+
+  let ms = region 4
+
+  let acc = region 5
+
+  let n_bodies = 128
+
+  let setup mem ~scale =
+    ignore scale;
+    let g = Lcg.create 34 in
+    for i = 0 to n_bodies - 1 do
+      let x = Lcg.int g 10_000
+      and y = Lcg.int g 10_000
+      and z = Lcg.int g 10_000
+      and m = Lcg.int_range g 1 100 in
+      Memory.store_i64 mem (bodies_aos + (32 * i)) x;
+      Memory.store_i64 mem (bodies_aos + (32 * i) + 8) y;
+      Memory.store_i64 mem (bodies_aos + (32 * i) + 16) z;
+      Memory.store_i64 mem (bodies_aos + (32 * i) + 24) m;
+      Memory.store_i64 mem (xs + (8 * i)) x;
+      Memory.store_i64 mem (ys + (8 * i)) y;
+      Memory.store_i64 mem (zs + (8 * i)) z;
+      Memory.store_i64 mem (ms + (8 * i)) m
+    done
+
+  (* shared force kernel body; [load_j] fetches body j's fields *)
+  let force_loop ~load_self ~load_j =
+    seq
+      [
+        (* r6 = i; r10,r11,r12 = my x,y,z; r9 = accumulated force *)
+        mov (reg 6) (reg 0);
+        seq load_self;
+        mov (reg 9) (imm 0);
+        mov (reg 7) (imm 0);
+        while_ Cond.Lt (reg 7) (imm n_bodies)
+          (seq
+             [
+               seq load_j;
+               (* r1,r2,r3 = xj,yj,zj; r4 = mj *)
+               fsub (reg 1) (reg 10);
+               fmul (reg 1) (reg 1);
+               fsub (reg 2) (reg 11);
+               fmul (reg 2) (reg 2);
+               fsub (reg 3) (reg 12);
+               fmul (reg 3) (reg 3);
+               fadd (reg 1) (reg 2);
+               fadd (reg 1) (reg 3);
+               fadd (reg 1) (imm 13);
+               (* softening *)
+               mov (reg 5) (reg 1);
+               fsqrt (reg 5);
+               fmul (reg 5) (reg 1);
+               (* r4 * 1e6 / (r2 * r) *)
+               fmul (reg 4) (imm 1_000_000);
+               fdiv (reg 4) (reg 5);
+               fadd (reg 9) (reg 4);
+               add (reg 7) (imm 1);
+             ]
+           :: []);
+        mov (mem ~scale:8 ~index:6 ~disp:acc ()) (reg 9);
+        ret;
+      ]
+
+  let cpu_worker =
+    func "worker"
+      [
+        force_loop
+          ~load_self:
+            [
+              mov (reg 8) (reg 0);
+              shl (reg 8) (imm 5);
+              mov (reg 10) (mem ~base:8 ~disp:bodies_aos ());
+              mov (reg 11) (mem ~base:8 ~disp:(bodies_aos + 8) ());
+              mov (reg 12) (mem ~base:8 ~disp:(bodies_aos + 16) ());
+            ]
+          ~load_j:
+            [
+              mov (reg 8) (reg 7);
+              shl (reg 8) (imm 5);
+              mov (reg 1) (mem ~base:8 ~disp:bodies_aos ());
+              mov (reg 2) (mem ~base:8 ~disp:(bodies_aos + 8) ());
+              mov (reg 3) (mem ~base:8 ~disp:(bodies_aos + 16) ());
+              mov (reg 4) (mem ~base:8 ~disp:(bodies_aos + 24) ());
+            ];
+      ]
+
+  let cuda_worker =
+    func "worker"
+      [
+        force_loop
+          ~load_self:
+            [
+              mov (reg 10) (mem ~scale:8 ~index:0 ~disp:xs ());
+              mov (reg 11) (mem ~scale:8 ~index:0 ~disp:ys ());
+              mov (reg 12) (mem ~scale:8 ~index:0 ~disp:zs ());
+            ]
+          ~load_j:
+            [
+              mov (reg 1) (mem ~scale:8 ~index:7 ~disp:xs ());
+              mov (reg 2) (mem ~scale:8 ~index:7 ~disp:ys ());
+              mov (reg 3) (mem ~scale:8 ~index:7 ~disp:zs ());
+              mov (reg 4) (mem ~scale:8 ~index:7 ~disp:ms ());
+            ];
+      ]
+
+  let args = (fun ~tid ~n:_ ~scale:_ -> [ tid ])
+
+  let workload =
+    mk ~name:"nbody" ~description:"all-pairs N-body (AoS on CPU, SoA on GPU)"
+      ~table_threads:4096 ~default_threads:n_bodies
+      ~cuda:{ Workload.program = [ cuda_worker ]; worker = "worker"; setup; args }
+      { Workload.program = [ cpu_worker ]; worker = "worker"; setup; args }
+end
+
+let all = [ Bfs.workload; Cc.workload; Pagerank.workload; Nbody.workload ]

@@ -1,0 +1,5 @@
+(** Paropoly correlation workloads (Table I): BFS, CC, PageRank, N-body —
+    with structurally different CUDA ports, as the paper reimplemented
+    them. *)
+
+val all : Workload.t list

@@ -1,0 +1,580 @@
+(** ParSec 3.0 workloads (Table I): blackscholes, streamcluster, bodytrack,
+    facesim, fluidanimate, freqmine, swaptions, vips and x264.  These have
+    no CUDA counterparts; they populate the paper's Fig. 1 efficiency
+    landscape between the compute kernels (high) and the data-dependent
+    miners/encoders (low). *)
+
+open Threadfuser_prog.Build
+open Threadfuser_isa
+open Wl_common
+module Memory = Threadfuser_machine.Memory
+module Lcg = Threadfuser_util.Lcg
+
+let mk ~name ~description ~table_threads ?(default_threads = 128)
+    ?(alloc = Rtlib.Concurrent) program ~setup ~worker =
+  Workload.make ~category:Workload.Parsec ~alloc ~name ~suite:"ParSec 3.0"
+    ~description ~table_threads ~default_threads
+    { Workload.program; worker; setup; args = (fun ~tid ~n:_ ~scale:_ -> [ tid ]) }
+
+(* ------------------------------------------------------------------ *)
+(* blackscholes: one option per thread; branch only on call/put.        *)
+
+module Blackscholes = struct
+  let options = region 0 (* AoS: S, K, T, r, v, type — 48 B per option *)
+
+  let prices = region 1
+
+  let setup mem ~scale =
+    ignore scale;
+    let g = Lcg.create 71 in
+    for i = 0 to 1023 do
+      let base = options + (48 * i) in
+      Memory.store_i64 mem base (Lcg.int_range g 10_000 20_000);
+      Memory.store_i64 mem (base + 8) (Lcg.int_range g 10_000 20_000);
+      Memory.store_i64 mem (base + 16) (Lcg.int_range g 100 1000);
+      Memory.store_i64 mem (base + 24) (Lcg.int_range g 1 10);
+      Memory.store_i64 mem (base + 32) (Lcg.int_range g 10 60);
+      Memory.store_i64 mem (base + 40) (Lcg.int g 2)
+    done
+
+  let worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        mul (reg 6) (imm 48);
+        add (reg 6) (imm options);
+        mov (reg 7) (mem ~base:6 ());
+        (* S *)
+        mov (reg 8) (mem ~base:6 ~disp:8 ());
+        (* K *)
+        mov (reg 9) (mem ~base:6 ~disp:16 ());
+        (* T *)
+        mov (reg 10) (mem ~base:6 ~disp:32 ());
+        (* v *)
+        (* d1 = (S/K + (r + v^2/2) T) / (v sqrt T)  -- fixed-point flavour *)
+        mov (reg 11) (reg 7);
+        fmul (reg 11) (imm 1000);
+        fdiv (reg 11) (reg 8);
+        mov (reg 12) (reg 10);
+        fmul (reg 12) (reg 10);
+        fdiv (reg 12) (imm 2);
+        fadd (reg 12) (mem ~base:6 ~disp:24 ());
+        fmul (reg 12) (reg 9);
+        fadd (reg 11) (reg 12);
+        mov (reg 13) (reg 9);
+        fsqrt (reg 13);
+        fmul (reg 13) (reg 10);
+        fadd (reg 13) (imm 1);
+        fdiv (reg 11) (reg 13);
+        (* polynomial CNDF approximation: fixed 5-term loop *)
+        mov (reg 12) (imm 0);
+        for_up ~i:4 ~from_:(imm 0) ~below:(imm 5)
+          [ fmul (reg 12) (reg 11); fadd (reg 12) (imm 2316419); ];
+        (* call/put: a two-mov diamond (if-convertible at O3) *)
+        if_ Cond.Eq (mem ~base:6 ~disp:40 ()) (imm 0)
+          ~then_:[ mov (reg 5) (reg 12) ]
+          ~else_:[ mov (reg 5) (imm 1000000); ]
+          ();
+        mov (mem ~scale:8 ~index:0 ~disp:prices ()) (reg 5);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"blackscholes" ~description:"per-option pricing; near-uniform"
+      ~table_threads:1024 [ worker ] ~setup ~worker:"worker"
+end
+
+(* ------------------------------------------------------------------ *)
+(* streamcluster (parsec flavour): wider dims + a rare global update.   *)
+
+module Streamcluster = struct
+  let dim = 16
+
+  let k_centers = 4
+
+  let points = region 0
+
+  let centers = region 1
+
+  let assign = region 2
+
+  let open_lock = lock_base + (62 * 64)
+
+  let opened = region 3
+
+  let setup mem ~scale =
+    let n = 512 * scale in
+    fill_random mem ~seed:72 ~addr:points ~n:(n * dim) ~bound:1000;
+    fill_random mem ~seed:73 ~addr:centers ~n:(k_centers * dim) ~bound:1000
+
+  let worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        mul (reg 6) (imm (dim * 8));
+        add (reg 6) (imm points);
+        mov (reg 8) (imm max_int);
+        for_up ~i:9 ~from_:(imm 0) ~below:(imm k_centers)
+          [
+            mov (reg 10) (reg 9);
+            mul (reg 10) (imm (dim * 8));
+            add (reg 10) (imm centers);
+            mov (reg 11) (imm 0);
+            for_up ~i:4 ~from_:(imm 0) ~below:(imm dim)
+              [
+                mov (reg 5) (mem ~base:6 ~index:4 ~scale:8 ());
+                fsub (reg 5) (mem ~base:10 ~index:4 ~scale:8 ());
+                fmul (reg 5) (reg 5);
+                fadd (reg 11) (reg 5);
+              ];
+            min_ (reg 8) (reg 11);
+          ];
+        mov (mem ~scale:8 ~index:0 ~disp:assign ()) (reg 8);
+        (* open a new center when even the best is far: rare, coarse lock *)
+        if_ Cond.Gt (reg 8) (imm 1_600_000)
+          ~then_:
+            [ seq
+               [
+                 lock_acquire (imm open_lock);
+                 binop Op.Add (mem ~disp:opened ()) (imm 1);
+                 lock_release (imm open_lock);
+               ] ]
+          ();
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"streamcluster-p" ~description:"k-center with rare global opens"
+      ~table_threads:8192 [ worker ] ~setup ~worker:"worker"
+end
+
+(* ------------------------------------------------------------------ *)
+(* bodytrack: per-particle likelihood over cameras and edges.           *)
+
+module Bodytrack = struct
+  let particles = region 0 (* pose parameters, 8 per particle *)
+
+  let edges = region 1 (* per camera: 8 edge thresholds *)
+
+  let weights = region 2
+
+  let setup mem ~scale =
+    ignore scale;
+    fill_random mem ~seed:74 ~addr:particles ~n:(1024 * 8) ~bound:1000;
+    fill_random mem ~seed:75 ~addr:edges ~n:(4 * 8) ~bound:1000
+
+  let worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        shl (reg 6) (imm 6);
+        add (reg 6) (imm particles);
+        mov (reg 13) (imm 0);
+        for_up ~i:7 ~from_:(imm 0) ~below:(imm 4)
+          (* cameras *)
+          [
+            mov (reg 8) (reg 7);
+            shl (reg 8) (imm 6);
+            for_up ~i:9 ~from_:(imm 0) ~below:(imm 8)
+              (* edges *)
+              [
+                mov (reg 10) (mem ~base:6 ~index:9 ~scale:8 ());
+                (* project: a couple of fp ops *)
+                fmul (reg 10) (imm 3);
+                fadd (reg 10) (reg 7);
+                mov (reg 11) (mem ~base:8 ~index:9 ~scale:8 ~disp:edges ());
+                (* data-dependent: count only edges inside the silhouette *)
+                if_ Cond.Gt (reg 10) (reg 11)
+                  ~then_:
+                    [
+                      mov (reg 12) (reg 10);
+                      fsub (reg 12) (reg 11);
+                      fmul (reg 12) (reg 12);
+                      fadd (reg 13) (reg 12);
+                    ]
+                  ();
+              ];
+          ];
+        mov (mem ~scale:8 ~index:0 ~disp:weights ()) (reg 13);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"bodytrack" ~description:"particle likelihood with edge tests"
+      ~table_threads:1024 [ worker ] ~setup ~worker:"worker"
+end
+
+(* ------------------------------------------------------------------ *)
+(* facesim: scattered neighbor gather, uniform control.                 *)
+
+module Facesim = struct
+  let positions = region 0
+
+  let neighbors = region 1 (* 8 neighbor indices per node *)
+
+  let out = region 2
+
+  let n_nodes = 4096
+
+  let setup mem ~scale =
+    ignore scale;
+    fill_random mem ~seed:76 ~addr:positions ~n:n_nodes ~bound:100_000;
+    fill_random mem ~seed:77 ~addr:neighbors ~n:(n_nodes * 8) ~bound:n_nodes
+
+  let worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        mov (reg 13) (imm 0);
+        for_up ~i:7 ~from_:(imm 0) ~below:(imm 8)
+          [
+            mov (reg 8) (reg 6);
+            shl (reg 8) (imm 3);
+            add (reg 8) (reg 7);
+            mov (reg 9) (mem ~scale:8 ~index:8 ~disp:neighbors ());
+            mov (reg 10) (mem ~scale:8 ~index:9 ~disp:positions ());
+            fsub (reg 10) (mem ~scale:8 ~index:6 ~disp:positions ());
+            fmul (reg 10) (imm 17);
+            fdiv (reg 10) (imm 16);
+            fadd (reg 13) (reg 10);
+          ];
+        mov (mem ~scale:8 ~index:6 ~disp:out ()) (reg 13);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"facesim" ~description:"mesh relaxation: scattered gathers"
+      ~table_threads:1024 [ worker ] ~setup ~worker:"worker"
+end
+
+(* ------------------------------------------------------------------ *)
+(* fluidanimate: variable particles per cell + neighbor-cell locks.     *)
+
+module Fluidanimate = struct
+  let cell_count = region 0 (* particles in each cell, 0..8 *)
+
+  let cell_particles = region 1 (* 8 slots per cell *)
+
+  let forces = region 2
+
+  let n_cells = 4096
+
+  let setup mem ~scale =
+    ignore scale;
+    let g = Lcg.create 78 in
+    for c = 0 to n_cells - 1 do
+      let k = Lcg.int g 9 in
+      Memory.store_i64 mem (cell_count + (8 * c)) k;
+      for s = 0 to k - 1 do
+        Memory.store_i64 mem (cell_particles + (64 * c) + (8 * s)) (Lcg.int g 1000)
+      done
+    done
+
+  let worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        (* my cell *)
+        mov (reg 7) (mem ~scale:8 ~index:6 ~disp:cell_count ());
+        mov (reg 13) (imm 0);
+        (* pairwise forces within the cell: O(k^2), k data-dependent *)
+        mov (reg 8) (imm 0);
+        while_ Cond.Lt (reg 8) (reg 7)
+          [
+            mov (reg 9) (imm 0);
+            while_ Cond.Lt (reg 9) (reg 7)
+              [
+                mov (reg 10) (reg 6);
+                shl (reg 10) (imm 6);
+                mov (reg 11) (mem ~base:10 ~index:8 ~scale:8 ~disp:cell_particles ());
+                fsub (reg 11) (mem ~base:10 ~index:9 ~scale:8 ~disp:cell_particles ());
+                fmul (reg 11) (reg 11);
+                fadd (reg 13) (reg 11);
+                add (reg 9) (imm 1);
+              ];
+            add (reg 8) (imm 1);
+          ];
+        (* scatter half the force into the next cell under its lock *)
+        mov (reg 9) (reg 6);
+        add (reg 9) (imm 1);
+        and_ (reg 9) (imm 63);
+        (* 64 cell locks *)
+        mov (reg 10) (reg 9);
+        mul (reg 10) (imm 64);
+        add (reg 10) (imm lock_base);
+        lock_acquire (reg 10);
+        binop Op.Add (mem ~scale:8 ~index:9 ~disp:forces ()) (reg 13);
+        lock_release (reg 10);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"fluidanimate" ~description:"per-cell particle forces + cell locks"
+      ~table_threads:4096 [ worker ] ~setup ~worker:"worker"
+end
+
+(* ------------------------------------------------------------------ *)
+(* freqmine: prefix-tree walks — heavy data-dependent divergence.       *)
+
+module Freqmine = struct
+  let tree = region 0 (* nodes: 8 child indices each; 0 = none *)
+
+  let txns = region 1 (* per thread: 16 item ids *)
+
+  let support = region 2
+
+  let n_nodes = 2048
+
+  let setup mem ~scale =
+    ignore scale;
+    let g = Lcg.create 79 in
+    (* random prefix tree: each node's children point strictly forward *)
+    for node = 0 to n_nodes - 1 do
+      for c = 0 to 7 do
+        let child =
+          if node < n_nodes - 64 && Lcg.chance g 55 100 then
+            node + 1 + Lcg.int g 63
+          else 0
+        in
+        Memory.store_i64 mem (tree + (64 * node) + (8 * c)) child
+      done
+    done;
+    fill_random mem ~seed:80 ~addr:txns ~n:(512 * 16) ~bound:8
+
+  let worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        shl (reg 6) (imm 7);
+        (* 16 items * 8 B *)
+        mov (reg 13) (imm 0);
+        (* walk the tree following the transaction's items until a missing
+           child stops the descent: depth is data-dependent *)
+        mov (reg 7) (imm 0);
+        (* node *)
+        mov (reg 8) (imm 0);
+        (* item index *)
+        label ".descend";
+        cmp (reg 8) (imm 16);
+        jcc Cond.Ge ".mined";
+        mov (reg 9) (mem ~base:6 ~index:8 ~scale:8 ~disp:txns ());
+        mov (reg 10) (reg 7);
+        shl (reg 10) (imm 6);
+        add (reg 10) (reg 9);
+        mov (reg 11) (mem ~scale:8 ~index:10 ~disp:tree ());
+        cmp (reg 11) (imm 0);
+        jcc Cond.Eq ".mined";
+        mov (reg 7) (reg 11);
+        add (reg 13) (imm 1);
+        add (reg 8) (imm 1);
+        jmp ".descend";
+        label ".mined";
+        mov (mem ~scale:8 ~index:0 ~disp:support ()) (reg 13);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"freqmine" ~description:"FP-tree descent; highly divergent"
+      ~table_threads:2048 [ worker ] ~setup ~worker:"worker"
+end
+
+(* ------------------------------------------------------------------ *)
+(* swaptions: Monte-Carlo with the runtime PRNG; fully uniform.         *)
+
+module Swaptions = struct
+  let results = region 0
+
+  let setup mem ~scale =
+    ignore mem;
+    ignore scale
+
+  let worker =
+    func "worker"
+      [
+        mov (reg 13) (imm 0);
+        for_up ~i:6 ~from_:(imm 0) ~below:(imm 8)
+          (* trials *)
+          [
+            mov (reg 7) (imm 10_000);
+            (* rate path *)
+            for_up ~i:8 ~from_:(imm 0) ~below:(imm 16)
+              (* steps *)
+              [
+                call "__rand";
+                and_ (reg 0) (imm 255);
+                sub (reg 0) (imm 128);
+                fadd (reg 7) (reg 0);
+                fmul (reg 7) (imm 1001);
+                fdiv (reg 7) (imm 1000);
+              ];
+            mov (reg 9) (reg 7);
+            sub (reg 9) (imm 10_000);
+            max_ (reg 9) (imm 0);
+            (* payoff floor *)
+            fadd (reg 13) (reg 9);
+          ];
+        mov (mem ~scale:8 ~index:0 ~disp:results ()) (reg 13);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"swaptions" ~description:"HJM Monte-Carlo; uniform fixed loops"
+      ~table_threads:512 [ worker ] ~setup ~worker:"worker"
+end
+
+(* ------------------------------------------------------------------ *)
+(* vips: 3x3 convolution over an 8x8 tile per thread.                   *)
+
+module Vips = struct
+  let image = region 0 (* 256 x 256 bytes *)
+
+  let out = region 1
+
+  let img_w = 256
+
+  let setup mem ~scale =
+    ignore scale;
+    fill_random_bytes mem ~seed:81 ~addr:image ~n:(img_w * img_w) ~skew:20
+
+  let worker =
+    func "worker"
+      [
+        (* tile origin: 32 tiles per row of tiles *)
+        mov (reg 6) (reg 0);
+        and_ (reg 6) (imm 31);
+        shl (reg 6) (imm 3);
+        (* x0 *)
+        mov (reg 7) (reg 0);
+        shr (reg 7) (imm 5);
+        shl (reg 7) (imm 3);
+        (* y0 *)
+        for_up ~i:8 ~from_:(imm 1) ~below:(imm 7)
+          (* y in tile *)
+          [
+            for_up ~i:9 ~from_:(imm 1) ~below:(imm 7)
+              (* x in tile *)
+              [
+                (* accumulate the 3x3 neighbourhood *)
+                mov (reg 10) (imm 0);
+                for_up ~i:11 ~from_:(imm 0) ~below:(imm 3)
+                  [
+                    for_up ~i:12 ~from_:(imm 0) ~below:(imm 3)
+                      [
+                        (* addr = (y0+y+dy-1)*W + x0+x+dx-1 *)
+                        mov (reg 13) (reg 7);
+                        add (reg 13) (reg 8);
+                        add (reg 13) (reg 11);
+                        sub (reg 13) (imm 1);
+                        mul (reg 13) (imm img_w);
+                        add (reg 13) (reg 6);
+                        add (reg 13) (reg 9);
+                        add (reg 13) (reg 12);
+                        sub (reg 13) (imm 1);
+                        mov ~w:Width.W1 (reg 5) (mem ~index:13 ~disp:image ());
+                        add (reg 10) (reg 5);
+                      ];
+                  ];
+                div (reg 10) (imm 9);
+                mov (reg 13) (reg 7);
+                add (reg 13) (reg 8);
+                mul (reg 13) (imm img_w);
+                add (reg 13) (reg 6);
+                add (reg 13) (reg 9);
+                mov ~w:Width.W1 (mem ~index:13 ~disp:out ()) (reg 10);
+              ];
+          ];
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"vips" ~description:"tiled 3x3 box filter; uniform loops"
+      ~table_threads:512 ~default_threads:64 [ worker ] ~setup ~worker:"worker"
+end
+
+(* ------------------------------------------------------------------ *)
+(* x264: SAD motion search with early termination.                      *)
+
+module X264 = struct
+  let frame = region 0 (* current frame, 256x256 bytes *)
+
+  let ref_frame = region 1
+
+  let best_mv = region 2
+
+  let img_w = 256
+
+  let setup mem ~scale =
+    ignore scale;
+    fill_random_bytes mem ~seed:82 ~addr:frame ~n:(img_w * img_w) ~skew:60;
+    fill_random_bytes mem ~seed:83 ~addr:ref_frame ~n:(img_w * img_w) ~skew:60
+
+  let worker =
+    func "worker"
+      [
+        (* 16x16 macroblock origin from tid (16 blocks per row) *)
+        mov (reg 6) (reg 0);
+        and_ (reg 6) (imm 15);
+        shl (reg 6) (imm 4);
+        mov (reg 7) (reg 0);
+        shr (reg 7) (imm 4);
+        shl (reg 7) (imm 4);
+        mov (reg 12) (imm 100_000);
+        (* best SAD *)
+        mov (reg 13) (imm 0);
+        (* best candidate *)
+        for_up ~i:8 ~from_:(imm 0) ~below:(imm 16)
+          (* candidate vectors *)
+          [
+            mov (reg 9) (imm 0);
+            (* SAD over 16 sample pixels with early exit *)
+            mov (reg 10) (imm 0);
+            label ".sad";
+            cmp (reg 10) (imm 16);
+            jcc Cond.Ge ".sad_done";
+            cmp (reg 9) (reg 12);
+            jcc Cond.Ge ".sad_done";
+            (* early termination *)
+            (* sample pixel (y0 + px, x0 + px) vs shifted reference *)
+            mov (reg 11) (reg 7);
+            add (reg 11) (reg 10);
+            mul (reg 11) (imm img_w);
+            add (reg 11) (reg 6);
+            add (reg 11) (reg 10);
+            mov ~w:Width.W1 (reg 5) (mem ~index:11 ~disp:frame ());
+            add (reg 11) (reg 8);
+            (* candidate shift *)
+            mov ~w:Width.W1 (reg 4) (mem ~index:11 ~disp:ref_frame ());
+            sub (reg 5) (reg 4);
+            mov (reg 4) (reg 5);
+            neg (reg 4);
+            max_ (reg 5) (reg 4);
+            (* |diff| *)
+            add (reg 9) (reg 5);
+            add (reg 10) (imm 1);
+            jmp ".sad";
+            label ".sad_done";
+            if_ Cond.Lt (reg 9) (reg 12)
+              ~then_:[ mov (reg 12) (reg 9); mov (reg 13) (reg 8) ]
+              ();
+          ];
+        mov (mem ~scale:8 ~index:0 ~disp:best_mv ()) (reg 13);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"x264" ~description:"SAD motion search with early exit"
+      ~table_threads:4096 [ worker ] ~setup ~worker:"worker"
+end
+
+let all =
+  [
+    Blackscholes.workload;
+    Streamcluster.workload;
+    Bodytrack.workload;
+    Facesim.workload;
+    Fluidanimate.workload;
+    Freqmine.workload;
+    Swaptions.workload;
+    Vips.workload;
+    X264.workload;
+  ]

@@ -1,0 +1,4 @@
+(** ParSec 3.0 workloads (Table I): blackscholes, streamcluster, bodytrack,
+    facesim, fluidanimate, freqmine, swaptions, vips, x264. *)
+
+val all : Workload.t list

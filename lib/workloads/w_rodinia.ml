@@ -1,0 +1,376 @@
+(** Rodinia 3.1 correlation workloads (Table I): BFS, Nearest Neighbors,
+    Stream Cluster, b+tree and Particle Filter.
+
+    The paper selected these because their OpenMP implementations are
+    *identical* to their CUDA implementations, so the CUDA variant here is
+    the same program — the correlation study's differences come entirely
+    from the CPU compiler's optimization level, as in the paper's §IV. *)
+
+open Threadfuser_prog.Build
+open Threadfuser_isa
+open Wl_common
+module Memory = Threadfuser_machine.Memory
+module Lcg = Threadfuser_util.Lcg
+
+(* The CUDA variant is the same program: Rodinia's OpenMP and CUDA kernels
+   are line-for-line identical (paper §IV). *)
+let mk ~name ~description ~table_threads ?(default_threads = 128) v =
+  Workload.make ~category:Workload.Correlation ~name ~suite:"Rodinia 3.1"
+    ~description ~table_threads ~default_threads ~cuda:v v
+
+(* ------------------------------------------------------------------ *)
+(* BFS: one thread per node of the current frontier level.             *)
+
+module Bfs = struct
+  let row_off = region 0 (* CSR row offsets, n+1 entries *)
+
+  let cols = region 1 (* CSR column indices *)
+
+  let frontier = region 2 (* 1 if node is in the current level *)
+
+  let visited = region 3
+
+  let cost = region 4
+
+  let setup mem ~scale =
+    let n = 256 * scale in
+    let g = Lcg.create 21 in
+    (* random graph with degrees 1..12 *)
+    let off = ref 0 in
+    for i = 0 to n - 1 do
+      Memory.store_i64 mem (row_off + (8 * i)) !off;
+      let deg = Lcg.int_range g 1 12 in
+      for _ = 1 to deg do
+        Memory.store_i64 mem (cols + (8 * !off)) (Lcg.int g n);
+        incr off
+      done
+    done;
+    Memory.store_i64 mem (row_off + (8 * n)) !off;
+    (* mark ~40% of nodes as the current frontier, the rest unvisited *)
+    for i = 0 to n - 1 do
+      if Lcg.chance g 40 100 then begin
+        Memory.store_i64 mem (frontier + (8 * i)) 1;
+        Memory.store_i64 mem (visited + (8 * i)) 1;
+        Memory.store_i64 mem (cost + (8 * i)) 1
+      end
+    done
+
+  (* worker(tid): if frontier[tid] then relax all out-edges *)
+  let worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        if_ Cond.Ne (mem ~scale:8 ~index:6 ~disp:frontier ()) (imm 0)
+          ~then_:
+            [ seq
+               [
+                 (* r7 = edge cursor, r8 = end *)
+                 mov (reg 7) (mem ~scale:8 ~index:6 ~disp:row_off ());
+                 lea 8 (mem ~base:6 ~disp:1 ());
+                 mov (reg 8) (mem ~scale:8 ~index:8 ~disp:row_off ());
+                 mov (reg 9) (mem ~scale:8 ~index:6 ~disp:cost ());
+                 add (reg 9) (imm 1);
+                 while_ Cond.Lt (reg 7) (reg 8)
+                   [
+                     mov (reg 10) (mem ~scale:8 ~index:7 ~disp:cols ());
+                     if_ Cond.Eq (mem ~scale:8 ~index:10 ~disp:visited ()) (imm 0)
+                       ~then_:
+                         [ seq
+                            [
+                              atomic_rmw Op.Or
+                                (mem ~scale:8 ~index:10 ~disp:visited ())
+                                (imm 1);
+                              mov (mem ~scale:8 ~index:10 ~disp:cost ()) (reg 9);
+                            ] ]
+                       ();
+                     add (reg 7) (imm 1);
+                   ];
+               ] ]
+          ();
+        ret;
+      ]
+
+  let variant =
+    { Workload.program = [ worker ]; worker = "worker"; setup; args = (fun ~tid ~n:_ ~scale:_ -> [ tid ]) }
+
+  let workload =
+    mk ~name:"bfs" ~description:"breadth-first search, one frontier level"
+      ~table_threads:4096 variant
+end
+
+(* ------------------------------------------------------------------ *)
+(* Nearest Neighbors: distance from every record to a target.          *)
+
+module Nn = struct
+  let records = region 0 (* AoS: (lat, lng) 16-byte records *)
+
+  let out = region 1
+
+  let recs_per_thread = 8
+
+  let setup mem ~scale =
+    let n = 2048 * scale in
+    let g = Lcg.create 22 in
+    for i = 0 to n - 1 do
+      Memory.store_i64 mem (records + (16 * i)) (Lcg.int g 360_000);
+      Memory.store_i64 mem (records + (16 * i) + 8) (Lcg.int g 180_000)
+    done;
+    set_param mem 0 179_123;
+    (* target lat *)
+    set_param mem 1 88_456 (* target lng *)
+
+  let worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        mul (reg 6) (imm recs_per_thread);
+        mov (reg 7) (reg 6);
+        add (reg 7) (imm recs_per_thread);
+        mov (reg 10) (p 0);
+        mov (reg 11) (p 1);
+        while_ Cond.Lt (reg 6) (reg 7)
+          [
+            mov (reg 8) (reg 6);
+            shl (reg 8) (imm 4);
+            mov (reg 9) (mem ~base:8 ~disp:records ());
+            fsub (reg 9) (reg 10);
+            fmul (reg 9) (reg 9);
+            mov (reg 12) (mem ~base:8 ~disp:(records + 8) ());
+            fsub (reg 12) (reg 11);
+            fmul (reg 12) (reg 12);
+            fadd (reg 9) (reg 12);
+            fsqrt (reg 9);
+            mov (mem ~scale:8 ~index:6 ~disp:out ()) (reg 9);
+            add (reg 6) (imm 1);
+          ];
+        ret;
+      ]
+
+  let variant =
+    { Workload.program = [ worker ]; worker = "worker"; setup; args = (fun ~tid ~n:_ ~scale:_ -> [ tid ]) }
+
+  let workload =
+    mk ~name:"nn" ~description:"nearest neighbors: uniform distance kernel"
+      ~table_threads:42000 variant
+end
+
+(* ------------------------------------------------------------------ *)
+(* Stream Cluster: assign points to the nearest of k centers.          *)
+
+module Sc = struct
+  let dim = 8
+
+  let k_centers = 8
+
+  let points = region 0 (* AoS, dim * 8 bytes per point *)
+
+  let centers = region 1
+
+  let assign = region 2
+
+  let pts_per_thread = 2
+
+  let setup mem ~scale =
+    let n = 512 * scale in
+    fill_random mem ~seed:23 ~addr:points ~n:(n * dim) ~bound:1000;
+    fill_random mem ~seed:24 ~addr:centers ~n:(k_centers * dim) ~bound:1000
+
+  let worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        mul (reg 6) (imm pts_per_thread);
+        mov (reg 13) (imm 0);
+        while_ Cond.Lt (reg 13) (imm pts_per_thread)
+          [
+            (* r7 = point base address *)
+            mov (reg 7) (reg 6);
+            add (reg 7) (reg 13);
+            mul (reg 7) (imm (dim * 8));
+            add (reg 7) (imm points);
+            mov (reg 8) (imm max_int);
+            (* best distance *)
+            mov (reg 9) (imm 0);
+            (* best center *)
+            for_up ~i:10 ~from_:(imm 0) ~below:(imm k_centers)
+              [
+                (* r11 = center base *)
+                mov (reg 11) (reg 10);
+                mul (reg 11) (imm (dim * 8));
+                add (reg 11) (imm centers);
+                mov (reg 12) (imm 0);
+                (* accumulate squared distance over dim *)
+                for_up ~i:4 ~from_:(imm 0) ~below:(imm dim)
+                  [
+                    mov (reg 5) (mem ~base:7 ~index:4 ~scale:8 ());
+                    fsub (reg 5) (mem ~base:11 ~index:4 ~scale:8 ());
+                    fmul (reg 5) (reg 5);
+                    fadd (reg 12) (reg 5);
+                  ];
+                (* if-convertible: keep the running minimum *)
+                if_ Cond.Lt (reg 12) (reg 8)
+                  ~then_:[ mov (reg 8) (reg 12); mov (reg 9) (reg 10) ]
+                  ();
+              ];
+            mov (reg 11) (reg 6);
+            add (reg 11) (reg 13);
+            mov (mem ~scale:8 ~index:11 ~disp:assign ()) (reg 9);
+            add (reg 13) (imm 1);
+          ];
+        ret;
+      ]
+
+  let variant =
+    { Workload.program = [ worker ]; worker = "worker"; setup; args = (fun ~tid ~n:_ ~scale:_ -> [ tid ]) }
+
+  let workload =
+    mk ~name:"streamcluster"
+      ~description:"k-center assignment with a running-minimum diamond"
+      ~table_threads:16384 variant
+end
+
+(* ------------------------------------------------------------------ *)
+(* b+tree: key lookups over an implicit-array B+tree.                  *)
+
+module Btree = struct
+  let fanout = 8
+
+  let depth = 4 (* internal levels; leaves hold values *)
+
+  let nodes = region 0 (* node i: fanout keys of 8 bytes *)
+
+  let values = region 2
+
+  let queries = region 4
+
+  (* Implicit complete tree: node 0 is the root; child s of node i is
+     node i*fanout + s + 1.  Keys are chosen so search works over
+     [0, fanout^depth * fanout). *)
+  let setup mem ~scale =
+    ignore scale;
+    let key_space = 32768 in
+    (* fill internal nodes level by level *)
+    let rec fill idx lo hi level =
+      if level < depth then begin
+        let span = (hi - lo) / fanout in
+        for s = 0 to fanout - 1 do
+          Memory.store_i64 mem (nodes + (8 * ((idx * fanout) + s))) (lo + ((s + 1) * span))
+        done;
+        if level < depth - 1 then
+          for s = 0 to fanout - 1 do
+            fill ((idx * fanout) + s + 1) (lo + (s * span)) (lo + ((s + 1) * span)) (level + 1)
+          done
+      end
+    in
+    fill 0 0 key_space 0;
+    fill_random mem ~seed:25 ~addr:values ~n:8192 ~bound:1_000_000;
+    fill_random mem ~seed:26 ~addr:queries ~n:8192 ~bound:key_space
+
+  let lookups_per_thread = 4
+
+  let worker =
+    func "worker"
+      [
+        mov (reg 6) (reg 0);
+        mul (reg 6) (imm lookups_per_thread);
+        mov (reg 13) (imm 0);
+        while_ Cond.Lt (reg 13) (imm lookups_per_thread)
+          [
+            mov (reg 7) (reg 6);
+            add (reg 7) (reg 13);
+            mov (reg 7) (mem ~scale:8 ~index:7 ~disp:queries ());
+            (* r7 = key, r8 = node index *)
+            mov (reg 8) (imm 0);
+            for_up ~i:9 ~from_:(imm 0) ~below:(imm depth)
+              [
+                (* scan the node's keys: data-dependent exit *)
+                mov (reg 10) (reg 8);
+                mul (reg 10) (imm (fanout * 8));
+                add (reg 10) (imm nodes);
+                mov (reg 11) (imm 0);
+                while_ Cond.Lt (reg 11) (imm (fanout - 1))
+                  [
+                    cmp (reg 7) (mem ~base:10 ~index:11 ~scale:8 ());
+                    jcc Cond.Lt ".btree_found";
+                    add (reg 11) (imm 1);
+                  ];
+                label ".btree_found";
+                (* descend: child = node*fanout + slot + 1 *)
+                mul (reg 8) (imm fanout);
+                add (reg 8) (reg 11);
+                add (reg 8) (imm 1);
+              ];
+            (* leaf: load the value *)
+            and_ (reg 8) (imm 8191);
+            mov (reg 12) (mem ~scale:8 ~index:8 ~disp:values ());
+            add (reg 12) (reg 7);
+            add (reg 13) (imm 1);
+          ];
+        ret;
+      ]
+
+  let variant =
+    { Workload.program = [ worker ]; worker = "worker"; setup; args = (fun ~tid ~n:_ ~scale:_ -> [ tid ]) }
+
+  let workload =
+    mk ~name:"b+tree" ~description:"B+tree lookups: data-dependent node scans"
+      ~table_threads:4096 variant
+end
+
+(* ------------------------------------------------------------------ *)
+(* Particle Filter: weight + resample with a cumulative-weight scan.    *)
+
+module Pf = struct
+  let cumulative = region 0 (* ascending cumulative weights *)
+
+  let observations = region 1
+
+  let indices = region 2
+
+  let n_particles = 1024
+
+  let setup mem ~scale =
+    ignore scale;
+    let g = Lcg.create 27 in
+    let acc = ref 0 in
+    for i = 0 to n_particles - 1 do
+      acc := !acc + Lcg.int_range g 1 100;
+      Memory.store_i64 mem (cumulative + (8 * i)) !acc
+    done;
+    set_param mem 0 !acc;
+    (* total weight *)
+    fill_random mem ~seed:28 ~addr:observations ~n:n_particles ~bound:1000
+
+  let worker =
+    func "worker"
+      [
+        (* likelihood: a few fp ops on the particle's observation *)
+        mov (reg 6) (reg 0);
+        mov (reg 7) (mem ~scale:8 ~index:6 ~disp:observations ());
+        mov (reg 8) (reg 7);
+        fmul (reg 8) (reg 7);
+        fadd (reg 8) (imm 77);
+        fsqrt (reg 8);
+        (* draw u in [0, total) deterministically from tid *)
+        mov (reg 9) (reg 0);
+        mul (reg 9) (imm 2654435761);
+        rem (reg 9) (p 0);
+        (* linear scan of the cumulative table: data-dependent length *)
+        mov (reg 10) (imm 0);
+        while_ Cond.Lt (mem ~scale:8 ~index:10 ~disp:cumulative ()) (reg 9)
+          [ add (reg 10) (imm 1) ];
+        mov (mem ~scale:8 ~index:6 ~disp:indices ()) (reg 10);
+        ret;
+      ]
+
+  let variant =
+    { Workload.program = [ worker ]; worker = "worker"; setup; args = (fun ~tid ~n:_ ~scale:_ -> [ tid ]) }
+
+  let workload =
+    mk ~name:"particlefilter"
+      ~description:"particle filter resampling: divergent cumulative scan"
+      ~table_threads:4096 variant
+end
+
+let all =
+  [ Bfs.workload; Nn.workload; Sc.workload; Btree.workload; Pf.workload ]

@@ -1,0 +1,5 @@
+(** Rodinia 3.1 correlation workloads (Table I): BFS, NN, Stream Cluster,
+    b+tree, Particle Filter.  CUDA variants are the identical programs, as
+    in the paper. *)
+
+val all : Workload.t list

@@ -1,0 +1,478 @@
+(** μSuite microservice workloads (Table I): McRouter (Memcached, Mid,
+    Leaf), TextSearch (Mid, Leaf) and HDSearch (Mid, Leaf).
+
+    One SIMT thread = one request, mirroring the paper's request-level
+    parallelism.  Requests arrive and depart through [Io] instructions
+    (skipped, Fig. 8); shared state uses fine-grained bucket locks; the
+    HDSearch mid-tier links the glibc-style allocator to reproduce the
+    paper's Fig. 7 `getpoint`/`vector` bottleneck analysis, including the
+    "SIMT-aware fix" variant that lifts efficiency from single digits to
+    ~90%. *)
+
+open Threadfuser_prog.Build
+open Threadfuser_isa
+open Wl_common
+module Memory = Threadfuser_machine.Memory
+module Lcg = Threadfuser_util.Lcg
+
+(* Request keys: 32 bytes per request. *)
+let req_base = region 10
+
+let key_bytes = 16
+
+let setup_requests mem ~seed ~threads =
+  fill_random_bytes mem ~seed ~addr:req_base ~n:(32 * threads) ~skew:0
+
+(* Host-side FNV identical to Rtlib's __hash, for building hit tables. *)
+let host_fnv mem addr n =
+  let h = ref 0x1b873593 in
+  for i = 0 to n - 1 do
+    let b = Memory.load_byte mem (addr + i) in
+    h := (!h lxor b) * 0x1000193 land 0x3fffffffffff
+  done;
+  !h
+
+(* key address of request [tid] into r6 *)
+let load_key_addr = seq [ mov (reg 6) (reg 0); shl (reg 6) (imm 5); add (reg 6) (imm req_base) ]
+
+let mk ?(alloc = Rtlib.Concurrent) ~name ~description ?(default_threads = 64) program
+    ~setup ~worker =
+  Workload.make ~category:Workload.Microservice ~alloc ~name ~suite:"uSuite"
+    ~description ~table_threads:2048 ~default_threads
+    { Workload.program; worker; setup; args = (fun ~tid ~n:_ ~scale:_ -> [ tid ]) }
+
+(* ------------------------------------------------------------------ *)
+(* McRouter-Memcached: hash -> bucket lock -> chain walk.              *)
+
+module Memcached = struct
+  let heads = region 0 (* 64 bucket heads (entry addresses) *)
+
+  let entries = region 1 (* 24-byte nodes: hash, next, value *)
+
+  let n_buckets = 64
+
+  let setup mem ~scale =
+    ignore scale;
+    setup_requests mem ~seed:41 ~threads:512;
+    (* 256 entries chained into buckets; ~half of them are request keys so
+       lookups hit *)
+    let g = Lcg.create 42 in
+    for i = 0 to 127 do
+      let h =
+        if i < 64 then host_fnv mem (req_base + (32 * (i * 3 mod 512))) key_bytes
+        else Lcg.int g (1 lsl 40)
+      in
+      let b = h mod n_buckets in
+      let node = entries + (24 * i) in
+      let head = Memory.load_i64 mem (heads + (8 * b)) in
+      Memory.store_i64 mem node h;
+      Memory.store_i64 mem (node + 8) head;
+      Memory.store_i64 mem (node + 16) (Lcg.int g 1_000_000);
+      Memory.store_i64 mem (heads + (8 * b)) node
+    done
+
+  let worker =
+    func "worker"
+      [
+        io_in (imm 25);
+        load_key_addr;
+        mov (reg 0) (reg 6);
+        mov (reg 1) (imm key_bytes);
+        call "__hash";
+        mov (reg 7) (reg 0);
+        (* bucket lock: fine-grained *)
+        mov (reg 8) (reg 7);
+        rem (reg 8) (imm n_buckets);
+        mov (reg 9) (reg 8);
+        mul (reg 9) (imm 64);
+        add (reg 9) (imm lock_base);
+        lock_acquire (reg 9);
+        (* chain walk *)
+        mov (reg 10) (mem ~scale:8 ~index:8 ~disp:heads ());
+        mov (reg 11) (imm 0);
+        label ".chase";
+        cmp (reg 10) (imm 0);
+        jcc Cond.Eq ".done";
+        cmp (mem ~base:10 ()) (reg 7);
+        jcc Cond.Eq ".hit";
+        mov (reg 10) (mem ~base:10 ~disp:8 ());
+        jmp ".chase";
+        label ".hit";
+        mov (reg 11) (mem ~base:10 ~disp:16 ());
+        label ".done";
+        lock_release (reg 9);
+        (* response object is heap-allocated, as the real service does *)
+        mov (reg 0) (imm 32);
+        call "__malloc";
+        mov (mem ~base:0 ()) (reg 11);
+        mov (mem ~base:0 ~disp:8 ()) (reg 7);
+        io_out (imm 25);
+        mov (reg 0) (reg 11);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"mcrouter-memcached"
+      ~description:"memcached leaf: hash, bucket lock, chain walk" [ worker ]
+      ~setup ~worker:"worker"
+end
+
+(* ------------------------------------------------------------------ *)
+(* McRouter-Mid: route requests to backends; I/O heavy.                 *)
+
+module McMid = struct
+  let routes = region 0 (* 16 backend weights *)
+
+  let setup mem ~scale =
+    ignore scale;
+    setup_requests mem ~seed:43 ~threads:512;
+    fill_random mem ~seed:44 ~addr:routes ~n:32 ~bound:100
+
+  let worker =
+    func "worker"
+      [
+        io_in (imm 30);
+        load_key_addr;
+        mov (reg 0) (reg 6);
+        mov (reg 1) (imm key_bytes);
+        call "__hash";
+        mov (reg 7) (reg 0);
+        rem (reg 7) (imm 16);
+        (* weighted-route scan: fixed 16-entry loop with a running max *)
+        mov (reg 8) (imm 0);
+        mov (reg 9) (imm 0);
+        for_up ~i:10 ~from_:(imm 0) ~below:(imm 32)
+          [
+            mov (reg 11) (mem ~scale:8 ~index:10 ~disp:routes ());
+            xor (reg 11) (reg 7);
+            if_ Cond.Gt (reg 11) (reg 8)
+              ~then_:[ mov (reg 8) (reg 11); mov (reg 9) (reg 10) ]
+              ();
+          ];
+        (* forward to the backend and relay the answer *)
+        io_out (imm 40);
+        io_in (imm 40);
+        io_out (imm 30);
+        mov (reg 0) (reg 9);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"mcrouter-mid" ~description:"mcrouter mid-tier: route and relay"
+      [ worker ] ~setup ~worker:"worker"
+end
+
+(* ------------------------------------------------------------------ *)
+(* McRouter-Leaf: direct-indexed store with a value checksum.           *)
+
+module McLeaf = struct
+  let store = region 0 (* 1024 slots of 32-byte values *)
+
+  let setup mem ~scale =
+    ignore scale;
+    setup_requests mem ~seed:45 ~threads:512;
+    fill_random mem ~seed:46 ~addr:store ~n:8192 ~bound:1_000_000
+
+  let worker =
+    func "worker"
+      [
+        io_in (imm 25);
+        load_key_addr;
+        mov (reg 0) (reg 6);
+        mov (reg 1) (imm key_bytes);
+        call "__hash";
+        rem (reg 0) (imm 1024);
+        shl (reg 0) (imm 6);
+        add (reg 0) (imm store);
+        (* checksum the 64-byte value *)
+        mov (reg 7) (imm 0);
+        for_up ~i:8 ~from_:(imm 0) ~below:(imm 8)
+          [
+            mov (reg 9) (mem ~base:0 ~index:8 ~scale:8 ());
+            xor (reg 7) (reg 9);
+            mul (reg 7) (imm 31);
+          ];
+        io_out (imm 25);
+        mov (reg 0) (reg 7);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"mcrouter-leaf" ~description:"kv leaf: direct index + checksum"
+      [ worker ] ~setup ~worker:"worker"
+end
+
+(* ------------------------------------------------------------------ *)
+(* TextSearch-Leaf: term scan over documents; very uniform.             *)
+
+module TsLeaf = struct
+  let words = region 0 (* 64-word document *)
+
+  let setup mem ~scale =
+    ignore scale;
+    setup_requests mem ~seed:47 ~threads:512;
+    fill_random mem ~seed:48 ~addr:words ~n:64 ~bound:64
+
+  let worker =
+    func "worker"
+      [
+        io_in (imm 50);
+        load_key_addr;
+        (* four query terms derived from the key *)
+        mov (reg 12) (imm 0);
+        (* match count *)
+        for_up ~i:7 ~from_:(imm 0) ~below:(imm 4)
+          [
+            mov (reg 8) (mem ~base:6 ~index:7 ~scale:8 ());
+            and_ (reg 8) (imm 63);
+            (* scan all 64 document words *)
+            for_up ~i:9 ~from_:(imm 0) ~below:(imm 64)
+              [
+                mov (reg 10) (mem ~scale:8 ~index:9 ~disp:words ());
+                if_ Cond.Eq (reg 10) (reg 8) ~then_:[ add (reg 12) (imm 1) ] ();
+              ];
+          ];
+        io_out (imm 50);
+        mov (reg 0) (reg 12);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"textsearch-leaf" ~description:"document term scan; uniform loops"
+      [ worker ] ~setup ~worker:"worker"
+end
+
+(* ------------------------------------------------------------------ *)
+(* TextSearch-Mid: merge leaf responses into a top-k.                   *)
+
+module TsMid = struct
+  let responses = region 0 (* per request: 32 scored results *)
+
+  let setup mem ~scale =
+    ignore scale;
+    setup_requests mem ~seed:49 ~threads:512;
+    fill_random mem ~seed:50 ~addr:responses ~n:(32 * 512) ~bound:10_000
+
+  let k = 8
+
+  let worker =
+    func "worker"
+      [
+        io_in (imm 80);
+        (* r6 = this request's response array *)
+        mov (reg 6) (reg 0);
+        shl (reg 6) (imm 8);
+        add (reg 6) (imm responses);
+        (* top-k insertion sort into the thread's stack frame *)
+        sub sp (imm (8 * k));
+        for_up ~i:7 ~from_:(imm 0) ~below:(imm k)
+          [ mov (mem ~base:Reg.sp ~index:7 ~scale:8 ()) (imm 0) ];
+        for_up ~i:7 ~from_:(imm 0) ~below:(imm 32)
+          [
+            mov (reg 8) (mem ~base:6 ~index:7 ~scale:8 ());
+            (* shift down while larger: data-dependent inner loop *)
+            mov (reg 9) (imm 0);
+            while_ Cond.Lt (reg 9) (imm k)
+              [
+                if_ Cond.Gt (reg 8) (mem ~base:Reg.sp ~index:9 ~scale:8 ())
+                  ~then_:
+                    [
+                      mov (reg 10) (mem ~base:Reg.sp ~index:9 ~scale:8 ());
+                      mov (mem ~base:Reg.sp ~index:9 ~scale:8 ()) (reg 8);
+                      mov (reg 8) (reg 10);
+                    ]
+                  ();
+                add (reg 9) (imm 1);
+              ];
+          ];
+        (* the response std::vector lives on the heap *)
+        mov (reg 0) (imm (8 * k));
+        call "__malloc";
+        for_up ~i:7 ~from_:(imm 0) ~below:(imm k)
+          [
+            mov (reg 8) (mem ~base:Reg.sp ~index:7 ~scale:8 ());
+            mov (mem ~base:0 ~index:7 ~scale:8 ()) (reg 8);
+          ];
+        mov (reg 0) (mem ~base:Reg.sp ());
+        add sp (imm (8 * k));
+        io_out (imm 80);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"textsearch-mid" ~description:"top-k merge of leaf responses"
+      [ worker ] ~setup ~worker:"worker"
+end
+
+(* ------------------------------------------------------------------ *)
+(* HDSearch-Leaf: candidate distance ranking; uniform fp loops.         *)
+
+module HdLeaf = struct
+  let points = region 0 (* 32 candidates x 8 dims *)
+
+  let setup mem ~scale =
+    ignore scale;
+    setup_requests mem ~seed:51 ~threads:512;
+    fill_random mem ~seed:52 ~addr:points ~n:(32 * 8) ~bound:1000
+
+  let worker =
+    func "worker"
+      [
+        io_in (imm 50);
+        load_key_addr;
+        mov (reg 12) (imm max_int);
+        (* best *)
+        mov (reg 13) (imm 0);
+        for_up ~i:7 ~from_:(imm 0) ~below:(imm 32)
+          [
+            mov (reg 8) (reg 7);
+            mul (reg 8) (imm 64);
+            mov (reg 9) (imm 0);
+            for_up ~i:10 ~from_:(imm 0) ~below:(imm 8)
+              [
+                mov (reg 11) (mem ~base:8 ~index:10 ~scale:8 ~disp:points ());
+                fsub (reg 11) (mem ~base:6 ~index:10 ~scale:1 ());
+                fmul (reg 11) (reg 11);
+                fadd (reg 9) (reg 11);
+              ];
+            if_ Cond.Lt (reg 9) (reg 12)
+              ~then_:[ mov (reg 12) (reg 9); mov (reg 13) (reg 7) ]
+              ();
+          ];
+        io_out (imm 50);
+        mov (reg 0) (reg 13);
+        ret;
+      ]
+
+  let workload =
+    mk ~name:"hdsearch-leaf" ~description:"LSH leaf: distance ranking"
+      [ worker ] ~setup ~worker:"worker"
+end
+
+(* ------------------------------------------------------------------ *)
+(* HDSearch-Mid: the Fig. 7 case study.                                 *)
+
+module HdMid = struct
+  let counts = region 0 (* per sub-key candidate counts (data-dependent) *)
+
+  let result_vec = region 1 (* not used by the kernel; results go to heap *)
+
+  let n_slots = 256
+
+  let tables = 4
+
+  let masks = 4
+
+  let setup mem ~scale =
+    ignore scale;
+    setup_requests mem ~seed:53 ~threads:512;
+    (* candidate counts per hash slot: 0..24, heavily skewed *)
+    let g = Lcg.create 54 in
+    for i = 0 to n_slots - 1 do
+      let c = if Lcg.chance g 30 100 then Lcg.int_range g 12 24 else Lcg.int g 6 in
+      Memory.store_i64 mem (counts + (8 * i)) c
+    done;
+    ignore result_vec
+
+  (* vector::push_back — allocates (glibc lock!) and stores the element. *)
+  let vector_push =
+    func "vector"
+      [
+        (* r0 = element value *)
+        mov (reg 3) (reg 0);
+        mov (reg 0) (imm 24);
+        call "__malloc";
+        mov (mem ~base:0 ()) (reg 3);
+        ret;
+      ]
+
+  (* getpoint — the FLANN kd/LSH traversal of Listing 1.  [fixed] selects
+     the SIMT-aware variant that returns exactly the top 10 candidates. *)
+  let getpoint ~fixed =
+    func "getpoint"
+      [
+        (* r0 = key hash *)
+        mov (reg 6) (reg 0);
+        mov (reg 13) (imm 0);
+        (* emitted count *)
+        for_up ~i:7 ~from_:(imm 0) ~below:(imm tables)
+          [
+            for_up ~i:8 ~from_:(imm 0) ~below:(imm masks)
+              [
+                (* sub_key = key ^ (xor_mask) *)
+                mov (reg 9) (reg 7);
+                mul (reg 9) (imm 17);
+                add (reg 9) (reg 8);
+                xor (reg 9) (reg 6);
+                and_ (reg 9) (imm (n_slots - 1));
+                (* num_point: data-dependent in the original, fixed in the
+                   SIMT-aware version *)
+                (if fixed then mov (reg 10) (imm 10)
+                 else mov (reg 10) (mem ~scale:8 ~index:9 ~disp:counts ()));
+                mov (reg 11) (imm 0);
+                while_ Cond.Lt (reg 11) (reg 10)
+                  [
+                    mov (reg 0) (reg 9);
+                    mul (reg 0) (imm 1023);
+                    add (reg 0) (reg 11);
+                    call "vector";
+                    add (reg 11) (imm 1);
+                    add (reg 13) (imm 1);
+                  ];
+              ];
+          ];
+        mov (reg 0) (reg 13);
+        ret;
+      ]
+
+  let process_request ~fixed =
+    ignore fixed;
+    func "worker"
+      [
+        io_in (imm 60);
+        load_key_addr;
+        mov (reg 0) (reg 6);
+        mov (reg 1) (imm key_bytes);
+        call "__hash";
+        call "getpoint";
+        io_out (imm 60);
+        ret;
+      ]
+
+  let variant ~fixed =
+    {
+      Workload.program = [ process_request ~fixed; getpoint ~fixed; vector_push ];
+      worker = "worker";
+      setup;
+      args = (fun ~tid ~n:_ ~scale:_ -> [ tid ]);
+    }
+
+  let workload =
+    Workload.make ~category:Workload.Microservice ~alloc:Rtlib.Glibc
+      ~name:"hdsearch-mid" ~suite:"uSuite"
+      ~description:
+        "LSH mid-tier: data-dependent getpoint + allocator-locked vector \
+         (Fig. 7 bottleneck)"
+      ~table_threads:2048 ~default_threads:64 (variant ~fixed:false)
+
+  (* The paper's fix: uniform top-10 candidate count + a concurrent
+     allocator assumption (§V-A / §V-B). *)
+  let workload_fixed =
+    Workload.make ~category:Workload.Microservice ~alloc:Rtlib.Concurrent
+      ~name:"hdsearch-mid-fixed" ~suite:"uSuite"
+      ~description:"hdsearch-mid with the SIMT-aware top-10 fix applied"
+      ~table_threads:2048 ~default_threads:64 (variant ~fixed:true)
+end
+
+let all =
+  [
+    Memcached.workload;
+    McMid.workload;
+    McLeaf.workload;
+    TsLeaf.workload;
+    TsMid.workload;
+    HdLeaf.workload;
+    HdMid.workload;
+  ]
+
+let hdsearch_mid_fixed = HdMid.workload_fixed

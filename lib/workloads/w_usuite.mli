@@ -1,0 +1,11 @@
+(** μSuite microservices (Table I): McRouter x3, TextSearch x2,
+    HDSearch x2 — including the Fig. 7 HDSearch-Midtier case study. *)
+
+val all : Workload.t list
+
+(** The SIMT-aware-fix variant of hdsearch-mid (Fig. 7's 6% -> 90%). *)
+val hdsearch_mid_fixed : Workload.t
+
+(** Host-side FNV identical to the runtime library's [__hash] (used to
+    build hit tables whose keys the IR code re-hashes). *)
+val host_fnv : Threadfuser_machine.Memory.t -> int -> int -> int

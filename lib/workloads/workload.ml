@@ -1,0 +1,119 @@
+(** Workload definitions and the trace/analyze runners.
+
+    A workload bundles a CPU (MIMD) implementation — and, for the paper's 11
+    correlation workloads, a CUDA-style SPMD variant — with its input setup
+    and per-thread argument generator.  Thread counts follow the paper's
+    Table I ([table_threads]) but default to a scaled-down count so the full
+    36-workload evaluation runs in seconds; the scale is configurable
+    everywhere. *)
+
+open Threadfuser_prog
+module Compiler = Threadfuser_compiler.Compiler
+module Machine = Threadfuser_machine.Machine
+module Memory = Threadfuser_machine.Memory
+module Thread_trace = Threadfuser_trace.Thread_trace
+module Analyzer = Threadfuser.Analyzer
+
+type category =
+  | Correlation (* has a CUDA counterpart; used in Fig. 5/6 *)
+  | Microservice (* μSuite / DeathStarBench; Figs. 8, 9, 10 *)
+  | Parsec
+  | Other
+
+type variant = {
+  program : Surface.t; (* workload functions; runtime lib appended later *)
+  worker : string;
+  setup : Memory.t -> scale:int -> unit;
+  args : tid:int -> n:int -> scale:int -> int list;
+}
+
+type t = {
+  name : string;
+  suite : string; (* "Rodinia 3.1", "μSuite", ... as in Table I *)
+  category : category;
+  description : string;
+  table_threads : int; (* #SIMT threads from the paper's Table I *)
+  default_threads : int; (* scaled-down default used here *)
+  alloc : Rtlib.alloc_mode; (* allocator the workload links against *)
+  cpu : variant;
+  cuda : variant option;
+}
+
+let make ?(category = Other) ?(alloc = Rtlib.Concurrent) ?cuda ~name ~suite
+    ~description ~table_threads ~default_threads cpu =
+  {
+    name;
+    suite;
+    category;
+    description;
+    table_threads;
+    default_threads;
+    alloc;
+    cpu;
+    cuda;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Runners                                                             *)
+
+type traced = {
+  prog : Threadfuser_prog.Program.t;
+  traces : Thread_trace.t array;
+  n_threads : int;
+}
+
+let link ?(alloc = Rtlib.Concurrent) (v : variant) level =
+  let surface = v.program @ Rtlib.funcs alloc in
+  Compiler.compile level surface
+
+(* The machine quantum is 1 block so that lock contention interleaves, as
+   preemption does on a real, oversubscribed CPU. *)
+let machine_config =
+  { Machine.default_config with quantum = 8; spin_cost = 2 }
+
+let trace_variant ?(level = Compiler.O1) ~alloc ~threads ~scale (v : variant) :
+    traced =
+  let prog = link ~alloc v level in
+  let m = Machine.create ~config:machine_config prog in
+  Rtlib.init (Machine.memory m);
+  v.setup (Machine.memory m) ~scale;
+  let args = Array.init threads (fun tid -> v.args ~tid ~n:threads ~scale) in
+  let r = Machine.run_workers m ~worker:v.worker ~args in
+  { prog; traces = r.Machine.traces; n_threads = threads }
+
+(** Trace the CPU (MIMD) implementation.  [exclude] names functions whose
+    execution is hidden from the trace (paper §III's selective tracing). *)
+let trace_cpu ?level ?threads ?(scale = 1) ?(exclude = []) (w : t) : traced =
+  let threads = Option.value ~default:w.default_threads threads in
+  let v = w.cpu in
+  let prog = link ~alloc:w.alloc v (Option.value ~default:Compiler.O1 level) in
+  let config = { machine_config with Machine.untraced_functions = exclude } in
+  let m = Machine.create ~config prog in
+  Rtlib.init (Machine.memory m);
+  v.setup (Machine.memory m) ~scale;
+  let args = Array.init threads (fun tid -> v.args ~tid ~n:threads ~scale) in
+  let r = Machine.run_workers m ~worker:v.worker ~args in
+  { prog; traces = r.Machine.traces; n_threads = threads }
+
+(** Trace the CUDA-style SPMD variant (correlation workloads only).  The
+    "nvcc" pipeline is fixed at O2: GPU compilers always optimize, and the
+    paper found nvcc less aggressive than gcc -O3 (no if-conversion of
+    divergent diamonds). *)
+let trace_cuda ?threads ?(scale = 1) (w : t) : traced option =
+  Option.map
+    (fun v ->
+      let threads = Option.value ~default:w.default_threads threads in
+      trace_variant ~level:Compiler.O2 ~alloc:w.alloc ~threads ~scale v)
+    w.cuda
+
+(** Full pipeline: trace the CPU variant and analyze it. *)
+let analyze ?(options = Analyzer.default_options) ?level ?threads ?scale
+    ?exclude (w : t) : Analyzer.result =
+  let tr = trace_cpu ?level ?threads ?scale ?exclude w in
+  Analyzer.analyze ~options tr.prog tr.traces
+
+let category_name = function
+  | Correlation -> "correlation"
+  | Microservice -> "microservice"
+  | Parsec -> "parsec"
+  | Other -> "other"

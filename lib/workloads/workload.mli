@@ -1,0 +1,85 @@
+(** Workload definitions and the trace/analyze runners.
+
+    A workload bundles a CPU (MIMD) implementation — and, for the paper's
+    11 correlation workloads, a CUDA-style SPMD variant — with its input
+    setup and per-thread argument generator.  Thread counts follow the
+    paper's Table I ([table_threads]) but default to a scaled-down count
+    ([default_threads]) so the full evaluation runs in seconds. *)
+
+open Threadfuser_prog
+module Compiler = Threadfuser_compiler.Compiler
+module Memory = Threadfuser_machine.Memory
+module Analyzer = Threadfuser.Analyzer
+
+type category = Correlation | Microservice | Parsec | Other
+
+type variant = {
+  program : Surface.t;  (** workload functions; the runtime lib is linked in *)
+  worker : string;
+  setup : Memory.t -> scale:int -> unit;
+  args : tid:int -> n:int -> scale:int -> int list;
+}
+
+type t = {
+  name : string;
+  suite : string;
+  category : category;
+  description : string;
+  table_threads : int;  (** #SIMT threads from the paper's Table I *)
+  default_threads : int;
+  alloc : Rtlib.alloc_mode;  (** allocator the workload links against *)
+  cpu : variant;
+  cuda : variant option;
+}
+
+val make :
+  ?category:category ->
+  ?alloc:Rtlib.alloc_mode ->
+  ?cuda:variant ->
+  name:string ->
+  suite:string ->
+  description:string ->
+  table_threads:int ->
+  default_threads:int ->
+  variant ->
+  t
+
+type traced = {
+  prog : Program.t;
+  traces : Threadfuser_trace.Thread_trace.t array;
+  n_threads : int;
+}
+
+(** Machine configuration used for workload tracing (block quantum 8,
+    mild spin accounting). *)
+val machine_config : Threadfuser_machine.Machine.config
+
+(** Link a variant against the runtime library and compile it. *)
+val link : ?alloc:Rtlib.alloc_mode -> variant -> Compiler.level -> Program.t
+
+(** Trace the CPU (MIMD) implementation at an optimization level.
+    [exclude] hides the named functions (and their callees) from the trace
+    — the paper §III's selective tracing. *)
+val trace_cpu :
+  ?level:Compiler.level ->
+  ?threads:int ->
+  ?scale:int ->
+  ?exclude:string list ->
+  t ->
+  traced
+
+(** Trace the CUDA-style SPMD variant (correlation workloads only); the
+    "nvcc" pipeline is fixed at O2. *)
+val trace_cuda : ?threads:int -> ?scale:int -> t -> traced option
+
+(** Full pipeline: trace the CPU variant and analyze it. *)
+val analyze :
+  ?options:Analyzer.options ->
+  ?level:Compiler.level ->
+  ?threads:int ->
+  ?scale:int ->
+  ?exclude:string list ->
+  t ->
+  Analyzer.result
+
+val category_name : category -> string

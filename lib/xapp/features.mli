@@ -1,0 +1,10 @@
+(** XAPP-style program properties extracted from a single-threaded CPU
+    profile: instruction-mix fractions, block shape, control diversity,
+    arithmetic intensity, memory irregularity and synchronization rate. *)
+
+val n_features : int
+
+val names : string array
+
+val extract :
+  Threadfuser_prog.Program.t -> Threadfuser_trace.Thread_trace.t -> float array

@@ -1,0 +1,86 @@
+(** Ridge-regularized ordinary least squares, the learning machinery behind
+    the XAPP baseline (Ardalani et al., MICRO 2015, used ensembles of
+    regressions over program properties; a single ridge regression is the
+    honest small-data core of that idea).
+
+    Solves [(XtX + lambda I) beta = Xt y] by Gaussian elimination with
+    partial pivoting.  An intercept column is appended automatically. *)
+
+type model = { beta : float array (* length n_features + 1; last = intercept *) }
+
+exception Singular
+
+(* Solve the square system [a x = b] in place. *)
+let solve (a : float array array) (b : float array) =
+  let n = Array.length b in
+  for col = 0 to n - 1 do
+    (* partial pivot *)
+    let pivot = ref col in
+    for row = col + 1 to n - 1 do
+      if abs_float a.(row).(col) > abs_float a.(!pivot).(col) then pivot := row
+    done;
+    if abs_float a.(!pivot).(col) < 1e-12 then raise Singular;
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tb = b.(col) in
+      b.(col) <- b.(!pivot);
+      b.(!pivot) <- tb
+    end;
+    for row = col + 1 to n - 1 do
+      let f = a.(row).(col) /. a.(col).(col) in
+      if f <> 0.0 then begin
+        for k = col to n - 1 do
+          a.(row).(k) <- a.(row).(k) -. (f *. a.(col).(k))
+        done;
+        b.(row) <- b.(row) -. (f *. b.(col))
+      end
+    done
+  done;
+  let x = Array.make n 0.0 in
+  for row = n - 1 downto 0 do
+    let s = ref b.(row) in
+    for k = row + 1 to n - 1 do
+      s := !s -. (a.(row).(k) *. x.(k))
+    done;
+    x.(row) <- !s /. a.(row).(row)
+  done;
+  x
+
+(** [fit ?lambda xs ys] — [xs] are feature rows (all the same length),
+    [ys] the targets. *)
+let fit ?(lambda = 1e-3) (xs : float array list) (ys : float list) : model =
+  (match xs with
+  | [] -> invalid_arg "Ols.fit: no samples"
+  | x :: rest ->
+      let d = Array.length x in
+      if List.exists (fun r -> Array.length r <> d) rest then
+        invalid_arg "Ols.fit: ragged features");
+  if List.length xs <> List.length ys then invalid_arg "Ols.fit: length mismatch";
+  let with_intercept = List.map (fun x -> Array.append x [| 1.0 |]) xs in
+  let d = Array.length (List.hd with_intercept) in
+  let xtx = Array.make_matrix d d 0.0 in
+  let xty = Array.make d 0.0 in
+  List.iter2
+    (fun x y ->
+      for i = 0 to d - 1 do
+        xty.(i) <- xty.(i) +. (x.(i) *. y);
+        for j = 0 to d - 1 do
+          xtx.(i).(j) <- xtx.(i).(j) +. (x.(i) *. x.(j))
+        done
+      done)
+    with_intercept ys;
+  for i = 0 to d - 1 do
+    xtx.(i).(i) <- xtx.(i).(i) +. lambda
+  done;
+  { beta = solve xtx xty }
+
+let predict (m : model) (x : float array) =
+  let d = Array.length m.beta in
+  if Array.length x <> d - 1 then invalid_arg "Ols.predict: feature mismatch";
+  let s = ref m.beta.(d - 1) in
+  for i = 0 to d - 2 do
+    s := !s +. (m.beta.(i) *. x.(i))
+  done;
+  !s

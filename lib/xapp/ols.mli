@@ -1,0 +1,13 @@
+(** Ridge-regularized ordinary least squares (normal equations + Gaussian
+    elimination with partial pivoting); an intercept column is appended
+    automatically. *)
+
+type model = { beta : float array  (** weights; last entry = intercept *) }
+
+exception Singular
+
+(** Raises [Invalid_argument] on empty or ragged inputs, {!Singular} when
+    the (regularized) system cannot be solved. *)
+val fit : ?lambda:float -> float array list -> float list -> model
+
+val predict : model -> float array -> float

@@ -1,0 +1,41 @@
+(** A reimplementation of the XAPP baseline (Ardalani et al., MICRO 2015,
+    the paper's Table II comparison): predict a CPU program's GPU speedup
+    from profile-based program properties of a {e single-threaded} run,
+    with no SIMT modelling at all.
+
+    [loo_errors] performs the leave-one-out protocol XAPP itself uses:
+    train the regression on all other workloads' (features, log-speedup)
+    pairs and predict the held-out one.  The contrast with ThreadFuser is
+    the paper's point — an opaque profile-based model vs an explicit
+    dynamic-CFG SIMT replay. *)
+
+type sample = { name : string; features : float array; speedup : float }
+
+type prediction = {
+  p_name : string;
+  actual : float;
+  predicted : float;
+  rel_error : float; (* |predicted - actual| / actual *)
+}
+
+(* Speedups are strictly positive and span decades, so the model learns
+   log-speedup and predictions are exponentiated back. *)
+let loo_errors ?(lambda = 1e-2) (samples : sample list) : prediction list =
+  List.map
+    (fun held_out ->
+      let train = List.filter (fun s -> s.name <> held_out.name) samples in
+      let xs = List.map (fun s -> s.features) train in
+      let ys = List.map (fun s -> log s.speedup) train in
+      let model = Ols.fit ~lambda xs ys in
+      let predicted = exp (Ols.predict model held_out.features) in
+      {
+        p_name = held_out.name;
+        actual = held_out.speedup;
+        predicted;
+        rel_error = abs_float (predicted -. held_out.speedup) /. held_out.speedup;
+      })
+    samples
+
+let mean_rel_error preds =
+  List.fold_left (fun acc p -> acc +. p.rel_error) 0.0 preds
+  /. float_of_int (max 1 (List.length preds))

@@ -1,0 +1,17 @@
+(** The XAPP baseline (Ardalani et al., MICRO 2015; the paper's Table II
+    comparison): predict GPU speedup from profile features of a
+    single-threaded run via regression on log-speedup, evaluated with
+    XAPP's own leave-one-out protocol. *)
+
+type sample = { name : string; features : float array; speedup : float }
+
+type prediction = {
+  p_name : string;
+  actual : float;
+  predicted : float;
+  rel_error : float;
+}
+
+val loo_errors : ?lambda:float -> sample list -> prediction list
+
+val mean_rel_error : prediction list -> float

@@ -1,0 +1,230 @@
+(* Tests for the textual assembly format: exact round-trips over every
+   workload program (including the runtime library), hand-written source
+   parsing and execution, and parse-error reporting. *)
+
+open Threadfuser_prog
+module W = Threadfuser_workloads.Workload
+module Registry = Threadfuser_workloads.Registry
+module Rtlib = Threadfuser_workloads.Rtlib
+module Machine = Threadfuser_machine.Machine
+
+(* structural equality of assembled programs: same functions, same blocks,
+   same resolved instructions *)
+let programs_equal (a : Program.t) (b : Program.t) =
+  Array.length a.Program.funcs = Array.length b.Program.funcs
+  && Array.for_all2
+       (fun (fa : Program.func) (fb : Program.func) ->
+         fa.Program.name = fb.Program.name
+         && Array.length fa.Program.blocks = Array.length fb.Program.blocks
+         && Array.for_all2
+              (fun (ba : Program.block) (bb : Program.block) ->
+                ba.Program.instrs = bb.Program.instrs)
+              fa.Program.blocks fb.Program.blocks)
+       a.Program.funcs b.Program.funcs
+
+let roundtrip_assembled (prog : Program.t) =
+  let text = Asm_text.to_string (Asm_text.disassemble prog) in
+  let back = Program.assemble (Asm_text.of_string text) in
+  programs_equal prog back
+
+let test_roundtrip_all_workloads () =
+  List.iter
+    (fun (w : W.t) ->
+      let prog = W.link ~alloc:w.W.alloc w.W.cpu Threadfuser_compiler.Compiler.O1 in
+      Alcotest.(check bool) (w.W.name ^ " round-trips") true (roundtrip_assembled prog))
+    (Registry.hdsearch_mid_fixed :: Registry.all)
+
+let test_roundtrip_optimized () =
+  (* O0/O3 outputs stress every operand form (TLS spills, cmovs) *)
+  let w = Registry.find "streamcluster" in
+  List.iter
+    (fun level ->
+      let prog = W.link ~alloc:w.W.alloc w.W.cpu level in
+      Alcotest.(check bool)
+        (Threadfuser_compiler.Compiler.to_string level ^ " round-trips")
+        true (roundtrip_assembled prog))
+    Threadfuser_compiler.Compiler.all_levels
+
+let test_parse_handwritten () =
+  let source =
+    {|
+# a tiny kernel written by hand
+func worker {
+entry:
+  mov.w8 r1, r0
+  mul.w8 r1, $8
+  add.w8 r1, $131072
+  mov.w8 r2, [r1]
+  fadd.w8 r2, $5        # bump
+  mov.w8 [r1], r2
+  cmp.w8 r2, $100
+  jlt done
+  atomic_add.w8 [65536], $1
+done:
+  ret
+}
+|}
+  in
+  let prog = Program.assemble (Asm_text.of_string source) in
+  let m = Machine.create prog in
+  Threadfuser_machine.Memory.store_i64 (Machine.memory m) (0x20000 + 8) 200;
+  let r = Machine.run_workers m ~worker:"worker" ~args:[| [ 0 ]; [ 1 ] |] in
+  ignore r;
+  (* thread 0 read 0 -> writes 5, below 100, jumps over the bump;
+     thread 1 read 200 -> writes 205, falls through and bumps the counter *)
+  let mem = Machine.memory m in
+  Alcotest.(check int) "thread 0 store" 5
+    (Threadfuser_machine.Memory.load_i64 mem 0x20000);
+  Alcotest.(check int) "thread 1 store" 205
+    (Threadfuser_machine.Memory.load_i64 mem (0x20000 + 8));
+  Alcotest.(check int) "counter" 1 (Threadfuser_machine.Memory.load_i64 mem 0x10000)
+
+let test_mem_operand_forms () =
+  let forms =
+    [
+      "[r1]"; "[r1+8]"; "[r1-8]"; "[r2*8]"; "[r1+r2*4]"; "[r1+r2*8+96]";
+      "[4096]"; "[tls+1792]"; "[sp+r3*8]";
+    ]
+  in
+  List.iter
+    (fun form ->
+      let src = Printf.sprintf "func f {\n  mov.w8 r1, %s\n  ret\n}\n" form in
+      let surface = Asm_text.of_string src in
+      (* emit and re-parse: the canonical form must be stable *)
+      let again = Asm_text.of_string (Asm_text.to_string surface) in
+      Alcotest.(check bool) (form ^ " stable") true (surface = again))
+    forms
+
+let test_barrier_and_io_roundtrip () =
+  let src =
+    "func worker {\n  io.in $25\n  barrier $327680\n  io.out $25\n  ret\n}\n"
+  in
+  let surface = Asm_text.of_string src in
+  let prog = Program.assemble surface in
+  Alcotest.(check bool) "assembled" true (Program.func_count prog = 1);
+  Alcotest.(check bool) "round-trips" true (roundtrip_assembled prog)
+
+let test_parse_errors () =
+  let bad source =
+    match Asm_text.of_string source with
+    | exception Asm_text.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("expected parse error for: " ^ source)
+  in
+  bad "func f {\n  frobnicate r1, r2\n}\n";
+  bad "func f {\n  mov.w3 r1, r2\n}\n";
+  bad "func f {\n  mov.w8 r99, r2\n}\n";
+  bad "  mov.w8 r1, r2\n";
+  bad "func f {\n  mov.w8 r1\n}\n";
+  bad "func f {\n  ret\n";
+  bad "}\n"
+
+let test_comments_and_blanks () =
+  let src = "# header\n\nfunc f {\n\n  # only a comment\n  ret\n}\n# trailer\n" in
+  let surface = Asm_text.of_string src in
+  Alcotest.(check int) "one function" 1 (List.length surface);
+  Alcotest.(check int) "one instruction" 1
+    (List.length (List.hd surface).Surface.body)
+
+let test_rtlib_emits_readably () =
+  (* the runtime library exercises locks, TLS addressing and byte loops *)
+  let text = Asm_text.to_string (Rtlib.funcs Rtlib.Glibc) in
+  Alcotest.(check bool) "mentions malloc" true
+    (let re = "func __malloc" in
+     let n = String.length re and h = String.length text in
+     let rec go i = i + n <= h && (String.sub text i n = re || go (i + 1)) in
+     go 0);
+  let back = Asm_text.of_string text in
+  Alcotest.(check int) "same function count" 5 (List.length back)
+
+(* -- instruction-level fuzz: every operand/mnemonic shape round-trips ---- *)
+
+open Threadfuser_isa
+
+let gen_instr =
+  let open QCheck.Gen in
+  let reg_ = map Reg.r (int_bound 13) in
+  let gen_operand_nomem =
+    oneof [ map (fun r -> Operand.Reg r) reg_; map (fun n -> Operand.Imm n) (int_range (-10000) 10000) ]
+  in
+  let gen_mem =
+    let* base = opt reg_ in
+    let* index = opt (pair reg_ (oneofl [ 1; 2; 4; 8 ])) in
+    let* disp = int_range (-4096) 1_000_000 in
+    return (Operand.mem ?base ?index ~disp ())
+  in
+  let gen_operand =
+    frequency [ (3, gen_operand_nomem); (2, map (fun m -> Operand.Mem m) gen_mem) ]
+  in
+  let width = oneofl [ Width.W1; Width.W2; Width.W4; Width.W8 ] in
+  let cond = oneofl [ Cond.Eq; Cond.Ne; Cond.Lt; Cond.Le; Cond.Gt; Cond.Ge ] in
+  let binop =
+    oneofl
+      [ Op.Add; Op.Sub; Op.Mul; Op.Div; Op.Rem; Op.And; Op.Or; Op.Xor; Op.Shl;
+        Op.Shr; Op.Sar; Op.Min; Op.Max; Op.Fadd; Op.Fsub; Op.Fmul; Op.Fdiv ]
+  in
+  let unop = oneofl [ Op.Neg; Op.Not; Op.Fsqrt ] in
+  (* destination/source pair with at most one memory operand *)
+  let dst_src =
+    let* d = gen_operand in
+    let* s = if Operand.is_mem d then gen_operand_nomem else gen_operand in
+    return (d, s)
+  in
+  oneof
+    [
+      (let* w = width and* d, s = dst_src in
+       return (Instr.Mov (w, d, s)));
+      (let* c = cond and* r = reg_ and* s = gen_operand_nomem in
+       return (Instr.Cmov (c, Operand.Reg r, s)));
+      (let* r = reg_ and* m = gen_mem in
+       return (Instr.Lea (r, m)));
+      (let* op = binop and* w = width and* d, s = dst_src in
+       QCheck.Gen.return (Instr.Binop (op, w, d, s)));
+      (let* op = unop and* w = width and* d = gen_operand in
+       return (Instr.Unop (op, w, d)));
+      (let* w = width and* a, b = dst_src in
+       return (Instr.Cmp (w, a, b)));
+      (let* c = cond in return (Instr.Jcc (c, "somewhere")));
+      return (Instr.Jmp "somewhere");
+      return (Instr.Call "callee");
+      return Instr.Ret;
+      return Instr.Halt;
+      (let* o = gen_operand in return (Instr.Lock_acquire o));
+      (let* o = gen_operand in return (Instr.Lock_release o));
+      (let* op = binop and* w = width and* m = gen_mem and* s = gen_operand_nomem in
+       return (Instr.Atomic_rmw (op, w, m, s)));
+      (let* d = oneofl [ Instr.In; Instr.Out ] and* o = gen_operand in
+       return (Instr.Io (d, o)));
+      (let* o = gen_operand in return (Instr.Barrier o));
+    ]
+
+let prop_instr_roundtrip =
+  QCheck.Test.make ~name:"every instruction form round-trips through text"
+    ~count:1000 (QCheck.make gen_instr) (fun instr ->
+      let body =
+        [ Surface.Label "somewhere"; Surface.Ins instr ]
+        @ (if Instr.falls_through instr then [ Surface.Ins Instr.Ret ] else [])
+      in
+      let surface = [ { Surface.name = "callee"; body = [ Surface.Ins Instr.Ret ] };
+                      { Surface.name = "f"; body } ] in
+      let text = Asm_text.to_string surface in
+      Asm_text.of_string text = surface)
+
+let () =
+  Alcotest.run "asm"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "all workloads" `Slow test_roundtrip_all_workloads;
+          Alcotest.test_case "optimized code" `Quick test_roundtrip_optimized;
+          Alcotest.test_case "rtlib" `Quick test_rtlib_emits_readably;
+        ] );
+      ( "parsing",
+        [
+          Alcotest.test_case "handwritten program" `Quick test_parse_handwritten;
+          Alcotest.test_case "memory operand forms" `Quick test_mem_operand_forms;
+          Alcotest.test_case "barrier and io" `Quick test_barrier_and_io_roundtrip;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments" `Quick test_comments_and_blanks;
+          QCheck_alcotest.to_alcotest prop_instr_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,384 @@
+(* Tests for the optimization-level pipelines: semantics preservation across
+   O0..O3 and the structural effects each level is meant to have. *)
+
+open Threadfuser_isa
+open Threadfuser_prog
+module Compiler = Threadfuser_compiler.Compiler
+module Machine = Threadfuser_machine.Machine
+module Memory = Threadfuser_machine.Memory
+module Thread_trace = Threadfuser_trace.Thread_trace
+
+(* -- a small suite of source programs ----------------------------------- *)
+
+let arr = 0x20000
+
+(* r0 = sum of first arg0 elements of a global array, with a branch *)
+let prog_sum_branchy =
+  Build.
+    [
+      func "worker"
+        [
+          mov (reg 1) (imm 0);
+          mov (reg 2) (imm 0);
+          (* acc *)
+          while_ Cond.Lt (reg 1) (reg 0)
+            [
+              mov (reg 3) (mem ~base:1 ~scale:8 ~index:1 ~disp:arr ());
+              if_ Cond.Ge (reg 3) (imm 50)
+                ~then_:[ mov (reg 4) (imm 2) ]
+                ~else_:[ mov (reg 4) (imm 1) ]
+                ();
+              mul (reg 3) (reg 4);
+              add (reg 2) (reg 3);
+              add (reg 1) (imm 1);
+            ];
+          mov (reg 0) (reg 2);
+          ret;
+        ];
+    ]
+
+(* nested call computing a polynomial; exercises calls under O0 *)
+let prog_calls =
+  Build.
+    [
+      func "square" [ mul (reg 0) (reg 0); ret ];
+      func "worker"
+        [
+          mov (reg 6) (reg 0);
+          call "square";
+          add (reg 0) (reg 6);
+          mov (reg 6) (reg 0);
+          call "square";
+          add (reg 0) (reg 6);
+          ret;
+        ];
+    ]
+
+(* store then reload repeatedly (O2 fodder), with widths *)
+let prog_mem_widths =
+  Build.
+    [
+      func "worker"
+        [
+          mov (reg 1) (imm (arr + 64));
+          mov (mem ~base:1 ()) (reg 0);
+          mov (reg 2) (mem ~base:1 ());
+          mov (reg 3) (mem ~base:1 ());
+          add (reg 2) (reg 3);
+          mov (mem ~base:1 ~disp:8 ()) (reg 2) ~w:Width.W4;
+          mov (reg 4) (mem ~base:1 ~disp:8 ()) ~w:Width.W4;
+          mov (reg 0) (reg 4);
+          ret;
+        ];
+    ]
+
+(* a lock-protected shared accumulator *)
+let prog_locked =
+  Build.
+    [
+      func "worker"
+        [
+          lock_acquire (imm 0x30000);
+          mov (reg 1) (imm 0x30100);
+          mov (reg 2) (mem ~base:1 ());
+          add (reg 2) (reg 0);
+          mov (mem ~base:1 ()) (reg 2);
+          lock_release (imm 0x30000);
+          mov (reg 0) (reg 2);
+          ret;
+        ];
+    ]
+
+let suite =
+  [
+    ("sum_branchy", prog_sum_branchy);
+    ("calls", prog_calls);
+    ("mem_widths", prog_mem_widths);
+    ("locked", prog_locked);
+  ]
+
+(* Run a program's "worker" with the given per-thread args on fresh state;
+   return final r0s and a probe region of memory. *)
+let run_levels surface ~setup ~args =
+  List.map
+    (fun level ->
+      let prog = Compiler.compile level surface in
+      let m = Machine.create prog in
+      setup (Machine.memory m);
+      let r = Machine.run_workers m ~worker:"worker" ~args in
+      let regs = Array.map (fun regs -> regs.(Reg.ret)) r.Machine.final_regs in
+      let probe = Memory.load_array64 (Machine.memory m) arr 40 in
+      let shared = Memory.load_i64 (Machine.memory m) 0x30100 in
+      (level, (regs, probe, shared)))
+    Compiler.all_levels
+
+let check_levels_agree name surface ~setup ~args =
+  match run_levels surface ~setup ~args with
+  | [] -> assert false
+  | (_, reference) :: rest ->
+      List.iter
+        (fun (level, result) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s matches O0" name (Compiler.to_string level))
+            true (result = reference))
+        rest
+
+let default_setup mem =
+  let g = Threadfuser_util.Lcg.create 7 in
+  for i = 0 to 63 do
+    Memory.store_i64 mem (arr + (8 * i)) (Threadfuser_util.Lcg.int g 100)
+  done
+
+let test_semantics_fixed () =
+  List.iter
+    (fun (name, surface) ->
+      check_levels_agree name surface ~setup:default_setup
+        ~args:(Array.init 6 (fun i -> [ (i * 7) mod 13 ])))
+    suite
+
+let prop_semantics_random =
+  QCheck.Test.make ~name:"O0..O3 agree on random inputs" ~count:40
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 1 8) (int_bound 20)))
+    (fun (seed, arg_list) ->
+      let args = Array.of_list (List.map (fun a -> [ a ]) arg_list) in
+      let setup mem =
+        let g = Threadfuser_util.Lcg.create seed in
+        for i = 0 to 63 do
+          Memory.store_i64 mem (arr + (8 * i)) (Threadfuser_util.Lcg.int g 100)
+        done
+      in
+      List.for_all
+        (fun (name, surface) ->
+          ignore name;
+          match run_levels surface ~setup ~args with
+          | [] -> false
+          | (_, reference) :: rest -> List.for_all (fun (_, r) -> r = reference) rest)
+        suite)
+
+(* -- structural effects -------------------------------------------------- *)
+
+let count_instrs pred surface level =
+  let prog = Compiler.compile level surface in
+  let n = ref 0 in
+  Array.iter
+    (fun (f : Program.func) ->
+      Array.iter
+        (fun (b : Program.block) -> Array.iter (fun i -> if pred i then incr n) b.Program.instrs)
+        f.Program.blocks)
+    prog.Program.funcs;
+  !n
+
+let is_mem_op (i : (int, int) Instr.t) = Instr.mem_operand_count i > 0
+
+let is_branch (i : (int, int) Instr.t) =
+  match i with Instr.Jcc _ | Instr.Jmp _ -> true | _ -> false
+
+let test_o0_inflates_memory_ops () =
+  let o0 = count_instrs is_mem_op prog_sum_branchy Compiler.O0 in
+  let o1 = count_instrs is_mem_op prog_sum_branchy Compiler.O1 in
+  Alcotest.(check bool) "O0 has more mem ops" true (o0 > 2 * o1)
+
+let test_o2_removes_loads () =
+  let o1 = count_instrs is_mem_op prog_mem_widths Compiler.O1 in
+  let o2 = count_instrs is_mem_op prog_mem_widths Compiler.O2 in
+  Alcotest.(check bool) "O2 removes loads" true (o2 < o1)
+
+let test_o3_removes_branches () =
+  let o1 = count_instrs is_branch prog_sum_branchy Compiler.O1 in
+  let o3 = count_instrs is_branch prog_sum_branchy Compiler.O3 in
+  Alcotest.(check bool)
+    (Printf.sprintf "O3 if-converts (O1=%d O3=%d)" o1 o3)
+    true (o3 < o1)
+
+(* dynamic effect: O0 produces more traced memory accesses *)
+let test_o0_dynamic_traffic () =
+  let traffic level =
+    let prog = Compiler.compile level prog_sum_branchy in
+    let m = Machine.create prog in
+    default_setup (Machine.memory m);
+    let r = Machine.run_workers m ~worker:"worker" ~args:[| [ 10 ] |] in
+    let s = Thread_trace.stats r.Machine.traces.(0) in
+    s.Thread_trace.loads + s.Thread_trace.stores
+  in
+  Alcotest.(check bool) "O0 traffic >> O1" true
+    (traffic Compiler.O0 > 3 * traffic Compiler.O1)
+
+(* O3's unrolling shortens the dynamic block count of a hot loop *)
+let test_o3_unroll_dynamic () =
+  let blocks level =
+    let prog = Compiler.compile level prog_sum_branchy in
+    let m = Machine.create prog in
+    default_setup (Machine.memory m);
+    let r = Machine.run_workers m ~worker:"worker" ~args:[| [ 16 ] |] in
+    (Thread_trace.stats r.Machine.traces.(0)).Thread_trace.blocks
+  in
+  Alcotest.(check bool) "O3 executes fewer blocks" true
+    (blocks Compiler.O3 < blocks Compiler.O1)
+
+(* -- pass-specific edge cases -------------------------------------------- *)
+
+module Ifconv = Threadfuser_compiler.Ifconv
+module Unroll = Threadfuser_compiler.Unroll
+
+let count_in_surface pred surface =
+  List.fold_left
+    (fun acc (f : Surface.func) ->
+      List.fold_left
+        (fun acc item ->
+          match item with
+          | Surface.Ins i when pred i -> acc + 1
+          | _ -> acc)
+        acc f.Surface.body)
+    0 surface
+
+let is_cmov = function Instr.Cmov _ -> true | _ -> false
+
+let test_ifconv_rejects_memory_writes () =
+  (* a store in the then-branch must not be if-converted (it would execute
+     unconditionally) *)
+  let surface =
+    Build.
+      [
+        func "worker"
+          [
+            if_ Cond.Eq (reg 0) (imm 0)
+              ~then_:[ mov (mem ~disp:0x20000 ()) (imm 1) ]
+              ();
+            ret;
+          ];
+      ]
+  in
+  Alcotest.(check int) "no cmov introduced" 0
+    (count_in_surface is_cmov (Ifconv.apply surface))
+
+let test_ifconv_rejects_overlapping_else () =
+  (* else writes a register the then-branch reads: conversion is unsound *)
+  let surface =
+    Build.
+      [
+        func "worker"
+          [
+            mov (reg 2) (imm 7);
+            if_ Cond.Eq (reg 0) (imm 0)
+              ~then_:[ mov (reg 1) (reg 2) ]
+              ~else_:[ mov (reg 2) (imm 9); mov (reg 1) (imm 0) ]
+              ();
+            ret;
+          ];
+      ]
+  in
+  Alcotest.(check int) "rejected" 0
+    (count_in_surface is_cmov (Ifconv.apply surface))
+
+let test_ifconv_accepts_simple_diamond () =
+  let surface =
+    Build.
+      [
+        func "worker"
+          [
+            if_ Cond.Eq (reg 0) (imm 0)
+              ~then_:[ mov (reg 1) (imm 1) ]
+              ~else_:[ mov (reg 1) (imm 2) ]
+              ();
+            mov (reg 0) (reg 1);
+            ret;
+          ];
+      ]
+  in
+  let converted = Ifconv.apply surface in
+  Alcotest.(check bool) "cmov introduced" true
+    (count_in_surface is_cmov converted > 0);
+  (* and it still computes the same thing *)
+  List.iter
+    (fun arg ->
+      let run surf =
+        let m = Machine.create (Program.assemble surf) in
+        Machine.run_func m ~fn:"worker" ~args:[ arg ]
+      in
+      Alcotest.(check int) "same result" (run surface) (run converted))
+    [ 0; 1 ]
+
+let test_unroll_requires_private_head () =
+  (* a loop head that is also a jump target from elsewhere must not be
+     unrolled *)
+  let body =
+    Build.(
+      seq
+        [
+          mov (reg 1) (imm 0);
+          jmp "head";
+          label "head";
+          cmp (reg 1) (imm 4);
+          jcc Cond.Ge "end";
+          add (reg 1) (imm 1);
+          jmp "head";
+          label "end";
+          ret;
+        ])
+  in
+  let surface = [ { Surface.name = "worker"; body } ] in
+  let before = count_in_surface (fun i -> Instr.is_terminator i) surface in
+  let after = count_in_surface (fun i -> Instr.is_terminator i) (Unroll.apply surface) in
+  Alcotest.(check int) "unchanged" before after
+
+let test_unroll_preserves_iteration_count () =
+  let surface =
+    Build.
+      [
+        func "worker"
+          [
+            mov (reg 0) (imm 0);
+            mov (reg 1) (imm 0);
+            seq
+              [
+                while_ Cond.Lt (reg 1) (imm 10)
+                  [ add (reg 0) (reg 1); add (reg 1) (imm 1) ];
+              ];
+            ret;
+          ];
+      ]
+  in
+  let run surf =
+    let m = Machine.create (Program.assemble surf) in
+    Machine.run_func m ~fn:"worker" ~args:[]
+  in
+  let unrolled = Unroll.apply surface in
+  Alcotest.(check int) "sum preserved" (run surface) (run unrolled);
+  (* the unrolled version executes fewer blocks *)
+  let blocks surf =
+    let m = Machine.create (Program.assemble surf) in
+    let r = Machine.run_workers m ~worker:"worker" ~args:[| [] |] in
+    (Thread_trace.stats r.Machine.traces.(0)).Thread_trace.blocks
+  in
+  Alcotest.(check bool) "fewer blocks" true (blocks unrolled < blocks surface)
+
+let () =
+  Alcotest.run "compiler"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "fixed inputs" `Quick test_semantics_fixed;
+          QCheck_alcotest.to_alcotest prop_semantics_random;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "O0 memory ops" `Quick test_o0_inflates_memory_ops;
+          Alcotest.test_case "O2 load elim" `Quick test_o2_removes_loads;
+          Alcotest.test_case "O3 if-conversion" `Quick test_o3_removes_branches;
+          Alcotest.test_case "O0 dynamic traffic" `Quick test_o0_dynamic_traffic;
+          Alcotest.test_case "O3 unroll dynamic" `Quick test_o3_unroll_dynamic;
+        ] );
+      ( "pass edges",
+        [
+          Alcotest.test_case "ifconv rejects stores" `Quick
+            test_ifconv_rejects_memory_writes;
+          Alcotest.test_case "ifconv rejects overlap" `Quick
+            test_ifconv_rejects_overlapping_else;
+          Alcotest.test_case "ifconv accepts diamond" `Quick
+            test_ifconv_accepts_simple_diamond;
+          Alcotest.test_case "unroll private head" `Quick
+            test_unroll_requires_private_head;
+          Alcotest.test_case "unroll preserves" `Quick
+            test_unroll_preserves_iteration_count;
+        ] );
+    ]

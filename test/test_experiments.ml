@@ -1,0 +1,216 @@
+(* Guard rails for the paper's headline claims: run the experiment modules
+   and assert the qualitative results EXPERIMENTS.md reports, so a
+   regression in any substrate (machine, compiler, emulator, simulators)
+   that silently bends a figure fails CI. *)
+
+module E = Threadfuser_experiments
+module W = Threadfuser_workloads.Workload
+module Registry = Threadfuser_workloads.Registry
+module Compiler = Threadfuser_compiler.Compiler
+open Threadfuser
+
+let ctx = E.Ctx.create ()
+
+let test_fig1_monotone_and_banded () =
+  let rows = E.Fig1.series ctx in
+  Alcotest.(check int) "36 rows" 36 (List.length rows);
+  List.iter
+    (fun (r : E.Fig1.row) ->
+      match List.map snd r.E.Fig1.eff with
+      | [ e8; e16; e32 ] ->
+          Alcotest.(check bool)
+            (r.E.Fig1.workload ^ " monotone in width")
+            true
+            (e8 >= e16 -. 1e-9 && e16 >= e32 -. 1e-9)
+      | _ -> Alcotest.fail "expected three widths")
+    rows
+
+let test_fig5_claims () =
+  let stats = E.Fig5.per_level (E.Fig5.samples ctx) in
+  let find l = List.find (fun (s : E.Fig5.level_stats) -> s.E.Fig5.level = l) stats in
+  let o0 = find Compiler.O0 and o1 = find Compiler.O1 in
+  Alcotest.(check bool) "O1 efficiency correlates" true (o1.E.Fig5.eff_corr > 0.95);
+  Alcotest.(check bool) "O1 efficiency MAE small" true (o1.E.Fig5.eff_mae < 0.05);
+  Alcotest.(check bool) "O1 memory correlates" true (o1.E.Fig5.txn_corr > 0.9);
+  Alcotest.(check bool) "O1 memory MAE reasonable" true (o1.E.Fig5.txn_mape < 0.3);
+  Alcotest.(check bool) "O0 inflates transactions" true
+    (o0.E.Fig5.txn_mape > 5.0 *. o1.E.Fig5.txn_mape)
+
+let test_fig5_o3_overestimates_streamcluster () =
+  (* the concrete O3 overestimate the paper describes: gcc if-converts the
+     running-minimum diamond the GPU binary keeps *)
+  let s = E.Fig5.samples ctx in
+  let find level =
+    List.find
+      (fun (x : E.Fig5.sample) ->
+        x.E.Fig5.workload = "streamcluster" && x.E.Fig5.level = level)
+      s
+  in
+  let o1 = find Compiler.O1 and o3 = find Compiler.O3 in
+  Alcotest.(check bool) "O3 predicted above hardware" true
+    (o3.E.Fig5.predicted_eff > o3.E.Fig5.hardware_eff +. 0.005);
+  Alcotest.(check bool) "O1 tighter than O3 here" true
+    (abs_float (o1.E.Fig5.predicted_eff -. o1.E.Fig5.hardware_eff)
+    < abs_float (o3.E.Fig5.predicted_eff -. o3.E.Fig5.hardware_eff))
+
+let test_fig8_claims () =
+  let rows = E.Fig8.series ctx in
+  let geomean = E.Fig8.geomean_traced rows in
+  Alcotest.(check int) "13 services" 13 (List.length rows);
+  Alcotest.(check bool) "geomean traced majority" true (geomean > 0.6);
+  (* leaf compute services are almost fully traced *)
+  let traced name =
+    (List.find (fun (r : E.Fig8.row) -> r.E.Fig8.workload = name) rows).E.Fig8.traced
+  in
+  Alcotest.(check bool) "hdsearch-leaf mostly traced" true (traced "hdsearch-leaf" > 0.9);
+  Alcotest.(check bool) "relay tier skips more" true
+    (traced "mcrouter-mid" < traced "hdsearch-leaf")
+
+let test_fig9_claims () =
+  let rows = E.Fig9.series ctx in
+  List.iter
+    (fun (r : E.Fig9.row) ->
+      Alcotest.(check bool)
+        (r.E.Fig9.workload ^ ": locks never increase efficiency")
+        true
+        (r.E.Fig9.eff_locks <= r.E.Fig9.eff_nolocks +. 1e-9))
+    rows;
+  let find name = List.find (fun (r : E.Fig9.row) -> r.E.Fig9.workload = name) rows in
+  Alcotest.(check bool) "coarse-locked uniqueid collapses" true
+    ((find "uniqueid").E.Fig9.eff_nolocks -. (find "uniqueid").E.Fig9.eff_locks > 0.3);
+  Alcotest.(check bool) "fine-grained textsearch unaffected" true
+    (abs_float
+       ((find "textsearch-leaf").E.Fig9.eff_nolocks
+       -. (find "textsearch-leaf").E.Fig9.eff_locks)
+    < 0.01)
+
+let test_fig10_claims () =
+  let rows = E.Fig10.series ctx in
+  (* private stacks and scattered heap chunks defeat coalescing *)
+  let find name = List.find (fun (r : E.Fig10.row) -> r.E.Fig10.workload = name) rows in
+  let post = find "post" in
+  Alcotest.(check bool) "post heap divergent" true
+    (post.E.Fig10.heap.Metrics.txns_per_instr > 8.0);
+  Alcotest.(check bool) "post stack divergent" true
+    (post.E.Fig10.stack.Metrics.txns_per_instr > 8.0)
+
+let test_fig6_shape () =
+  let rows, corr = E.Fig6.run ctx in
+  let speedup name =
+    (List.find (fun (r : E.Fig6.row) -> r.E.Fig6.workload = name) rows)
+      .E.Fig6.speedup_tf
+  in
+  Alcotest.(check bool) "coalesced microbenchmark wins" true
+    (speedup "vectoradd" > 5.0);
+  Alcotest.(check bool) "pigz loses" true (speedup "pigz" < 1.0);
+  Alcotest.(check bool) "vectoradd beats pigz" true
+    (speedup "vectoradd" > 10.0 *. speedup "pigz");
+  Alcotest.(check bool) "projection correlates with CUDA series" true (corr > 0.9)
+
+let test_table1_catalog () =
+  let t = E.Table1.build ctx in
+  Alcotest.(check bool) "renders with 36 rows" true
+    (let csv = Threadfuser_report.Table.to_csv t in
+     List.length (String.split_on_char '\n' csv) >= 37)
+
+let test_dot_export () =
+  let w = Registry.find "bfs" in
+  let tr = W.trace_cpu w in
+  let dcfgs = Threadfuser_cfg.Dcfg.of_traces tr.W.prog tr.W.traces in
+  let ip = Threadfuser_cfg.Ipdom.compute dcfgs.(0) in
+  let dot = Threadfuser_cfg.Dot.to_string tr.W.prog dcfgs.(0) (Some ip) in
+  let contains needle =
+    let n = String.length needle and h = String.length dot in
+    let rec go i = i + n <= h && (String.sub dot i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains "digraph");
+  Alcotest.(check bool) "has edges" true (contains "->");
+  Alcotest.(check bool) "has reconv edges" true (contains "reconv");
+  Alcotest.(check bool) "has exit" true (contains "exit")
+
+let test_per_warp_consistency () =
+  let r = W.analyze (Registry.find "bfs") in
+  let rep = r.Analyzer.report in
+  Alcotest.(check int) "warp count" rep.Metrics.n_warps
+    (List.length rep.Metrics.per_warp);
+  Alcotest.(check int) "issues add up" rep.Metrics.issues
+    (List.fold_left (fun acc (w : Metrics.warp_stat) -> acc + w.Metrics.warp_issues) 0
+       rep.Metrics.per_warp);
+  Alcotest.(check int) "instrs add up" rep.Metrics.thread_instrs
+    (List.fold_left (fun acc (w : Metrics.warp_stat) -> acc + w.Metrics.warp_instrs) 0
+       rep.Metrics.per_warp)
+
+let test_scaling_claim () =
+  let rows = E.Scaling.series ctx in
+  List.iter
+    (fun (r : E.Scaling.row) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s spread %.1f%% <= 8 points" r.E.Scaling.workload
+           (100. *. r.E.Scaling.spread))
+        true
+        (r.E.Scaling.spread <= 0.08))
+    rows
+
+let test_hot_blocks () =
+  let r = W.analyze (Registry.find "pigz") in
+  let hot = r.Analyzer.report.Metrics.hot_blocks in
+  Alcotest.(check bool) "some hot blocks" true (List.length hot > 0);
+  Alcotest.(check bool) "at most ten" true (List.length hot <= 10);
+  (* ranked by wasted issue slots, descending *)
+  let wasted (b : Metrics.block_stat) =
+    (b.Metrics.block_issues * 32) - b.Metrics.block_instrs
+  in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> wasted a >= wasted b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted hot);
+  List.iter
+    (fun (b : Metrics.block_stat) ->
+      Alcotest.(check bool) "divergent" true (b.Metrics.block_efficiency < 0.9))
+    hot;
+  (* a perfectly uniform workload reports no hot blocks *)
+  let u = W.analyze (Registry.find "md5") in
+  Alcotest.(check int) "uniform has none" 0
+    (List.length u.Analyzer.report.Metrics.hot_blocks)
+
+let test_serialize_all_pessimistic () =
+  let eff sync =
+    (W.analyze ~options:{ Analyzer.default_options with sync }
+       (Registry.find "mcrouter-memcached"))
+      .Analyzer.report
+      .Metrics.simt_efficiency
+  in
+  let conflicting = eff Emulator.Serialize in
+  let all = eff Emulator.Serialize_all in
+  let ignored = eff Emulator.Ignore_sync in
+  Alcotest.(check bool) "whole-warp <= conflicting-only" true
+    (all <= conflicting +. 1e-9);
+  Alcotest.(check bool) "conflicting-only <= ignored" true
+    (conflicting <= ignored +. 1e-9)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "paper claims",
+        [
+          Alcotest.test_case "fig1 monotone" `Slow test_fig1_monotone_and_banded;
+          Alcotest.test_case "fig5 correlation" `Slow test_fig5_claims;
+          Alcotest.test_case "fig5 O3 overestimate" `Slow
+            test_fig5_o3_overestimates_streamcluster;
+          Alcotest.test_case "fig8 traced share" `Slow test_fig8_claims;
+          Alcotest.test_case "fig9 lock impact" `Slow test_fig9_claims;
+          Alcotest.test_case "fig10 segments" `Slow test_fig10_claims;
+          Alcotest.test_case "fig6 speedup shape" `Slow test_fig6_shape;
+          Alcotest.test_case "table1 catalog" `Quick test_table1_catalog;
+        ] );
+      ( "features",
+        [
+          Alcotest.test_case "dot export" `Quick test_dot_export;
+          Alcotest.test_case "per-warp stats" `Quick test_per_warp_consistency;
+          Alcotest.test_case "serialize-all" `Quick test_serialize_all_pessimistic;
+          Alcotest.test_case "scaling claim" `Slow test_scaling_claim;
+          Alcotest.test_case "hot blocks" `Quick test_hot_blocks;
+        ] );
+    ]

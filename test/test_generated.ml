@@ -1,0 +1,261 @@
+(* Generative pipeline testing: random structured programs (nested
+   data-dependent branches and loops, memory traffic, atomics) run through
+   machine -> trace -> analyzer under many configurations, checking the
+   invariants that must hold for *every* program:
+
+   - instruction conservation: the analyzer accounts exactly the
+     instructions the machine executed;
+   - efficiency bounds: 0 < efficiency <= 1, and exactly 1 at warp size 1;
+   - batching invariance: warp formation may change efficiency but never
+     the total instruction count;
+   - determinism: identical runs produce identical reports. *)
+
+open Threadfuser_isa
+open Threadfuser_prog
+open Threadfuser
+module Machine = Threadfuser_machine.Machine
+module Memory = Threadfuser_machine.Memory
+module Thread_trace = Threadfuser_trace.Thread_trace
+module Lcg = Threadfuser_util.Lcg
+
+let data_region = 0x20000
+
+let scratch_region = 0x80000
+
+(* ---- random structured program generator ------------------------------ *)
+(* Value registers r1..r5 hold arbitrary data; r6..r9 are loop counters
+   (one per nesting depth); r0 is the thread id.  Memory indices are
+   masked to the data region so every program is safe. *)
+
+let value_reg g = 1 + Lcg.int g 5
+
+let gen_operand g =
+  if Lcg.chance g 1 2 then Build.reg (value_reg g)
+  else Build.imm (Lcg.int g 100 - 50)
+
+let gen_cond g =
+  match Lcg.int g 6 with
+  | 0 -> Cond.Eq
+  | 1 -> Cond.Ne
+  | 2 -> Cond.Lt
+  | 3 -> Cond.Le
+  | 4 -> Cond.Gt
+  | _ -> Cond.Ge
+
+let gen_binop g =
+  match Lcg.int g 8 with
+  | 0 -> Op.Add
+  | 1 -> Op.Sub
+  | 2 -> Op.Mul
+  | 3 -> Op.Xor
+  | 4 -> Op.And
+  | 5 -> Op.Or
+  | 6 -> Op.Min
+  | _ -> Op.Max
+
+(* index = (reg masked) * 8 + region, materialized into r13 *)
+let gen_address g region =
+  Build.(
+    seq
+      [
+        mov (reg 13) (reg (value_reg g));
+        and_ (reg 13) (imm 1023);
+        shl (reg 13) (imm 3);
+        add (reg 13) (imm region);
+      ])
+
+let rec gen_stmt g depth : Build.code =
+  let open Build in
+  match Lcg.int g (if depth >= 3 then 6 else 10) with
+  | 0 | 1 -> binop (gen_binop g) (reg (value_reg g)) (gen_operand g)
+  | 2 ->
+      (* load from the data region *)
+      seq [ gen_address g data_region; mov (reg (value_reg g)) (mem ~base:13 ()) ]
+  | 3 ->
+      (* store to the scratch region *)
+      seq [ gen_address g scratch_region; mov (mem ~base:13 ()) (reg (value_reg g)) ]
+  | 4 ->
+      seq
+        [
+          gen_address g scratch_region;
+          atomic_rmw Op.Add (mem ~base:13 ()) (imm (Lcg.int g 10));
+        ]
+  | 5 -> mov (reg (value_reg g)) (gen_operand g)
+  | 6 | 7 ->
+      (* data-dependent branch *)
+      let then_ = gen_body g (depth + 1) in
+      if Lcg.chance g 1 2 then
+        if_ (gen_cond g) (reg (value_reg g)) (gen_operand g) ~then_ ()
+      else
+        if_ (gen_cond g) (reg (value_reg g)) (gen_operand g) ~then_
+          ~else_:(gen_body g (depth + 1))
+          ()
+  | _ ->
+      (* bounded counted loop whose trip count is data-dependent *)
+      let counter = 6 + depth in
+      let body = gen_body g (depth + 1) in
+      seq
+        [
+          mov (reg 12) (reg (value_reg g));
+          and_ (reg 12) (imm 7);
+          for_up ~i:counter ~from_:(imm 0) ~below:(reg 12) body;
+        ]
+
+and gen_body g depth : Build.code list =
+  List.init (1 + Lcg.int g 3) (fun _ -> gen_stmt g depth)
+
+let gen_program seed =
+  let g = Lcg.create seed in
+  let body =
+    Build.(
+      [
+        (* seed the value registers from the thread id and the data region *)
+        mov (reg 1) (reg 0);
+        mov (reg 2) (mem ~scale:8 ~index:0 ~disp:data_region ());
+        mov (reg 3) (reg 0);
+        mul (reg 3) (imm 2654435761);
+        mov (reg 4) (imm 7);
+        mov (reg 5) (reg 2);
+      ]
+      @ gen_body g 0
+      @ [ ret ])
+  in
+  Program.assemble [ Build.func "worker" body ]
+
+let trace_one seed ~threads =
+  let prog = gen_program seed in
+  let m = Machine.create prog in
+  let g = Lcg.create (seed * 31) in
+  for i = 0 to 1023 do
+    Memory.store_i64 (Machine.memory m) (data_region + (8 * i)) (Lcg.int g 1000)
+  done;
+  let r =
+    Machine.run_workers m ~worker:"worker" ~args:(Array.init threads (fun i -> [ i ]))
+  in
+  (prog, r.Machine.traces)
+
+let traced_total traces =
+  Array.fold_left
+    (fun acc t -> acc + (Thread_trace.stats t).Thread_trace.traced_instrs)
+    0 traces
+
+let prop_conservation =
+  QCheck.Test.make ~name:"random programs: analyzer conserves instructions"
+    ~count:60
+    QCheck.(pair small_int (int_range 1 24))
+    (fun (seed, threads) ->
+      let prog, traces = trace_one seed ~threads in
+      let r = Analyzer.analyze prog traces in
+      r.Analyzer.report.Metrics.thread_instrs = traced_total traces)
+
+let prop_efficiency_bounds =
+  QCheck.Test.make ~name:"random programs: efficiency bounds" ~count:60
+    QCheck.(triple small_int (int_range 1 24) (int_range 0 4))
+    (fun (seed, threads, wexp) ->
+      let warp_size = 1 lsl wexp in
+      let prog, traces = trace_one seed ~threads in
+      let r =
+        Analyzer.analyze ~options:{ Analyzer.default_options with warp_size }
+          prog traces
+      in
+      let e = r.Analyzer.report.Metrics.simt_efficiency in
+      e > 0.0 && e <= 1.0 +. 1e-9)
+
+let prop_warp1_perfect =
+  QCheck.Test.make ~name:"random programs: warp size 1 is always perfect"
+    ~count:40
+    QCheck.(pair small_int (int_range 1 12))
+    (fun (seed, threads) ->
+      let prog, traces = trace_one seed ~threads in
+      let r =
+        Analyzer.analyze ~options:{ Analyzer.default_options with warp_size = 1 }
+          prog traces
+      in
+      abs_float (r.Analyzer.report.Metrics.simt_efficiency -. 1.0) < 1e-9)
+
+let prop_batching_invariance =
+  QCheck.Test.make
+    ~name:"random programs: batching never changes instruction totals"
+    ~count:40
+    QCheck.(pair small_int (int_range 2 24))
+    (fun (seed, threads) ->
+      let prog, traces = trace_one seed ~threads in
+      let totals =
+        List.map
+          (fun batching ->
+            (Analyzer.analyze
+               ~options:{ Analyzer.default_options with batching; warp_size = 8 }
+               prog traces)
+              .Analyzer.report
+              .Metrics.thread_instrs)
+          Batching.all
+      in
+      match totals with
+      | t :: rest -> List.for_all (fun x -> x = t) rest
+      | [] -> false)
+
+let prop_lane_permutation_invariance =
+  (* relabeling the lanes inside a warp must not change warp-level totals:
+     the SIMT stack's accounting is order-free over the same thread set *)
+  QCheck.Test.make ~name:"random programs: lane order within a warp is irrelevant"
+    ~count:40
+    QCheck.(triple small_int (int_range 2 8) small_int)
+    (fun (seed, threads, perm_seed) ->
+      let prog, traces = trace_one seed ~threads in
+      let options = { Analyzer.default_options with warp_size = 8 } in
+      let base = (Analyzer.analyze ~options prog traces).Analyzer.report in
+      (* permute the traces (all threads fit in one 8-wide warp) *)
+      let permuted = Array.copy traces in
+      Lcg.shuffle (Lcg.create perm_seed) permuted;
+      let permuted =
+        Array.map
+          (fun (t : Threadfuser_trace.Thread_trace.t) -> t)
+          permuted
+      in
+      let shuffled = (Analyzer.analyze ~options prog permuted).Analyzer.report in
+      base.Metrics.issues = shuffled.Metrics.issues
+      && base.Metrics.thread_instrs = shuffled.Metrics.thread_instrs
+      && base.Metrics.total_mem_txns = shuffled.Metrics.total_mem_txns)
+
+let test_mismatched_traces_rejected () =
+  (* feeding one program's traces into another program's analysis must be
+     a clean, diagnosable error *)
+  let prog_a, traces_a = trace_one 1 ~threads:4 in
+  let prog_b, _ = trace_one 999 ~threads:4 in
+  ignore prog_a;
+  match Analyzer.analyze prog_b traces_a with
+  | exception Emulator.Emulation_error _ -> ()
+  | exception _ -> () (* any structured failure is acceptable, not a crash *)
+  | r ->
+      (* the two random programs could coincidentally share block structure;
+         accept a successful run only if it conserves instructions *)
+      Alcotest.(check int) "coincidental match conserves"
+        (traced_total traces_a) r.Analyzer.report.Metrics.thread_instrs
+
+let prop_determinism =
+  QCheck.Test.make ~name:"random programs: replay is deterministic" ~count:30
+    QCheck.(pair small_int (int_range 1 16))
+    (fun (seed, threads) ->
+      let run () =
+        let prog, traces = trace_one seed ~threads in
+        let r = Analyzer.analyze prog traces in
+        ( r.Analyzer.report.Metrics.issues,
+          r.Analyzer.report.Metrics.thread_instrs,
+          r.Analyzer.report.Metrics.total_mem_txns )
+      in
+      run () = run ())
+
+let () =
+  Alcotest.run "generated"
+    [
+      ( "pipeline invariants",
+        [
+          QCheck_alcotest.to_alcotest prop_conservation;
+          QCheck_alcotest.to_alcotest prop_efficiency_bounds;
+          QCheck_alcotest.to_alcotest prop_warp1_perfect;
+          QCheck_alcotest.to_alcotest prop_batching_invariance;
+          QCheck_alcotest.to_alcotest prop_determinism;
+          QCheck_alcotest.to_alcotest prop_lane_permutation_invariance;
+          Alcotest.test_case "mismatched traces" `Quick test_mismatched_traces_rejected;
+        ] );
+    ]

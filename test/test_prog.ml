@@ -1,0 +1,171 @@
+(* Tests for the builder DSL and the assembler. *)
+
+open Threadfuser_isa
+open Threadfuser_prog
+
+let assemble_one body = Program.assemble [ Build.func "f" body ]
+
+let test_block_splitting () =
+  let prog =
+    assemble_one
+      Build.
+        [
+          mov (reg 1) (imm 0);
+          label "loop";
+          add (reg 1) (imm 1);
+          cmp (reg 1) (imm 10);
+          jcc Cond.Lt "loop";
+          ret;
+        ]
+  in
+  let f = Program.func prog 0 in
+  (* entry [mov] | loop [add; cmp; jcc] | [ret] *)
+  Alcotest.(check int) "block count" 3 (Program.block_count f);
+  Alcotest.(check int) "entry size" 1 (Array.length f.Program.blocks.(0).Program.instrs);
+  Alcotest.(check int) "loop size" 3 (Array.length f.Program.blocks.(1).Program.instrs);
+  Alcotest.(check (list int)) "entry succs" [ 1 ] (Program.block_succs f 0);
+  Alcotest.(check (list int)) "loop succs" [ 1; 2 ] (Program.block_succs f 1);
+  Alcotest.(check (list int)) "ret succs" [] (Program.block_succs f 2)
+
+let test_call_splits_block () =
+  let prog =
+    Program.assemble
+      [
+        Build.func "callee" Build.[ mov (reg 0) (imm 1); ret ];
+        Build.func "caller"
+          Build.[ mov (reg 1) (imm 0); call "callee"; add (reg 1) (reg 0); ret ];
+      ]
+  in
+  let caller = Program.func prog (Program.find_func prog "caller") in
+  (* [mov; call] | [add] | [ret]  -- add;ret separated? add is not a
+     terminator so block is [add; ret]?  No: ret is a terminator ending the
+     same block, so blocks are [mov;call] [add;ret]. *)
+  Alcotest.(check int) "caller blocks" 2 (Program.block_count caller);
+  Alcotest.(check int) "first block len" 2
+    (Array.length caller.Program.blocks.(0).Program.instrs)
+
+let test_lock_splits_block () =
+  let prog =
+    assemble_one
+      Build.
+        [
+          lock_acquire (imm 0x100);
+          add (reg 1) (imm 1);
+          lock_release (imm 0x100);
+          ret;
+        ]
+  in
+  let f = Program.func prog 0 in
+  Alcotest.(check int) "blocks" 3 (Program.block_count f)
+
+let test_if_else_shape () =
+  let prog =
+    assemble_one
+      Build.
+        [
+          if_ Cond.Eq (reg 0) (imm 0)
+            ~then_:[ mov (reg 1) (imm 10) ]
+            ~else_:[ mov (reg 1) (imm 20) ]
+            ();
+          ret;
+        ]
+  in
+  let f = Program.func prog 0 in
+  (* cond block, then block, else block, join(ret) *)
+  Alcotest.(check int) "blocks" 4 (Program.block_count f);
+  Alcotest.(check (list int)) "diamond" [ 2; 1 ] (Program.block_succs f 0)
+
+let test_undefined_label () =
+  match assemble_one Build.[ jmp "nowhere"; ret ] with
+  | exception Program.Assembly_error _ -> ()
+  | _ -> Alcotest.fail "expected Assembly_error"
+
+let test_undefined_function () =
+  match assemble_one Build.[ call "ghost"; ret ] with
+  | exception Program.Assembly_error _ -> ()
+  | _ -> Alcotest.fail "expected Assembly_error"
+
+let test_duplicate_function () =
+  match
+    Program.assemble [ Build.func "f" Build.[ ret ]; Build.func "f" Build.[ ret ] ]
+  with
+  | exception Program.Assembly_error _ -> ()
+  | _ -> Alcotest.fail "expected Assembly_error"
+
+let test_fallthrough_off_end () =
+  match assemble_one Build.[ mov (reg 1) (imm 0) ] with
+  | exception Program.Assembly_error _ -> ()
+  | _ -> Alcotest.fail "expected Assembly_error"
+
+let test_two_memory_operands_rejected () =
+  let m = Build.mem ~base:1 () in
+  match
+    assemble_one
+      [ [ Surface.Ins (Instr.Mov (Width.W8, m, m)) ]; [ Surface.Ins Instr.Ret ] ]
+  with
+  | exception Program.Assembly_error _ -> ()
+  | _ -> Alcotest.fail "expected Assembly_error"
+
+let test_duplicate_label () =
+  match assemble_one Build.[ label "a"; mov (reg 1) (imm 0); label "a"; ret ] with
+  | exception Program.Assembly_error _ -> ()
+  | _ -> Alcotest.fail "expected Assembly_error"
+
+let test_consecutive_labels_alias () =
+  let prog =
+    assemble_one
+      Build.
+        [
+          mov (reg 1) (imm 0);
+          jmp "a";
+          label "a";
+          label "b";
+          add (reg 1) (imm 1);
+          ret;
+        ]
+  in
+  let f = Program.func prog 0 in
+  Alcotest.(check int) "blocks" 2 (Program.block_count f);
+  Alcotest.(check (list int)) "jmp target" [ 1 ] (Program.block_succs f 0)
+
+let test_instr_counts () =
+  let prog =
+    assemble_one Build.[ mov (reg 1) (imm 0); add (reg 1) (imm 2); ret ]
+  in
+  Alcotest.(check int) "instrs" 3 (Program.total_instr_count prog)
+
+let test_structured_while_terminates_shape () =
+  let prog =
+    assemble_one
+      Build.
+        [
+          seq [ while_ Cond.Lt (reg 1) (imm 4) [ add (reg 1) (imm 1) ] ];
+          ret;
+        ]
+  in
+  let f = Program.func prog 0 in
+  (* head [cmp; jcc] | body [add; jmp] | exit [ret] *)
+  Alcotest.(check int) "blocks" 3 (Program.block_count f)
+
+let () =
+  Alcotest.run "prog"
+    [
+      ( "assembler",
+        [
+          Alcotest.test_case "block splitting" `Quick test_block_splitting;
+          Alcotest.test_case "call splits" `Quick test_call_splits_block;
+          Alcotest.test_case "lock splits" `Quick test_lock_splits_block;
+          Alcotest.test_case "if/else diamond" `Quick test_if_else_shape;
+          Alcotest.test_case "undefined label" `Quick test_undefined_label;
+          Alcotest.test_case "undefined function" `Quick test_undefined_function;
+          Alcotest.test_case "duplicate function" `Quick test_duplicate_function;
+          Alcotest.test_case "fallthrough off end" `Quick test_fallthrough_off_end;
+          Alcotest.test_case "two mem operands" `Quick
+            test_two_memory_operands_rejected;
+          Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+          Alcotest.test_case "label aliasing" `Quick test_consecutive_labels_alias;
+          Alcotest.test_case "instr counts" `Quick test_instr_counts;
+          Alcotest.test_case "while shape" `Quick
+            test_structured_while_terminates_shape;
+        ] );
+    ]

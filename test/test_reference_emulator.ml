@@ -1,0 +1,332 @@
+(* Differential testing of the warp emulator against an independently
+   written reference implementation of the same SIMT-stack semantics.
+
+   The production emulator (lib/core/emulator.ml) uses an explicit mutable
+   stack with in-place mask updates, scalar critical-section replay and
+   fused bookkeeping.  The reference below is a direct structural
+   recursion: "run these lanes from their current positions until each
+   reaches [reconv]", recomputing groups functionally at every step and
+   ignoring everything but issue/instruction counts.  Agreement on both
+   counts across randomly generated divergent programs — including
+   bucketed-lock critical sections and calls — and across real Table I
+   workloads gives high confidence in the production bookkeeping. *)
+
+open Threadfuser_isa
+open Threadfuser_prog
+open Threadfuser
+module Machine = Threadfuser_machine.Machine
+module Memory = Threadfuser_machine.Memory
+module Dcfg = Threadfuser_cfg.Dcfg
+module Ipdom = Threadfuser_cfg.Ipdom
+module Lcg = Threadfuser_util.Lcg
+
+(* ---- the reference: recursive region execution ------------------------- *)
+
+exception Reference_stuck of string
+
+let reference_counts prog ipdoms (traces : Threadfuser_trace.Thread_trace.t array)
+    tids =
+  let cursors = Array.map (fun tid -> Cursor.of_trace traces.(tid)) tids in
+  let issues = ref 0 and instrs = ref 0 in
+  let exit_node fid =
+    Array.length (Program.func prog fid).Program.blocks
+  in
+  let block_len fid bid =
+    Array.length (Program.func prog fid).Program.blocks.(bid).Program.instrs
+  in
+  (* current node of a lane within [func]: its next block, or the exit *)
+  let node_of func lane =
+    match Cursor.peek cursors.(lane) with
+    | Cursor.C_block { func = f; block; _ } when f = func -> block
+    | Cursor.C_ret | Cursor.C_end -> exit_node func
+    | Cursor.C_call _ -> -2 (* handled by the caller *)
+    | _ -> raise (Reference_stuck "unexpected control at node_of")
+  in
+  (* scalar replay of one lane's critical section, counting one-lane
+     issues, until the matching unlock *)
+  let rec scalar_cs lane addr =
+    match Cursor.next cursors.(lane) with
+    | Cursor.C_block { func; block; _ } ->
+        let n = block_len func block in
+        issues := !issues + n;
+        instrs := !instrs + n;
+        scalar_cs lane addr
+    | Cursor.C_call _ | Cursor.C_ret | Cursor.C_lock _ | Cursor.C_barrier _ ->
+        scalar_cs lane addr
+    | Cursor.C_unlock a -> if a = addr then () else scalar_cs lane addr
+    | Cursor.C_end -> raise (Reference_stuck "trace ended inside CS")
+  in
+  (* run [lanes] (all at the same node of [func]) until they reach
+     [reconv]; lanes move strictly forward through their traces *)
+  let rec run_region func lanes reconv =
+    match lanes with
+    | [] -> ()
+    | lane0 :: _ -> (
+        let here = node_of func lane0 in
+        if here = reconv then ()
+        else begin
+          (* every lane must agree (they are in lockstep at this node) *)
+          List.iter
+            (fun l ->
+              if node_of func l <> here then
+                raise (Reference_stuck "lanes disagree at region head"))
+            lanes;
+          if here = exit_node func then
+            raise (Reference_stuck "reached exit before reconv")
+          else begin
+            let n = block_len func here in
+            issues := !issues + n;
+            instrs := !instrs + (n * List.length lanes);
+            List.iter (fun l -> Cursor.advance cursors.(l)) lanes;
+            (* follow-up control, uniform by construction *)
+            match Cursor.peek cursors.(List.hd lanes) with
+            | Cursor.C_lock _ ->
+                (* consume the acquires; serialize same-lock groups *)
+                let addrs =
+                  List.map
+                    (fun l ->
+                      match Cursor.next cursors.(l) with
+                      | Cursor.C_lock a -> (l, a)
+                      | _ -> raise (Reference_stuck "expected lock"))
+                    lanes
+                in
+                let by_addr =
+                  List.sort_uniq compare (List.map snd addrs)
+                  |> List.map (fun a ->
+                         (a, List.filter_map (fun (l, a') -> if a' = a then Some l else None) addrs))
+                in
+                List.iter
+                  (fun (a, group) ->
+                    if List.length group > 1 then
+                      List.iter (fun l -> scalar_cs l a) group)
+                  by_addr;
+                continue_after func lanes reconv
+            | Cursor.C_unlock _ ->
+                List.iter
+                  (fun l ->
+                    match Cursor.next cursors.(l) with
+                    | Cursor.C_unlock _ -> ()
+                    | _ -> raise (Reference_stuck "expected unlock"))
+                  lanes;
+                continue_after func lanes reconv
+            | Cursor.C_barrier _ ->
+                List.iter
+                  (fun l ->
+                    match Cursor.next cursors.(l) with
+                    | Cursor.C_barrier _ -> ()
+                    | _ -> raise (Reference_stuck "expected barrier"))
+                  lanes;
+                continue_after func lanes reconv
+            | Cursor.C_call callee ->
+                List.iter (fun l -> Cursor.advance cursors.(l)) lanes;
+                run_region callee lanes (exit_node callee);
+                (* consume the returns *)
+                List.iter
+                  (fun l ->
+                    match Cursor.next cursors.(l) with
+                    | Cursor.C_ret -> ()
+                    | _ -> raise (Reference_stuck "expected return"))
+                  lanes;
+                continue_after func lanes reconv
+            | _ -> continue_after func lanes reconv
+          end
+        end)
+  and continue_after func lanes reconv =
+    (* group lanes by their next node and recurse per group *)
+    let targets = List.map (fun l -> (l, node_of func l)) lanes in
+    let distinct = List.sort_uniq compare (List.map snd targets) in
+    match distinct with
+    | [ _ ] -> run_region func lanes reconv
+    | many ->
+        let tbl = ipdoms.(func) in
+        let r =
+          List.fold_left (Ipdom.nearest_common_post_dominator tbl)
+            (List.hd many) (List.tl many)
+        in
+        let r =
+          if r = reconv then r
+          else if Ipdom.post_dominates tbl r reconv then reconv
+          else r
+        in
+        List.iter
+          (fun target ->
+            if target <> r then
+              run_region func
+                (List.filter_map
+                   (fun (l, t) -> if t = target then Some l else None)
+                   targets)
+                r)
+          (List.sort compare many);
+        run_region func lanes reconv
+  in
+  (match Cursor.peek cursors.(0) with
+  | Cursor.C_block { func; _ } ->
+      run_region func (Array.to_list (Array.init (Array.length tids) Fun.id))
+        (exit_node func)
+  | _ -> raise (Reference_stuck "empty trace"));
+  (!issues, !instrs)
+
+(* ---- generator: divergent programs with calls and bucketed locks ------- *)
+
+let data_region = 0x20000
+
+let rec gen_stmt g depth : Build.code =
+  let open Build in
+  let vr () = 1 + Lcg.int g 5 in
+  match Lcg.int g (if depth >= 3 then 4 else 8) with
+  | 0 | 1 -> add (reg (vr ())) (imm (Lcg.int g 50))
+  | 2 ->
+      seq
+        [
+          mov (reg 13) (reg (vr ()));
+          and_ (reg 13) (imm 511);
+          mov (reg (vr ())) (mem ~scale:8 ~index:13 ~disp:data_region ());
+        ]
+  | 3 ->
+      if Lcg.chance g 1 3 then
+        (* fine-grained bucketed lock around a small critical section *)
+        seq
+          [
+            mov (reg 11) (reg (vr ()));
+            and_ (reg 11) (imm 3);
+            shl (reg 11) (imm 6);
+            add (reg 11) (imm 0xd00);
+            lock_acquire (reg 11);
+            add (reg (vr ())) (imm 1);
+            lock_release (reg 11);
+          ]
+      else xor (reg (vr ())) (reg (vr ()))
+  | 4 | 5 ->
+      let c =
+        match Lcg.int g 4 with
+        | 0 -> Cond.Lt
+        | 1 -> Cond.Ge
+        | 2 -> Cond.Eq
+        | _ -> Cond.Ne
+      in
+      if_ c (reg (vr ())) (imm (Lcg.int g 40))
+        ~then_:(gen_body g (depth + 1))
+        ?else_:(if Lcg.chance g 1 2 then Some (gen_body g (depth + 1)) else None)
+        ()
+  | _ ->
+      seq
+        [
+          mov (reg 12) (reg (vr ()));
+          and_ (reg 12) (imm 5);
+          for_up ~i:(6 + depth) ~from_:(imm 0) ~below:(reg 12)
+            (gen_body g (depth + 1));
+        ]
+
+and gen_body g depth : Build.code list =
+  List.init (1 + Lcg.int g 2) (fun _ -> gen_stmt g depth)
+
+let make_callee g =
+  Build.func "callee" (gen_body g 1 @ [ Build.ret ])
+
+let gen_program seed =
+  let g = Lcg.create seed in
+  let body =
+    Build.(
+      [
+        mov (reg 1) (reg 0);
+        mov (reg 2) (mem ~scale:8 ~index:0 ~disp:data_region ());
+        mov (reg 3) (reg 0);
+        mul (reg 3) (imm 40503);
+        mov (reg 4) (imm 3);
+        mov (reg 5) (reg 2);
+      ]
+      @ gen_body g 0
+      @ [ (if Lcg.chance g 1 2 then call "callee" else seq []) ]
+      @ gen_body g 0
+      @ [ ret ])
+  in
+  Program.assemble [ Build.func "worker" body; make_callee g ]
+
+let trace_one seed ~threads =
+  let prog = gen_program seed in
+  let m =
+    Machine.create ~config:{ Machine.default_config with quantum = 1 } prog
+  in
+  let g = Lcg.create (seed * 7 + 1) in
+  for i = 0 to 511 do
+    Memory.store_i64 (Machine.memory m) (data_region + (8 * i)) (Lcg.int g 80)
+  done;
+  let r =
+    Machine.run_workers m ~worker:"worker" ~args:(Array.init threads (fun i -> [ i ]))
+  in
+  (prog, r.Machine.traces)
+
+(* ---- the differential property ----------------------------------------- *)
+
+let compare_once seed threads warp_size =
+  let prog, traces = trace_one seed ~threads in
+  let dcfgs = Dcfg.of_traces prog traces in
+  let ipdoms = Ipdom.of_dcfgs dcfgs in
+  let production =
+    (Analyzer.analyze ~options:{ Analyzer.default_options with warp_size } prog
+       traces)
+      .Analyzer.report
+  in
+  (* reference, warp by warp (sequential batching) *)
+  let warps = Batching.form Batching.Sequential ~warp_size traces in
+  let ref_issues = ref 0 and ref_instrs = ref 0 in
+  Array.iter
+    (fun tids ->
+      let i, n = reference_counts prog ipdoms traces tids in
+      ref_issues := !ref_issues + i;
+      ref_instrs := !ref_instrs + n)
+    warps;
+  (production.Metrics.issues, production.Metrics.thread_instrs, !ref_issues, !ref_instrs)
+
+let prop_reference_agreement =
+  QCheck.Test.make ~name:"production emulator = recursive reference" ~count:120
+    QCheck.(triple small_int (int_range 1 16) (int_range 1 3))
+    (fun (seed, threads, wexp) ->
+      let warp_size = 1 lsl wexp in
+      let pi, pn, ri, rn = compare_once seed threads warp_size in
+      pi = ri && pn = rn)
+
+let test_reference_on_workloads () =
+  (* lock-free Table I workloads must agree too *)
+  List.iter
+    (fun name ->
+      let w = Threadfuser_workloads.Registry.find name in
+      let tr = Threadfuser_workloads.Workload.trace_cpu ~threads:32 w in
+      let dcfgs = Dcfg.of_traces tr.Threadfuser_workloads.Workload.prog
+          tr.Threadfuser_workloads.Workload.traces in
+      let ipdoms = Ipdom.of_dcfgs dcfgs in
+      let production =
+        (Analyzer.analyze
+           ~options:{ Analyzer.default_options with warp_size = 8 }
+           tr.Threadfuser_workloads.Workload.prog
+           tr.Threadfuser_workloads.Workload.traces)
+          .Analyzer.report
+      in
+      let warps =
+        Batching.form Batching.Sequential ~warp_size:8
+          tr.Threadfuser_workloads.Workload.traces
+      in
+      let ri = ref 0 and rn = ref 0 in
+      Array.iter
+        (fun tids ->
+          let i, n =
+            reference_counts tr.Threadfuser_workloads.Workload.prog ipdoms
+              tr.Threadfuser_workloads.Workload.traces tids
+          in
+          ri := !ri + i;
+          rn := !rn + n)
+        warps;
+      Alcotest.(check int) (name ^ " issues") production.Metrics.issues !ri;
+      Alcotest.(check int) (name ^ " instrs") production.Metrics.thread_instrs !rn)
+    [ "bfs"; "b+tree"; "particlefilter"; "blackscholes"; "freqmine"; "x264";
+      "urlshort"; "fluidanimate" ]
+
+let () =
+  Alcotest.run "reference_emulator"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_reference_agreement;
+          Alcotest.test_case "workload agreement" `Slow test_reference_on_workloads;
+        ] );
+    ]

@@ -1,0 +1,189 @@
+(* Tests for the IR runtime library: allocator behaviour in both modes,
+   PRNG determinism and per-thread independence, hash agreement with the
+   host-side implementation, memcpy correctness. *)
+
+open Threadfuser_prog
+module Rtlib = Threadfuser_workloads.Rtlib
+module Machine = Threadfuser_machine.Machine
+module Memory = Threadfuser_machine.Memory
+module Layout = Threadfuser_machine.Layout
+
+let run_with ?(alloc = Rtlib.Concurrent) ?(threads = 1) ?setup funcs ~worker =
+  let prog = Program.assemble (funcs @ Rtlib.funcs alloc) in
+  let m = Machine.create prog in
+  Rtlib.init (Machine.memory m);
+  Option.iter (fun f -> f (Machine.memory m)) setup;
+  let r = Machine.run_workers m ~worker ~args:(Array.init threads (fun i -> [ i ])) in
+  (m, r)
+
+(* -- malloc ---------------------------------------------------------------- *)
+
+let alloc_twice =
+  Build.(
+    func "worker"
+      [
+        mov (reg 0) (imm 24);
+        call "__malloc";
+        mov (reg 6) (reg 0);
+        mov (reg 0) (imm 100);
+        call "__malloc";
+        mov (reg 1) (reg 0);
+        mov (reg 0) (reg 6);
+        ret;
+      ])
+
+let test_malloc_glibc_disjoint () =
+  let _, r = run_with ~alloc:Rtlib.Glibc [ alloc_twice ] ~worker:"worker" in
+  let first = r.Machine.final_regs.(0).(0) in
+  let second = r.Machine.final_regs.(0).(1) in
+  Alcotest.(check bool) "in heap" true (Layout.segment_of first = Layout.Heap);
+  Alcotest.(check bool) "aligned" true (first mod 16 = 0);
+  (* 24 rounds to 32 + 16-byte header *)
+  Alcotest.(check bool) "disjoint, ordered" true (second >= first + 24)
+
+let test_malloc_concurrent_arena_isolation () =
+  let _, r =
+    run_with ~alloc:Rtlib.Concurrent ~threads:4 [ alloc_twice ] ~worker:"worker"
+  in
+  let ptrs = Array.map (fun regs -> regs.(0)) r.Machine.final_regs in
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "thread %d in heap" i)
+        true
+        (Layout.segment_of p = Layout.Heap);
+      (* each thread allocates from its own arena *)
+      Array.iteri
+        (fun j q ->
+          if i <> j then
+            Alcotest.(check bool)
+              (Printf.sprintf "threads %d/%d in different arenas" i j)
+              true
+              (abs (p - q) >= Rtlib.arena_bytes - 256))
+        ptrs)
+    ptrs
+
+let test_malloc_glibc_serializes_in_trace () =
+  let _, r =
+    run_with ~alloc:Rtlib.Glibc ~threads:4 [ alloc_twice ] ~worker:"worker"
+  in
+  Array.iter
+    (fun t ->
+      let s = Threadfuser_trace.Thread_trace.stats t in
+      (* two mallocs = four lock operations *)
+      Alcotest.(check int) "lock ops" 4 s.Threadfuser_trace.Thread_trace.lock_ops)
+    r.Machine.traces
+
+let test_malloc_concurrent_lock_free () =
+  let _, r =
+    run_with ~alloc:Rtlib.Concurrent ~threads:4 [ alloc_twice ] ~worker:"worker"
+  in
+  Array.iter
+    (fun t ->
+      let s = Threadfuser_trace.Thread_trace.stats t in
+      Alcotest.(check int) "no locks" 0 s.Threadfuser_trace.Thread_trace.lock_ops)
+    r.Machine.traces
+
+(* -- rand ------------------------------------------------------------------ *)
+
+let rand_worker =
+  Build.(
+    func "worker"
+      [
+        call "__rand";
+        mov (reg 6) (reg 0);
+        call "__rand";
+        mov (reg 1) (reg 0);
+        mov (reg 0) (reg 6);
+        ret;
+      ])
+
+let test_rand_deterministic_and_distinct () =
+  let draws () =
+    let _, r = run_with ~threads:3 [ rand_worker ] ~worker:"worker" in
+    Array.map (fun regs -> (regs.(0), regs.(1))) r.Machine.final_regs
+  in
+  let a = draws () and b = draws () in
+  Alcotest.(check bool) "deterministic" true (a = b);
+  (* different threads see different streams; consecutive draws differ *)
+  Alcotest.(check bool) "threads differ" true (a.(0) <> a.(1) && a.(1) <> a.(2));
+  Array.iter (fun (x, y) -> Alcotest.(check bool) "draws differ" true (x <> y)) a;
+  Array.iter
+    (fun (x, y) ->
+      Alcotest.(check bool) "non-negative" true (x >= 0 && y >= 0))
+    a
+
+(* -- hash ------------------------------------------------------------------ *)
+
+let test_hash_matches_host () =
+  let data_addr = 0x20000 in
+  let worker =
+    Build.(
+      func "worker"
+        [ mov (reg 0) (imm data_addr); mov (reg 1) (imm 16); call "__hash"; ret ])
+  in
+  let setup mem = Memory.store_string mem data_addr "threadfuser-test" in
+  let m, r = run_with ~setup [ worker ] ~worker:"worker" in
+  let expected =
+    Threadfuser_workloads.W_usuite.host_fnv (Machine.memory m) data_addr 16
+  in
+  Alcotest.(check int) "IR hash = host hash" expected r.Machine.final_regs.(0).(0)
+
+let test_hash_sensitivity () =
+  let worker n =
+    Build.(
+      func "worker"
+        [ mov (reg 0) (imm 0x20000); mov (reg 1) (imm n); call "__hash"; ret ])
+  in
+  let hash n s =
+    let setup mem = Memory.store_string mem 0x20000 s in
+    let _, r = run_with ~setup [ worker n ] ~worker:"worker" in
+    r.Machine.final_regs.(0).(0)
+  in
+  Alcotest.(check bool) "different strings hash differently" true
+    (hash 4 "abcd" <> hash 4 "abce")
+
+(* -- memcpy ---------------------------------------------------------------- *)
+
+let test_memcpy () =
+  let src = 0x20000 and dst = 0x21000 in
+  let worker =
+    Build.(
+      func "worker"
+        [
+          mov (reg 0) (imm dst);
+          mov (reg 1) (imm src);
+          mov (reg 2) (imm 11);
+          call "__memcpy";
+          ret;
+        ])
+  in
+  let setup mem = Memory.store_string mem src "hello world" in
+  let m, _ = run_with ~setup [ worker ] ~worker:"worker" in
+  let mem = Machine.memory m in
+  let copied = String.init 11 (fun i -> Char.chr (Memory.load_byte mem (dst + i))) in
+  Alcotest.(check string) "copied" "hello world" copied;
+  (* byte after the copy untouched *)
+  Alcotest.(check int) "bounded" 0 (Memory.load_byte mem (dst + 11))
+
+let () =
+  Alcotest.run "rtlib"
+    [
+      ( "malloc",
+        [
+          Alcotest.test_case "glibc disjoint" `Quick test_malloc_glibc_disjoint;
+          Alcotest.test_case "concurrent arenas" `Quick
+            test_malloc_concurrent_arena_isolation;
+          Alcotest.test_case "glibc locks" `Quick test_malloc_glibc_serializes_in_trace;
+          Alcotest.test_case "concurrent lock-free" `Quick
+            test_malloc_concurrent_lock_free;
+        ] );
+      ( "rand",
+        [ Alcotest.test_case "deterministic/distinct" `Quick test_rand_deterministic_and_distinct ] );
+      ( "hash",
+        [
+          Alcotest.test_case "matches host" `Quick test_hash_matches_host;
+          Alcotest.test_case "sensitivity" `Quick test_hash_sensitivity;
+        ] );
+      ( "memcpy", [ Alcotest.test_case "copy" `Quick test_memcpy ] );
+    ]

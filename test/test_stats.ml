@@ -1,0 +1,153 @@
+(* Tests for the statistics library and the table renderer. *)
+
+module Stats = Threadfuser_stats.Stats
+module Table = Threadfuser_report.Table
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean_stddev () =
+  feq "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  feq "stddev" (sqrt (2.0 /. 3.0)) (Stats.stddev [| 1.0; 2.0; 3.0 |])
+
+let test_mae () =
+  feq "mae" 0.5
+    (Stats.mae ~predicted:[| 1.0; 2.0 |] ~reference:[| 1.5; 2.5 |]);
+  feq "mae zero" 0.0 (Stats.mae ~predicted:[| 3.0 |] ~reference:[| 3.0 |])
+
+let test_mape () =
+  feq "mape" 0.25 (Stats.mape ~predicted:[| 1.25; 1.5 |] ~reference:[| 1.0; 2.0 |])
+
+let test_pearson_perfect () =
+  feq "positive" 1.0 (Stats.pearson [| 1.0; 2.0; 3.0 |] [| 2.0; 4.0; 6.0 |]);
+  feq "negative" (-1.0) (Stats.pearson [| 1.0; 2.0; 3.0 |] [| 3.0; 2.0; 1.0 |]);
+  feq "constant" 0.0 (Stats.pearson [| 1.0; 1.0; 1.0 |] [| 1.0; 2.0; 3.0 |])
+
+let test_geomean () =
+  feq "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geomean: non-positive entry") (fun () ->
+      ignore (Stats.geomean [| 1.0; 0.0 |]))
+
+let test_within_stddev () =
+  let f = Stats.within_stddev [| 0.0; 0.0; 0.0; 10.0 |] in
+  feq "within 1 sd" 0.75 f
+
+let prop_pearson_bounds =
+  QCheck.Test.make ~name:"pearson in [-1,1]" ~count:300
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 2 20) (float_bound_exclusive 100.0))
+              (list_of_size (QCheck.Gen.int_range 2 20) (float_bound_exclusive 100.0)))
+    (fun (x, y) ->
+      let n = min (List.length x) (List.length y) in
+      QCheck.assume (n >= 2);
+      let x = Array.of_list (List.filteri (fun i _ -> i < n) x) in
+      let y = Array.of_list (List.filteri (fun i _ -> i < n) y) in
+      let r = Stats.pearson x y in
+      r >= -1.0 -. 1e-9 && r <= 1.0 +. 1e-9)
+
+let prop_mae_nonneg =
+  QCheck.Test.make ~name:"mae >= 0 and symmetric-ish" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (pair (float_bound_exclusive 50.0) (float_bound_exclusive 50.0)))
+    (fun pairs ->
+      let p = Array.of_list (List.map fst pairs) in
+      let r = Array.of_list (List.map snd pairs) in
+      let m1 = Stats.mae ~predicted:p ~reference:r in
+      let m2 = Stats.mae ~predicted:r ~reference:p in
+      m1 >= 0.0 && abs_float (m1 -. m2) < 1e-9)
+
+let prop_geomean_le_mean =
+  QCheck.Test.make ~name:"geomean <= arithmetic mean" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 20) (float_range 0.001 100.0))
+    (fun l ->
+      let a = Array.of_list l in
+      Stats.geomean a <= Stats.mean a +. 1e-9)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_table_render () =
+  let t = Table.create [ ("name", Table.L); ("value", Table.R) ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "23" ];
+  let buf = Buffer.create 64 in
+  Table.render (Fmt.with_buffer buf) t;
+  let s = Buffer.contents buf in
+  Alcotest.(check bool) "contains header" true (contains s "name");
+  Alcotest.(check bool) "contains row" true (contains s "alpha")
+
+let test_table_csv () =
+  let t = Table.create [ ("a", Table.L); ("b", Table.R) ] in
+  Table.add_row t [ "x,y"; "2" ];
+  Alcotest.(check string) "csv quoting" "a,b\n\"x,y\",2\n" (Table.to_csv t)
+
+let test_table_mismatch () =
+  let t = Table.create [ ("a", Table.L) ] in
+  Alcotest.check_raises "cell count"
+    (Invalid_argument "Table.add_row: cell count mismatch") (fun () ->
+      Table.add_row t [ "1"; "2" ])
+
+(* -- JSON ------------------------------------------------------------------ *)
+
+module Json = Threadfuser_report.Json
+module Report_json = Threadfuser_report.Report_json
+
+let test_json_basics () =
+  Alcotest.(check string) "null" "null" (Json.to_string Json.Null);
+  Alcotest.(check string) "int" "42" (Json.to_string (Json.Int 42));
+  Alcotest.(check string) "bool" "true" (Json.to_string (Json.Bool true));
+  Alcotest.(check string) "empty list" "[]" (Json.to_string (Json.List []));
+  Alcotest.(check string) "empty obj" "{}" (Json.to_string (Json.Obj []))
+
+let test_json_escaping () =
+  let s = Json.to_string (Json.String "a\"b\\c\nd") in
+  Alcotest.(check string) "escaped" "\"a\\\"b\\\\c\\nd\"" s
+
+let test_json_nesting () =
+  let v = Json.Obj [ ("xs", Json.List [ Json.Int 1; Json.Int 2 ]) ] in
+  let s = Json.to_string v in
+  Alcotest.(check bool) "contains key" true (contains s "\"xs\"");
+  Alcotest.(check bool) "contains items" true (contains s "1" && contains s "2")
+
+let test_report_json_fields () =
+  let r =
+    Threadfuser_workloads.Workload.analyze
+      (Threadfuser_workloads.Registry.find "bfs")
+  in
+  let s = Report_json.to_string r.Threadfuser.Analyzer.report in
+  List.iter
+    (fun key -> Alcotest.(check bool) (key ^ " present") true (contains s key))
+    [
+      "simt_efficiency"; "per_function"; "per_warp"; "synchronization";
+      "transactions_per_instruction"; "traced_fraction"; "barrier_syncs";
+    ]
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+          Alcotest.test_case "mae" `Quick test_mae;
+          Alcotest.test_case "mape" `Quick test_mape;
+          Alcotest.test_case "pearson" `Quick test_pearson_perfect;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "within stddev" `Quick test_within_stddev;
+          QCheck_alcotest.to_alcotest prop_pearson_bounds;
+          QCheck_alcotest.to_alcotest prop_mae_nonneg;
+          QCheck_alcotest.to_alcotest prop_geomean_le_mean;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "basics" `Quick test_json_basics;
+          Alcotest.test_case "escaping" `Quick test_json_escaping;
+          Alcotest.test_case "nesting" `Quick test_json_nesting;
+          Alcotest.test_case "report fields" `Quick test_report_json_fields;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+          Alcotest.test_case "mismatch" `Quick test_table_mismatch;
+        ] );
+    ]

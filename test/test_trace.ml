@@ -1,0 +1,140 @@
+(* Tests for trace events, statistics and binary serialization. *)
+
+open Threadfuser_trace
+
+let access ioff addr size is_store = { Event.ioff; addr; size; is_store }
+
+let sample_events =
+  [|
+    Event.Block
+      {
+        func = 0;
+        block = 0;
+        n_instr = 4;
+        accesses = [| access 1 0x1000 8 false; access 2 0x2008 4 true |];
+      };
+    Event.Call 3;
+    Event.Block { func = 3; block = 0; n_instr = 2; accesses = [||] };
+    Event.Lock_acq 0x500;
+    Event.Skip { reason = Event.Spin; n_instr = 24 };
+    Event.Block { func = 3; block = 1; n_instr = 1; accesses = [||] };
+    Event.Lock_rel 0x500;
+    Event.Return;
+    Event.Skip { reason = Event.Io; n_instr = 100 };
+    Event.Block { func = 0; block = 1; n_instr = 1; accesses = [||] };
+    Event.Return;
+  |]
+
+let sample_trace = { Thread_trace.tid = 7; events = sample_events }
+
+let test_stats () =
+  let s = Thread_trace.stats sample_trace in
+  Alcotest.(check int) "traced" 8 s.Thread_trace.traced_instrs;
+  Alcotest.(check int) "io" 100 s.Thread_trace.skipped_io;
+  Alcotest.(check int) "spin" 24 s.Thread_trace.skipped_spin;
+  Alcotest.(check int) "blocks" 4 s.Thread_trace.blocks;
+  Alcotest.(check int) "loads" 1 s.Thread_trace.loads;
+  Alcotest.(check int) "stores" 1 s.Thread_trace.stores;
+  Alcotest.(check int) "locks" 2 s.Thread_trace.lock_ops
+
+let test_roundtrip () =
+  let traces = [| sample_trace; { Thread_trace.tid = 9; events = [||] } |] in
+  let s = Serial.to_string traces in
+  let back = Serial.of_string s in
+  Alcotest.(check int) "thread count" 2 (Array.length back);
+  Alcotest.(check int) "tid" 7 back.(0).Thread_trace.tid;
+  Alcotest.(check int) "event count" (Array.length sample_events)
+    (Array.length back.(0).Thread_trace.events);
+  Array.iteri
+    (fun i e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "event %d" i)
+        true
+        (Event.equal e back.(0).Thread_trace.events.(i)))
+    sample_events
+
+let test_bad_magic () =
+  match Serial.of_string "NOTATRACE" with
+  | exception Serial.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt"
+
+let test_truncated () =
+  let s = Serial.to_string [| sample_trace |] in
+  let cut = String.sub s 0 (String.length s - 3) in
+  match Serial.of_string cut with
+  | exception Serial.Corrupt _ -> ()
+  | _ -> Alcotest.fail "expected Corrupt on truncation"
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "tftrace" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Serial.to_file path [| sample_trace |];
+      let back = Serial.of_file path in
+      Alcotest.(check int) "tid" 7 back.(0).Thread_trace.tid)
+
+(* Random event generator for the round-trip property. *)
+let gen_event =
+  let open QCheck.Gen in
+  frequency
+    [
+      ( 4,
+        let* func = int_bound 20 in
+        let* block = int_bound 50 in
+        let* n_instr = int_range 1 30 in
+        let* n_acc = int_bound 4 in
+        let* accs =
+          list_repeat n_acc
+            (let* ioff = int_bound 29 in
+             let* addr = int_bound 1_000_000 in
+             let* size = oneofl [ 1; 2; 4; 8 ] in
+             let* is_store = bool in
+             return { Event.ioff; addr; size; is_store })
+        in
+        return
+          (Event.Block { func; block; n_instr; accesses = Array.of_list accs })
+      );
+      (1, map (fun f -> Event.Call f) (int_bound 20));
+      (1, return Event.Return);
+      (1, map (fun a -> Event.Lock_acq a) (int_bound 100_000));
+      (1, map (fun a -> Event.Lock_rel a) (int_bound 100_000));
+      ( 1,
+        let* reason = oneofl [ Event.Io; Event.Spin ] in
+        let* n_instr = int_range 1 1000 in
+        return (Event.Skip { reason; n_instr }) );
+    ]
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"serialization roundtrip" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_bound 50) gen_event))
+    (fun events ->
+      let t = { Thread_trace.tid = 0; events = Array.of_list events } in
+      let back = Serial.of_string (Serial.to_string [| t |]) in
+      Array.length back = 1
+      && Array.length back.(0).Thread_trace.events = List.length events
+      && Array.for_all2 Event.equal back.(0).Thread_trace.events t.events)
+
+let prop_varint =
+  QCheck.Test.make ~name:"varint roundtrip (signed)" ~count:500
+    QCheck.(oneof [ small_signed_int; int ])
+    (fun n ->
+      let buf = Buffer.create 10 in
+      Serial.write_int buf n;
+      let r = { Serial.data = Buffer.contents buf; pos = 0 } in
+      Serial.read_int r = n)
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_bad_magic;
+          Alcotest.test_case "truncated" `Quick test_truncated;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_varint;
+        ] );
+    ]

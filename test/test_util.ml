@@ -1,0 +1,107 @@
+(* Unit and property tests for the utility library (Vec, Lcg). *)
+
+open Threadfuser_util
+
+let test_vec_push_pop () =
+  let v = Vec.create 0 in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 1 to 100 do
+    Vec.push v i
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get" 42 (Vec.get v 41);
+  Alcotest.(check int) "top" 100 (Vec.top v);
+  Alcotest.(check int) "pop" 100 (Vec.pop v);
+  Alcotest.(check int) "length after pop" 99 (Vec.length v)
+
+let test_vec_to_array () =
+  let v = Vec.create ~capacity:2 0 in
+  List.iter (Vec.push v) [ 5; 6; 7 ];
+  Alcotest.(check (array int)) "to_array" [| 5; 6; 7 |] (Vec.to_array v)
+
+let test_vec_clear () =
+  let v = Vec.create 0 in
+  List.iter (Vec.push v) [ 1; 2; 3 ];
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  Vec.push v 9;
+  Alcotest.(check int) "reusable" 9 (Vec.get v 0)
+
+let test_vec_fold_iter () =
+  let v = Vec.of_array 0 [| 1; 2; 3; 4 |] in
+  Alcotest.(check int) "fold" 10 (Vec.fold_left ( + ) 0 v);
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  Alcotest.(check int) "iteri count" 4 (List.length !seen);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v)
+
+let test_vec_errors () =
+  let v = Vec.create 0 in
+  Alcotest.check_raises "get out of range" (Invalid_argument "Vec.get")
+    (fun () -> ignore (Vec.get v 0));
+  Alcotest.check_raises "pop empty" (Invalid_argument "Vec.pop") (fun () ->
+      ignore (Vec.pop v))
+
+let test_lcg_deterministic () =
+  let a = Lcg.create 42 and b = Lcg.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Lcg.int a 1000) (Lcg.int b 1000)
+  done
+
+let test_lcg_seed_sensitivity () =
+  let a = Lcg.create 1 and b = Lcg.create 2 in
+  let sa = List.init 20 (fun _ -> Lcg.int a 1_000_000) in
+  let sb = List.init 20 (fun _ -> Lcg.int b 1_000_000) in
+  Alcotest.(check bool) "different streams" true (sa <> sb)
+
+let prop_vec_roundtrip =
+  QCheck.Test.make ~name:"vec of_array/to_array roundtrip" ~count:200
+    QCheck.(array small_int)
+    (fun a -> Vec.to_array (Vec.of_array 0 a) = a)
+
+let prop_lcg_bounds =
+  QCheck.Test.make ~name:"lcg int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let g = Lcg.create seed in
+      let v = Lcg.int g bound in
+      v >= 0 && v < bound)
+
+let prop_lcg_range =
+  QCheck.Test.make ~name:"lcg int_range inclusive bounds" ~count:500
+    QCheck.(triple small_int (int_range (-100) 100) (int_range 0 100))
+    (fun (seed, lo, span) ->
+      let g = Lcg.create seed in
+      let v = Lcg.int_range g lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (array small_int))
+    (fun (seed, a) ->
+      let b = Array.copy a in
+      Lcg.shuffle (Lcg.create seed) b;
+      List.sort compare (Array.to_list a) = List.sort compare (Array.to_list b))
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "push/pop" `Quick test_vec_push_pop;
+          Alcotest.test_case "to_array" `Quick test_vec_to_array;
+          Alcotest.test_case "clear" `Quick test_vec_clear;
+          Alcotest.test_case "fold/iter" `Quick test_vec_fold_iter;
+          Alcotest.test_case "errors" `Quick test_vec_errors;
+          QCheck_alcotest.to_alcotest prop_vec_roundtrip;
+        ] );
+      ( "lcg",
+        [
+          Alcotest.test_case "deterministic" `Quick test_lcg_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_lcg_seed_sensitivity;
+          QCheck_alcotest.to_alcotest prop_lcg_bounds;
+          QCheck_alcotest.to_alcotest prop_lcg_range;
+          QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+        ] );
+    ]

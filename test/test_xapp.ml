@@ -1,0 +1,144 @@
+(* Tests for the XAPP baseline: the OLS solver recovers known linear
+   relationships, feature extraction is sane and deterministic, and the
+   leave-one-out protocol nails synthetic linear data while ThreadFuser
+   beats it on the real correlation set. *)
+
+module Ols = Threadfuser_xapp.Ols
+module Features = Threadfuser_xapp.Features
+module Xapp = Threadfuser_xapp.Xapp
+module W = Threadfuser_workloads.Workload
+module Registry = Threadfuser_workloads.Registry
+
+let feq msg a b = Alcotest.(check (float 1e-6)) msg a b
+
+(* -- OLS ------------------------------------------------------------------- *)
+
+let test_ols_exact_line () =
+  (* y = 3x + 2 *)
+  let xs = List.map (fun x -> [| float_of_int x |]) [ 0; 1; 2; 3; 4 ] in
+  let ys = List.map (fun x -> (3.0 *. float_of_int x) +. 2.0) [ 0; 1; 2; 3; 4 ] in
+  let m = Ols.fit ~lambda:0.0 xs ys in
+  feq "slope" 3.0 m.Ols.beta.(0);
+  feq "intercept" 2.0 m.Ols.beta.(1);
+  feq "prediction" 17.0 (Ols.predict m [| 5.0 |])
+
+let test_ols_two_features () =
+  (* y = 2a - b + 1 over a small grid *)
+  let grid = [ (0, 0); (0, 1); (1, 0); (1, 1); (2, 1); (1, 2); (3, 2) ] in
+  let xs = List.map (fun (a, b) -> [| float_of_int a; float_of_int b |]) grid in
+  let ys = List.map (fun (a, b) -> (2.0 *. float_of_int a) -. float_of_int b +. 1.0) grid in
+  let m = Ols.fit ~lambda:0.0 xs ys in
+  feq "beta a" 2.0 m.Ols.beta.(0);
+  feq "beta b" (-1.0) m.Ols.beta.(1);
+  feq "intercept" 1.0 m.Ols.beta.(2)
+
+let test_ols_ridge_tames_collinearity () =
+  (* two identical features: plain normal equations are singular, ridge
+     splits the weight between them *)
+  let xs = List.map (fun x -> [| float_of_int x; float_of_int x |]) [ 1; 2; 3; 4 ] in
+  let ys = List.map (fun x -> 2.0 *. float_of_int x) [ 1; 2; 3; 4 ] in
+  let m = Ols.fit ~lambda:1e-6 xs ys in
+  feq "prediction still right" 10.0 (Ols.predict m [| 5.0; 5.0 |])
+
+let test_ols_errors () =
+  Alcotest.check_raises "no samples" (Invalid_argument "Ols.fit: no samples")
+    (fun () -> ignore (Ols.fit [] []));
+  Alcotest.check_raises "ragged" (Invalid_argument "Ols.fit: ragged features")
+    (fun () -> ignore (Ols.fit [ [| 1.0 |]; [| 1.0; 2.0 |] ] [ 1.0; 2.0 ]))
+
+let prop_ols_recovers_random_linear =
+  QCheck.Test.make ~name:"OLS recovers random linear models" ~count:100
+    QCheck.(triple (float_range (-5.) 5.) (float_range (-5.) 5.) (float_range (-5.) 5.))
+    (fun (w0, w1, b) ->
+      let pts = [ (0., 0.); (1., 0.); (0., 1.); (2., 1.); (1., 3.); (4., 2.) ] in
+      let xs = List.map (fun (a, c) -> [| a; c |]) pts in
+      let ys = List.map (fun (a, c) -> (w0 *. a) +. (w1 *. c) +. b) pts in
+      let m = Ols.fit ~lambda:0.0 xs ys in
+      let p = Ols.predict m [| 3.0; -2.0 |] in
+      abs_float (p -. ((w0 *. 3.0) -. (w1 *. 2.0) +. b)) < 1e-6)
+
+(* -- features --------------------------------------------------------------- *)
+
+let features_of name =
+  let tr = W.trace_cpu ~threads:1 (Registry.find name) in
+  Features.extract tr.W.prog tr.W.traces.(0)
+
+let test_features_sane () =
+  List.iter
+    (fun name ->
+      let f = features_of name in
+      Alcotest.(check int) (name ^ " length") Features.n_features (Array.length f);
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s finite and non-negative" name Features.names.(i))
+            true
+            (Float.is_finite v && v >= 0.0))
+        f;
+      (* instruction-mix fractions can't exceed 1 *)
+      for i = 0 to 5 do
+        Alcotest.(check bool) "fraction <= 1" true (f.(i) <= 1.0 +. 1e-9)
+      done)
+    [ "vectoradd"; "md5"; "bfs"; "pigz" ]
+
+let test_features_discriminate () =
+  let md5 = features_of "md5" and pagerank = features_of "pagerank" in
+  (* pagerank is FP-divide heavy, md5 is integer-ALU heavy *)
+  Alcotest.(check bool) "fp fraction differs" true (pagerank.(2) > md5.(2));
+  Alcotest.(check bool) "alu heavy md5" true (md5.(0) > 0.3)
+
+let test_features_deterministic () =
+  Alcotest.(check bool) "same run, same features" true
+    (features_of "bfs" = features_of "bfs")
+
+(* -- leave-one-out protocol -------------------------------------------------- *)
+
+let test_loo_perfect_on_linear_world () =
+  (* if speedup really is exp(linear(features)), LOO nails it *)
+  let samples =
+    List.init 8 (fun i ->
+        let f = [| float_of_int i; float_of_int ((i * 3) mod 5) |] in
+        {
+          Xapp.name = Printf.sprintf "w%d" i;
+          features = f;
+          speedup = exp ((0.3 *. f.(0)) -. (0.2 *. f.(1)) +. 0.1);
+        })
+  in
+  let preds = Xapp.loo_errors ~lambda:1e-9 samples in
+  Alcotest.(check bool) "near-zero error" true (Xapp.mean_rel_error preds < 0.01)
+
+let test_xapp_worse_than_threadfuser () =
+  let ctx = Threadfuser_experiments.Ctx.create () in
+  let s = Threadfuser_experiments.Xapp_exp.collect ctx in
+  Alcotest.(check int) "11 workloads" 11 (List.length s.Threadfuser_experiments.Xapp_exp.rows);
+  Alcotest.(check bool) "threadfuser beats the profile-based baseline" true
+    (s.Threadfuser_experiments.Xapp_exp.tf_mean_err
+    < s.Threadfuser_experiments.Xapp_exp.xapp_mean_err);
+  Alcotest.(check bool) "xapp predictions positive" true
+    (List.for_all
+       (fun (r : Threadfuser_experiments.Xapp_exp.row) -> r.Threadfuser_experiments.Xapp_exp.xapp_pred > 0.0)
+       s.Threadfuser_experiments.Xapp_exp.rows)
+
+let () =
+  Alcotest.run "xapp"
+    [
+      ( "ols",
+        [
+          Alcotest.test_case "exact line" `Quick test_ols_exact_line;
+          Alcotest.test_case "two features" `Quick test_ols_two_features;
+          Alcotest.test_case "ridge" `Quick test_ols_ridge_tames_collinearity;
+          Alcotest.test_case "errors" `Quick test_ols_errors;
+          QCheck_alcotest.to_alcotest prop_ols_recovers_random_linear;
+        ] );
+      ( "features",
+        [
+          Alcotest.test_case "sane" `Quick test_features_sane;
+          Alcotest.test_case "discriminate" `Quick test_features_discriminate;
+          Alcotest.test_case "deterministic" `Quick test_features_deterministic;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "linear world" `Quick test_loo_perfect_on_linear_world;
+          Alcotest.test_case "vs threadfuser" `Slow test_xapp_worse_than_threadfuser;
+        ] );
+    ]
