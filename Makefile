@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench csv examples clean
+.PHONY: all build test bench csv examples fuzz clean
 
 all: build
 
@@ -24,6 +24,12 @@ examples:
 	dune exec examples/warp_width_study.exe
 	dune exec examples/porting_advisor.exe
 	dune exec examples/accelerator_design.exe
+
+# seeded corruption campaign over every registered workload (fixed seeds,
+# so runs are reproducible; see docs/robustness.md).  A 100-seed smoke
+# variant of the same campaign runs as part of `dune runtest`.
+fuzz:
+	dune exec bin/threadfuser_cli.exe -- fuzz -n 1000 --seed 1 -t 16
 
 clean:
 	dune clean

@@ -4,8 +4,13 @@
      threadfuser analyze pigz -w 16 -O O3     efficiency + divergence report
      threadfuser sweep pigz                   warp-width sweep
      threadfuser trace bfs -o bfs.tftrace     capture a trace file
+     threadfuser check bfs.tftrace bfs        validate a trace file
+     threadfuser fuzz bfs -n 1000             seeded corruption campaign
      threadfuser simulate vectoradd           cycle-level speedup projection
-     threadfuser correlate                    the Fig. 5 correlation study *)
+     threadfuser correlate                    the Fig. 5 correlation study
+
+   Exit codes: 0 success, 1 usage error, 2 corrupt input, 3 analysis
+   degraded (partial report / validation errors). *)
 
 open Cmdliner
 module W = Threadfuser_workloads.Workload
@@ -14,7 +19,15 @@ module Compiler = Threadfuser_compiler.Compiler
 module Analyzer = Threadfuser.Analyzer
 module Metrics = Threadfuser.Metrics
 module Serial = Threadfuser_trace.Serial
+module Validate = Threadfuser_trace.Validate
+module Tf_error = Threadfuser_util.Tf_error
+module Injector = Threadfuser_fault.Injector
+module Fuzz = Threadfuser_fault.Fuzz
 module E = Threadfuser_experiments
+
+let exit_usage = 1
+let exit_corrupt = 2
+let exit_degraded = 3
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -422,6 +435,128 @@ let replay_cmd =
        ~doc:"Run the cycle-level simulator on a saved warp-trace file.")
     Term.(const replay_run $ path)
 
+(* ------------------------------------------------------------------ *)
+(* Robustness commands: trace validation and fault injection            *)
+
+let pp_diag ppf d = Fmt.pf ppf "  %s" (Tf_error.to_string d)
+
+let check_run path workload level =
+  let traces = Serial.of_file path in
+  match workload with
+  | None ->
+      (* no program at hand: structural checks only *)
+      let diags = Validate.all traces in
+      List.iter (fun d -> Fmt.pr "%a@." pp_diag d) diags;
+      let errors =
+        List.filter (fun d -> d.Tf_error.severity = Tf_error.Error) diags
+      in
+      if errors <> [] then begin
+        Fmt.epr "%s: %d validation error(s) in %d threads@." path
+          (List.length errors) (Array.length traces);
+        exit exit_degraded
+      end
+      else
+        Fmt.pr "%s: OK — %d threads, %d warning(s)@." path
+          (Array.length traces) (List.length diags)
+  | Some w ->
+      (* full checked pipeline against the workload's program *)
+      let prog = W.link ~alloc:w.W.alloc w.W.cpu level in
+      let checked = Analyzer.analyze_checked prog traces in
+      List.iter (fun d -> Fmt.pr "%a@." pp_diag d) checked.Analyzer.diagnostics;
+      let rep = checked.Analyzer.result.Analyzer.report in
+      Fmt.pr "%a@." Metrics.pp_summary rep;
+      if Metrics.degraded rep then begin
+        Fmt.epr "%s: analysis degraded (%d thread(s) quarantined)@." path
+          (List.length checked.Analyzer.quarantined);
+        exit exit_degraded
+      end
+
+let check_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace file written by $(b,threadfuser trace).")
+  in
+  let workload =
+    Arg.(
+      value
+      & pos 1 (some workload_arg) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:
+            "Validate against this workload's program (range checks +             checked replay).  Omit for structural checks only.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Validate a serialized trace file: decode, run the diagnostic \
+          passes, and (given a workload) the quarantining checked analysis. \
+          Exits 2 on corrupt input, 3 on validation/replay errors.")
+    Term.(const check_run $ path $ workload $ opt_level)
+
+let fuzz_run workload runs seed0 threads level verbose =
+  let targets =
+    match workload with Some w -> [ w ] | None -> Registry.all
+  in
+  let any_uncaught = ref false in
+  List.iter
+    (fun (w : W.t) ->
+      let tr = W.trace_cpu ~level ?threads w in
+      let bytes = Serial.to_string tr.W.traces in
+      let on_outcome =
+        if verbose then
+          Some
+            (fun ~seed o ->
+              Fmt.pr "  seed %6d: %s@." seed (Fuzz.outcome_name o))
+        else None
+      in
+      let t = Fuzz.run ~seed0 ~runs ?on_outcome ~prog:tr.W.prog ~bytes () in
+      Fmt.pr "%-18s %a@." w.W.name Fuzz.pp_totals t;
+      List.iter
+        (fun (seed, m) -> Fmt.epr "  seed %d: UNCAUGHT %s@." seed m)
+        t.Fuzz.uncaught;
+      if t.Fuzz.uncaught <> [] then any_uncaught := true)
+    targets;
+  if !any_uncaught then begin
+    Fmt.epr "fuzz: uncaught exceptions escaped the checked pipeline (BUG)@.";
+    exit 4
+  end
+
+let fuzz_cmd =
+  let workload =
+    Arg.(
+      value
+      & pos 0 (some workload_arg) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workload to fuzz (omit to sweep every registered workload).")
+  in
+  let runs =
+    Arg.(
+      value & opt int 1000
+      & info [ "n"; "runs" ] ~docv:"N"
+          ~doc:"Seeded corruptions to run per workload.")
+  in
+  let seed0 =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"First seed; run $(i,i) uses seed SEED+$(i,i).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every outcome.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Corrupt a workload's captured trace N times with the seeded fault \
+          injector (byte flips, truncations, dropped/duplicated events, \
+          unbalanced locks and barriers) and drive each through the checked \
+          analysis pipeline.  Every run must end in a clean report, a typed \
+          diagnostic, or a partial report whose coverage fields account for \
+          the quarantined threads; exits 4 if any exception escapes.")
+    Term.(
+      const fuzz_run $ workload $ runs $ seed0 $ threads $ opt_level $ verbose)
+
 let main =
   Cmd.group
     (Cmd.info "threadfuser" ~version:"1.0.0"
@@ -431,7 +566,32 @@ let main =
     [
       list_cmd; analyze_cmd; sweep_cmd; trace_cmd; tracefile_cmd; cfg_cmd;
       disasm_cmd; asm_cmd; warptrace_cmd; replay_cmd; simulate_cmd;
-      correlate_cmd;
+      correlate_cmd; check_cmd; fuzz_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+(* Top-level error handler: uncaught-exception backtraces never reach the
+   user; every failure mode maps to a one-line message and a distinct exit
+   code (1 usage, 2 corrupt input, 3 analysis degraded). *)
+let () =
+  let code =
+    try Cmd.eval ~catch:false main with
+    | Serial.Corrupt m ->
+        Fmt.epr "threadfuser: corrupt trace input: %s@." m;
+        exit_corrupt
+    | Threadfuser.Warp_serial.Corrupt m ->
+        Fmt.epr "threadfuser: corrupt warp-trace input: %s@." m;
+        exit_corrupt
+    | Tf_error.Error d ->
+        Fmt.epr "threadfuser: %s@." (Tf_error.to_string d);
+        exit_degraded
+    | Threadfuser.Emulator.Emulation_error m ->
+        Fmt.epr "threadfuser: trace/program mismatch: %s@." m;
+        exit_degraded
+    | Invalid_argument m | Failure m ->
+        Fmt.epr "threadfuser: %s@." m;
+        exit_usage
+    | Sys_error m ->
+        Fmt.epr "threadfuser: %s@." m;
+        exit_usage
+  in
+  exit (if code = Cmd.Exit.cli_error then exit_usage else code)

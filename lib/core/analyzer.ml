@@ -16,6 +16,9 @@
 
 module Program = Threadfuser_prog.Program
 module Thread_trace = Threadfuser_trace.Thread_trace
+module Validate = Threadfuser_trace.Validate
+module Serial = Threadfuser_trace.Serial
+module Tf_error = Threadfuser_util.Tf_error
 module Dcfg = Threadfuser_cfg.Dcfg
 module Ipdom = Threadfuser_cfg.Ipdom
 
@@ -48,7 +51,7 @@ type result = {
 }
 
 let build_report (options : options) prog (emu : Emulator.t) ~n_threads ~n_warps
-    ~per_warp ~skipped_io ~skipped_spin ~skipped_excluded =
+    ~per_warp ~skipped_io ~skipped_spin ~skipped_excluded ~coverage =
   let total_instrs = emu.Emulator.thread_instrs in
   let per_function =
     let stats = ref [] in
@@ -142,11 +145,40 @@ let build_report (options : options) prog (emu : Emulator.t) ~n_threads ~n_warps
     barrier_syncs = emu.Emulator.barrier_syncs;
     serializations = emu.Emulator.serializations;
     serialized_instrs = emu.Emulator.serialized_instrs;
+    coverage;
   }
 
-(** Run the full analysis pipeline over a trace set. *)
-let analyze ?(options = default_options) prog (traces : Thread_trace.t array) :
-    result =
+(* A warp whose replay aborted (checked pipeline only): the lanes it
+   carried (as indices into the analyzed trace array) and the verdict. *)
+type warp_failure = {
+  fw_warp : int;
+  fw_tids : int array;
+  fw_diag : Tf_error.diagnostic;
+}
+
+(* Exceptions the checked pipeline must not swallow. *)
+let fatal = function
+  | Out_of_memory | Sys.Break -> true
+  | _ -> false
+
+let diag_of_exn ?thread = function
+  | Tf_error.Error d -> d
+  | Emulator.Emulation_error m ->
+      Tf_error.diag ?thread Tf_error.Replay_error "%s" m
+  | Serial.Corrupt m -> Tf_error.diag ?thread Tf_error.Corrupt_input "%s" m
+  | e ->
+      Tf_error.diag ?thread Tf_error.Replay_error "unexpected exception: %s"
+        (Printexc.to_string e)
+
+(* The shared pipeline body.  [catch = false] re-raises warp replay
+   failures (the historical [analyze] contract); [catch = true] records
+   them as {!warp_failure}s and keeps replaying the remaining warps.
+   [threads_total] / [pre_quarantined] / [pre_dropped] describe threads
+   already quarantined by validation so the coverage fields account for
+   them. *)
+let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
+    ~pre_quarantined ~pre_dropped prog (traces : Thread_trace.t array) :
+    result * warp_failure list =
   let dcfgs = Dcfg.of_traces prog traces in
   let ipdoms = Ipdom.of_dcfgs dcfgs in
   let warps = Batching.form options.batching ~warp_size:options.warp_size traces in
@@ -169,25 +201,31 @@ let analyze ?(options = default_options) prog (traces : Thread_trace.t array) :
   let skipped_io = ref 0 and skipped_spin = ref 0 in
   let skipped_excluded = ref 0 in
   let per_warp = ref [] in
+  let failures = ref [] in
   Array.iteri
     (fun warp_id tids ->
       let cursors = Array.map (fun tid -> Cursor.of_trace traces.(tid)) tids in
       let issues0 = emu.Emulator.issues
       and instrs0 = emu.Emulator.thread_instrs in
-      Emulator.run_warp emu ~warp_id cursors;
-      let warp_issues = emu.Emulator.issues - issues0
-      and warp_instrs = emu.Emulator.thread_instrs - instrs0 in
-      per_warp :=
-        {
-          Metrics.warp_id;
-          warp_issues;
-          warp_instrs;
-          warp_efficiency =
-            Metrics.efficiency ~issues:warp_issues ~thread_instrs:warp_instrs
-              ~warp_size:options.warp_size;
-          lanes = Array.length tids;
-        }
-        :: !per_warp;
+      (match Emulator.run_warp ?fuel emu ~warp_id cursors with
+      | () ->
+          let warp_issues = emu.Emulator.issues - issues0
+          and warp_instrs = emu.Emulator.thread_instrs - instrs0 in
+          per_warp :=
+            {
+              Metrics.warp_id;
+              warp_issues;
+              warp_instrs;
+              warp_efficiency =
+                Metrics.efficiency ~issues:warp_issues
+                  ~thread_instrs:warp_instrs ~warp_size:options.warp_size;
+              lanes = Array.length tids;
+            }
+            :: !per_warp
+      | exception e when catch && not (fatal e) ->
+          failures :=
+            { fw_warp = warp_id; fw_tids = tids; fw_diag = diag_of_exn e }
+            :: !failures);
       Array.iter
         (fun (c : Cursor.t) ->
           skipped_io := !skipped_io + c.Cursor.skipped_io;
@@ -195,17 +233,147 @@ let analyze ?(options = default_options) prog (traces : Thread_trace.t array) :
           skipped_excluded := !skipped_excluded + c.Cursor.skipped_excluded)
         cursors)
     warps;
+  let failures = List.rev !failures in
+  let replay_quarantined =
+    List.fold_left (fun acc f -> acc + Array.length f.fw_tids) 0 failures
+  in
+  let replay_dropped =
+    List.fold_left
+      (fun acc f ->
+        Array.fold_left
+          (fun acc tid ->
+            acc + Array.length traces.(tid).Thread_trace.events)
+          acc f.fw_tids)
+      0 failures
+  in
+  let coverage =
+    {
+      Metrics.threads_total;
+      threads_analyzed = Array.length traces - replay_quarantined;
+      threads_quarantined = pre_quarantined + replay_quarantined;
+      events_dropped = pre_dropped + replay_dropped;
+      warps_failed = List.length failures;
+    }
+  in
   let report =
     build_report options prog emu ~n_threads:(Array.length traces)
       ~n_warps:(Array.length warps) ~per_warp:(List.rev !per_warp)
       ~skipped_io:!skipped_io ~skipped_spin:!skipped_spin
-      ~skipped_excluded:!skipped_excluded
+      ~skipped_excluded:!skipped_excluded ~coverage
   in
+  ( {
+      report;
+      warp_trace = Option.map Warp_trace.Builder.finish wt_builder;
+      timelines = List.rev emu.Emulator.timelines;
+      dcfgs;
+      ipdoms;
+      options;
+    },
+    failures )
+
+(** Run the full analysis pipeline over a trace set. *)
+let analyze ?(options = default_options) prog (traces : Thread_trace.t array) :
+    result =
+  fst
+    (run_pipeline ~options ~catch:false ~threads_total:(Array.length traces)
+       ~pre_quarantined:0 ~pre_dropped:0 prog traces)
+
+(* ------------------------------------------------------------------ *)
+(* The checked pipeline: validate -> quarantine -> bounded replay.      *)
+
+type checked = {
+  result : result;
+  diagnostics : Tf_error.diagnostic list;
+  quarantined : (int * Tf_error.diagnostic) list;
+}
+
+let bounds_of_program prog =
   {
-    report;
-    warp_trace = Option.map Warp_trace.Builder.finish wt_builder;
-    timelines = List.rev emu.Emulator.timelines;
-    dcfgs;
-    ipdoms;
-    options;
+    Validate.func_count = Program.func_count prog;
+    block_count = (fun f -> Program.block_count (Program.func prog f));
+    block_instrs =
+      Some
+        (fun f b ->
+          Array.length (Program.func prog f).Program.blocks.(b).Program.instrs);
   }
+
+(* Every replay step consumes at least one event across the warp in any
+   non-pathological schedule; the factor leaves room for stack churn
+   (pushes, pops, reconvergence retargets) on damaged traces. *)
+let default_fuel (traces : Thread_trace.t array) =
+  let events =
+    Array.fold_left
+      (fun acc (t : Thread_trace.t) -> acc + Array.length t.Thread_trace.events)
+      0 traces
+  in
+  (64 * events) + 4096
+
+(** Like {!analyze}, but fail typed, bounded and partial-result-capable:
+    threads that fail validation are quarantined up front, every warp
+    replays under a fuel watchdog, and a warp whose replay aborts
+    quarantines its lanes instead of aborting the analysis.  The report's
+    coverage fields account for everything dropped. *)
+let analyze_checked ?(options = default_options) ?fuel prog
+    (traces : Thread_trace.t array) : checked =
+  let threads_total = Array.length traces in
+  let diagnostics, bad = Validate.quarantine ~bounds:(bounds_of_program prog) traces in
+  let bad_tids = List.map fst bad in
+  let survivors =
+    Array.of_list
+      (List.filter
+         (fun (t : Thread_trace.t) ->
+           not (List.mem t.Thread_trace.tid bad_tids))
+         (Array.to_list traces))
+  in
+  let pre_quarantined = threads_total - Array.length survivors in
+  let pre_dropped =
+    Array.fold_left
+      (fun acc (t : Thread_trace.t) ->
+        if List.mem t.Thread_trace.tid bad_tids then
+          acc + Array.length t.Thread_trace.events
+        else acc)
+      0 traces
+  in
+  let fuel = match fuel with Some f -> f | None -> default_fuel survivors in
+  let run survivors ~pre_quarantined ~pre_dropped =
+    run_pipeline ~options ~fuel ~catch:true ~threads_total ~pre_quarantined
+      ~pre_dropped prog survivors
+  in
+  match run survivors ~pre_quarantined ~pre_dropped with
+  | result, failures ->
+      let replay_quar =
+        List.concat_map
+          (fun f ->
+            Array.to_list f.fw_tids
+            |> List.map (fun idx ->
+                   (survivors.(idx).Thread_trace.tid, f.fw_diag)))
+          failures
+      in
+      {
+        result;
+        diagnostics =
+          diagnostics @ List.map (fun f -> f.fw_diag) failures;
+        quarantined = bad @ replay_quar;
+      }
+  | exception e when not (fatal e) ->
+      (* DCFG / IPDOM / warp formation blew up despite validation: the
+         whole trace set is quarantined and the report is empty-but-typed. *)
+      let d = diag_of_exn e in
+      let all_events =
+        Array.fold_left
+          (fun acc (t : Thread_trace.t) ->
+            acc + Array.length t.Thread_trace.events)
+          0 traces
+      in
+      let result, _ =
+        run_pipeline ~options ~fuel ~catch:true ~threads_total
+          ~pre_quarantined:threads_total ~pre_dropped:all_events prog [||]
+      in
+      {
+        result;
+        diagnostics = diagnostics @ [ d ];
+        quarantined =
+          bad
+          @ (Array.to_list survivors
+            |> List.map (fun (t : Thread_trace.t) -> (t.Thread_trace.tid, d)));
+      }

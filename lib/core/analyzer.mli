@@ -36,9 +36,40 @@ type result = {
   options : options;
 }
 
-(** Run the full analysis pipeline over a trace set. *)
+(** Run the full analysis pipeline over a trace set.  Trusts its input:
+    malformed traces raise ({!Emulator.Emulation_error} or the typed
+    [Tf_error.Error]).  Use {!analyze_checked} for untrusted traces. *)
 val analyze :
   ?options:options ->
   Threadfuser_prog.Program.t ->
   Threadfuser_trace.Thread_trace.t array ->
   result
+
+(** Result of the checked pipeline: a (possibly partial) analysis plus
+    everything it refused to analyze.  [result.report.coverage] accounts
+    for the quarantined threads, so partial reports are explicit. *)
+type checked = {
+  result : result;
+  diagnostics : Threadfuser_util.Tf_error.diagnostic list;
+      (** validation diagnostics (including warnings) + replay verdicts *)
+  quarantined : (int * Threadfuser_util.Tf_error.diagnostic) list;
+      (** (tid, why) per thread excluded from the report *)
+}
+
+(** Fuel the checked pipeline gives each replay when none is supplied
+    (proportional to the trace set's event count). *)
+val default_fuel : Threadfuser_trace.Thread_trace.t array -> int
+
+(** Graceful-degradation variant of {!analyze} for untrusted traces
+    (docs/robustness.md): validates every thread against the program
+    ({!Threadfuser_trace.Validate}), quarantines threads that fail,
+    replays the surviving warp lanes under a fuel watchdog, and
+    quarantines the lanes of any warp whose replay ends in a typed
+    [Timeout] / [Deadlock] / desync verdict instead of aborting.  Never
+    raises on malformed trace data. *)
+val analyze_checked :
+  ?options:options ->
+  ?fuel:int ->
+  Threadfuser_prog.Program.t ->
+  Threadfuser_trace.Thread_trace.t array ->
+  checked

@@ -27,12 +27,29 @@
 module Program = Threadfuser_prog.Program
 module Event = Threadfuser_trace.Event
 module Ipdom = Threadfuser_cfg.Ipdom
+module Tf_error = Threadfuser_util.Tf_error
 module Vec = Threadfuser_util.Vec
 open Threadfuser_isa
 
 exception Emulation_error of string
 
 let errf fmt = Fmt.kstr (fun s -> raise (Emulation_error s)) fmt
+
+(* Replay fuel: a watchdog charge consumed on every stack step and every
+   serialized event, so a corrupt trace can bound-fail with a typed
+   [Tf_error.Timeout] instead of spinning.  [None] (the default) replays
+   unbounded, preserving the unchecked [analyze] path exactly. *)
+type fuel = int ref option
+
+let burn (fuel : fuel) ~warp_id =
+  match fuel with
+  | None -> ()
+  | Some f ->
+      if !f <= 0 then
+        Tf_error.fail Tf_error.Timeout
+          "warp %d: replay exceeded its fuel bound (livelock watchdog)"
+          warp_id;
+      decr f
 
 type sync_mode = Serialize | Serialize_all | Ignore_sync
 
@@ -218,11 +235,15 @@ let reconv_for t (e : entry) targets =
 
 (* Scalar replay of one lane's critical section: consume events until the
    matching unlock of [lock_addr], charging every block as a one-lane
-   issue. *)
-let scalar_critical_section t cursors lane lock_addr =
+   issue.  A trace that ends while still holding the lock is a deadlock
+   verdict (the lock is never released, so the other contenders would wait
+   forever); the fuel watchdog bounds the walk on corrupt input. *)
+let scalar_critical_section ?(fuel : fuel = None) ~warp_id t cursors lane
+    lock_addr =
   let c = cursors.(lane) in
   let before = t.thread_instrs in
   let rec go () =
+    burn fuel ~warp_id;
     match Cursor.next c with
     | Cursor.C_block { func; block; accesses; _ } ->
         ignore
@@ -235,7 +256,11 @@ let scalar_critical_section t cursors lane lock_addr =
         go ()
     | Cursor.C_barrier _ -> go ()
     | Cursor.C_unlock a -> if a = lock_addr then () else go ()
-    | Cursor.C_end -> errf "lane %d: trace ended inside critical section" lane
+    | Cursor.C_end ->
+        Tf_error.fail ~thread:c.Cursor.tid Tf_error.Deadlock
+          "lane %d: trace ended inside critical section of lock 0x%x (lock \
+           never released)"
+          lane lock_addr
   in
   go ();
   t.serialized_instrs <- t.serialized_instrs + (t.thread_instrs - before)
@@ -290,7 +315,8 @@ let regroup t stack (e : entry) block cursors =
 
 (* Handle the lock-acquire terminator: consume the lock events, serialize
    same-lock contenders, then regroup. *)
-let handle_locks t stack (e : entry) block cursors =
+let handle_locks ?(fuel : fuel = None) ~warp_id t stack (e : entry) block
+    cursors =
   let lanes = Mask.to_list e.e_mask in
   let addrs =
     List.map
@@ -310,7 +336,9 @@ let handle_locks t stack (e : entry) block cursors =
          alternative designs the paper defers to future work) *)
       if List.length addrs > 1 then begin
         t.serializations <- t.serializations + 1;
-        List.iter (fun (lane, a) -> scalar_critical_section t cursors lane a) addrs
+        List.iter
+          (fun (lane, a) -> scalar_critical_section ~fuel ~warp_id t cursors lane a)
+          addrs
       end
   | Serialize ->
       let by_addr = Hashtbl.create 4 in
@@ -329,7 +357,9 @@ let handle_locks t stack (e : entry) block cursors =
       List.iter
         (fun (a, lanes) ->
           t.serializations <- t.serializations + 1;
-          List.iter (fun lane -> scalar_critical_section t cursors lane a) lanes)
+          List.iter
+            (fun lane -> scalar_critical_section ~fuel ~warp_id t cursors lane a)
+            lanes)
         conflicting);
   regroup t stack e block cursors
 
@@ -337,8 +367,12 @@ let handle_locks t stack (e : entry) block cursors =
 (* Warp main loop                                                       *)
 
 (** Replay one warp.  [cursors.(lane)] is the lane's trace cursor; all
-    lanes must start at the same worker function. *)
-let run_warp t ~warp_id (cursors : Cursor.t array) =
+    lanes must start at the same worker function.  [fuel] (when given)
+    bounds the total number of stack steps + serialized events, raising a
+    typed [Tf_error.Timeout] when exhausted — the replay watchdog of the
+    checked pipeline. *)
+let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
+  let fuel : fuel = Option.map ref fuel in
   t.wt_warp <- warp_id;
   if t.config.record_timeline then
     t.tl_current <- Some (Vec.create ~capacity:256 { Timeline.n_instr = 0; active = 0 });
@@ -363,6 +397,7 @@ let run_warp t ~warp_id (cursors : Cursor.t array) =
         e_mask = Mask.of_list (List.init n_lanes (fun i -> i));
       };
     while not (Vec.is_empty stack) do
+      burn fuel ~warp_id;
       let e = Vec.top stack in
       if e.pc = e.e_reconv then ignore (Vec.pop stack)
       else if e.pc = exit_node t e.e_func then
@@ -406,17 +441,22 @@ let run_warp t ~warp_id (cursors : Cursor.t array) =
               lanes;
             e.pc <- exit_node t e.e_func
         | Instr.Halt -> e.pc <- exit_node t e.e_func
-        | Instr.Lock_acquire _ -> handle_locks t stack e block cursors
+        | Instr.Lock_acquire _ -> handle_locks ~fuel ~warp_id t stack e block cursors
         | Instr.Barrier _ ->
             (* all lanes arrive together (same block): within the warp a
-               team barrier is free; count it and continue in lockstep *)
+               team barrier is free; count it and continue in lockstep.  A
+               lane without the arrival would block the whole team forever
+               on real hardware — a typed deadlock verdict. *)
             List.iter
               (fun lane ->
                 match Cursor.next cursors.(lane) with
                 | Cursor.C_barrier _ -> ()
                 | _ ->
-                    errf "lane %d: expected barrier after f%d.b%d" lane e.e_func
-                      block)
+                    Tf_error.fail ~thread:cursors.(lane).Cursor.tid
+                      Tf_error.Deadlock
+                      "lane %d: no barrier arrival after f%d.b%d (barrier \
+                       never satisfied)"
+                      lane e.e_func block)
               lanes;
             t.barrier_syncs <- t.barrier_syncs + 1;
             regroup t stack e block cursors

@@ -13,7 +13,11 @@
 
 exception Emulation_error of string
 (** Trace/program mismatch (an emulator invariant violation, not a user
-    error under normal use). *)
+    error under normal use).  Watchdog verdicts — replay fuel exhausted,
+    a lock never released, a barrier never satisfied — are raised as the
+    typed [Threadfuser_util.Tf_error.Error] with kind [Timeout] or
+    [Deadlock] instead, so the checked pipeline can quarantine and keep
+    going (docs/robustness.md). *)
 
 type sync_mode =
   | Serialize
@@ -64,5 +68,8 @@ val create :
   t
 
 (** Replay one warp; [cursors.(lane)] is the lane's trace cursor.  Counters
-    accumulate across calls, so one [t] serves a whole grid of warps. *)
-val run_warp : t -> warp_id:int -> Cursor.t array -> unit
+    accumulate across calls, so one [t] serves a whole grid of warps.
+    [fuel] (when given) bounds the total stack steps + serialized events,
+    raising [Tf_error.Error] with kind [Timeout] when exhausted — the
+    replay watchdog of {!Analyzer.analyze_checked}. *)
+val run_warp : ?fuel:int -> t -> warp_id:int -> Cursor.t array -> unit

@@ -41,6 +41,17 @@ type segment_stat = {
   txns_per_instr : float;
 }
 
+(* How much of the input the report actually covers.  The checked pipeline
+   quarantines threads that fail validation or replay and keeps going, so a
+   partial report is explicit rather than silently wrong. *)
+type coverage = {
+  threads_total : int; (* threads handed to the analyzer *)
+  threads_analyzed : int; (* threads whose replay completed *)
+  threads_quarantined : int; (* failed validation or replay *)
+  events_dropped : int; (* trace events of the quarantined threads *)
+  warps_failed : int; (* warps whose replay aborted (watchdog / desync) *)
+}
+
 type report = {
   warp_size : int;
   n_threads : int;
@@ -63,7 +74,22 @@ type report = {
   barrier_syncs : int; (* warp-level team-barrier crossings *)
   serializations : int; (* same-lock warp conflicts serialized *)
   serialized_instrs : int; (* instructions executed under serialization *)
+  coverage : coverage;
 }
+
+let full_coverage ~n_threads =
+  {
+    threads_total = n_threads;
+    threads_analyzed = n_threads;
+    threads_quarantined = 0;
+    events_dropped = 0;
+    warps_failed = 0;
+  }
+
+(** A report is degraded when any thread was quarantined or any warp's
+    replay aborted. *)
+let degraded r =
+  r.coverage.threads_quarantined > 0 || r.coverage.warps_failed > 0
 
 let efficiency ~issues ~thread_instrs ~warp_size =
   if issues = 0 then 1.0
@@ -95,7 +121,14 @@ let pp_summary ppf r =
      ld-st (%.2f per instr) | traced %.1f%%"
     r.warp_size r.n_threads r.n_warps (100. *. r.simt_efficiency)
     r.total_mem_txns r.total_mem_issues (txns_per_mem_instr r)
-    (100. *. traced_fraction r)
+    (100. *. traced_fraction r);
+  if degraded r then
+    Fmt.pf ppf
+      "@.PARTIAL: %d/%d threads analyzed (%d quarantined, %d events \
+       dropped, %d warps failed)"
+      r.coverage.threads_analyzed r.coverage.threads_total
+      r.coverage.threads_quarantined r.coverage.events_dropped
+      r.coverage.warps_failed
 
 let pp_blocks ppf r =
   Fmt.pf ppf "%-22s %-14s %10s %10s %7s@." "function.block" "label" "issues"

@@ -38,6 +38,18 @@ type segment_stat = {
   txns_per_instr : float;
 }
 
+(** How much of the input the report actually covers: the checked pipeline
+    ({!Analyzer.analyze_checked}) quarantines threads that fail validation
+    or replay and keeps going, so a partial report is explicit rather than
+    silently wrong. *)
+type coverage = {
+  threads_total : int;  (** threads handed to the analyzer *)
+  threads_analyzed : int;  (** threads whose replay completed *)
+  threads_quarantined : int;  (** failed validation or replay *)
+  events_dropped : int;  (** trace events of the quarantined threads *)
+  warps_failed : int;  (** warps whose replay aborted *)
+}
+
 type report = {
   warp_size : int;
   n_threads : int;
@@ -62,7 +74,14 @@ type report = {
   barrier_syncs : int;  (** warp-level team-barrier crossings *)
   serializations : int;  (** same-lock warp conflict groups serialized *)
   serialized_instrs : int;  (** instructions executed one-lane-at-a-time *)
+  coverage : coverage;
 }
+
+(** Full coverage: every thread analyzed, nothing dropped. *)
+val full_coverage : n_threads:int -> coverage
+
+(** True when any thread was quarantined or any warp's replay aborted. *)
+val degraded : report -> bool
 
 (** Equation 1; defined as 1.0 when nothing was issued. *)
 val efficiency : issues:int -> thread_instrs:int -> warp_size:int -> float

@@ -78,25 +78,39 @@ let to_string t = Buffer.contents (to_buffer t)
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
 
+(* Every numeric token is untrusted: a flipped byte must fail as [Corrupt],
+   not as the [Failure] of [int_of_string]. *)
+let int_tok what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail "bad %s %S" what s
+
+let hex_tok what s =
+  match int_of_string_opt ("0x" ^ s) with
+  | Some v -> v
+  | None -> fail "bad %s %S" what s
+
 let parse_entry warp_size line : Warp_trace.entry =
   let toks = String.split_on_char ' ' line in
   match toks with
   | mask_s :: cls_s :: dst_s :: nsrc_s :: rest -> (
-      let mask_bits = int_of_string ("0x" ^ mask_s) in
+      let mask_bits = hex_tok "mask" mask_s in
       let mask =
         Mask.of_list
           (List.filter (fun l -> mask_bits land (1 lsl l) <> 0)
              (List.init Mask.max_lanes (fun i -> i)))
       in
-      let n_srcs = int_of_string nsrc_s in
+      let n_srcs = int_tok "src count" nsrc_s in
+      if n_srcs < 0 || n_srcs > List.length rest then
+        fail "src count %d exceeds the line's tokens" n_srcs;
       let rec take n acc = function
         | rest when n = 0 -> (List.rev acc, rest)
         | [] -> fail "truncated srcs"
         | x :: tl -> take (n - 1) (x :: acc) tl
       in
       let srcs, rest = take n_srcs [] rest in
-      let srcs = Array.of_list (List.map int_of_string srcs) in
-      let dst = int_of_string dst_s in
+      let srcs = Array.of_list (List.map (int_tok "src") srcs) in
+      let dst = int_tok "dst" dst_s in
       let cls = cls_of_string cls_s in
       match rest with
       | [ "-" ] -> { Warp_trace.mask; op = { Warp_trace.cls; dst; srcs; mem = None } }
@@ -107,7 +121,7 @@ let parse_entry warp_size line : Warp_trace.entry =
           let addrs =
             Array.of_list
               (List.map
-                 (fun t -> if t = "-" then -1 else int_of_string ("0x" ^ t))
+                 (fun t -> if t = "-" then -1 else hex_tok "lane address" t)
                  addr_toks)
           in
           let mem =
@@ -117,7 +131,7 @@ let parse_entry warp_size line : Warp_trace.entry =
                 | "S" -> true
                 | "L" -> false
                 | _ -> fail "bad L/S flag %s" ls);
-              size = int_of_string size_s;
+              size = int_tok "size" size_s;
               space =
                 (match space_s with
                 | "G" -> Warp_trace.Global
@@ -136,21 +150,34 @@ let of_string s : Warp_trace.t =
   | header :: rest -> (
       match String.split_on_char ' ' header with
       | [ m; ws; nw ] when m = magic ->
-          let warp_size = int_of_string ws and n_warps = int_of_string nw in
+          let warp_size = int_tok "warp size" ws
+          and n_warps = int_tok "warp count" nw in
+          if warp_size < 1 || warp_size > Mask.max_lanes then
+            fail "warp size %d outside [1, %d]" warp_size Mask.max_lanes;
+          (* counts are untrusted: bound them by the lines actually present
+             before allocating (a corrupt header must not trigger a
+             multi-GB [Array.init]) *)
+          let remaining = ref (List.length rest) in
+          if n_warps < 0 || n_warps > !remaining then
+            fail "warp count %d exceeds the file's %d lines" n_warps !remaining;
           let cursor = ref rest in
           let next_line () =
             match !cursor with
             | [] -> fail "unexpected end of file"
             | l :: tl ->
                 cursor := tl;
+                decr remaining;
                 l
           in
           let warps =
             Array.init n_warps (fun _ ->
                 match String.split_on_char ' ' (next_line ()) with
                 | [ "W"; id_s; n_s ] ->
-                    let warp_id = int_of_string id_s in
-                    let n_ops = int_of_string n_s in
+                    let warp_id = int_tok "warp id" id_s in
+                    let n_ops = int_tok "op count" n_s in
+                    if n_ops < 0 || n_ops > !remaining then
+                      fail "op count %d exceeds the file's remaining %d lines"
+                        n_ops !remaining;
                     let ops =
                       Array.init n_ops (fun _ -> parse_entry warp_size (next_line ()))
                     in

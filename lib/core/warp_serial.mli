@@ -1,7 +1,12 @@
 (** Warp-trace files — the on-disk form of ThreadFuser's simulator
     integration (paper §III): a line-oriented text format carrying one
     cracked micro-op per line with its active mask and per-lane addresses.
-    Round-trips exactly. *)
+    Round-trips exactly.
+
+    The reader treats every token as untrusted: malformed numbers fail as
+    {!Corrupt} (never [Failure]), and warp/op/src counts are bounded by
+    the input actually present before any allocation, so a corrupt header
+    cannot trigger a multi-GB [Array.init]. *)
 
 exception Corrupt of string
 

@@ -66,6 +66,18 @@ let of_report (r : Metrics.report) =
             ("spin_instructions", Json.Int r.Metrics.skipped_spin);
             ("excluded_instructions", Json.Int r.Metrics.skipped_excluded);
           ] );
+      ( "coverage",
+        Json.Obj
+          [
+            ("threads_total", Json.Int r.Metrics.coverage.Metrics.threads_total);
+            ( "threads_analyzed",
+              Json.Int r.Metrics.coverage.Metrics.threads_analyzed );
+            ( "threads_quarantined",
+              Json.Int r.Metrics.coverage.Metrics.threads_quarantined );
+            ("events_dropped", Json.Int r.Metrics.coverage.Metrics.events_dropped);
+            ("warps_failed", Json.Int r.Metrics.coverage.Metrics.warps_failed);
+            ("degraded", Json.Bool (Metrics.degraded r));
+          ] );
       ("per_function", Json.List (List.map of_func r.Metrics.per_function));
       ("per_warp", Json.List (List.map of_warp r.Metrics.per_warp));
     ]

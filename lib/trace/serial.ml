@@ -49,15 +49,36 @@ let read_byte r =
   r.pos <- r.pos + 1;
   c
 
+(* The writer emits at most ceil(63/7) = 9 groups, so a continuation bit
+   past shift 56 (i.e. a 10th byte) can only come from corrupt input; the
+   bound also keeps [lsl] inside the word size (shifting an OCaml int by
+   >= Sys.int_size is undefined). *)
 let read_uint r =
   let rec go shift acc =
     let b = read_byte r in
+    if shift >= 63 then raise (Corrupt "overlong varint");
     let acc = acc lor ((b land 0x7f) lsl shift) in
     if b land 0x80 <> 0 then go (shift + 7) acc else acc
   in
   go 0 0
 
 let read_int = read_uint
+
+(* Length headers are untrusted: a corrupt count must fail as [Corrupt]
+   before it reaches [Array.init] (a 5-byte file must not trigger a
+   multi-GB allocation or an [Invalid_argument]).  Every counted item
+   costs at least [min_bytes] input bytes, so any honest count is bounded
+   by the bytes left. *)
+let read_count r ~min_bytes what =
+  let n = read_uint r in
+  if n < 0 then raise (Corrupt (Printf.sprintf "negative %s count" what));
+  if n > (String.length r.data - r.pos) / min_bytes then
+    raise
+      (Corrupt
+         (Printf.sprintf "%s count %d exceeds remaining input (%d bytes)" what
+            n
+            (String.length r.data - r.pos)));
+  n
 
 (* -- events ------------------------------------------------------------- *)
 
@@ -101,7 +122,8 @@ let read_event r : Event.t =
       let func = read_uint r in
       let block = read_uint r in
       let n_instr = read_uint r in
-      let n_acc = read_uint r in
+      (* an access is at least 4 varint bytes (ioff addr size is_store) *)
+      let n_acc = read_count r ~min_bytes:4 "access" in
       let accesses =
         Array.init n_acc (fun _ ->
             let ioff = read_uint r in
@@ -149,10 +171,13 @@ let of_string s : Thread_trace.t array =
   if String.length s < n_magic || String.sub s 0 n_magic <> magic then
     raise (Corrupt "bad magic");
   let r = { data = s; pos = n_magic } in
-  let n_threads = read_uint r in
+  (* a thread costs at least 2 bytes (tid + event count) *)
+  let n_threads = read_count r ~min_bytes:2 "thread" in
   Array.init n_threads (fun _ ->
       let tid = read_uint r in
-      let n_events = read_uint r in
+      if tid < 0 then raise (Corrupt "negative thread id");
+      (* an event is at least 1 byte (its tag) *)
+      let n_events = read_count r ~min_bytes:1 "event" in
       let events = Array.init n_events (fun _ -> read_event r) in
       { Thread_trace.tid; events })
 

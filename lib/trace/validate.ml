@@ -1,0 +1,195 @@
+(** Semantic validation of decoded thread traces.
+
+    [Serial] guarantees only that the bytes decoded; this pass checks that
+    the events make sense under the trace contract (docs/ARCHITECTURE.md §1)
+    before the analyzer replays them:
+
+    - call/return balance: a [Return] must match a [Call], except the
+      final return of the worker itself; the trace must not end inside an
+      unreturned call;
+    - lock pairing: a [Lock_rel] must release a lock the thread holds, and
+      every held lock must be released by the end of the trace (a lock
+      held at end-of-trace would deadlock the warp serializer);
+    - block/function ids must be inside the program's range (when bounds
+      are supplied), so replay never indexes out of an array;
+    - accesses must fit the block: offsets inside [0, n_instr), sorted by
+      offset, positive sizes, and [n_instr] consistent with the program;
+    - barrier consistency: all threads must agree on the sequence of
+      team-barrier addresses (majority reference); a thread missing an
+      arrival would block the team forever.
+
+    Diagnostics are typed ({!Threadfuser_util.Tf_error}); [Error]-severity
+    ones mean the thread cannot be replayed and should be quarantined. *)
+
+module Tf_error = Threadfuser_util.Tf_error
+
+(** Program shape used to range-check ids; obtained from [Program.t] by
+    the analyzer (this library does not depend on [lib/prog]). *)
+type bounds = {
+  func_count : int;
+  block_count : int -> int;  (* blocks of a function *)
+  block_instrs : (int -> int -> int) option;  (* instrs of (func, block) *)
+}
+
+let no_bounds =
+  { func_count = max_int; block_count = (fun _ -> max_int); block_instrs = None }
+
+let check_block ~bounds ~tid diags ~func ~block ~n_instr
+    ~(accesses : Event.access array) =
+  let d k fmt = Format.kasprintf (fun m -> diags := Tf_error.diag ~thread:tid k "%s" m :: !diags) fmt in
+  if func < 0 || func >= bounds.func_count then
+    d Tf_error.Bad_block_ref "function id %d out of range (program has %d)"
+      func bounds.func_count
+  else if block < 0 || block >= bounds.block_count func then
+    d Tf_error.Bad_block_ref "block f%d.b%d out of range (function has %d)"
+      func block (bounds.block_count func)
+  else begin
+    (match bounds.block_instrs with
+    | Some instrs when instrs func block <> n_instr ->
+        d Tf_error.Bad_access
+          "block f%d.b%d claims %d instructions, program has %d" func block
+          n_instr (instrs func block)
+    | _ -> ());
+    if n_instr <= 0 then
+      d Tf_error.Bad_access "block f%d.b%d has n_instr %d" func block n_instr
+    else begin
+      let last_ioff = ref (-1) in
+      Array.iter
+        (fun (a : Event.access) ->
+          if a.ioff < 0 || a.ioff >= n_instr then
+            d Tf_error.Bad_access
+              "access offset %d outside block f%d.b%d (%d instructions)"
+              a.ioff func block n_instr
+          else if a.ioff < !last_ioff then
+            d Tf_error.Bad_access "accesses of f%d.b%d not sorted by offset"
+              func block;
+          if a.size <= 0 then
+            d Tf_error.Bad_access "access of f%d.b%d has size %d" func block
+              a.size;
+          last_ioff := a.ioff)
+        accesses
+    end
+  end
+
+(** Validate one thread (everything except cross-thread barrier
+    consistency).  Returns diagnostics, newest first. *)
+let thread ?(bounds = no_bounds) (t : Thread_trace.t) :
+    Tf_error.diagnostic list =
+  let tid = t.Thread_trace.tid in
+  let diags = ref [] in
+  let add k fmt =
+    Format.kasprintf
+      (fun m -> diags := Tf_error.diag ~thread:tid k "%s" m :: !diags)
+      fmt
+  in
+  let depth = ref 0 in
+  let worker_returned = ref false in
+  let held = ref [] in
+  (* lock addresses, innermost first *)
+  Array.iteri
+    (fun i (e : Event.t) ->
+      if !worker_returned then
+        match e with
+        | Event.Skip _ -> ()
+        | _ -> add Tf_error.Unbalanced_call "event %d after the worker's final return" i
+      else
+        match e with
+        | Event.Block { func; block; n_instr; accesses } ->
+            check_block ~bounds ~tid diags ~func ~block ~n_instr ~accesses
+        | Event.Call f ->
+            if f < 0 || f >= bounds.func_count then
+              add Tf_error.Bad_block_ref "call to function id %d out of range" f;
+            incr depth
+        | Event.Return ->
+            if !depth > 0 then decr depth
+            else
+              (* depth 0: this is the worker's own return, legal only as
+                 the last control event of the trace *)
+              worker_returned := true
+        | Event.Lock_acq a -> held := a :: !held
+        | Event.Lock_rel a ->
+            if List.mem a !held then begin
+              (* remove one occurrence *)
+              let rec drop = function
+                | [] -> []
+                | x :: tl -> if x = a then tl else x :: drop tl
+              in
+              held := drop !held
+            end
+            else
+              add Tf_error.Unbalanced_lock
+                "release of lock 0x%x the thread does not hold (event %d)" a i
+        | Event.Barrier _ | Event.Skip _ -> ())
+    t.Thread_trace.events;
+  if (not !worker_returned) && !depth > 0 then
+    add Tf_error.Unbalanced_call "trace ends inside %d unreturned call(s)"
+      !depth;
+  List.iter
+    (fun a ->
+      add Tf_error.Deadlock
+        "lock 0x%x acquired but never released (would hang the warp \
+         serializer)"
+        a)
+    !held;
+  !diags
+
+let barrier_seq (t : Thread_trace.t) =
+  Array.to_list t.Thread_trace.events
+  |> List.filter_map (function Event.Barrier a -> Some a | _ -> None)
+
+(** Validate a trace set: per-thread checks plus cross-thread barrier
+    consistency.  Threads whose barrier-address sequence differs from the
+    majority get a [Barrier_mismatch] error (a missing arrival would block
+    the team forever — the machine's barriers release only when every live
+    thread has arrived). *)
+let all ?(bounds = no_bounds) (traces : Thread_trace.t array) :
+    Tf_error.diagnostic list =
+  let diags =
+    Array.fold_left (fun acc t -> List.rev_append (thread ~bounds t) acc) []
+      traces
+  in
+  if Array.length traces < 2 then List.rev diags
+  else begin
+    let seqs = Array.map barrier_seq traces in
+    (* majority vote over the distinct sequences *)
+    let counts = Hashtbl.create 8 in
+    Array.iter
+      (fun s ->
+        Hashtbl.replace counts s (1 + Option.value ~default:0 (Hashtbl.find_opt counts s)))
+      seqs;
+    let reference, _ =
+      Hashtbl.fold
+        (fun s n ((_, best) as acc) -> if n > best then (s, n) else acc)
+        counts ([], 0)
+    in
+    let barrier_diags = ref [] in
+    Array.iteri
+      (fun i s ->
+        if s <> reference then
+          barrier_diags :=
+            Tf_error.diag ~thread:traces.(i).Thread_trace.tid
+              Tf_error.Barrier_mismatch
+              "barrier sequence (%d arrivals) disagrees with the team \
+               majority (%d): a missing arrival never satisfies the barrier"
+              (List.length s) (List.length reference)
+            :: !barrier_diags)
+      seqs;
+    List.rev_append diags (List.rev !barrier_diags)
+  end
+
+(** Threads with at least one [Error]-severity diagnostic, with the first
+    such diagnostic (the quarantine set of [Analyzer.analyze_checked]). *)
+let quarantine ?(bounds = no_bounds) (traces : Thread_trace.t array) :
+    Tf_error.diagnostic list * (int * Tf_error.diagnostic) list =
+  let diags = all ~bounds traces in
+  let bad =
+    Array.to_list traces
+    |> List.filter_map (fun (t : Thread_trace.t) ->
+           List.find_opt
+             (fun (d : Tf_error.diagnostic) ->
+               d.Tf_error.severity = Tf_error.Error
+               && d.Tf_error.thread = Some t.Thread_trace.tid)
+             diags
+           |> Option.map (fun d -> (t.Thread_trace.tid, d)))
+  in
+  (diags, bad)

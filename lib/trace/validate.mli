@@ -1,0 +1,36 @@
+(** Semantic validation of decoded thread traces against the trace
+    contract (docs/ARCHITECTURE.md §1): call/return balance, lock
+    acquire/release pairing, block/function ids in program range, access
+    offsets vs [n_instr], and cross-thread team-barrier consistency.
+    Produces typed diagnostics ({!Threadfuser_util.Tf_error}); see
+    docs/robustness.md for the taxonomy and quarantine semantics. *)
+
+module Tf_error = Threadfuser_util.Tf_error
+
+(** Program shape used to range-check ids (supplied by the analyzer;
+    this library does not depend on [lib/prog]). *)
+type bounds = {
+  func_count : int;
+  block_count : int -> int;  (** blocks of a function *)
+  block_instrs : (int -> int -> int) option;
+      (** instruction count of (func, block), for [n_instr] cross-checks *)
+}
+
+(** Skips all range checks (no program at hand). *)
+val no_bounds : bounds
+
+(** Per-thread checks only. *)
+val thread :
+  ?bounds:bounds -> Thread_trace.t -> Tf_error.diagnostic list
+
+(** Per-thread checks plus cross-thread barrier consistency. *)
+val all :
+  ?bounds:bounds -> Thread_trace.t array -> Tf_error.diagnostic list
+
+(** [quarantine traces] is [(diagnostics, bad)]: all diagnostics plus, per
+    thread with at least one [Error]-severity diagnostic, its tid and the
+    first such diagnostic. *)
+val quarantine :
+  ?bounds:bounds ->
+  Thread_trace.t array ->
+  Tf_error.diagnostic list * (int * Tf_error.diagnostic) list

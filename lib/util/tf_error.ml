@@ -1,0 +1,72 @@
+(** The shared diagnostic type of the robustness layer.
+
+    Every ingestion and replay path (trace decoding, validation, SIMT-stack
+    replay, the CLI) reports failures as a typed [diagnostic] instead of an
+    ad-hoc [failwith], so callers can distinguish corrupt input from
+    semantic trace damage from watchdog verdicts, quarantine the offending
+    thread, and keep going (see docs/robustness.md). *)
+
+type kind =
+  | Corrupt_input (* undecodable bytes: bad magic, truncation, overlong varint *)
+  | Unbalanced_call (* a Return with no matching Call, or vice versa *)
+  | Unbalanced_lock (* a release of a lock the thread does not hold *)
+  | Bad_block_ref (* block / function id outside the program's range *)
+  | Bad_access (* access offsets vs [n_instr], unsorted or empty blocks *)
+  | Barrier_mismatch (* threads disagree on the team-barrier sequence *)
+  | Replay_error (* the SIMT-stack replay desynchronized from the trace *)
+  | Timeout (* the replay watchdog ran out of fuel *)
+  | Deadlock (* a lock never released or a barrier never satisfied *)
+
+type severity = Warning | Error
+
+(* [Error] the severity is shadowed below by [Error] the exception; bind it
+   while it is still in scope. *)
+let error_severity : severity = Error
+
+type diagnostic = {
+  kind : kind;
+  severity : severity;
+  thread : int option; (* offending thread id, when attributable *)
+  message : string;
+}
+
+exception Error of diagnostic
+
+let kind_name = function
+  | Corrupt_input -> "corrupt-input"
+  | Unbalanced_call -> "unbalanced-call"
+  | Unbalanced_lock -> "unbalanced-lock"
+  | Bad_block_ref -> "bad-block-ref"
+  | Bad_access -> "bad-access"
+  | Barrier_mismatch -> "barrier-mismatch"
+  | Replay_error -> "replay-error"
+  | Timeout -> "timeout"
+  | Deadlock -> "deadlock"
+
+let severity_name = function Warning -> "warning" | Error -> "error"
+
+let diag ?thread ?(severity = error_severity) kind fmt =
+  Format.kasprintf
+    (fun message -> { kind; severity; thread; message })
+    fmt
+
+let fail ?thread kind fmt =
+  Format.kasprintf
+    (fun message ->
+      raise (Error { kind; severity = error_severity; thread; message }))
+    fmt
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s]%s: %s" (severity_name d.severity)
+    (kind_name d.kind)
+    (match d.thread with
+    | Some tid -> Printf.sprintf " thread %d" tid
+    | None -> "")
+    d.message
+
+let to_string d = Format.asprintf "%a" pp d
+
+let () =
+  Printexc.register_printer (function
+    | Error d -> Some ("Tf_error.Error: " ^ to_string d)
+    | _ -> None)

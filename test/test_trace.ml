@@ -115,6 +115,143 @@ let prop_roundtrip =
       && Array.length back.(0).Thread_trace.events = List.length events
       && Array.for_all2 Event.equal back.(0).Thread_trace.events t.events)
 
+(* ---- robustness: hostile input must fail with a typed error ----------- *)
+
+module Tf_error = Threadfuser_util.Tf_error
+
+(* A second trace with the sync events the sample lacks, so the sweep also
+   exercises barrier decoding and the validator's lock/barrier checks. *)
+let sync_trace =
+  {
+    Thread_trace.tid = 8;
+    events =
+      [|
+        Event.Block { func = 0; block = 0; n_instr = 2; accesses = [||] };
+        Event.Barrier 0x900;
+        Event.Lock_acq 0x500;
+        Event.Block { func = 0; block = 1; n_instr = 1; accesses = [||] };
+        Event.Lock_rel 0x500;
+        Event.Return;
+      |];
+  }
+
+(* Decode + validate; the only acceptable failures are the typed ones. *)
+let decode_checked what s =
+  match
+    let traces = Serial.of_string s in
+    ignore (Validate.all traces)
+  with
+  | () -> ()
+  | exception Serial.Corrupt _ -> ()
+  | exception Tf_error.Error _ -> ()
+  | exception e ->
+      Alcotest.failf "%s: escaped with %s" what (Printexc.to_string e)
+
+(* Every single-byte truncation and every single-bit flip of a serialized
+   trace set must either decode (possibly to garbage the validator flags)
+   or raise [Corrupt] / [Tf_error.Error] — never [Invalid_argument],
+   [Not_found], out-of-memory allocation or a hang. *)
+let test_truncation_sweep () =
+  let s = Serial.to_string [| sample_trace; sync_trace |] in
+  for keep = 0 to String.length s - 1 do
+    decode_checked
+      (Printf.sprintf "truncate to %d bytes" keep)
+      (String.sub s 0 keep)
+  done
+
+let test_bitflip_sweep () =
+  let s = Serial.to_string [| sample_trace; sync_trace |] in
+  for off = 0 to String.length s - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string s in
+      Bytes.set b off (Char.chr (Char.code s.[off] lxor (1 lsl bit)));
+      decode_checked
+        (Printf.sprintf "flip byte %d bit %d" off bit)
+        (Bytes.to_string b)
+    done
+  done
+
+(* A run of continuation bytes longer than any honest 63-bit encoding must
+   be rejected, not shifted past the word size. *)
+let test_overlong_varint () =
+  let r = { Serial.data = String.make 12 '\x80'; pos = 0 } in
+  match Serial.read_uint r with
+  | exception Serial.Corrupt _ -> ()
+  | n -> Alcotest.failf "overlong varint decoded to %d" n
+
+(* A length header larger than the remaining input must fail as [Corrupt]
+   before it reaches [Array.init] — not attempt a giant allocation. *)
+let test_huge_count () =
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf "TFTRACE1";
+  Serial.write_uint buf 0x3FFF_FFFF_FFFF;
+  (match Serial.of_string (Buffer.contents buf) with
+  | exception Serial.Corrupt _ -> ()
+  | _ -> Alcotest.fail "huge thread count accepted");
+  (* same for a per-thread event count *)
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf "TFTRACE1";
+  Serial.write_uint buf 1 (* n_threads *);
+  Serial.write_uint buf 0 (* tid *);
+  Serial.write_uint buf 0x3FFF_FFFF_FFFF;
+  match Serial.of_string (Buffer.contents buf) with
+  | exception Serial.Corrupt _ -> ()
+  | _ -> Alcotest.fail "huge event count accepted"
+
+(* The validator's structural diagnostics on intact traces. *)
+let test_validate () =
+  (* each is clean on its own; together they disagree on the barrier
+     sequence, which the cross-thread majority vote must flag *)
+  List.iter
+    (fun t ->
+      Alcotest.(check (list string))
+        "clean trace" []
+        (Validate.all [| t |]
+        |> List.filter (fun d -> d.Tf_error.severity = Tf_error.Error)
+        |> List.map Tf_error.to_string))
+    [ sample_trace; sync_trace ];
+  (match
+     List.filter
+       (fun d -> d.Tf_error.kind = Tf_error.Barrier_mismatch)
+       (Validate.all [| sample_trace; sample_trace; sync_trace |])
+   with
+  | [] -> Alcotest.fail "divergent barrier sequence not flagged"
+  | _ -> ());
+  let unbalanced =
+    {
+      Thread_trace.tid = 3;
+      events =
+        [|
+          Event.Block { func = 0; block = 0; n_instr = 1; accesses = [||] };
+          Event.Return;
+          Event.Return;
+        |];
+    }
+  in
+  (match Validate.all [| unbalanced |] with
+  | [] -> Alcotest.fail "extra Return not flagged"
+  | d :: _ ->
+      Alcotest.(check string)
+        "kind" "unbalanced-call"
+        (Tf_error.kind_name d.Tf_error.kind));
+  let held =
+    {
+      Thread_trace.tid = 4;
+      events =
+        [|
+          Event.Lock_acq 0xbeef;
+          Event.Block { func = 0; block = 0; n_instr = 1; accesses = [||] };
+        |];
+    }
+  in
+  match
+    List.filter
+      (fun d -> d.Tf_error.kind = Tf_error.Deadlock)
+      (Validate.all [| held |])
+  with
+  | [] -> Alcotest.fail "never-released lock not flagged as deadlock"
+  | _ -> ()
+
 let prop_varint =
   QCheck.Test.make ~name:"varint roundtrip (signed)" ~count:500
     QCheck.(oneof [ small_signed_int; int ])
@@ -136,5 +273,13 @@ let () =
           Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
           QCheck_alcotest.to_alcotest prop_roundtrip;
           QCheck_alcotest.to_alcotest prop_varint;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "truncation sweep" `Quick test_truncation_sweep;
+          Alcotest.test_case "bit-flip sweep" `Quick test_bitflip_sweep;
+          Alcotest.test_case "overlong varint" `Quick test_overlong_varint;
+          Alcotest.test_case "huge length header" `Quick test_huge_count;
+          Alcotest.test_case "validate diagnostics" `Quick test_validate;
         ] );
     ]
