@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench csv examples fuzz clean
+.PHONY: all build test bench csv examples fuzz lint profile check clean
 
 all: build
 
@@ -9,6 +9,27 @@ build:
 
 test:
 	dune runtest
+
+# the default verification path: build, tests, format check, and a
+# profiled pipeline run whose trace artifact is validated
+check: build test lint profile
+
+# format check; skipped (not failed) where ocamlformat isn't installed
+lint:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "make lint: ocamlformat not installed; skipping format check"; \
+	fi
+
+# run the instrumented pipeline on bfs and check the emitted Chrome trace
+# is well-formed JSON (the CLI itself re-parses it and exits 3 if not)
+profile:
+	dune exec bin/threadfuser_cli.exe -- profile bfs \
+		--trace-out /tmp/threadfuser-profile-trace.json \
+		--metrics-out /tmp/threadfuser-profile-metrics.txt
+	@echo "trace:   /tmp/threadfuser-profile-trace.json (open in ui.perfetto.dev)"
+	@echo "metrics: /tmp/threadfuser-profile-metrics.txt"
 
 # regenerate every paper table/figure (text to stdout)
 bench:

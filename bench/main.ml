@@ -88,6 +88,19 @@ let bechamel_suite () =
       (Staged.stage (fun () ->
            ignore (Analyzer.analyze pigz_traced.W.prog pigz_traced.W.traces)))
   in
+  (* same replay with the observability collector recording: the delta over
+     the plain analyzer run bounds the instrumentation cost (the disabled
+     collector is the default everywhere else in this suite) *)
+  let obs_analyze_test =
+    let module Obs = Threadfuser_obs.Obs in
+    Test.make ~name:"analyzer: bfs warp replay (obs on)"
+      (Staged.stage (fun () ->
+           Obs.reset ();
+           Obs.set_enabled true;
+           Fun.protect
+             ~finally:(fun () -> Obs.set_enabled false)
+             (fun () -> ignore (Analyzer.analyze traced.W.prog traced.W.traces))))
+  in
   (* the paper's tracing-overhead claim (2-6x native execution): compare
      the machine with tracing on vs off *)
   let overhead name =
@@ -113,23 +126,70 @@ let bechamel_suite () =
     (name, traced /. native)
   in
   Fmt.pr "@.== Tracing overhead vs native execution (paper: 2-6x) ==@.";
-  List.iter
-    (fun name ->
-      let n, ratio = overhead name in
-      Fmt.pr "  %-16s %.2fx@." n ratio)
-    [ "pigz"; "x264"; "swaptions"; "bfs" ];
+  let overheads =
+    List.map
+      (fun name ->
+        let n, ratio = overhead name in
+        Fmt.pr "  %-16s %.2fx@." n ratio;
+        (n, ratio))
+      [ "pigz"; "x264"; "swaptions"; "bfs" ]
+  in
   Fmt.pr "@.== Framework micro-benchmarks (Bechamel, monotonic clock) ==@.";
-  List.iter
-    (fun test ->
-      let results = analyze (benchmark test) in
-      Hashtbl.iter
-        (fun name ols ->
-          match Bechamel.Analyze.OLS.estimates ols with
-          | Some [ est ] -> Fmt.pr "  %-45s %12.0f ns/run@." name est
-          | Some _ | None -> Fmt.pr "  %-45s (no estimate)@." name)
-        results)
-    [ tracer_test; dcfg_test; analyze_test; warp_trace_test; serial_test; heavy_test ];
-  Fmt.pr "@."
+  (* each Test.make holds one sub-test, so each result table has one OLS *)
+  let estimate test =
+    let est = ref None in
+    Hashtbl.iter
+      (fun name ols ->
+        match Bechamel.Analyze.OLS.estimates ols with
+        | Some [ e ] ->
+            Fmt.pr "  %-45s %12.0f ns/run@." name e;
+            est := Some e
+        | Some _ | None -> Fmt.pr "  %-45s (no estimate)@." name)
+      (analyze (benchmark test));
+    !est
+  in
+  let stages =
+    List.map
+      (fun (key, test) -> (key, estimate test))
+      [
+        ("tracer_bfs", tracer_test);
+        ("dcfg_ipdom_bfs", dcfg_test);
+        ("analyzer_bfs", analyze_test);
+        ("analyzer_bfs_obs_on", obs_analyze_test);
+        ("warp_trace_gpusim_vectoradd", warp_trace_test);
+        ("serial_roundtrip_bfs", serial_test);
+        ("analyzer_pigz16", heavy_test);
+      ]
+  in
+  Fmt.pr "@.";
+  (* machine-readable summary for CI trend tracking *)
+  let module J = Threadfuser_report.Json in
+  let num = function Some ns -> J.Float ns | None -> J.Null in
+  let obs_ratio =
+    match (List.assoc "analyzer_bfs" stages, List.assoc "analyzer_bfs_obs_on" stages)
+    with
+    | Some off, Some on when off > 0.0 -> J.Float (on /. off)
+    | _ -> J.Null
+  in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.String "threadfuser-bench-pipeline/1");
+        ( "stages_ns_per_run",
+          J.Obj (List.map (fun (k, v) -> (k, num v)) stages) );
+        ( "tracing_overhead_vs_native",
+          J.Obj (List.map (fun (n, r) -> (n, J.Float r)) overheads) );
+        ("obs_on_vs_off_analyzer_ratio", obs_ratio);
+      ]
+  in
+  let path = "BENCH_pipeline.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Fmt.pr "wrote %s@.@." path
 
 (* ------------------------------------------------------------------ *)
 
@@ -137,6 +197,11 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* --csv DIR writes each table as <DIR>/<name>.csv alongside the text *)
   let rec extract_csv acc = function
+    | [ "--csv" ] ->
+        (* a trailing --csv used to fall through and be treated as an
+           experiment id; it is a usage error *)
+        Fmt.epr "bench: --csv requires a directory argument (--csv DIR)@.";
+        exit 1
     | "--csv" :: dir :: rest ->
         Threadfuser_report.Table.set_csv_dir (Some dir);
         extract_csv acc rest

@@ -7,7 +7,12 @@
      threadfuser check bfs.tftrace bfs        validate a trace file
      threadfuser fuzz bfs -n 1000             seeded corruption campaign
      threadfuser simulate vectoradd           cycle-level speedup projection
+     threadfuser profile bfs --trace-out t.json   phase timing + event trace
      threadfuser correlate                    the Fig. 5 correlation study
+
+   Observability (docs/observability.md): --log-level / TF_LOG control the
+   structured logger; --trace-out writes a Perfetto-loadable Chrome trace
+   of the run; --metrics-out writes a Prometheus text exposition.
 
    Exit codes: 0 success, 1 usage error, 2 corrupt input, 3 analysis
    degraded (partial report / validation errors). *)
@@ -24,6 +29,11 @@ module Tf_error = Threadfuser_util.Tf_error
 module Injector = Threadfuser_fault.Injector
 module Fuzz = Threadfuser_fault.Fuzz
 module E = Threadfuser_experiments
+module Obs = Threadfuser_obs.Obs
+module Log = Threadfuser_obs.Log
+module Trace_export = Threadfuser_obs.Trace_export
+module Prom = Threadfuser_obs.Prom
+module Json = Threadfuser_report.Json
 
 let exit_usage = 1
 let exit_corrupt = 2
@@ -90,6 +100,108 @@ let options ~warp_size ~ignore_sync =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Observability plumbing: --log-level, --trace-out, --metrics-out      *)
+
+let log_level_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "quiet" | "off" | "none" -> Ok `Quiet
+    | s -> (
+        match Log.of_string s with
+        | Some l -> Ok (`Level l)
+        | None ->
+            Error
+              (`Msg "log level must be debug, info, warn, error or quiet"))
+  in
+  let print ppf = function
+    | `Quiet -> Fmt.string ppf "quiet"
+    | `Level l -> Fmt.string ppf (Log.to_string l)
+  in
+  Arg.conv (parse, print)
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some log_level_conv) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Structured-logger threshold: debug, info, warn (default), error \
+           or quiet.  Overrides the $(b,TF_LOG) environment variable.")
+
+(* Runs while cmdliner applies the term, i.e. before any command body. *)
+let setup_logging = function
+  | Some `Quiet -> Log.set_quiet ()
+  | Some (`Level l) -> Log.set_level l
+  | None -> ()
+
+let setup_term = Term.(const setup_logging $ log_level_arg)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON trace of this run to FILE (open \
+           it in ui.perfetto.dev).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Prometheus text exposition of the run's counters and \
+           histograms to FILE.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Export the collector to the requested files.  The trace JSON is parsed
+   back as a self-check; a malformed artifact is a bug, reported as a
+   degraded run. *)
+let obs_export ~trace_out ~metrics_out snap =
+  Option.iter
+    (fun path ->
+      Trace_export.to_file path snap;
+      (match Json.validate (read_file path) with
+      | Ok () -> ()
+      | Error m ->
+          Log.err "emitted trace failed JSON self-validation"
+            ~fields:[ ("path", path); ("error", m) ];
+          exit exit_degraded);
+      Log.info "trace written"
+        ~fields:
+          [
+            ("path", path);
+            ("events", string_of_int (List.length snap.Obs.events));
+          ])
+    trace_out;
+  Option.iter
+    (fun path ->
+      Prom.to_file path snap;
+      Log.info "metrics written" ~fields:[ ("path", path) ])
+    metrics_out
+
+(* [with_obs ~trace_out ~metrics_out f] runs [f] with the collector on iff
+   either output was requested, then exports.  Without outputs the
+   collector stays off and [f] pays one branch per hook. *)
+let with_obs ~trace_out ~metrics_out f =
+  if trace_out = None && metrics_out = None then f ()
+  else begin
+    Obs.reset ();
+    Obs.set_enabled true;
+    let r =
+      Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+    in
+    obs_export ~trace_out ~metrics_out (Obs.snapshot ());
+    r
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Commands                                                             *)
 
 let list_cmd =
@@ -97,12 +209,15 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"Print the workload catalog (paper Table I).")
     Term.(const run $ const ())
 
-let analyze_run w warp_size level threads scale exclude ignore_sync
-    per_function per_warp timeline blocks json =
+let analyze_run () trace_out metrics_out w warp_size level threads scale
+    exclude ignore_sync per_function per_warp timeline blocks json =
   let options =
     { (options ~warp_size ~ignore_sync) with Analyzer.record_timeline = timeline }
   in
-  let r = W.analyze ~options ~level ?threads ~scale ~exclude w in
+  let r =
+    with_obs ~trace_out ~metrics_out (fun () ->
+        W.analyze ~options ~level ?threads ~scale ~exclude w)
+  in
   let rep = r.Analyzer.report in
   if json then print_endline (Threadfuser_report.Report_json.to_string rep)
   else begin
@@ -182,7 +297,8 @@ let analyze_cmd =
          "Trace a workload's MIMD execution and report its projected SIMT \
           efficiency, memory divergence and synchronization behaviour.")
     Term.(
-      const analyze_run $ workload_pos $ warp_size $ opt_level $ threads
+      const analyze_run $ setup_term $ trace_out_arg $ metrics_out_arg
+      $ workload_pos $ warp_size $ opt_level $ threads
       $ scale $ exclude $ ignore_sync $ per_function $ per_warp_flag
       $ timeline_flag $ blocks_flag $ json_flag)
 
@@ -241,17 +357,20 @@ let gpu_preset_arg =
     & info [ "gpu" ] ~docv:"PRESET"
         ~doc:"GPU configuration: scaled (default), rtx3070, h100 or tiny.")
 
-let simulate_run w threads gpu_config =
+let simulate_run () trace_out metrics_out w threads gpu_config =
   let ctx = E.Ctx.create ?threads () in
   let tr = E.Ctx.traced ctx w in
   let cpu_t = E.Fig6.cpu_seconds tr in
-  let r =
-    Threadfuser.Analyzer.analyze
-      ~options:{ Analyzer.default_options with gen_warp_trace = true }
-      tr.W.prog tr.W.traces
+  let stats =
+    with_obs ~trace_out ~metrics_out (fun () ->
+        let r =
+          Threadfuser.Analyzer.analyze
+            ~options:{ Analyzer.default_options with gen_warp_trace = true }
+            tr.W.prog tr.W.traces
+        in
+        let wt = Option.get r.Analyzer.warp_trace in
+        Threadfuser_gpusim.Gpusim.run ~config:gpu_config wt)
   in
-  let wt = Option.get r.Analyzer.warp_trace in
-  let stats = Threadfuser_gpusim.Gpusim.run ~config:gpu_config wt in
   let gpu_t = Threadfuser_gpusim.Gpusim.seconds ~config:gpu_config stats in
   Fmt.pr "workload: %s@." w.W.name;
   Fmt.pr "GPU: %a@." Threadfuser_gpusim.Gpusim.pp_stats stats;
@@ -269,7 +388,74 @@ let simulate_cmd =
        ~doc:
          "Run the cycle-level SIMT simulator on the workload's warp traces \
           and project speedup over the multicore CPU model.")
-    Term.(const simulate_run $ workload_pos $ threads $ gpu_preset_arg)
+    Term.(
+      const simulate_run $ setup_term $ trace_out_arg $ metrics_out_arg
+      $ workload_pos $ threads $ gpu_preset_arg)
+
+(* profile: the whole pipeline under the collector, plus a human summary.
+   Unlike --trace-out on other commands the collector is always on here,
+   so the summary works even with no output files requested. *)
+let profile_run () w warp_size level threads scale trace_out metrics_out =
+  Obs.reset ();
+  Obs.set_enabled true;
+  let result =
+    Fun.protect
+      ~finally:(fun () -> Obs.set_enabled false)
+      (fun () ->
+        let tr =
+          Obs.span "decode"
+            ~args:[ ("workload", w.W.name) ]
+            (fun () -> W.trace_cpu ~level ?threads ~scale w)
+        in
+        Analyzer.analyze
+          ~options:{ Analyzer.default_options with warp_size }
+          tr.W.prog tr.W.traces)
+  in
+  let snap = Obs.snapshot () in
+  obs_export ~trace_out ~metrics_out snap;
+  let rep = result.Analyzer.report in
+  Fmt.pr "profile: %s (warp %d, %a, %d events)@." w.W.name warp_size
+    Compiler.pp_level level
+    (List.length snap.Obs.events);
+  Fmt.pr "@.pipeline phases:@.";
+  List.iter
+    (function
+      | Obs.Complete { name; track; dur; _ }
+        when Obs.track_id track = Obs.track_id Obs.pipeline ->
+          Fmt.pr "  %-16s %9.3f ms@." name (dur /. 1000.)
+      | _ -> ())
+    snap.Obs.events;
+  Fmt.pr "@.counters:@.";
+  List.iter
+    (fun c ->
+      let v = Obs.Counter.value c in
+      if v <> 0 then Fmt.pr "  %-32s %d@." (Obs.counter_name c) v)
+    snap.Obs.counters;
+  let live = List.filter (fun h -> Obs.Histogram.count h > 0) snap.Obs.histograms in
+  if live <> [] then begin
+    Fmt.pr "@.histograms (p50 / p95 / p99):@.";
+    List.iter
+      (fun h ->
+        Fmt.pr "  %-32s %.1f / %.1f / %.1f  (n=%d)@." (Obs.histogram_name h)
+          (Obs.Histogram.quantile h 0.5)
+          (Obs.Histogram.quantile h 0.95)
+          (Obs.Histogram.quantile h 0.99)
+          (Obs.Histogram.count h))
+      live
+  end;
+  Fmt.pr "@.SIMT efficiency: %.1f%%@." (100. *. rep.Metrics.simt_efficiency)
+
+let profile_cmd =
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run the full analysis pipeline on a workload with the \
+          observability collector enabled and print a phase / counter / \
+          histogram summary.  $(b,--trace-out) writes a Perfetto-loadable \
+          Chrome trace; $(b,--metrics-out) writes Prometheus metrics.")
+    Term.(
+      const profile_run $ setup_term $ workload_pos $ warp_size $ opt_level
+      $ threads $ scale $ trace_out_arg $ metrics_out_arg)
 
 let correlate_cmd =
   let run () = ignore (E.Fig5.run (E.Ctx.create ())) in
@@ -440,7 +626,7 @@ let replay_cmd =
 
 let pp_diag ppf d = Fmt.pf ppf "  %s" (Tf_error.to_string d)
 
-let check_run path workload level =
+let check_run () path workload level =
   let traces = Serial.of_file path in
   match workload with
   | None ->
@@ -451,8 +637,13 @@ let check_run path workload level =
         List.filter (fun d -> d.Tf_error.severity = Tf_error.Error) diags
       in
       if errors <> [] then begin
-        Fmt.epr "%s: %d validation error(s) in %d threads@." path
-          (List.length errors) (Array.length traces);
+        Log.err "trace validation failed"
+          ~fields:
+            [
+              ("path", path);
+              ("errors", string_of_int (List.length errors));
+              ("threads", string_of_int (Array.length traces));
+            ];
         exit exit_degraded
       end
       else
@@ -466,8 +657,13 @@ let check_run path workload level =
       let rep = checked.Analyzer.result.Analyzer.report in
       Fmt.pr "%a@." Metrics.pp_summary rep;
       if Metrics.degraded rep then begin
-        Fmt.epr "%s: analysis degraded (%d thread(s) quarantined)@." path
-          (List.length checked.Analyzer.quarantined);
+        Log.err "analysis degraded"
+          ~fields:
+            [
+              ("path", path);
+              ( "quarantined",
+                string_of_int (List.length checked.Analyzer.quarantined) );
+            ];
         exit exit_degraded
       end
 
@@ -492,9 +688,15 @@ let check_cmd =
          "Validate a serialized trace file: decode, run the diagnostic \
           passes, and (given a workload) the quarantining checked analysis. \
           Exits 2 on corrupt input, 3 on validation/replay errors.")
-    Term.(const check_run $ path $ workload $ opt_level)
+    Term.(const check_run $ setup_term $ path $ workload $ opt_level)
 
-let fuzz_run workload runs seed0 threads level verbose =
+(* fuzzing corrupts traces on purpose, so replay-abort warnings are the
+   expected outcome, not news: default the threshold to [error] here
+   (an explicit --log-level still wins) *)
+let fuzz_run log_level workload runs seed0 threads level verbose =
+  (match log_level with
+  | None -> Log.set_level Log.Error
+  | some -> setup_logging some);
   let targets =
     match workload with Some w -> [ w ] | None -> Registry.all
   in
@@ -513,12 +715,15 @@ let fuzz_run workload runs seed0 threads level verbose =
       let t = Fuzz.run ~seed0 ~runs ?on_outcome ~prog:tr.W.prog ~bytes () in
       Fmt.pr "%-18s %a@." w.W.name Fuzz.pp_totals t;
       List.iter
-        (fun (seed, m) -> Fmt.epr "  seed %d: UNCAUGHT %s@." seed m)
+        (fun (seed, m) ->
+          Log.err "uncaught exception under fuzzing"
+            ~fields:
+              [ ("workload", w.W.name); ("seed", string_of_int seed); ("msg", m) ])
         t.Fuzz.uncaught;
       if t.Fuzz.uncaught <> [] then any_uncaught := true)
     targets;
   if !any_uncaught then begin
-    Fmt.epr "fuzz: uncaught exceptions escaped the checked pipeline (BUG)@.";
+    Log.err "uncaught exceptions escaped the checked pipeline (BUG)";
     exit 4
   end
 
@@ -555,7 +760,8 @@ let fuzz_cmd =
           diagnostic, or a partial report whose coverage fields account for \
           the quarantined threads; exits 4 if any exception escapes.")
     Term.(
-      const fuzz_run $ workload $ runs $ seed0 $ threads $ opt_level $ verbose)
+      const fuzz_run $ log_level_arg $ workload $ runs $ seed0 $ threads
+      $ opt_level $ verbose)
 
 let main =
   Cmd.group
@@ -566,32 +772,34 @@ let main =
     [
       list_cmd; analyze_cmd; sweep_cmd; trace_cmd; tracefile_cmd; cfg_cmd;
       disasm_cmd; asm_cmd; warptrace_cmd; replay_cmd; simulate_cmd;
-      correlate_cmd; check_cmd; fuzz_cmd;
+      profile_cmd; correlate_cmd; check_cmd; fuzz_cmd;
     ]
 
 (* Top-level error handler: uncaught-exception backtraces never reach the
-   user; every failure mode maps to a one-line message and a distinct exit
-   code (1 usage, 2 corrupt input, 3 analysis degraded). *)
+   user; every failure mode maps to a structured log record and a distinct
+   exit code (1 usage, 2 corrupt input, 3 analysis degraded).  These log at
+   [Error], above every threshold except quiet. *)
 let () =
+  Log.init_from_env ();
   let code =
     try Cmd.eval ~catch:false main with
     | Serial.Corrupt m ->
-        Fmt.epr "threadfuser: corrupt trace input: %s@." m;
+        Log.err "corrupt trace input: %s" m;
         exit_corrupt
     | Threadfuser.Warp_serial.Corrupt m ->
-        Fmt.epr "threadfuser: corrupt warp-trace input: %s@." m;
+        Log.err "corrupt warp-trace input: %s" m;
         exit_corrupt
     | Tf_error.Error d ->
-        Fmt.epr "threadfuser: %s@." (Tf_error.to_string d);
+        Log.err "%s" (Tf_error.to_string d);
         exit_degraded
     | Threadfuser.Emulator.Emulation_error m ->
-        Fmt.epr "threadfuser: trace/program mismatch: %s@." m;
+        Log.err "trace/program mismatch: %s" m;
         exit_degraded
     | Invalid_argument m | Failure m ->
-        Fmt.epr "threadfuser: %s@." m;
+        Log.err "%s" m;
         exit_usage
     | Sys_error m ->
-        Fmt.epr "threadfuser: %s@." m;
+        Log.err "%s" m;
         exit_usage
   in
   exit (if code = Cmd.Exit.cli_error then exit_usage else code)

@@ -131,11 +131,27 @@ module Builder = struct
             })
 end
 
+module Obs = Threadfuser_obs.Obs
+
+let c_dcfg_edges =
+  Obs.Counter.make "tf_dcfg_edges_total" ~help:"distinct observed DCFG edges"
+let c_dcfg_funcs =
+  Obs.Counter.make "tf_dcfg_functions_total" ~help:"per-function DCFGs built"
+
 (** Build the per-function DCFGs of a whole trace set in one pass. *)
 let of_traces prog traces =
   let b = Builder.create prog in
   Array.iter (Builder.feed b) traces;
-  Builder.finish b
+  let dcfgs = Builder.finish b in
+  if !Obs.enabled then begin
+    Obs.Counter.add c_dcfg_funcs (Array.length dcfgs);
+    Obs.Counter.add c_dcfg_edges
+      (Array.fold_left
+         (fun acc d ->
+           Array.fold_left (fun acc succs -> acc + List.length succs) acc d.succs)
+         0 dcfgs)
+  end;
+  dcfgs
 
 let pp ppf t =
   Fmt.pf ppf "dcfg f%d (%d blocks + exit):@." t.func t.n_blocks;

@@ -69,4 +69,10 @@ let nearest_common_post_dominator t a b =
   !a
 
 (** Table for a whole program: one entry per function. *)
-let of_dcfgs (dcfgs : Dcfg.t array) : t array = Array.map compute dcfgs
+let c_ipdom_tables =
+  Threadfuser_obs.Obs.Counter.make "tf_ipdom_tables_total"
+    ~help:"per-function IPDOM tables computed"
+
+let of_dcfgs (dcfgs : Dcfg.t array) : t array =
+  Threadfuser_obs.Obs.Counter.add c_ipdom_tables (Array.length dcfgs);
+  Array.map compute dcfgs

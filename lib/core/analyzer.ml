@@ -21,6 +21,18 @@ module Serial = Threadfuser_trace.Serial
 module Tf_error = Threadfuser_util.Tf_error
 module Dcfg = Threadfuser_cfg.Dcfg
 module Ipdom = Threadfuser_cfg.Ipdom
+module Obs = Threadfuser_obs.Obs
+module Log = Threadfuser_obs.Log
+
+(* Observability instruments (docs/observability.md); all no-ops until the
+   collector is enabled. *)
+let c_warps = Obs.Counter.make "tf_warps_replayed_total" ~help:"warps replayed"
+let c_warp_failures =
+  Obs.Counter.make "tf_warp_failures_total"
+    ~help:"warps whose checked replay aborted"
+let h_warp_replay =
+  Obs.Histogram.make "tf_warp_replay_us"
+    ~help:"per-warp SIMT-stack replay latency (us)"
 
 type options = {
   warp_size : int;
@@ -120,7 +132,17 @@ let build_report (options : options) prog (emu : Emulator.t) ~n_threads ~n_warps
     |> List.filteri (fun i _ -> i < 10)
   in
   let c = emu.Emulator.coalesce in
-  let total_mem_txns, total_mem_issues = Coalesce.totals c in
+  (* the coalescing aggregation phase: per-transaction counting happened
+     inline during replay (memory track); this span covers the roll-up *)
+  let total_mem_txns, total_mem_issues, stack_mem, heap_mem, global_mem =
+    Obs.span "coalesce" (fun () ->
+        let txns, issues = Coalesce.totals c in
+        ( txns,
+          issues,
+          Metrics.segment_stat c.Coalesce.stack,
+          Metrics.segment_stat c.Coalesce.heap,
+          Metrics.segment_stat c.Coalesce.global ))
+  in
   {
     Metrics.warp_size = options.warp_size;
     n_threads;
@@ -133,9 +155,9 @@ let build_report (options : options) prog (emu : Emulator.t) ~n_threads ~n_warps
       Metrics.efficiency ~issues:emu.Emulator.issues ~thread_instrs:total_instrs
         ~warp_size:options.warp_size;
     per_function;
-    stack_mem = Metrics.segment_stat c.Coalesce.stack;
-    heap_mem = Metrics.segment_stat c.Coalesce.heap;
-    global_mem = Metrics.segment_stat c.Coalesce.global;
+    stack_mem;
+    heap_mem;
+    global_mem;
     total_mem_txns;
     total_mem_issues;
     skipped_io;
@@ -179,9 +201,19 @@ let diag_of_exn ?thread = function
 let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
     ~pre_quarantined ~pre_dropped prog (traces : Thread_trace.t array) :
     result * warp_failure list =
-  let dcfgs = Dcfg.of_traces prog traces in
-  let ipdoms = Ipdom.of_dcfgs dcfgs in
-  let warps = Batching.form options.batching ~warp_size:options.warp_size traces in
+  let dcfgs = Obs.span "dcfg" (fun () -> Dcfg.of_traces prog traces) in
+  let ipdoms = Obs.span "ipdom" (fun () -> Ipdom.of_dcfgs dcfgs) in
+  let warps =
+    Obs.span "warp_formation" (fun () ->
+        Batching.form options.batching ~warp_size:options.warp_size traces)
+  in
+  Log.debug "pipeline: warps formed"
+    ~fields:
+      [
+        ("threads", string_of_int (Array.length traces));
+        ("warps", string_of_int (Array.length warps));
+        ("warp_size", string_of_int options.warp_size);
+      ];
   let wt_builder =
     if options.gen_warp_trace then
       Some
@@ -202,37 +234,63 @@ let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
   let skipped_excluded = ref 0 in
   let per_warp = ref [] in
   let failures = ref [] in
-  Array.iteri
-    (fun warp_id tids ->
-      let cursors = Array.map (fun tid -> Cursor.of_trace traces.(tid)) tids in
-      let issues0 = emu.Emulator.issues
-      and instrs0 = emu.Emulator.thread_instrs in
-      (match Emulator.run_warp ?fuel emu ~warp_id cursors with
-      | () ->
-          let warp_issues = emu.Emulator.issues - issues0
-          and warp_instrs = emu.Emulator.thread_instrs - instrs0 in
-          per_warp :=
-            {
-              Metrics.warp_id;
-              warp_issues;
-              warp_instrs;
-              warp_efficiency =
-                Metrics.efficiency ~issues:warp_issues
-                  ~thread_instrs:warp_instrs ~warp_size:options.warp_size;
-              lanes = Array.length tids;
-            }
-            :: !per_warp
-      | exception e when catch && not (fatal e) ->
-          failures :=
-            { fw_warp = warp_id; fw_tids = tids; fw_diag = diag_of_exn e }
-            :: !failures);
-      Array.iter
-        (fun (c : Cursor.t) ->
-          skipped_io := !skipped_io + c.Cursor.skipped_io;
-          skipped_spin := !skipped_spin + c.Cursor.skipped_spin;
-          skipped_excluded := !skipped_excluded + c.Cursor.skipped_excluded)
-        cursors)
-    warps;
+  Obs.span "replay"
+    ~args:[ ("warps", string_of_int (Array.length warps)) ]
+    (fun () ->
+      Array.iteri
+        (fun warp_id tids ->
+          let cursors =
+            Array.map (fun tid -> Cursor.of_trace traces.(tid)) tids
+          in
+          let issues0 = emu.Emulator.issues
+          and instrs0 = emu.Emulator.thread_instrs in
+          let replay () =
+            if not !Obs.enabled then Emulator.run_warp ?fuel emu ~warp_id cursors
+            else
+              Obs.span ~track:Obs.replay_track
+                ~args:[ ("lanes", string_of_int (Array.length tids)) ]
+                ("warp " ^ string_of_int warp_id)
+                (fun () ->
+                  Obs.timed h_warp_replay (fun () ->
+                      let r = Emulator.run_warp ?fuel emu ~warp_id cursors in
+                      Obs.Counter.incr c_warps;
+                      r))
+          in
+          (match replay () with
+          | () ->
+              let warp_issues = emu.Emulator.issues - issues0
+              and warp_instrs = emu.Emulator.thread_instrs - instrs0 in
+              per_warp :=
+                {
+                  Metrics.warp_id;
+                  warp_issues;
+                  warp_instrs;
+                  warp_efficiency =
+                    Metrics.efficiency ~issues:warp_issues
+                      ~thread_instrs:warp_instrs ~warp_size:options.warp_size;
+                  lanes = Array.length tids;
+                }
+                :: !per_warp
+          | exception e when catch && not (fatal e) ->
+              Obs.Counter.incr c_warp_failures;
+              let diag = diag_of_exn e in
+              Log.warn "warp replay aborted"
+                ~fields:
+                  [
+                    ("warp", string_of_int warp_id);
+                    ("lanes", string_of_int (Array.length tids));
+                    ("diag", Tf_error.to_string diag);
+                  ];
+              failures :=
+                { fw_warp = warp_id; fw_tids = tids; fw_diag = diag }
+                :: !failures);
+          Array.iter
+            (fun (c : Cursor.t) ->
+              skipped_io := !skipped_io + c.Cursor.skipped_io;
+              skipped_spin := !skipped_spin + c.Cursor.skipped_spin;
+              skipped_excluded := !skipped_excluded + c.Cursor.skipped_excluded)
+            cursors)
+        warps);
   let failures = List.rev !failures in
   let replay_quarantined =
     List.fold_left (fun acc f -> acc + Array.length f.fw_tids) 0 failures
@@ -261,6 +319,16 @@ let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
       ~skipped_io:!skipped_io ~skipped_spin:!skipped_spin
       ~skipped_excluded:!skipped_excluded ~coverage
   in
+  Log.info "analysis complete"
+    ~fields:
+      [
+        ("warps", string_of_int (Array.length warps));
+        ("issues", string_of_int report.Metrics.issues);
+        ("thread_instrs", string_of_int report.Metrics.thread_instrs);
+        ( "simt_efficiency",
+          Printf.sprintf "%.4f" report.Metrics.simt_efficiency );
+        ("warp_failures", string_of_int (List.length failures));
+      ];
   ( {
       report;
       warp_trace = Option.map Warp_trace.Builder.finish wt_builder;

@@ -7,8 +7,28 @@
     paper's heap-vs-stack divergence breakdown (Fig. 10). *)
 
 module Layout = Threadfuser_machine.Layout
+module Obs = Threadfuser_obs.Obs
 
 let transaction_bytes = 32
+
+(* Coalescing instruments: fully-coalesced vs serialized warp-level memory
+   instructions, total 32 B transactions, and the per-instruction
+   transaction-count distribution.  One branch each when disabled. *)
+let c_mem_instrs =
+  Obs.Counter.make "tf_mem_instrs_total"
+    ~help:"warp-level memory instructions coalesced"
+let c_mem_txns =
+  Obs.Counter.make "tf_mem_transactions_total"
+    ~help:"32B memory transactions after coalescing"
+let c_mem_coalesced =
+  Obs.Counter.make "tf_mem_coalesced_total"
+    ~help:"warp-level memory instructions that coalesced to one transaction"
+let c_mem_serialized =
+  Obs.Counter.make "tf_mem_serialized_total"
+    ~help:"warp-level memory instructions needing one transaction per lane"
+let h_txns_per_instr =
+  Obs.Histogram.make "tf_txns_per_mem_instr"
+    ~help:"32B transactions per warp-level memory instruction"
 
 (** Distinct 32 B lines covered by [(addr, size)] accesses. *)
 let count_transactions (accesses : (int * int) list) =
@@ -65,6 +85,26 @@ let record t ~is_store (lanes : (int * int) list) =
       | [] -> total
       | accesses ->
           let txns = count_transactions accesses in
+          if !Obs.enabled then begin
+            let lanes = List.length accesses in
+            Obs.Counter.incr c_mem_instrs;
+            Obs.Counter.add c_mem_txns txns;
+            Obs.Histogram.observe h_txns_per_instr (float_of_int txns);
+            if txns = 1 then Obs.Counter.incr c_mem_coalesced
+            else if txns >= lanes && lanes > 1 then begin
+              (* worst case: the instruction degenerated to one transaction
+                 per lane — surface it on the memory track *)
+              Obs.Counter.incr c_mem_serialized;
+              Obs.instant ~track:Obs.memory_track "serialized access"
+                ~args:
+                  [
+                    ("segment", Layout.segment_name segment);
+                    ("txns", string_of_int txns);
+                    ("lanes", string_of_int lanes);
+                    ("store", string_of_bool is_store);
+                  ]
+            end
+          end;
           let c = seg t segment in
           if is_store then begin
             c.st_txns <- c.st_txns + txns;

@@ -29,7 +29,30 @@ module Event = Threadfuser_trace.Event
 module Ipdom = Threadfuser_cfg.Ipdom
 module Tf_error = Threadfuser_util.Tf_error
 module Vec = Threadfuser_util.Vec
+module Obs = Threadfuser_obs.Obs
 open Threadfuser_isa
+
+(* Analysis-event instruments: divergence and sync behaviour lands on the
+   Perfetto "divergence" / "sync" tracks when the collector is on.  Every
+   hook below is a single branch when it is off. *)
+let c_div_splits =
+  Obs.Counter.make "tf_divergence_splits_total"
+    ~help:"branch divergences that split a warp"
+let c_reconv =
+  Obs.Counter.make "tf_reconvergences_total"
+    ~help:"SIMT-stack entries popped at their reconvergence point"
+let c_lock_serializations =
+  Obs.Counter.make "tf_lock_serializations_total"
+    ~help:"same-lock contention episodes serialized within a warp"
+let c_serialized_instrs =
+  Obs.Counter.make "tf_serialized_instrs_total"
+    ~help:"thread instructions replayed one-lane-at-a-time under a lock"
+let c_barrier_syncs =
+  Obs.Counter.make "tf_barrier_syncs_total"
+    ~help:"warp-level team-barrier crossings"
+let c_blocks =
+  Obs.Counter.make "tf_blocks_executed_total"
+    ~help:"warp-level basic-block executions"
 
 exception Emulation_error of string
 
@@ -122,6 +145,7 @@ let count_block t ~func ~block ~mask ~(lane_accesses : (int * Event.access array
   let instrs = f.Program.blocks.(block).Program.instrs in
   let n = Array.length instrs in
   let active = List.length lane_accesses in
+  Obs.Counter.incr c_blocks;
   t.issues <- t.issues + n;
   t.thread_instrs <- t.thread_instrs + (n * active);
   (match t.tl_current with
@@ -263,6 +287,7 @@ let scalar_critical_section ?(fuel : fuel = None) ~warp_id t cursors lane
           lane lock_addr
   in
   go ();
+  Obs.Counter.add c_serialized_instrs (t.thread_instrs - before);
   t.serialized_instrs <- t.serialized_instrs + (t.thread_instrs - before)
 
 (* After executing [block], group the active lanes by the next block they
@@ -296,6 +321,16 @@ let regroup t stack (e : entry) block cursors =
   if Hashtbl.length groups = 1 then
     Hashtbl.iter (fun target _ -> e.pc <- target) groups
   else begin
+    Obs.Counter.incr c_div_splits;
+    if !Obs.enabled then
+      Obs.instant ~track:Obs.divergence_track "divergence split"
+        ~args:
+          [
+            ("func", string_of_int e.e_func);
+            ("block", string_of_int block);
+            ("paths", string_of_int (Hashtbl.length groups));
+            ("lanes", string_of_int (List.length lanes));
+          ];
     let distinct = Hashtbl.fold (fun target _ acc -> target :: acc) groups [] in
     let r = reconv_for t e distinct in
     e.pc <- r;
@@ -336,6 +371,15 @@ let handle_locks ?(fuel : fuel = None) ~warp_id t stack (e : entry) block
          alternative designs the paper defers to future work) *)
       if List.length addrs > 1 then begin
         t.serializations <- t.serializations + 1;
+        Obs.Counter.incr c_lock_serializations;
+        if !Obs.enabled then
+          Obs.instant ~track:Obs.sync_track "lock serialization"
+            ~args:
+              [
+                ("contenders", string_of_int (List.length addrs));
+                ("func", string_of_int e.e_func);
+                ("block", string_of_int block);
+              ];
         List.iter
           (fun (lane, a) -> scalar_critical_section ~fuel ~warp_id t cursors lane a)
           addrs
@@ -357,6 +401,16 @@ let handle_locks ?(fuel : fuel = None) ~warp_id t stack (e : entry) block
       List.iter
         (fun (a, lanes) ->
           t.serializations <- t.serializations + 1;
+          Obs.Counter.incr c_lock_serializations;
+          if !Obs.enabled then
+            Obs.instant ~track:Obs.sync_track "lock serialization"
+              ~args:
+                [
+                  ("lock", Printf.sprintf "0x%x" a);
+                  ("contenders", string_of_int (List.length lanes));
+                  ("func", string_of_int e.e_func);
+                  ("block", string_of_int block);
+                ];
           List.iter
             (fun lane -> scalar_critical_section ~fuel ~warp_id t cursors lane a)
             lanes)
@@ -399,7 +453,18 @@ let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
     while not (Vec.is_empty stack) do
       burn fuel ~warp_id;
       let e = Vec.top stack in
-      if e.pc = e.e_reconv then ignore (Vec.pop stack)
+      if e.pc = e.e_reconv then begin
+        Obs.Counter.incr c_reconv;
+        if !Obs.enabled then
+          Obs.instant ~track:Obs.divergence_track "reconverge"
+            ~args:
+              [
+                ("func", string_of_int e.e_func);
+                ("node", string_of_int e.pc);
+                ("lanes", string_of_int (Mask.count e.e_mask));
+              ];
+        ignore (Vec.pop stack)
+      end
       else if e.pc = exit_node t e.e_func then
         errf "warp %d: entry reached f%d's exit without popping" warp_id e.e_func
       else begin
@@ -459,6 +524,7 @@ let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
                       lane e.e_func block)
               lanes;
             t.barrier_syncs <- t.barrier_syncs + 1;
+            Obs.Counter.incr c_barrier_syncs;
             regroup t stack e block cursors
         | Instr.Lock_release _ ->
             List.iter

@@ -188,14 +188,29 @@ let of_string s : Warp_trace.t =
       | _ -> fail "bad magic")
   | [] -> fail "empty file"
 
+module Log = Threadfuser_obs.Log
+
 let to_file path t =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc (to_buffer t))
+    (fun () -> Buffer.output_buffer oc (to_buffer t));
+  Log.debug "warp trace written"
+    ~fields:
+      [
+        ("path", path);
+        ("warps", string_of_int (Array.length t.Warp_trace.warps));
+        ("ops", string_of_int (Warp_trace.total_ops t));
+      ]
 
 let of_file path =
   let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  let t =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+  in
+  Log.debug "warp trace loaded"
+    ~fields:
+      [ ("path", path); ("warps", string_of_int (Array.length t.Warp_trace.warps)) ];
+  t

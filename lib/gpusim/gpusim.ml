@@ -19,6 +19,13 @@
 
 module Warp_trace = Threadfuser.Warp_trace
 module Mask = Threadfuser.Mask
+module Obs = Threadfuser_obs.Obs
+
+let c_sim_cycles =
+  Obs.Counter.make "tf_gpusim_cycles_total" ~help:"simulated GPU cycles"
+let c_sim_instrs =
+  Obs.Counter.make "tf_gpusim_instrs_total"
+    ~help:"warp-level micro-ops issued by the cycle simulator"
 
 type stats = {
   cycles : int;
@@ -154,6 +161,9 @@ let try_issue t sm ~now (w : warp_rt) : issue_result =
 
 (** Run a kernel (one warp trace) to completion. *)
 let run ?(config = Config.rtx3070) (wt : Warp_trace.t) : stats =
+  Obs.span "gpusim"
+    ~args:[ ("warps", string_of_int (Array.length wt.Warp_trace.warps)) ]
+  @@ fun () ->
   let t =
     {
       config;
@@ -246,6 +256,8 @@ let run ?(config = Config.rtx3070) (wt : Warp_trace.t) : stats =
       cycle := target
     end
   done;
+  Obs.Counter.add c_sim_cycles !cycle;
+  Obs.Counter.add c_sim_instrs !instructions;
   {
     cycles = !cycle;
     instructions = !instructions;

@@ -437,20 +437,29 @@ let run_threads m threads =
     registers) and runs them to completion under the deterministic
     scheduler.  This is the paper's SIMT-thread extraction: one CPU thread
     per OpenMP iteration / pthread worker invocation. *)
+let c_machine_instrs =
+  Threadfuser_obs.Obs.Counter.make "tf_machine_instrs_total"
+    ~help:"instructions executed by the traced MIMD machine"
+
 let run_workers m ~worker ~(args : int list array) : result =
-  let fid = Program.find_func m.prog worker in
-  let threads =
-    Array.mapi
-      (fun tid args -> make_thread m ~trace:m.config.trace ~tid ~fid ~args)
-      args
-  in
-  run_threads m threads;
-  {
-    traces =
-      Array.map (fun th -> Thread_trace.Builder.finish th.builder) threads;
-    final_regs = Array.map (fun th -> Array.copy th.regs) threads;
-    instrs_executed = m.instr_count;
-  }
+  Threadfuser_obs.Obs.span "machine_run"
+    ~args:[ ("threads", string_of_int (Array.length args)); ("worker", worker) ]
+    (fun () ->
+      let fid = Program.find_func m.prog worker in
+      let before = m.instr_count in
+      let threads =
+        Array.mapi
+          (fun tid args -> make_thread m ~trace:m.config.trace ~tid ~fid ~args)
+          args
+      in
+      run_threads m threads;
+      Threadfuser_obs.Obs.Counter.add c_machine_instrs (m.instr_count - before);
+      {
+        traces =
+          Array.map (fun th -> Thread_trace.Builder.finish th.builder) threads;
+        final_regs = Array.map (fun th -> Array.copy th.regs) threads;
+        instrs_executed = m.instr_count;
+      })
 
 (** Run a single function to completion on thread 0; returns its r0. *)
 let run_func m ~fn ~args =

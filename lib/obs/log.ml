@@ -1,0 +1,81 @@
+(** Leveled structured logging for the framework (docs/observability.md).
+
+    One line per record on stderr:
+
+    {v threadfuser: [info] replay finished warps=12 issues=48210 v}
+
+    The level comes from the [TF_LOG] environment variable
+    ([debug]/[info]/[warn]/[error]/[quiet], read by {!init_from_env}) or a
+    CLI [--log-level] flag; default [warn] so library users and tests stay
+    quiet.  Suppressed records cost nothing: the format arguments are
+    consumed by [Format.ifprintf] without rendering. *)
+
+type level = Debug | Info | Warn | Error
+
+let to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" | "warning" -> Some Warn
+  | "error" | "err" -> Some Error
+  | _ -> None
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+(* [None] = quiet: nothing is emitted, not even errors. *)
+let threshold : level option ref = ref (Some Warn)
+let set_level l = threshold := Some l
+let set_quiet () = threshold := None
+let level () = !threshold
+
+let enabled l =
+  match !threshold with Some t -> severity l >= severity t | None -> false
+
+(** Where records go; swap for a buffer formatter in tests. *)
+let out = ref Format.err_formatter
+let set_formatter ppf = out := ppf
+
+(* Field values are quoted only when they would break key=value parsing. *)
+let field_value v =
+  let needs_quote =
+    v = "" || String.exists (fun c -> c = ' ' || c = '"' || c = '=') v
+  in
+  if needs_quote then Printf.sprintf "%S" v else v
+
+let emit_fields ppf fields =
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf " %s=%s" k (field_value v))
+    fields
+
+let log lvl ?(fields = []) fmt =
+  let ppf = !out in
+  if enabled lvl then begin
+    Format.fprintf ppf "threadfuser: [%s] " (to_string lvl);
+    Format.kfprintf
+      (fun ppf ->
+        emit_fields ppf fields;
+        Format.fprintf ppf "@.")
+      ppf fmt
+  end
+  else Format.ifprintf ppf fmt
+
+let debug ?fields fmt = log Debug ?fields fmt
+let info ?fields fmt = log Info ?fields fmt
+let warn ?fields fmt = log Warn ?fields fmt
+let err ?fields fmt = log Error ?fields fmt
+
+(** Apply [TF_LOG] (unset or unrecognized values keep the current level;
+    [TF_LOG=quiet] silences everything). *)
+let init_from_env () =
+  match Sys.getenv_opt "TF_LOG" with
+  | None -> ()
+  | Some v -> (
+      match String.lowercase_ascii v with
+      | "quiet" | "off" | "none" -> set_quiet ()
+      | v -> ( match of_string v with Some l -> set_level l | None -> ()))

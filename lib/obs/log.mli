@@ -1,0 +1,39 @@
+(** Leveled structured logger: one [key=value]-suffixed line per record on
+    stderr.  Default level [warn]; [TF_LOG] / [--log-level] raise or lower
+    it.  See docs/observability.md for conventions. *)
+
+type level = Debug | Info | Warn | Error
+
+val to_string : level -> string
+val of_string : string -> level option
+
+val set_level : level -> unit
+val set_quiet : unit -> unit
+(** Silence everything, including errors ([TF_LOG=quiet]). *)
+
+val level : unit -> level option
+(** [None] when quiet. *)
+
+val enabled : level -> bool
+
+val set_formatter : Format.formatter -> unit
+(** Redirect output (tests); default [Format.err_formatter]. *)
+
+val debug :
+  ?fields:(string * string) list ->
+  ('a, Format.formatter, unit) format -> 'a
+
+val info :
+  ?fields:(string * string) list ->
+  ('a, Format.formatter, unit) format -> 'a
+
+val warn :
+  ?fields:(string * string) list ->
+  ('a, Format.formatter, unit) format -> 'a
+
+val err :
+  ?fields:(string * string) list ->
+  ('a, Format.formatter, unit) format -> 'a
+
+val init_from_env : unit -> unit
+(** Apply [TF_LOG] if set (debug/info/warn/error/quiet). *)

@@ -1,0 +1,268 @@
+(** In-process observability for the analysis pipeline: hierarchical timed
+    spans, instant events on named tracks, monotonic counters and latency /
+    size histograms, all feeding one global thread-safe collector.
+
+    The collector is *off* by default.  Every hook is guarded by a single
+    load-and-branch on {!enabled}, so an instrumented pipeline with the
+    collector disabled runs at native speed (the Bechamel perf suite tracks
+    the ratio); argument construction at call sites must therefore also sit
+    behind [if !Obs.enabled then ...].
+
+    Spans and instants land on {e tracks} (Perfetto rows).  Framework
+    timing uses {!pipeline} / {!replay_track}; analysis events (divergence
+    splits, reconvergence, uncoalesced memory, lock serialization) use
+    {!divergence_track} / {!memory_track} / {!sync_track}.  Export with
+    {!Trace_export} (Chrome trace-event JSON, opens in ui.perfetto.dev) or
+    {!Prom} (Prometheus text exposition).  See docs/observability.md. *)
+
+module Stats = Threadfuser_stats.Stats
+
+let enabled = ref false
+let set_enabled b = enabled := b
+
+(* One global mutex guards the event log, track registry and histogram
+   sample buffers.  Counters use [Atomic.t] and skip the lock. *)
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* ------------------------------------------------------------------ *)
+(* Time base: wall-clock microseconds relative to the last [reset].    *)
+
+let t0 = ref (Unix.gettimeofday ())
+let now_us () = (Unix.gettimeofday () -. !t0) *. 1e6
+
+(* ------------------------------------------------------------------ *)
+(* Tracks                                                              *)
+
+type track = int
+
+let track_names : (int, string) Hashtbl.t = Hashtbl.create 8
+let track_ids : (string, int) Hashtbl.t = Hashtbl.create 8
+let next_track = ref 0
+
+let track name =
+  locked (fun () ->
+      match Hashtbl.find_opt track_ids name with
+      | Some id -> id
+      | None ->
+          let id = !next_track in
+          incr next_track;
+          Hashtbl.replace track_ids name id;
+          Hashtbl.replace track_names id name;
+          id)
+
+(* Registration order fixes the Perfetto row order. *)
+let pipeline = track "pipeline"
+let replay_track = track "warp replay"
+let divergence_track = track "divergence"
+let memory_track = track "memory"
+let sync_track = track "sync"
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+
+type event =
+  | Complete of {
+      name : string;
+      track : track;
+      ts : float; (* µs since reset *)
+      dur : float; (* µs *)
+      args : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      track : track;
+      ts : float;
+      args : (string * string) list;
+    }
+
+(* The event log, newest first.  Bounded so a long replay with per-event
+   instrumentation cannot exhaust memory: past the cap, events are counted
+   in [dropped] instead of stored. *)
+let max_events = ref 500_000
+let set_max_events n = max_events := n
+let events_rev : event list ref = ref []
+let n_events = ref 0
+let dropped = Atomic.make 0
+
+let record ev =
+  locked (fun () ->
+      if !n_events >= !max_events then Atomic.incr dropped
+      else begin
+        events_rev := ev :: !events_rev;
+        incr n_events
+      end)
+
+let instant ?(args = []) ~track name =
+  if !enabled then record (Instant { name; track; ts = now_us (); args })
+
+(** [span ?track ?args name f] times [f ()] as a complete event.  Nested
+    spans on the same track render as a hierarchy (Chrome trace viewers
+    nest complete events by time containment).  Disabled cost: one branch. *)
+let span ?(track = pipeline) ?(args = []) name f =
+  if not !enabled then f ()
+  else begin
+    let ts = now_us () in
+    Fun.protect
+      ~finally:(fun () ->
+        record (Complete { name; track; ts; dur = now_us () -. ts; args }))
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+
+module Counter = struct
+  type t = { name : string; help : string; value : int Atomic.t }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+  let order : string list ref = ref [] (* registration order, reversed *)
+
+  let make ?(help = "") name =
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some c -> c
+        | None ->
+            let c = { name; help; value = Atomic.make 0 } in
+            Hashtbl.replace registry name c;
+            order := name :: !order;
+            c)
+
+  (* The guard lives here so call sites stay one-line; constructing
+     per-call arguments (unlike a constant [t]) must be guarded by the
+     caller. *)
+  let incr c = if !enabled then Atomic.incr c.value
+  let add c n = if !enabled then ignore (Atomic.fetch_and_add c.value n)
+  let value c = Atomic.get c.value
+end
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+
+module Histogram = struct
+  (* Raw samples (decimated 2:1 past [cap], keeping the distribution's
+     shape) back the quantile estimates; the Prometheus exporter buckets
+     them logarithmically (powers of two) at export time. *)
+  type t = {
+    name : string;
+    help : string;
+    mutable samples : float array;
+    mutable n : int; (* live prefix of [samples] *)
+    mutable count : int; (* total observations *)
+    mutable sum : float;
+  }
+
+  let cap = 65_536
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+  let order : string list ref = ref []
+
+  let make ?(help = "") name =
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some h -> h
+        | None ->
+            let h =
+              { name; help; samples = Array.make 64 0.0; n = 0; count = 0; sum = 0.0 }
+            in
+            Hashtbl.replace registry name h;
+            order := name :: !order;
+            h)
+
+  let observe h x =
+    if !enabled then
+      locked (fun () ->
+          h.count <- h.count + 1;
+          h.sum <- h.sum +. x;
+          if h.n = Array.length h.samples then
+            if h.n < cap then begin
+              let bigger = Array.make (2 * h.n) 0.0 in
+              Array.blit h.samples 0 bigger 0 h.n;
+              h.samples <- bigger
+            end
+            else begin
+              (* decimate: keep every other sample *)
+              let m = h.n / 2 in
+              for i = 0 to m - 1 do
+                h.samples.(i) <- h.samples.(2 * i)
+              done;
+              h.n <- m
+            end;
+          h.samples.(h.n) <- x;
+          h.n <- h.n + 1)
+
+  let count h = h.count
+  let sum h = h.sum
+  let samples h = locked (fun () -> Array.sub h.samples 0 h.n)
+
+  (** Linear-interpolated quantile over the retained samples
+      ({!Stats.percentile}); 0 when nothing was observed. *)
+  let quantile h q =
+    let s = samples h in
+    if Array.length s = 0 then 0.0 else Stats.percentile ~q s
+end
+
+(** [timed h f] observes [f]'s wall-clock latency (µs) into histogram [h];
+    one branch when disabled. *)
+let timed h f =
+  if not !enabled then f ()
+  else begin
+    let t = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        Histogram.observe h ((Unix.gettimeofday () -. t) *. 1e6))
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot + reset                                                    *)
+
+type snapshot = {
+  events : event list; (* chronological *)
+  tracks : (track * string) list; (* registration order *)
+  counters : Counter.t list; (* registration order *)
+  histograms : Histogram.t list;
+  events_dropped : int;
+}
+
+let snapshot () =
+  locked (fun () ->
+      {
+        events = List.rev !events_rev;
+        tracks =
+          Hashtbl.fold (fun id name acc -> (id, name) :: acc) track_names []
+          |> List.sort compare;
+        counters =
+          List.rev_map (fun n -> Hashtbl.find Counter.registry n) !Counter.order;
+        histograms =
+          List.rev_map (fun n -> Hashtbl.find Histogram.registry n) !Histogram.order;
+        events_dropped = Atomic.get dropped;
+      })
+
+(** Clear the event log, zero every counter and histogram, and restart the
+    clock.  Registered instruments (and tracks) survive so cached handles
+    in instrumented modules stay valid. *)
+let reset () =
+  locked (fun () ->
+      events_rev := [];
+      n_events := 0;
+      Atomic.set dropped 0;
+      t0 := Unix.gettimeofday ();
+      Hashtbl.iter (fun _ (c : Counter.t) -> Atomic.set c.Counter.value 0)
+        Counter.registry;
+      Hashtbl.iter
+        (fun _ (h : Histogram.t) ->
+          h.Histogram.n <- 0;
+          h.Histogram.count <- 0;
+          h.Histogram.sum <- 0.0)
+        Histogram.registry)
+
+(* Accessors for the exporters (the record internals stay private). *)
+let track_id (t : track) = t
+let counter_name (c : Counter.t) = c.Counter.name
+let counter_help (c : Counter.t) = c.Counter.help
+let histogram_name (h : Histogram.t) = h.Histogram.name
+let histogram_help (h : Histogram.t) = h.Histogram.help

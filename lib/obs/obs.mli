@@ -1,0 +1,120 @@
+(** In-process observability: timed spans, instant events on named tracks,
+    counters and histograms feeding one global thread-safe collector.
+
+    Disabled (the default) every hook costs one load-and-branch; call
+    sites that build arguments must guard them with [if !Obs.enabled].
+    Export a run with {!Trace_export} (Chrome trace-event JSON for
+    ui.perfetto.dev) or {!Prom} (Prometheus text exposition).
+    See docs/observability.md for the span model and track conventions. *)
+
+(** Global collector switch.  Exposed as a [ref] so hot paths can guard
+    argument construction with a single load. *)
+val enabled : bool ref
+
+val set_enabled : bool -> unit
+
+(** {1 Tracks} — Perfetto rows.  [track name] is idempotent. *)
+
+type track
+
+val track : string -> track
+
+val pipeline : track  (** framework phase spans *)
+
+val replay_track : track  (** per-warp replay spans *)
+
+val divergence_track : track  (** split / reconverge instants *)
+
+val memory_track : track  (** uncoalesced-access instants *)
+
+val sync_track : track  (** lock-serialization instants *)
+
+(** {1 Spans and instants} *)
+
+(** [span ?track ?args name f] times [f ()] as a complete event (exception
+    safe).  Nested spans on one track render hierarchically. *)
+val span :
+  ?track:track -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Zero-duration event on a track. *)
+val instant : ?args:(string * string) list -> track:track -> string -> unit
+
+(** {1 Counters} — monotonic within a run, atomic, reset by {!reset}. *)
+
+module Counter : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  (** Find-or-create in the global registry; safe at module-init time. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+end
+
+(** {1 Histograms} — distributions (latencies in µs, sizes in units of the
+    caller's choosing).  Quantiles come from retained raw samples via
+    {!Threadfuser_stats.Stats.percentile}; the Prometheus exporter buckets
+    them logarithmically at export time. *)
+
+module Histogram : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+
+  val samples : t -> float array
+  (** Retained (possibly decimated) samples, oldest first. *)
+
+  val quantile : t -> float -> float
+  (** [quantile h q], [0 <= q <= 1]; 0 when empty. *)
+end
+
+val timed : Histogram.t -> (unit -> 'a) -> 'a
+(** [timed h f] observes [f]'s wall-clock latency in µs into [h]
+    (exception safe); one branch when disabled. *)
+
+(** {1 Snapshot / lifecycle} *)
+
+type event =
+  | Complete of {
+      name : string;
+      track : track;
+      ts : float;  (** µs since {!reset} *)
+      dur : float;  (** µs *)
+      args : (string * string) list;
+    }
+  | Instant of {
+      name : string;
+      track : track;
+      ts : float;
+      args : (string * string) list;
+    }
+
+type snapshot = {
+  events : event list;  (** chronological *)
+  tracks : (track * string) list;
+  counters : Counter.t list;  (** registration order *)
+  histograms : Histogram.t list;
+  events_dropped : int;  (** events past the cap (see {!set_max_events}) *)
+}
+
+val snapshot : unit -> snapshot
+
+val set_max_events : int -> unit
+(** Event-log bound (default 500_000); excess events are dropped and
+    counted in [events_dropped]. *)
+
+val reset : unit -> unit
+(** Clear events, zero instruments, restart the clock.  Registered
+    counters/histograms/tracks survive, so cached handles stay valid. *)
+
+(**/**)
+
+val track_id : track -> int
+val counter_name : Counter.t -> string
+val counter_help : Counter.t -> string
+val histogram_name : Histogram.t -> string
+val histogram_help : Histogram.t -> string

@@ -1,0 +1,97 @@
+(** Prometheus text-exposition export of an {!Obs.snapshot} (the format
+    accepted by [promtool] and node-exporter text collectors).
+
+    Counters export as [counter] metrics.  Histograms export as a
+    log-bucketed (powers of two) [histogram] — cumulative [_bucket{le=..}]
+    lines plus [_sum]/[_count] — and, for one-glance reading, companion
+    [_p50]/[_p95]/[_p99] gauges computed from the retained samples via
+    {!Threadfuser_stats.Stats.percentile}. *)
+
+(* Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]*. *)
+let sanitize name =
+  String.mapi
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> c
+      | '0' .. '9' when i > 0 -> c
+      | _ -> '_')
+    name
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let add_help buf name help kind =
+  if help <> "" then
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+(* Cumulative powers-of-two buckets covering the sample range, at most
+   [max_buckets] of them (the log-bucketed exposition of the issue). *)
+let log_buckets samples =
+  let max_buckets = 32 in
+  let maxv = Array.fold_left Float.max 0.0 samples in
+  let rec bounds acc le =
+    if le >= maxv || List.length acc >= max_buckets then List.rev acc
+    else bounds (le :: acc) (le *. 2.0)
+  in
+  let bounds = List.rev (bounds [] 1.0) @ [ Float.infinity ] in
+  List.map
+    (fun le ->
+      let n = Array.fold_left (fun n x -> if x <= le then n + 1 else n) 0 samples in
+      (le, n))
+    bounds
+
+let counter buf c =
+  let name = sanitize (Obs.counter_name c) in
+  add_help buf name (Obs.counter_help c) "counter";
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d\n" name (Obs.Counter.value c))
+
+let histogram buf h =
+  let name = sanitize (Obs.histogram_name h) in
+  add_help buf name (Obs.histogram_help h) "histogram";
+  let samples = Obs.Histogram.samples h in
+  let scale =
+    (* buckets come from the retained samples; rescale to total count so
+       the exposition stays consistent after decimation *)
+    if Array.length samples = 0 then 0.0
+    else float_of_int (Obs.Histogram.count h) /. float_of_int (Array.length samples)
+  in
+  List.iter
+    (fun (le, n) ->
+      let le_str = if le = Float.infinity then "+Inf" else float_str le in
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"%s\"} %.0f\n" name le_str
+           (float_of_int n *. scale)))
+    (log_buckets samples);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_sum %s\n" name (float_str (Obs.Histogram.sum h)));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count %d\n" name (Obs.Histogram.count h));
+  List.iter
+    (fun (suffix, q) ->
+      let qname = name ^ suffix in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" qname);
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s\n" qname
+           (float_str (Obs.Histogram.quantile h q))))
+    [ ("_p50", 0.5); ("_p95", 0.95); ("_p99", 0.99) ]
+
+let to_string (s : Obs.snapshot) =
+  let buf = Buffer.create 4096 in
+  List.iter (fun c -> counter buf c) s.Obs.counters;
+  List.iter (fun h -> histogram buf h) s.Obs.histograms;
+  if s.Obs.events_dropped > 0 then begin
+    add_help buf "tf_obs_events_dropped_total"
+      "trace events dropped past the collector cap" "counter";
+    Buffer.add_string buf
+      (Printf.sprintf "tf_obs_events_dropped_total %d\n" s.Obs.events_dropped)
+  end;
+  Buffer.contents buf
+
+let to_file path (s : Obs.snapshot) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string s))

@@ -1,0 +1,6 @@
+(** Prometheus text-exposition export of an {!Obs.snapshot}: counters,
+    log-bucketed histograms with [_sum]/[_count], and [_p50]/[_p95]/[_p99]
+    companion gauges.  This is what [--metrics-out] writes. *)
+
+val to_string : Obs.snapshot -> string
+val to_file : string -> Obs.snapshot -> unit

@@ -1,0 +1,93 @@
+(** Chrome trace-event / Perfetto JSON export of an {!Obs.snapshot}.
+
+    Emits the classic JSON-array trace-event format (a ["traceEvents"]
+    object), which [ui.perfetto.dev] and [chrome://tracing] both load
+    directly: one metadata record names each track (thread), spans are
+    ["ph":"X"] complete events and instants ["ph":"i"] thread-scoped
+    events.  Timestamps are µs, as the format requires. *)
+
+let pid = 1
+
+(* Minimal JSON string escaping (the emitter is self-contained so the
+   obs library stays dependency-free below lib/report). *)
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_args buf = function
+  | [] -> ()
+  | args ->
+      Buffer.add_string buf ",\"args\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf
+            (Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)))
+        args;
+      Buffer.add_char buf '}'
+
+let add_event buf ev =
+  (match (ev : Obs.event) with
+  | Obs.Complete { name; ts; dur; args; track } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"framework\",\"ph\":\"X\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f"
+           (escape name) pid (Obs.track_id track) ts dur);
+      add_args buf args
+  | Obs.Instant { name; ts; args; track } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"cat\":\"analysis\",\"ph\":\"i\",\"s\":\"t\",\"pid\":%d,\"tid\":%d,\"ts\":%.3f"
+           (escape name) pid (Obs.track_id track) ts);
+      add_args buf args);
+  Buffer.add_char buf '}'
+
+let to_string (s : Obs.snapshot) =
+  let buf = Buffer.create 65_536 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  let first = ref true in
+  let emit_obj f =
+    if not !first then Buffer.add_string buf ",\n";
+    first := false;
+    f ()
+  in
+  (* process + track (thread) name metadata *)
+  emit_obj (fun () ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":\"threadfuser\"}}"
+           pid));
+  List.iter
+    (fun (track, name) ->
+      emit_obj (fun () ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+               pid (Obs.track_id track) (escape name))))
+    s.Obs.tracks;
+  List.iter (fun ev -> emit_obj (fun () -> add_event buf ev)) s.Obs.events;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"";
+  if s.Obs.events_dropped > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf ",\"metadata\":{\"events_dropped\":%d}"
+         s.Obs.events_dropped);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file path (s : Obs.snapshot) =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string s))

@@ -1,0 +1,7 @@
+(** Chrome trace-event / Perfetto JSON export of an {!Obs.snapshot}.
+    The output loads directly in [ui.perfetto.dev] or [chrome://tracing]:
+    framework spans and analysis instants appear on named tracks
+    (docs/observability.md). *)
+
+val to_string : Obs.snapshot -> string
+val to_file : string -> Obs.snapshot -> unit

@@ -66,9 +66,24 @@ let geomean a =
   in
   exp (s /. float_of_int n)
 
+(** Linear-interpolated [q]-quantile ([0 <= q <= 1]) of the samples; the
+    input need not be sorted.  Backs the observability histograms'
+    p50/p95/p99. *)
+let percentile ~q a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.percentile: q out of [0,1]";
+  let s = Array.copy a in
+  Array.sort compare s;
+  let h = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor h) in
+  let hi = int_of_float (ceil h) in
+  s.(lo) +. ((h -. float_of_int lo) *. (s.(hi) -. s.(lo)))
+
 (** Fraction of samples within [k] standard deviations of the mean, as the
     paper reports for its error distributions. *)
 let within_stddev ?(k = 1.0) a =
+  if Array.length a = 0 then invalid_arg "Stats.within_stddev: empty";
   let m = mean a and sd = stddev a in
   let inside = Array.fold_left (fun acc x -> if abs_float (x -. m) <= k *. sd then acc + 1 else acc) 0 a in
   float_of_int inside /. float_of_int (Array.length a)

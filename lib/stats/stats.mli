@@ -17,5 +17,11 @@ val pearson : float array -> float array -> float
 (** Geometric mean; raises on non-positive entries. *)
 val geomean : float array -> float
 
-(** Fraction of samples within [k] standard deviations of the mean. *)
+(** Linear-interpolated [q]-quantile ([0 <= q <= 1]); the input need not be
+    sorted.  Raises [Invalid_argument] on an empty array or out-of-range
+    [q]. *)
+val percentile : q:float -> float array -> float
+
+(** Fraction of samples within [k] standard deviations of the mean.
+    Raises [Invalid_argument] on an empty array. *)
 val within_stddev : ?k:float -> float array -> float

@@ -20,6 +20,15 @@
 
 let magic = "TFTRACE1"
 
+module Obs = Threadfuser_obs.Obs
+
+let c_decoded_threads =
+  Obs.Counter.make "tf_trace_threads_decoded_total"
+    ~help:"thread traces decoded from serialized form"
+let c_decoded_bytes =
+  Obs.Counter.make "tf_trace_bytes_decoded_total"
+    ~help:"serialized trace bytes decoded"
+
 (* -- varint primitives -------------------------------------------------- *)
 
 (* Encodes the two's-complement bit pattern with a logical shift, so every
@@ -167,19 +176,27 @@ let to_buffer (traces : Thread_trace.t array) =
 let to_string traces = Buffer.contents (to_buffer traces)
 
 let of_string s : Thread_trace.t array =
-  let n_magic = String.length magic in
-  if String.length s < n_magic || String.sub s 0 n_magic <> magic then
-    raise (Corrupt "bad magic");
-  let r = { data = s; pos = n_magic } in
-  (* a thread costs at least 2 bytes (tid + event count) *)
-  let n_threads = read_count r ~min_bytes:2 "thread" in
-  Array.init n_threads (fun _ ->
-      let tid = read_uint r in
-      if tid < 0 then raise (Corrupt "negative thread id");
-      (* an event is at least 1 byte (its tag) *)
-      let n_events = read_count r ~min_bytes:1 "event" in
-      let events = Array.init n_events (fun _ -> read_event r) in
-      { Thread_trace.tid; events })
+  Obs.span "decode"
+    ~args:[ ("bytes", string_of_int (String.length s)) ]
+    (fun () ->
+      let n_magic = String.length magic in
+      if String.length s < n_magic || String.sub s 0 n_magic <> magic then
+        raise (Corrupt "bad magic");
+      let r = { data = s; pos = n_magic } in
+      (* a thread costs at least 2 bytes (tid + event count) *)
+      let n_threads = read_count r ~min_bytes:2 "thread" in
+      let traces =
+        Array.init n_threads (fun _ ->
+            let tid = read_uint r in
+            if tid < 0 then raise (Corrupt "negative thread id");
+            (* an event is at least 1 byte (its tag) *)
+            let n_events = read_count r ~min_bytes:1 "event" in
+            let events = Array.init n_events (fun _ -> read_event r) in
+            { Thread_trace.tid; events })
+      in
+      Obs.Counter.add c_decoded_threads n_threads;
+      Obs.Counter.add c_decoded_bytes (String.length s);
+      traces)
 
 let to_file path traces =
   let oc = open_out_bin path in

@@ -290,6 +290,50 @@ let test_timeline_math () =
   (* full occupancy first, half occupancy second: strictly descending *)
   Alcotest.(check bool) "descending" true (s <> String.make (String.length s) s.[0])
 
+let test_sparkline_zero_issues () =
+  let t = { Timeline.warp_id = 0; warp_size = 4; samples = [||] } in
+  Alcotest.(check string) "empty warp is blank" "     "
+    (Timeline.sparkline ~width:5 t);
+  let t0 =
+    { Timeline.warp_id = 0; warp_size = 4;
+      samples = [| { Timeline.n_instr = 0; active = 4 } |] }
+  in
+  Alcotest.(check string) "zero-issue samples are blank too" "   "
+    (Timeline.sparkline ~width:3 t0)
+
+let test_sparkline_width_one () =
+  (* one cell carries the issue-weighted mean: (10*4 + 10*2)/20 = 3 of 4
+     lanes -> frac 0.75 -> ceil(6.0) = glyph 6 *)
+  let t =
+    { Timeline.warp_id = 0; warp_size = 4;
+      samples =
+        [| { Timeline.n_instr = 10; active = 4 };
+           { Timeline.n_instr = 10; active = 2 } |] }
+  in
+  Alcotest.(check string) "width-1 mean" "\xe2\x96\x86"
+    (Timeline.sparkline ~width:1 t)
+
+let test_sparkline_bucket_weighting () =
+  (* a sample straddling a bucket boundary contributes issue-weighted:
+     {3 instrs, 4 active} fills bucket 0 (2 issues) and half of bucket 1;
+     {1 instr, 0 active} fills the rest of bucket 1.  Bucket 1's mean is
+     (1*4 + 1*0)/2 = 2 of 4 lanes -> glyph 4; bucket 0 is full -> glyph 8. *)
+  let t =
+    { Timeline.warp_id = 0; warp_size = 4;
+      samples =
+        [| { Timeline.n_instr = 3; active = 4 };
+           { Timeline.n_instr = 1; active = 0 } |] }
+  in
+  Alcotest.(check string) "issue-weighted split" "\xe2\x96\x88\xe2\x96\x84"
+    (Timeline.sparkline ~width:2 t);
+  (* one sample spread evenly over both cells renders identically in each *)
+  let flat =
+    { Timeline.warp_id = 0; warp_size = 4;
+      samples = [| { Timeline.n_instr = 2; active = 2 } |] }
+  in
+  Alcotest.(check string) "even spread" "\xe2\x96\x84\xe2\x96\x84"
+    (Timeline.sparkline ~width:2 flat)
+
 let test_timeline_recorded_by_analyzer () =
   let r =
     Threadfuser_workloads.Workload.analyze
@@ -418,6 +462,12 @@ let () =
       ( "timeline",
         [
           Alcotest.test_case "math" `Quick test_timeline_math;
+          Alcotest.test_case "sparkline zero issues" `Quick
+            test_sparkline_zero_issues;
+          Alcotest.test_case "sparkline width one" `Quick
+            test_sparkline_width_one;
+          Alcotest.test_case "sparkline bucket weighting" `Quick
+            test_sparkline_bucket_weighting;
           Alcotest.test_case "recorded" `Quick test_timeline_recorded_by_analyzer;
           Alcotest.test_case "off by default" `Quick test_timeline_off_by_default;
           Alcotest.test_case "equals efficiency" `Quick test_timeline_equals_efficiency;

@@ -1,0 +1,383 @@
+(* The observability stack: collector semantics (spans, counters,
+   histograms, the disabled fast path), the Chrome-trace and Prometheus
+   exporters, the structured logger, and the instrumentation the analysis
+   pipeline emits end-to-end. *)
+
+module Obs = Threadfuser_obs.Obs
+module Log = Threadfuser_obs.Log
+module Trace_export = Threadfuser_obs.Trace_export
+module Prom = Threadfuser_obs.Prom
+module Json = Threadfuser_report.Json
+module Stats = Threadfuser_stats.Stats
+module W = Threadfuser_workloads.Workload
+module Registry = Threadfuser_workloads.Registry
+module Analyzer = Threadfuser.Analyzer
+
+(* Every test leaves the collector disabled and empty for the next one;
+   the registries deliberately survive [reset]. *)
+let with_collector f =
+  Obs.reset ();
+  Obs.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                            *)
+
+let test_counter_basics () =
+  let c = Obs.Counter.make "tf_test_counter_basics" ~help:"test" in
+  with_collector (fun () ->
+      Obs.Counter.incr c;
+      Obs.Counter.add c 41;
+      Alcotest.(check int) "enabled counts" 42 (Obs.Counter.value c));
+  (* after with_collector: reset zeroed it and the collector is off *)
+  Alcotest.(check int) "reset zeroes" 0 (Obs.Counter.value c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 7;
+  Alcotest.(check int) "disabled is a no-op" 0 (Obs.Counter.value c)
+
+let test_counter_registry_idempotent () =
+  let a = Obs.Counter.make "tf_test_counter_shared" in
+  let b = Obs.Counter.make "tf_test_counter_shared" in
+  with_collector (fun () ->
+      Obs.Counter.incr a;
+      Obs.Counter.incr b;
+      Alcotest.(check int) "same underlying counter" 2 (Obs.Counter.value a))
+
+let test_histogram_quantiles () =
+  let h = Obs.Histogram.make "tf_test_histo_q" ~help:"test" in
+  Alcotest.(check (float 0.0)) "empty quantile is 0" 0.0
+    (Obs.Histogram.quantile h 0.5);
+  with_collector (fun () ->
+      let data = Array.init 100 (fun i -> float_of_int (i + 1)) in
+      Array.iter (fun v -> Obs.Histogram.observe h v) data;
+      Alcotest.(check int) "count" 100 (Obs.Histogram.count h);
+      Alcotest.(check (float 1e-6)) "sum" 5050.0 (Obs.Histogram.sum h);
+      (* quantiles agree with Stats.percentile over the same samples *)
+      List.iter
+        (fun q ->
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "q=%.2f matches Stats.percentile" q)
+            (Stats.percentile ~q data)
+            (Obs.Histogram.quantile h q))
+        [ 0.0; 0.5; 0.95; 0.99; 1.0 ])
+
+let test_histogram_disabled () =
+  let h = Obs.Histogram.make "tf_test_histo_off" in
+  Obs.Histogram.observe h 3.0;
+  Alcotest.(check int) "disabled observe is a no-op" 0 (Obs.Histogram.count h)
+
+let test_span_nesting () =
+  with_collector (fun () ->
+      let v =
+        Obs.span "outer"
+          ~args:[ ("k", "v") ]
+          (fun () ->
+            Obs.span "inner" (fun () -> ());
+            17)
+      in
+      Alcotest.(check int) "span returns the body's value" 17 v;
+      let snap = Obs.snapshot () in
+      let completes =
+        List.filter_map
+          (function
+            | Obs.Complete { name; ts; dur; _ } -> Some (name, ts, dur)
+            | Obs.Instant _ -> None)
+          snap.Obs.events
+      in
+      Alcotest.(check int) "two complete events" 2 (List.length completes);
+      let name_in, ts_in, dur_in = List.nth completes 0 in
+      let name_out, ts_out, dur_out = List.nth completes 1 in
+      (* chronological by start: outer starts first *)
+      Alcotest.(check string) "outer first by start" "outer" name_out;
+      Alcotest.(check string) "inner second" "inner" name_in;
+      Alcotest.(check bool) "inner nests inside outer" true
+        (ts_in >= ts_out && ts_in +. dur_in <= ts_out +. dur_out +. 1.0))
+
+let test_span_exception_safe () =
+  with_collector (fun () ->
+      (try Obs.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+      let snap = Obs.snapshot () in
+      Alcotest.(check int) "span recorded despite the raise" 1
+        (List.length snap.Obs.events))
+
+let test_span_disabled_records_nothing () =
+  Obs.reset ();
+  Obs.span "quiet" (fun () -> ());
+  Obs.instant ~track:Obs.divergence_track "quiet instant";
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "no events when disabled" 0 (List.length snap.Obs.events)
+
+let test_event_cap () =
+  with_collector (fun () ->
+      Obs.set_max_events 10;
+      Fun.protect
+        ~finally:(fun () -> Obs.set_max_events 500_000)
+        (fun () ->
+          for _ = 1 to 25 do
+            Obs.instant ~track:Obs.memory_track "e"
+          done;
+          let snap = Obs.snapshot () in
+          Alcotest.(check int) "events capped" 10 (List.length snap.Obs.events);
+          Alcotest.(check int) "drops counted" 15 snap.Obs.events_dropped))
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                            *)
+
+let member k = function
+  | Json.Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let test_chrome_export_well_formed () =
+  let c = Obs.Counter.make "tf_test_export_counter" in
+  with_collector (fun () ->
+      Obs.Counter.incr c;
+      Obs.span "phase_a" (fun () ->
+          Obs.instant ~track:Obs.divergence_track "split"
+            ~args:[ ("lanes", "4") ]);
+      let s = Trace_export.to_string (Obs.snapshot ()) in
+      match Json.parse s with
+      | Error m -> Alcotest.failf "exporter emitted invalid JSON: %s" m
+      | Ok doc -> (
+          match member "traceEvents" doc with
+          | Some (Json.List events) ->
+              let names =
+                List.filter_map
+                  (fun e ->
+                    match member "name" e with
+                    | Some (Json.String n) -> Some n
+                    | _ -> None)
+                  events
+              in
+              List.iter
+                (fun expected ->
+                  Alcotest.(check bool)
+                    (expected ^ " present") true
+                    (List.mem expected names))
+                [ "process_name"; "thread_name"; "phase_a"; "split" ];
+              (* the instant carries its args and the instant phase *)
+              let split =
+                List.find
+                  (fun e -> member "name" e = Some (Json.String "split"))
+                  events
+              in
+              Alcotest.(check bool) "instant phase" true
+                (member "ph" split = Some (Json.String "i"));
+              (match member "args" split with
+              | Some (Json.Obj args) ->
+                  Alcotest.(check bool) "instant args survive" true
+                    (List.assoc_opt "lanes" args = Some (Json.String "4"))
+              | _ -> Alcotest.fail "instant lost its args")
+          | _ -> Alcotest.fail "no traceEvents array"))
+
+let test_chrome_export_escaping () =
+  with_collector (fun () ->
+      Obs.span "quote\"and\\slash\nnewline" (fun () -> ());
+      match Json.validate (Trace_export.to_string (Obs.snapshot ())) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "escaping broke the JSON: %s" m)
+
+let test_prometheus_export () =
+  let c = Obs.Counter.make "tf_test_prom_counter" ~help:"a test counter" in
+  let h = Obs.Histogram.make "tf_test_prom_histo" ~help:"a test histogram" in
+  with_collector (fun () ->
+      Obs.Counter.add c 5;
+      List.iter (fun v -> Obs.Histogram.observe h v) [ 0.5; 3.0; 100.0 ];
+      let text = Prom.to_string (Obs.snapshot ()) in
+      let contains needle =
+        let nl = String.length needle and tl = String.length text in
+        let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+        go 0
+      in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (needle ^ " present") true (contains needle))
+        [
+          "# TYPE tf_test_prom_counter counter";
+          "# HELP tf_test_prom_counter a test counter";
+          "tf_test_prom_counter 5";
+          "# TYPE tf_test_prom_histo histogram";
+          "tf_test_prom_histo_bucket{le=\"+Inf\"} 3";
+          "tf_test_prom_histo_count 3";
+          "tf_test_prom_histo_sum 103.5";
+          "tf_test_prom_histo_p50";
+        ];
+      (* every non-comment line is "name[{labels}] value" *)
+      String.split_on_char '\n' text
+      |> List.iter (fun line ->
+             if line <> "" && line.[0] <> '#' then
+               match String.rindex_opt line ' ' with
+               | None -> Alcotest.failf "unparseable exposition line: %s" line
+               | Some i -> (
+                   let v = String.sub line (i + 1) (String.length line - i - 1) in
+                   match float_of_string_opt v with
+                   | Some _ -> ()
+                   | None -> Alcotest.failf "non-numeric sample: %s" line)))
+
+(* ------------------------------------------------------------------ *)
+(* Logger                                                               *)
+
+let with_log_buffer f =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  let saved = Log.level () in
+  Log.set_formatter ppf;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_formatter Format.err_formatter;
+      match saved with Some l -> Log.set_level l | None -> Log.set_quiet ())
+    (fun () ->
+      f ();
+      Format.pp_print_flush ppf ();
+      Buffer.contents buf)
+
+let test_log_threshold () =
+  let out =
+    with_log_buffer (fun () ->
+        Log.set_level Log.Warn;
+        Log.debug "hidden debug";
+        Log.info "hidden info";
+        Log.warn "visible warn";
+        Log.err "visible error")
+  in
+  Alcotest.(check string) "only warn and error pass"
+    "threadfuser: [warn] visible warn\nthreadfuser: [error] visible error\n"
+    out
+
+let test_log_fields_and_format () =
+  let out =
+    with_log_buffer (fun () ->
+        Log.set_level Log.Debug;
+        Log.info "replay %d done" 3
+          ~fields:[ ("warp", "3"); ("diag", "bad lane") ])
+  in
+  Alcotest.(check string) "fields render as key=value, quoting spaces"
+    "threadfuser: [info] replay 3 done warp=3 diag=\"bad lane\"\n" out
+
+let test_log_quiet () =
+  let out =
+    with_log_buffer (fun () ->
+        Log.set_quiet ();
+        Log.err "not even errors")
+  in
+  Alcotest.(check string) "quiet silences everything" "" out
+
+let test_log_of_string () =
+  List.iter
+    (fun (s, expect) ->
+      Alcotest.(check bool) ("of_string " ^ s) true (Log.of_string s = expect))
+    [
+      ("debug", Some Log.Debug);
+      ("INFO", Some Log.Info);
+      ("warning", Some Log.Warn);
+      ("err", Some Log.Error);
+      ("verbose", None);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: the instrumented pipeline                                *)
+
+let test_pipeline_emits_phases () =
+  let bfs = Registry.find "bfs" in
+  let tr = W.trace_cpu bfs in
+  with_collector (fun () ->
+      ignore (Analyzer.analyze tr.W.prog tr.W.traces);
+      let snap = Obs.snapshot () in
+      let phase_names =
+        List.filter_map
+          (function
+            | Obs.Complete { name; track; _ }
+              when Obs.track_id track = Obs.track_id Obs.pipeline ->
+                Some name
+            | _ -> None)
+          snap.Obs.events
+      in
+      List.iter
+        (fun phase ->
+          Alcotest.(check bool) ("phase " ^ phase) true
+            (List.mem phase phase_names))
+        [ "dcfg"; "ipdom"; "warp_formation"; "replay"; "coalesce" ];
+      (* bfs diverges, so the replay must emit warp spans and divergence
+         instants, and the core counters must move *)
+      let warp_spans =
+        List.exists
+          (function
+            | Obs.Complete { track; _ } ->
+                Obs.track_id track = Obs.track_id Obs.replay_track
+            | _ -> false)
+          snap.Obs.events
+      in
+      Alcotest.(check bool) "per-warp replay spans" true warp_spans;
+      let splits =
+        List.exists
+          (function
+            | Obs.Instant { name = "divergence split"; _ } -> true
+            | _ -> false)
+          snap.Obs.events
+      in
+      Alcotest.(check bool) "divergence instants" true splits;
+      let value name =
+        let c = Obs.Counter.make name in
+        Obs.Counter.value c
+      in
+      Alcotest.(check bool) "warps counted" true
+        (value "tf_warps_replayed_total" > 0);
+      Alcotest.(check bool) "blocks counted" true
+        (value "tf_blocks_executed_total" > 0);
+      Alcotest.(check bool) "mem instrs counted" true
+        (value "tf_mem_instrs_total" > 0))
+
+let test_pipeline_disabled_is_silent () =
+  let bfs = Registry.find "bfs" in
+  let tr = W.trace_cpu bfs in
+  Obs.reset ();
+  ignore (Analyzer.analyze tr.W.prog tr.W.traces);
+  let snap = Obs.snapshot () in
+  Alcotest.(check int) "no events with the collector off" 0
+    (List.length snap.Obs.events)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "collector",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "counter registry idempotent" `Quick
+            test_counter_registry_idempotent;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantiles;
+          Alcotest.test_case "histogram disabled" `Quick test_histogram_disabled;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "span exception safety" `Quick
+            test_span_exception_safe;
+          Alcotest.test_case "disabled records nothing" `Quick
+            test_span_disabled_records_nothing;
+          Alcotest.test_case "event cap" `Quick test_event_cap;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace well-formed" `Quick
+            test_chrome_export_well_formed;
+          Alcotest.test_case "chrome trace escaping" `Quick
+            test_chrome_export_escaping;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_export;
+        ] );
+      ( "log",
+        [
+          Alcotest.test_case "threshold" `Quick test_log_threshold;
+          Alcotest.test_case "fields" `Quick test_log_fields_and_format;
+          Alcotest.test_case "quiet" `Quick test_log_quiet;
+          Alcotest.test_case "of_string" `Quick test_log_of_string;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "emits phase spans and counters" `Quick
+            test_pipeline_emits_phases;
+          Alcotest.test_case "disabled pipeline is silent" `Quick
+            test_pipeline_disabled_is_silent;
+        ] );
+    ]

@@ -32,6 +32,45 @@ let test_within_stddev () =
   let f = Stats.within_stddev [| 0.0; 0.0; 0.0; 10.0 |] in
   feq "within 1 sd" 0.75 f
 
+let test_within_stddev_empty () =
+  Alcotest.check_raises "empty input"
+    (Invalid_argument "Stats.within_stddev: empty") (fun () ->
+      ignore (Stats.within_stddev [||]))
+
+let test_mape_empty () =
+  (* no reference points means no measurable error, not a crash *)
+  feq "empty arrays" 0.0 (Stats.mape ~predicted:[||] ~reference:[||]);
+  (* all-zero references contribute nothing either *)
+  feq "zero references" 0.0
+    (Stats.mape ~predicted:[| 1.0; 2.0 |] ~reference:[| 0.0; 0.0 |])
+
+let test_percentile () =
+  let a = [| 3.0; 1.0; 2.0; 4.0 |] in
+  feq "p0 is the min" 1.0 (Stats.percentile ~q:0.0 a);
+  feq "p100 is the max" 4.0 (Stats.percentile ~q:1.0 a);
+  feq "median interpolates" 2.5 (Stats.percentile ~q:0.5 a);
+  feq "p25 lands on a sample" 1.75 (Stats.percentile ~q:0.25 a);
+  feq "single sample" 7.0 (Stats.percentile ~q:0.9 [| 7.0 |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty")
+    (fun () -> ignore (Stats.percentile ~q:0.5 [||]));
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Stats.percentile: q out of [0,1]") (fun () ->
+      ignore (Stats.percentile ~q:1.5 [| 1.0 |]))
+
+let prop_percentile_bounds =
+  QCheck.Test.make ~name:"percentile within [min,max] and monotone" ~count:300
+    QCheck.(
+      pair
+        (list_of_size (QCheck.Gen.int_range 1 30) (float_bound_exclusive 100.0))
+        (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+    (fun (l, (q1, q2)) ->
+      let a = Array.of_list l in
+      let lo = Array.fold_left min a.(0) a
+      and hi = Array.fold_left max a.(0) a in
+      let p1 = Stats.percentile ~q:(min q1 q2) a
+      and p2 = Stats.percentile ~q:(max q1 q2) a in
+      p1 >= lo -. 1e-9 && p2 <= hi +. 1e-9 && p1 <= p2 +. 1e-9)
+
 let prop_pearson_bounds =
   QCheck.Test.make ~name:"pearson in [-1,1]" ~count:300
     QCheck.(pair (list_of_size (QCheck.Gen.int_range 2 20) (float_bound_exclusive 100.0))
@@ -122,6 +161,39 @@ let test_report_json_fields () =
       "transactions_per_instruction"; "traced_fraction"; "barrier_syncs";
     ]
 
+let test_json_parse_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ]);
+        ("s", Json.String "x\"y\nz");
+        ("b", Json.Bool false);
+        ("nested", Json.Obj [ ("k", Json.String "") ]);
+      ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "roundtrips" true (v = v')
+  | Error m -> Alcotest.failf "roundtrip parse failed: %s" m
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" s
+      | Error _ -> ())
+    [
+      ""; "{"; "[1,"; "{\"a\" 1}"; "[1] trailing"; "\"unterminated";
+      "nul"; "{\"a\":}"; "01x"; "\"bad \\q escape\"";
+    ]
+
+let test_json_parse_numbers () =
+  Alcotest.(check bool) "int stays int" true (Json.parse "42" = Ok (Json.Int 42));
+  Alcotest.(check bool) "negative" true (Json.parse "-7" = Ok (Json.Int (-7)));
+  Alcotest.(check bool) "decimal is float" true
+    (Json.parse "1.5" = Ok (Json.Float 1.5));
+  Alcotest.(check bool) "exponent is float" true
+    (Json.parse "2e3" = Ok (Json.Float 2000.0))
+
 let () =
   Alcotest.run "stats"
     [
@@ -133,6 +205,11 @@ let () =
           Alcotest.test_case "pearson" `Quick test_pearson_perfect;
           Alcotest.test_case "geomean" `Quick test_geomean;
           Alcotest.test_case "within stddev" `Quick test_within_stddev;
+          Alcotest.test_case "within stddev empty" `Quick
+            test_within_stddev_empty;
+          Alcotest.test_case "mape empty" `Quick test_mape_empty;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          QCheck_alcotest.to_alcotest prop_percentile_bounds;
           QCheck_alcotest.to_alcotest prop_pearson_bounds;
           QCheck_alcotest.to_alcotest prop_mae_nonneg;
           QCheck_alcotest.to_alcotest prop_geomean_le_mean;
@@ -143,6 +220,9 @@ let () =
           Alcotest.test_case "escaping" `Quick test_json_escaping;
           Alcotest.test_case "nesting" `Quick test_json_nesting;
           Alcotest.test_case "report fields" `Quick test_report_json_fields;
+          Alcotest.test_case "parse roundtrip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "parse numbers" `Quick test_json_parse_numbers;
         ] );
       ( "table",
         [
