@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench csv examples fuzz lint profile check clean
+.PHONY: all build test bench bench-regress csv examples fuzz lint profile check clean
 
 all: build
 
@@ -34,6 +34,24 @@ profile:
 # regenerate every paper table/figure (text to stdout)
 bench:
 	dune exec bench/main.exe
+
+# regression gate: re-analyze each baseline workload and `threadfuser
+# diff` its JSON report against the committed baseline.  Replay is
+# deterministic, so any drift is a real behaviour change; the tolerance
+# only forgives float formatting.  Exits 5 on regression.
+# Regenerate baselines (after an INTENDED change) with:
+#   dune exec bin/threadfuser_cli.exe -- analyze <w> --json > bench/baselines/<w>.json
+REGRESS_WORKLOADS = bfs hdsearch-mid
+REGRESS_TOLERANCE = 0.02
+bench-regress: build
+	@for w in $(REGRESS_WORKLOADS); do \
+		echo "== $$w vs bench/baselines/$$w.json (tolerance $(REGRESS_TOLERANCE)) =="; \
+		dune exec --no-build bin/threadfuser_cli.exe -- analyze $$w --json \
+			> /tmp/threadfuser-regress-$$w.json || exit $$?; \
+		dune exec --no-build bin/threadfuser_cli.exe -- diff \
+			bench/baselines/$$w.json /tmp/threadfuser-regress-$$w.json \
+			--tolerance $(REGRESS_TOLERANCE) || exit $$?; \
+	done
 
 # same, also dropping one CSV per table under artifacts/
 csv:

@@ -95,10 +95,17 @@ let bechamel_suite () =
     let module Obs = Threadfuser_obs.Obs in
     Test.make ~name:"analyzer: bfs warp replay (obs on)"
       (Staged.stage (fun () ->
+           (* reset BEFORE each iteration: event/counter/sample state left
+              by the previous iteration (or any earlier test) must not
+              bloat this one's measured allocations *)
            Obs.reset ();
            Obs.set_enabled true;
            Fun.protect
-             ~finally:(fun () -> Obs.set_enabled false)
+             ~finally:(fun () ->
+               Obs.set_enabled false;
+               (* and drop this iteration's accumulation on the way out so
+                  the global collector is clean for whatever runs next *)
+               Obs.reset ())
              (fun () -> ignore (Analyzer.analyze traced.W.prog traced.W.traces))))
   in
   (* the paper's tracing-overhead claim (2-6x native execution): compare

@@ -9,13 +9,15 @@
      threadfuser simulate vectoradd           cycle-level speedup projection
      threadfuser profile bfs --trace-out t.json   phase timing + event trace
      threadfuser correlate                    the Fig. 5 correlation study
+     threadfuser blame hdsearch-mid           divergence bottleneck ranking
+     threadfuser diff base.json new.json      report regression gate
 
    Observability (docs/observability.md): --log-level / TF_LOG control the
    structured logger; --trace-out writes a Perfetto-loadable Chrome trace
    of the run; --metrics-out writes a Prometheus text exposition.
 
    Exit codes: 0 success, 1 usage error, 2 corrupt input, 3 analysis
-   degraded (partial report / validation errors). *)
+   degraded (partial report / validation errors), 5 diff regression. *)
 
 open Cmdliner
 module W = Threadfuser_workloads.Workload
@@ -34,10 +36,13 @@ module Log = Threadfuser_obs.Log
 module Trace_export = Threadfuser_obs.Trace_export
 module Prom = Threadfuser_obs.Prom
 module Json = Threadfuser_report.Json
+module Flamegraph = Threadfuser_report.Flamegraph
+module Report_diff = Threadfuser_report.Report_diff
 
 let exit_usage = 1
 let exit_corrupt = 2
 let exit_degraded = 3
+let exit_regression = 5
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -763,6 +768,139 @@ let fuzz_cmd =
       const fuzz_run $ log_level_arg $ workload $ runs $ seed0 $ threads
       $ opt_level $ verbose)
 
+(* ------------------------------------------------------------------ *)
+(* Blame: site-level bottleneck attribution + replay flamegraph         *)
+
+let blame_run () trace_out metrics_out w warp_size level threads scale exclude
+    ignore_sync top flame_out flame_weight json =
+  let options = options ~warp_size ~ignore_sync in
+  let r =
+    with_obs ~trace_out ~metrics_out (fun () ->
+        W.analyze ~options ~level ?threads ~scale ~exclude w)
+  in
+  let rep = r.Analyzer.report in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let rep =
+    {
+      rep with
+      Metrics.divergence_sites = take top rep.Metrics.divergence_sites;
+      mem_sites = take top rep.Metrics.mem_sites;
+    }
+  in
+  Option.iter
+    (fun path ->
+      let folded = Flamegraph.folded ~weight:flame_weight r.Analyzer.flame in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> output_string oc folded);
+      Log.info "flamegraph written"
+        ~fields:
+          [
+            ("path", path);
+            ("weight", Flamegraph.weight_name flame_weight);
+            ("stacks", string_of_int (List.length r.Analyzer.flame));
+          ])
+    flame_out;
+  if json then print_endline (Threadfuser_report.Report_json.to_string rep)
+  else begin
+    Fmt.pr "workload: %s (%s, %s)@." w.W.name w.W.suite w.W.description;
+    Fmt.pr "%a@.@." Metrics.pp_summary rep;
+    Fmt.pr "%a" Metrics.pp_blame rep;
+    Option.iter
+      (fun path ->
+        Fmt.pr "@.flamegraph: wrote %s (%s-weighted folded stacks)@." path
+          (Flamegraph.weight_name flame_weight))
+      flame_out
+  end
+
+let blame_cmd =
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"Sites to show per ranking.")
+  in
+  let flame_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flamegraph" ] ~docv:"FILE"
+          ~doc:
+            "Write the replay flamegraph as folded stacks to FILE (feed to \
+             flamegraph.pl or speedscope).")
+  in
+  let flame_weight =
+    Arg.(
+      value
+      & opt
+          (enum [ ("issues", Flamegraph.Issues); ("lost", Flamegraph.Lost) ])
+          Flamegraph.Issues
+      & info [ "flame-weight" ] ~docv:"WEIGHT"
+          ~doc:
+            "Flamegraph weighting: $(b,issues) (warp lock-step issues) or \
+             $(b,lost) (inactive-lane issue slots).")
+  in
+  Cmd.v
+    (Cmd.info "blame"
+       ~doc:
+         "Rank the branch sites that cost the most SIMT efficiency (splits \
+          and downstream lost-lane issue slots) and the access sites that \
+          generate the most excess memory transactions — the paper's Fig. 7 \
+          diagnosis workflow, automated.  $(b,--flamegraph) additionally \
+          exports the replay as folded stacks.")
+    Term.(
+      const blame_run $ setup_term $ trace_out_arg $ metrics_out_arg
+      $ workload_pos $ warp_size $ opt_level $ threads $ scale $ exclude
+      $ ignore_sync $ top $ flame_out $ flame_weight $ json_flag)
+
+(* ------------------------------------------------------------------ *)
+(* Diff: compare two JSON reports, gate on regressions                  *)
+
+let diff_run () before_path after_path tolerance =
+  let parse path =
+    match Json.parse (read_file path) with
+    | Ok j -> j
+    | Error m ->
+        Log.err "not a JSON report" ~fields:[ ("path", path); ("error", m) ];
+        exit exit_corrupt
+  in
+  let before = parse before_path in
+  let after = parse after_path in
+  match Report_diff.compare_reports ~tolerance before after with
+  | Error m ->
+      Log.err "report shape mismatch" ~fields:[ ("error", m) ];
+      exit exit_corrupt
+  | Ok d ->
+      Fmt.pr "%a" Report_diff.pp d;
+      if Report_diff.has_regression d then exit exit_regression
+
+let diff_cmd =
+  let report_pos n name =
+    Arg.(
+      required
+      & pos n (some file) None
+      & info [] ~docv:name
+          ~doc:"JSON report written by $(b,threadfuser analyze --json).")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.01
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:
+            "Relative slack per metric before a worsening counts as a \
+             regression (0.01 = 1%).")
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compare two analyzer JSON reports — whole-program metrics, \
+          per-function efficiency, and blame sites — and exit 5 if any \
+          metric regressed beyond the tolerance (2 if either file is not a \
+          report).")
+    Term.(
+      const diff_run $ setup_term $ report_pos 0 "BASELINE"
+      $ report_pos 1 "NEW" $ tolerance)
+
 let main =
   Cmd.group
     (Cmd.info "threadfuser" ~version:"1.0.0"
@@ -772,7 +910,7 @@ let main =
     [
       list_cmd; analyze_cmd; sweep_cmd; trace_cmd; tracefile_cmd; cfg_cmd;
       disasm_cmd; asm_cmd; warptrace_cmd; replay_cmd; simulate_cmd;
-      profile_cmd; correlate_cmd; check_cmd; fuzz_cmd;
+      profile_cmd; correlate_cmd; check_cmd; fuzz_cmd; blame_cmd; diff_cmd;
     ]
 
 (* Top-level error handler: uncaught-exception backtraces never reach the

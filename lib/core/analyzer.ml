@@ -53,10 +53,19 @@ let default_options =
     record_timeline = false;
   }
 
+(* One folded call stack of the replay flamegraph: frames root-first,
+   weighted by lock-step issues and by lost-lane issue slots. *)
+type flame_stack = {
+  frames : string list; (* function names, root first *)
+  fl_issues : int;
+  fl_lost : int;
+}
+
 type result = {
   report : Metrics.report;
   warp_trace : Warp_trace.t option;
   timelines : Timeline.t list; (* in warp order; empty unless recorded *)
+  flame : flame_stack list; (* folded replay stacks, by descending issues *)
   dcfgs : Dcfg.t array;
   ipdoms : Ipdom.t array;
   options : options;
@@ -131,6 +140,72 @@ let build_report (options : options) prog (emu : Emulator.t) ~n_threads ~n_warps
       !acc
     |> List.filteri (fun i _ -> i < 10)
   in
+  (* blame attribution: divergence sites by lost-lane cost, access sites
+     by excess transactions (top 20 each — the Fig. 7 workflow wants the
+     head of the ranking, and reports stay diffable) *)
+  let src_label fid bid =
+    (Program.func prog fid).Program.blocks.(bid).Program.src_label
+  in
+  let total_slots = emu.Emulator.issues * options.warp_size in
+  let divergence_sites =
+    Hashtbl.fold
+      (fun (fid, bid) (c : Emulator.div_site_cell) acc ->
+        if c.Emulator.sc_splits = 0 && c.Emulator.sc_lost = 0 then acc
+        else
+          {
+            Metrics.ds_fid = fid;
+            ds_func = Program.func_name prog fid;
+            ds_block = bid;
+            ds_label = src_label fid bid;
+            ds_kind =
+              (match c.Emulator.sc_kind with
+              | Emulator.Branch_site -> `Branch
+              | Emulator.Sync_site -> `Sync);
+            ds_splits = c.Emulator.sc_splits;
+            ds_lost_lanes = c.Emulator.sc_lost;
+            ds_recoverable =
+              (if total_slots = 0 then 0.0
+               else float_of_int c.Emulator.sc_lost /. float_of_int total_slots);
+          }
+          :: acc)
+      emu.Emulator.div_sites []
+    |> List.sort (fun (a : Metrics.div_site) b ->
+           compare
+             (b.Metrics.ds_lost_lanes, b.Metrics.ds_splits, a.Metrics.ds_fid)
+             (a.Metrics.ds_lost_lanes, a.Metrics.ds_splits, b.Metrics.ds_fid))
+    |> List.filteri (fun i _ -> i < 20)
+  in
+  let mem_sites =
+    Hashtbl.fold
+      (fun (fid, bid, ioff) (c : Coalesce.site_counters) acc ->
+        let excess =
+          c.Coalesce.a_stack_excess + c.Coalesce.a_heap_excess
+          + c.Coalesce.a_global_excess
+        in
+        if excess = 0 then acc
+        else
+          {
+            Metrics.ms_fid = fid;
+            ms_func = Program.func_name prog fid;
+            ms_block = bid;
+            ms_ioff = ioff;
+            ms_label = src_label fid bid;
+            ms_issues = c.Coalesce.a_issues;
+            ms_txns = c.Coalesce.a_txns;
+            ms_min_txns = c.Coalesce.a_min_txns;
+            ms_excess = excess;
+            ms_stack_excess = c.Coalesce.a_stack_excess;
+            ms_heap_excess = c.Coalesce.a_heap_excess;
+            ms_global_excess = c.Coalesce.a_global_excess;
+          }
+          :: acc)
+      emu.Emulator.coalesce.Coalesce.sites []
+    |> List.sort (fun (a : Metrics.mem_site) b ->
+           compare
+             (b.Metrics.ms_excess, a.Metrics.ms_fid, a.Metrics.ms_block)
+             (a.Metrics.ms_excess, b.Metrics.ms_fid, b.Metrics.ms_block))
+    |> List.filteri (fun i _ -> i < 20)
+  in
   let c = emu.Emulator.coalesce in
   (* the coalescing aggregation phase: per-transaction counting happened
      inline during replay (memory track); this span covers the roll-up *)
@@ -155,6 +230,8 @@ let build_report (options : options) prog (emu : Emulator.t) ~n_threads ~n_warps
       Metrics.efficiency ~issues:emu.Emulator.issues ~thread_instrs:total_instrs
         ~warp_size:options.warp_size;
     per_function;
+    divergence_sites;
+    mem_sites;
     stack_mem;
     heap_mem;
     global_mem;
@@ -319,6 +396,50 @@ let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
       ~skipped_io:!skipped_io ~skipped_spin:!skipped_spin
       ~skipped_excluded:!skipped_excluded ~coverage
   in
+  (* fold the per-call-stack accumulation into root-first named stacks *)
+  let flame =
+    Hashtbl.fold
+      (fun stack (c : Emulator.flame_cell) acc ->
+        {
+          frames = List.rev_map (Program.func_name prog) stack;
+          fl_issues = c.Emulator.fc_issues;
+          fl_lost = c.Emulator.fc_lost;
+        }
+        :: acc)
+      emu.Emulator.flame []
+    |> List.sort (fun a b ->
+           compare (b.fl_issues, b.fl_lost, a.frames)
+             (a.fl_issues, a.fl_lost, b.frames))
+  in
+  if !Obs.enabled then begin
+    List.iter
+      (fun (s : Metrics.div_site) ->
+        Obs.instant ~track:Obs.blame_track "divergence site"
+          ~args:
+            [
+              ("func", s.Metrics.ds_func);
+              ("block", string_of_int s.Metrics.ds_block);
+              ("label", Option.value ~default:"-" s.Metrics.ds_label);
+              ("kind", Metrics.site_kind_name s.Metrics.ds_kind);
+              ("splits", string_of_int s.Metrics.ds_splits);
+              ("lost_lane_slots", string_of_int s.Metrics.ds_lost_lanes);
+            ])
+      report.Metrics.divergence_sites;
+    List.iter
+      (fun (m : Metrics.mem_site) ->
+        Obs.instant ~track:Obs.blame_track "memory site"
+          ~args:
+            [
+              ("func", m.Metrics.ms_func);
+              ("block", string_of_int m.Metrics.ms_block);
+              ("instr", string_of_int m.Metrics.ms_ioff);
+              ("label", Option.value ~default:"-" m.Metrics.ms_label);
+              ("txns", string_of_int m.Metrics.ms_txns);
+              ("min_txns", string_of_int m.Metrics.ms_min_txns);
+              ("excess", string_of_int m.Metrics.ms_excess);
+            ])
+      report.Metrics.mem_sites
+  end;
   Log.info "analysis complete"
     ~fields:
       [
@@ -333,6 +454,7 @@ let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
       report;
       warp_trace = Option.map Warp_trace.Builder.finish wt_builder;
       timelines = List.rev emu.Emulator.timelines;
+      flame;
       dcfgs;
       ipdoms;
       options;

@@ -27,10 +27,21 @@ type options = {
     reconvergence, no warp-trace generation. *)
 val default_options : options
 
+(** One folded call stack of the replay flamegraph ({!result.flame}):
+    frames root-first, weighted both by warp lock-step issues and by
+    lost-lane issue slots (inactive lanes x issues under that stack). *)
+type flame_stack = {
+  frames : string list;  (** function names, root first *)
+  fl_issues : int;
+  fl_lost : int;
+}
+
 type result = {
   report : Metrics.report;
   warp_trace : Warp_trace.t option;
   timelines : Timeline.t list;  (** in warp order; empty unless recorded *)
+  flame : flame_stack list;
+      (** folded replay stacks, by descending issue weight *)
   dcfgs : Threadfuser_cfg.Dcfg.t array;
   ipdoms : Threadfuser_cfg.Ipdom.t array;
   options : options;

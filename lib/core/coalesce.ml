@@ -55,13 +55,57 @@ type seg_counters = {
 let seg_counters () =
   { ld_txns = 0; st_txns = 0; ld_issues = 0; st_issues = 0; ld_lanes = 0; st_lanes = 0 }
 
+(* Per-access-site attribution (docs/observability.md): every warp-level
+   memory instruction is keyed by its originating instruction site
+   [(fid, block, ioff)] and charged the transactions it generated beyond
+   the perfectly-coalesced minimum, split by address segment.  The blame
+   report ranks sites by that excess. *)
+type site_counters = {
+  mutable a_issues : int; (* warp-level load/store instructions at the site *)
+  mutable a_txns : int; (* 32 B transactions generated *)
+  mutable a_min_txns : int; (* perfectly-coalesced minimum *)
+  mutable a_stack_excess : int; (* excess transactions per segment *)
+  mutable a_heap_excess : int;
+  mutable a_global_excess : int;
+}
+
 type t = {
   stack : seg_counters;
   heap : seg_counters;
   global : seg_counters;
+  sites : (int * int * int, site_counters) Hashtbl.t;
 }
 
-let create () = { stack = seg_counters (); heap = seg_counters (); global = seg_counters () }
+let create () =
+  {
+    stack = seg_counters ();
+    heap = seg_counters ();
+    global = seg_counters ();
+    sites = Hashtbl.create 64;
+  }
+
+let site_counters t key =
+  match Hashtbl.find_opt t.sites key with
+  | Some c -> c
+  | None ->
+      let c =
+        {
+          a_issues = 0;
+          a_txns = 0;
+          a_min_txns = 0;
+          a_stack_excess = 0;
+          a_heap_excess = 0;
+          a_global_excess = 0;
+        }
+      in
+      Hashtbl.add t.sites key c;
+      c
+
+(** Perfectly-coalesced floor for an access set: the 32 B lines needed if
+    the same bytes were laid out contiguously. *)
+let min_transactions (accesses : (int * int) list) =
+  let bytes = List.fold_left (fun acc (_, size) -> acc + max 1 size) 0 accesses in
+  max 1 ((bytes + transaction_bytes - 1) / transaction_bytes)
 
 let seg t (segment : Layout.segment) =
   match segment with
@@ -71,20 +115,41 @@ let seg t (segment : Layout.segment) =
 
 (** Record one warp-level memory instruction: [lanes] is the (addr, size)
     list over active lanes.  Accesses are split by segment and coalesced
-    within each; returns the total transaction count. *)
-let record t ~is_store (lanes : (int * int) list) =
+    within each; returns the total transaction count.  [site] attributes
+    the instruction (and any transactions beyond the perfectly-coalesced
+    minimum) to its originating [(fid, block, ioff)] instruction site. *)
+let record t ~is_store ?site (lanes : (int * int) list) =
   let by_seg = [ (Layout.Stack, ref []); (Layout.Heap, ref []); (Layout.Global, ref []) ] in
   List.iter
     (fun (addr, size) ->
       let cell = List.assoc (Layout.segment_of addr) by_seg in
       cell := (addr, size) :: !cell)
     lanes;
+  let site_cell =
+    match site with
+    | None -> None
+    | Some key ->
+        let c = site_counters t key in
+        c.a_issues <- c.a_issues + 1;
+        Some c
+  in
   List.fold_left
     (fun total (segment, cell) ->
       match !cell with
       | [] -> total
       | accesses ->
           let txns = count_transactions accesses in
+          (match site_cell with
+          | None -> ()
+          | Some c ->
+              let min_txns = min_transactions accesses in
+              let excess = max 0 (txns - min_txns) in
+              c.a_txns <- c.a_txns + txns;
+              c.a_min_txns <- c.a_min_txns + min_txns;
+              (match segment with
+              | Layout.Stack -> c.a_stack_excess <- c.a_stack_excess + excess
+              | Layout.Heap -> c.a_heap_excess <- c.a_heap_excess + excess
+              | Layout.Global -> c.a_global_excess <- c.a_global_excess + excess));
           if !Obs.enabled then begin
             let lanes = List.length accesses in
             Obs.Counter.incr c_mem_instrs;

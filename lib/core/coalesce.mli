@@ -17,17 +17,36 @@ type seg_counters = {
   mutable st_lanes : int;
 }
 
+(** Per-access-site attribution: transactions a site generated beyond the
+    perfectly-coalesced minimum, split by address segment.  Sites are keyed
+    by the originating instruction [(fid, block, ioff)]. *)
+type site_counters = {
+  mutable a_issues : int;  (** warp-level load/store instructions at the site *)
+  mutable a_txns : int;  (** 32 B transactions generated *)
+  mutable a_min_txns : int;  (** perfectly-coalesced minimum *)
+  mutable a_stack_excess : int;  (** excess transactions per segment *)
+  mutable a_heap_excess : int;
+  mutable a_global_excess : int;
+}
+
 type t = {
   stack : seg_counters;
   heap : seg_counters;
   global : seg_counters;
+  sites : (int * int * int, site_counters) Hashtbl.t;
 }
 
 val create : unit -> t
 
+(** Perfectly-coalesced floor for an access set: the 32 B lines needed if
+    the same bytes were laid out contiguously (at least 1). *)
+val min_transactions : (int * int) list -> int
+
 (** Record one warp-level memory instruction ([lanes] = active lanes'
-    [(addr, size)] pairs); returns the total transactions generated. *)
-val record : t -> is_store:bool -> (int * int) list -> int
+    [(addr, size)] pairs); returns the total transactions generated.
+    [site] attributes the instruction and its excess transactions to an
+    [(fid, block, ioff)] instruction site. *)
+val record : t -> is_store:bool -> ?site:int * int * int -> (int * int) list -> int
 
 (** Total (transactions, warp-level memory instructions) over all segments. *)
 val totals : t -> int * int

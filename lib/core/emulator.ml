@@ -85,6 +85,32 @@ type config = {
   record_timeline : bool;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Site-level divergence attribution.  Every split is tagged with the
+   branch (or lock) site that caused it, and every block executed inside
+   the divergent region charges the site its marginal lost-lane cost:
+   (parent active lanes - child active lanes) inactive issue slots per
+   lock-step issue, accumulated until the child pops at its reconvergence
+   point.  Nested splits chain, so each site is charged exactly the
+   divergence it introduced. *)
+
+type site_kind =
+  | Branch_site (* lanes branched to different blocks *)
+  | Sync_site (* lock serialization scattered the lanes *)
+
+type div_site_cell = {
+  mutable sc_splits : int; (* warp splits originating at the site *)
+  mutable sc_lost : int; (* inactive-lane issue slots charged to it *)
+  mutable sc_kind : site_kind;
+}
+
+(* A blame chain entry: (site, lanes lost per lock-step issue). *)
+type blame = ((int * int) * int) list
+
+(* Folded-stack accumulation for the replay flamegraph: the warp's call
+   stack (leaf first) -> lock-step issues and lost-lane issue slots. *)
+type flame_cell = { mutable fc_issues : int; mutable fc_lost : int }
+
 type t = {
   prog : Program.t;
   ipdoms : Ipdom.t array; (* per function *)
@@ -104,6 +130,9 @@ type t = {
   mutable wt_warp : int; (* warp currently being emitted *)
   mutable tl_current : Timeline.sample Vec.t option; (* active warp's samples *)
   mutable timelines : Timeline.t list; (* finished warps, reversed *)
+  div_sites : (int * int, div_site_cell) Hashtbl.t; (* (fid, block) sites *)
+  flame : (int list, flame_cell) Hashtbl.t; (* call stack (leaf first) *)
+  mutable call_stack : int list; (* replaying warp's frames, leaf first *)
 }
 
 let create ?(warp_trace : Warp_trace.Builder.t option) prog ipdoms config =
@@ -130,7 +159,26 @@ let create ?(warp_trace : Warp_trace.Builder.t option) prog ipdoms config =
     wt_warp = 0;
     tl_current = None;
     timelines = [];
+    div_sites = Hashtbl.create 64;
+    flame = Hashtbl.create 64;
+    call_stack = [];
   }
+
+let div_site_cell t key kind =
+  match Hashtbl.find_opt t.div_sites key with
+  | Some c -> c
+  | None ->
+      let c = { sc_splits = 0; sc_lost = 0; sc_kind = kind } in
+      Hashtbl.add t.div_sites key c;
+      c
+
+let flame_cell t key =
+  match Hashtbl.find_opt t.flame key with
+  | Some c -> c
+  | None ->
+      let c = { fc_issues = 0; fc_lost = 0 } in
+      Hashtbl.add t.flame key c;
+      c
 
 let exit_node t fid = (Program.func t.prog fid).Program.blocks |> Array.length
 
@@ -139,8 +187,11 @@ let exit_node t fid = (Program.func t.prog fid).Program.blocks |> Array.length
 
 (* Execute block [block] of [func] for the lanes in [lane_accesses]
    ((lane, trace accesses) pairs).  All bookkeeping lives here so the
-   lock-step path and the scalar serialized path stay consistent. *)
-let count_block t ~func ~block ~mask ~(lane_accesses : (int * Event.access array) list) =
+   lock-step path and the scalar serialized path stay consistent.
+   [blame] is the chain of divergence sites enclosing this execution;
+   each is charged its marginal lost-lane cost per issue. *)
+let count_block t ~func ~block ~mask ~(blame : blame)
+    ~(lane_accesses : (int * Event.access array) list) =
   let f = Program.func t.prog func in
   let instrs = f.Program.blocks.(block).Program.instrs in
   let n = Array.length instrs in
@@ -148,6 +199,16 @@ let count_block t ~func ~block ~mask ~(lane_accesses : (int * Event.access array
   Obs.Counter.incr c_blocks;
   t.issues <- t.issues + n;
   t.thread_instrs <- t.thread_instrs + (n * active);
+  List.iter
+    (fun (site, lost) ->
+      if lost > 0 then begin
+        let c = div_site_cell t site Branch_site in
+        c.sc_lost <- c.sc_lost + (n * lost)
+      end)
+    blame;
+  (let fc = flame_cell t t.call_stack in
+   fc.fc_issues <- fc.fc_issues + n;
+   fc.fc_lost <- fc.fc_lost + (n * (t.config.warp_size - active)));
   (match t.tl_current with
   | Some v -> Vec.push v { Timeline.n_instr = n; active }
   | None -> ());
@@ -174,11 +235,11 @@ let count_block t ~func ~block ~mask ~(lane_accesses : (int * Event.access array
       ptrs;
     if !loads <> [] then
       ignore
-        (Coalesce.record t.coalesce ~is_store:false
+        (Coalesce.record t.coalesce ~is_store:false ~site:(func, block, ioff)
            (List.map (fun (_, a, s) -> (a, s)) !loads));
     if !stores <> [] then
       ignore
-        (Coalesce.record t.coalesce ~is_store:true
+        (Coalesce.record t.coalesce ~is_store:true ~site:(func, block, ioff)
            (List.map (fun (_, a, s) -> (a, s)) !stores));
     match emit_wt with
     | None -> ()
@@ -213,6 +274,8 @@ type entry = {
   mutable pc : int; (* node: block id or the function's exit node *)
   e_reconv : int;
   mutable e_mask : Mask.t;
+  e_blame : blame; (* divergence sites enclosing this entry's region *)
+  e_frame : bool; (* a function frame (its pop leaves the function) *)
 }
 
 (* Check the lane is positioned at the expected block and return its
@@ -259,22 +322,34 @@ let reconv_for t (e : entry) targets =
 
 (* Scalar replay of one lane's critical section: consume events until the
    matching unlock of [lock_addr], charging every block as a one-lane
-   issue.  A trace that ends while still holding the lock is a deadlock
-   verdict (the lock is never released, so the other contenders would wait
-   forever); the fuel watchdog bounds the walk on corrupt input. *)
-let scalar_critical_section ?(fuel : fuel = None) ~warp_id t cursors lane
-    lock_addr =
+   issue.  [blame] carries the serialization site (and any enclosing
+   divergence) so the lost-lane slots land on the lock-acquire block; the
+   call stack follows the lane's call/return events so flamegraph frames
+   stay accurate inside the critical section.  A trace that ends while
+   still holding the lock is a deadlock verdict (the lock is never
+   released, so the other contenders would wait forever); the fuel
+   watchdog bounds the walk on corrupt input. *)
+let scalar_critical_section ?(fuel : fuel = None) ~warp_id ~(blame : blame) t
+    cursors lane lock_addr =
   let c = cursors.(lane) in
   let before = t.thread_instrs in
+  let saved_stack = t.call_stack in
   let rec go () =
     burn fuel ~warp_id;
     match Cursor.next c with
     | Cursor.C_block { func; block; accesses; _ } ->
         ignore
-          (count_block t ~func ~block ~mask:(Mask.singleton lane)
+          (count_block t ~func ~block ~mask:(Mask.singleton lane) ~blame
              ~lane_accesses:[ (lane, accesses) ]);
         go ()
-    | Cursor.C_call _ | Cursor.C_ret -> go ()
+    | Cursor.C_call f ->
+        t.call_stack <- f :: t.call_stack;
+        go ()
+    | Cursor.C_ret ->
+        (match t.call_stack with
+        | _ :: (_ :: _ as rest) -> t.call_stack <- rest
+        | _ -> ());
+        go ()
     | Cursor.C_lock _ ->
         t.lock_acquires <- t.lock_acquires + 1;
         go ()
@@ -286,13 +361,15 @@ let scalar_critical_section ?(fuel : fuel = None) ~warp_id t cursors lane
            never released)"
           lane lock_addr
   in
-  go ();
+  Fun.protect ~finally:(fun () -> t.call_stack <- saved_stack) go;
   Obs.Counter.add c_serialized_instrs (t.thread_instrs - before);
   t.serialized_instrs <- t.serialized_instrs + (t.thread_instrs - before)
 
 (* After executing [block], group the active lanes by the next block they
-   enter and update the stack accordingly. *)
-let regroup t stack (e : entry) block cursors =
+   enter and update the stack accordingly.  [kind] records what caused any
+   split: a plain divergent branch, or lock serialization scattering the
+   lanes ([Sync_site], from {!handle_locks}). *)
+let regroup ?(kind = Branch_site) t stack (e : entry) block cursors =
   let lanes = Mask.to_list e.e_mask in
   let targets =
     List.map
@@ -322,6 +399,10 @@ let regroup t stack (e : entry) block cursors =
     Hashtbl.iter (fun target _ -> e.pc <- target) groups
   else begin
     Obs.Counter.incr c_div_splits;
+    let site = (e.e_func, block) in
+    let cell = div_site_cell t site kind in
+    cell.sc_splits <- cell.sc_splits + 1;
+    if kind = Sync_site then cell.sc_kind <- Sync_site;
     if !Obs.enabled then
       Obs.instant ~track:Obs.divergence_track "divergence split"
         ~args:
@@ -330,12 +411,16 @@ let regroup t stack (e : entry) block cursors =
             ("block", string_of_int block);
             ("paths", string_of_int (Hashtbl.length groups));
             ("lanes", string_of_int (List.length lanes));
+            ("kind", (match kind with Branch_site -> "branch" | Sync_site -> "sync"));
           ];
     let distinct = Hashtbl.fold (fun target _ acc -> target :: acc) groups [] in
     let r = reconv_for t e distinct in
+    let parent_lanes = List.length lanes in
     e.pc <- r;
     (* Push one child per distinct destination (other than the
-       reconvergence point itself), deterministically ordered. *)
+       reconvergence point itself), deterministically ordered.  Each child
+       extends the blame chain with this site: while it executes, the
+       lanes parked on the sibling paths are this split's fault. *)
     let children =
       Hashtbl.fold
         (fun target mask acc -> if target = r then acc else (target, mask) :: acc)
@@ -344,7 +429,15 @@ let regroup t stack (e : entry) block cursors =
     in
     List.iter
       (fun (target, mask) ->
-        Vec.push stack { e_func = e.e_func; pc = target; e_reconv = r; e_mask = mask })
+        Vec.push stack
+          {
+            e_func = e.e_func;
+            pc = target;
+            e_reconv = r;
+            e_mask = mask;
+            e_blame = (site, parent_lanes - Mask.count mask) :: e.e_blame;
+            e_frame = false;
+          })
       children
   end
 
@@ -363,6 +456,14 @@ let handle_locks ?(fuel : fuel = None) ~warp_id t stack (e : entry) block
         | _ -> errf "lane %d: expected lock acquire after f%d.b%d" lane e.e_func block)
       lanes
   in
+  (* Serialized critical sections run one lane at a time: the idle
+     contenders are the lock site's fault, so the scalar replay extends
+     the blame chain with ((func, block), contenders - 1). *)
+  let site = (e.e_func, block) in
+  let serial_blame ~contenders : blame =
+    ignore (div_site_cell t site Sync_site);
+    (site, contenders - 1) :: e.e_blame
+  in
   (match t.config.sync with
   | Ignore_sync -> ()
   | Serialize_all ->
@@ -380,8 +481,10 @@ let handle_locks ?(fuel : fuel = None) ~warp_id t stack (e : entry) block
                 ("func", string_of_int e.e_func);
                 ("block", string_of_int block);
               ];
+        let blame = serial_blame ~contenders:(List.length addrs) in
         List.iter
-          (fun (lane, a) -> scalar_critical_section ~fuel ~warp_id t cursors lane a)
+          (fun (lane, a) ->
+            scalar_critical_section ~fuel ~warp_id ~blame t cursors lane a)
           addrs
       end
   | Serialize ->
@@ -411,11 +514,13 @@ let handle_locks ?(fuel : fuel = None) ~warp_id t stack (e : entry) block
                   ("func", string_of_int e.e_func);
                   ("block", string_of_int block);
                 ];
+          let blame = serial_blame ~contenders:(List.length lanes) in
           List.iter
-            (fun lane -> scalar_critical_section ~fuel ~warp_id t cursors lane a)
+            (fun lane ->
+              scalar_critical_section ~fuel ~warp_id ~blame t cursors lane a)
             lanes)
         conflicting);
-  regroup t stack e block cursors
+  regroup ~kind:Sync_site t stack e block cursors
 
 (* ------------------------------------------------------------------ *)
 (* Warp main loop                                                       *)
@@ -441,7 +546,15 @@ let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
       | _ -> errf "warp %d: empty trace" warp_id
     in
     let stack =
-      Vec.create { e_func = 0; pc = 0; e_reconv = 0; e_mask = Mask.empty }
+      Vec.create
+        {
+          e_func = 0;
+          pc = 0;
+          e_reconv = 0;
+          e_mask = Mask.empty;
+          e_blame = [];
+          e_frame = false;
+        }
     in
     Vec.push stack
       {
@@ -449,7 +562,10 @@ let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
         pc = 0;
         e_reconv = exit_node t worker;
         e_mask = Mask.of_list (List.init n_lanes (fun i -> i));
+        e_blame = [];
+        e_frame = true;
       };
+    t.call_stack <- [ worker ];
     while not (Vec.is_empty stack) do
       burn fuel ~warp_id;
       let e = Vec.top stack in
@@ -463,6 +579,9 @@ let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
                 ("node", string_of_int e.pc);
                 ("lanes", string_of_int (Mask.count e.e_mask));
               ];
+        if e.e_frame then
+          t.call_stack <-
+            (match t.call_stack with _ :: rest -> rest | [] -> []);
         ignore (Vec.pop stack)
       end
       else if e.pc = exit_node t e.e_func then
@@ -479,7 +598,10 @@ let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
               (lane, accesses))
             lanes
         in
-        let term = count_block t ~func:e.e_func ~block ~mask:e.e_mask ~lane_accesses in
+        let term =
+          count_block t ~func:e.e_func ~block ~mask:e.e_mask ~blame:e.e_blame
+            ~lane_accesses
+        in
         match term with
         | Instr.Call callee -> (
             (* an excluded callee leaves no Call event: the lanes jump
@@ -489,12 +611,15 @@ let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
             | Cursor.C_call _ ->
                 List.iter (fun lane -> Cursor.advance cursors.(lane)) lanes;
                 e.pc <- block + 1;
+                t.call_stack <- callee :: t.call_stack;
                 Vec.push stack
                   {
                     e_func = callee;
                     pc = 0;
                     e_reconv = exit_node t callee;
                     e_mask = e.e_mask;
+                    e_blame = e.e_blame;
+                    e_frame = true;
                   }
             | _ -> regroup t stack e block cursors)
         | Instr.Ret ->

@@ -39,6 +39,33 @@ type config = {
   record_timeline : bool;  (** record per-warp occupancy samples *)
 }
 
+(** {1 Site-level divergence attribution}
+
+    Every warp split is tagged with its originating [(fid, block)] site,
+    and every block executed inside the divergent region charges the site
+    its marginal lost-lane cost — (parent active lanes - child active
+    lanes) inactive issue slots per lock-step issue — until the child pops
+    at its reconvergence point.  Lock serialization charges the
+    lock-acquire site (contenders - 1) slots per serialized issue. *)
+
+type site_kind =
+  | Branch_site  (** lanes branched to different blocks *)
+  | Sync_site  (** lock serialization scattered the lanes *)
+
+type div_site_cell = {
+  mutable sc_splits : int;  (** warp splits originating at the site *)
+  mutable sc_lost : int;  (** inactive-lane issue slots charged to it *)
+  mutable sc_kind : site_kind;
+}
+
+(** A blame chain: (site, lanes lost per lock-step issue) per enclosing
+    divergence. *)
+type blame = ((int * int) * int) list
+
+(** Folded-stack accumulation for the replay flamegraph, keyed by the
+    warp's call stack (leaf first). *)
+type flame_cell = { mutable fc_issues : int; mutable fc_lost : int }
+
 type t = {
   prog : Threadfuser_prog.Program.t;
   ipdoms : Threadfuser_cfg.Ipdom.t array;
@@ -58,6 +85,11 @@ type t = {
   mutable wt_warp : int;
   mutable tl_current : Timeline.sample Threadfuser_util.Vec.t option;
   mutable timelines : Timeline.t list;  (** finished warps, reversed *)
+  div_sites : (int * int, div_site_cell) Hashtbl.t;
+      (** per-[(fid, block)] divergence attribution, across all warps *)
+  flame : (int list, flame_cell) Hashtbl.t;
+      (** folded call stacks (leaf first), across all warps *)
+  mutable call_stack : int list;  (** replaying warp's frames, leaf first *)
 }
 
 val create :

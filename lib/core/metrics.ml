@@ -41,6 +41,37 @@ type segment_stat = {
   txns_per_instr : float;
 }
 
+(* Site-level bottleneck attribution (the paper's Fig. 7 workflow made
+   automatic): which branch site caused each divergence split and what it
+   cost, and which access site burned transactions beyond the
+   perfectly-coalesced minimum. *)
+
+type div_site = {
+  ds_fid : int;
+  ds_func : string;
+  ds_block : int;
+  ds_label : string option; (* surface label of the diverging block *)
+  ds_kind : [ `Branch | `Sync ]; (* branch divergence or lock serialization *)
+  ds_splits : int; (* warp splits originating at the site *)
+  ds_lost_lanes : int; (* inactive-lane issue slots charged to the site *)
+  ds_recoverable : float; (* efficiency points recoverable: lost / (issues * warp) *)
+}
+
+type mem_site = {
+  ms_fid : int;
+  ms_func : string;
+  ms_block : int;
+  ms_ioff : int; (* instruction offset within the block *)
+  ms_label : string option;
+  ms_issues : int; (* warp-level load/store instructions at the site *)
+  ms_txns : int; (* 32 B transactions generated *)
+  ms_min_txns : int; (* perfectly-coalesced minimum *)
+  ms_excess : int; (* transactions beyond the minimum *)
+  ms_stack_excess : int; (* excess split by address segment *)
+  ms_heap_excess : int;
+  ms_global_excess : int;
+}
+
 (* How much of the input the report actually covers.  The checked pipeline
    quarantines threads that fail validation or replay and keeps going, so a
    partial report is explicit rather than silently wrong. *)
@@ -62,6 +93,8 @@ type report = {
   per_function : func_stat list; (* sorted by descending instr share *)
   per_warp : warp_stat list; (* in warp order *)
   hot_blocks : block_stat list; (* top divergent blocks by wasted issues *)
+  divergence_sites : div_site list; (* ranked by descending lost-lane cost *)
+  mem_sites : mem_site list; (* ranked by descending excess transactions *)
   stack_mem : segment_stat;
   heap_mem : segment_stat;
   global_mem : segment_stat;
@@ -150,6 +183,42 @@ let pp_warps ppf r =
         w.warp_instrs
         (100. *. w.warp_efficiency))
     r.per_warp
+
+let site_kind_name = function `Branch -> "branch" | `Sync -> "sync"
+
+(** The blame report: top divergence sites by lost-lane issue slots, then
+    top access sites by excess 32 B transactions. *)
+let pp_blame ppf r =
+  if r.divergence_sites = [] then
+    Fmt.pf ppf "no divergence splits recorded@."
+  else begin
+    Fmt.pf ppf "top divergence sites (by lost-lane issue slots):@.";
+    Fmt.pf ppf "%-4s %-24s %-14s %-7s %8s %12s %12s@." "rank" "site" "label"
+      "kind" "splits" "lost slots" "recoverable";
+    List.iteri
+      (fun i s ->
+        Fmt.pf ppf "%-4d %-24s %-14s %-7s %8d %12d %11.1f%%@." (i + 1)
+          (Printf.sprintf "%s.b%d" s.ds_func s.ds_block)
+          (Option.value ~default:"-" s.ds_label)
+          (site_kind_name s.ds_kind) s.ds_splits s.ds_lost_lanes
+          (100. *. s.ds_recoverable))
+      r.divergence_sites
+  end;
+  let divergent = List.filter (fun m -> m.ms_excess > 0) r.mem_sites in
+  if divergent <> [] then begin
+    Fmt.pf ppf "@.top memory sites (by excess 32 B transactions):@.";
+    Fmt.pf ppf "%-4s %-24s %-14s %8s %8s %8s %8s %22s@." "rank" "site" "label"
+      "ld/st" "txns" "min" "excess" "stack/heap/global";
+    List.iteri
+      (fun i m ->
+        Fmt.pf ppf "%-4d %-24s %-14s %8d %8d %8d %8d %12s@." (i + 1)
+          (Printf.sprintf "%s.b%d+%d" m.ms_func m.ms_block m.ms_ioff)
+          (Option.value ~default:"-" m.ms_label)
+          m.ms_issues m.ms_txns m.ms_min_txns m.ms_excess
+          (Printf.sprintf "%d/%d/%d" m.ms_stack_excess m.ms_heap_excess
+             m.ms_global_excess))
+      divergent
+  end
 
 let pp_functions ppf r =
   Fmt.pf ppf "%-28s %10s %10s %8s %7s@." "function" "issues" "instrs" "share"

@@ -38,6 +38,39 @@ type segment_stat = {
   txns_per_instr : float;
 }
 
+(** A divergence-blame site: a branch (or lock) whose splits cost the warp
+    inactive-lane issue slots (the paper's Fig. 7 workflow, automated). *)
+type div_site = {
+  ds_fid : int;
+  ds_func : string;
+  ds_block : int;
+  ds_label : string option;  (** surface label of the diverging block *)
+  ds_kind : [ `Branch | `Sync ];
+      (** branch divergence or lock-serialization scatter *)
+  ds_splits : int;  (** warp splits originating at the site *)
+  ds_lost_lanes : int;  (** inactive-lane issue slots charged to the site *)
+  ds_recoverable : float;
+      (** whole-program efficiency points recoverable at the site:
+          [lost / (issues * warp_size)] *)
+}
+
+(** A memory-blame site: a load/store instruction charged the 32 B
+    transactions it generated beyond the perfectly-coalesced minimum. *)
+type mem_site = {
+  ms_fid : int;
+  ms_func : string;
+  ms_block : int;
+  ms_ioff : int;  (** instruction offset within the block *)
+  ms_label : string option;
+  ms_issues : int;  (** warp-level load/store instructions at the site *)
+  ms_txns : int;  (** 32 B transactions generated *)
+  ms_min_txns : int;  (** perfectly-coalesced minimum *)
+  ms_excess : int;  (** transactions beyond the minimum *)
+  ms_stack_excess : int;  (** excess split by address segment *)
+  ms_heap_excess : int;
+  ms_global_excess : int;
+}
+
 (** How much of the input the report actually covers: the checked pipeline
     ({!Analyzer.analyze_checked}) quarantines threads that fail validation
     or replay and keeps going, so a partial report is explicit rather than
@@ -62,6 +95,10 @@ type report = {
   hot_blocks : block_stat list;
       (** the most issue-expensive divergent basic blocks — the paper's
           "pinpoint code regions" at finer-than-function granularity *)
+  divergence_sites : div_site list;
+      (** blame ranking: sites by descending lost-lane cost *)
+  mem_sites : mem_site list;
+      (** blame ranking: access sites by descending excess transactions *)
   stack_mem : segment_stat;
   heap_mem : segment_stat;
   global_mem : segment_stat;
@@ -95,7 +132,13 @@ val traced_fraction : report -> float
 (** Mean 32 B transactions per warp-level load/store over all segments. *)
 val txns_per_mem_instr : report -> float
 
+val site_kind_name : [ `Branch | `Sync ] -> string
+
 val pp_summary : Format.formatter -> report -> unit
+
+(** The blame report: divergence sites ranked by lost-lane issue slots,
+    then access sites ranked by excess 32 B transactions. *)
+val pp_blame : Format.formatter -> report -> unit
 
 val pp_warps : Format.formatter -> report -> unit
 

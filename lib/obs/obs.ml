@@ -60,6 +60,7 @@ let replay_track = track "warp replay"
 let divergence_track = track "divergence"
 let memory_track = track "memory"
 let sync_track = track "sync"
+let blame_track = track "attribution"
 
 (* ------------------------------------------------------------------ *)
 (* Events                                                              *)

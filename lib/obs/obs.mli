@@ -29,6 +29,8 @@ val memory_track : track  (** uncoalesced-access instants *)
 
 val sync_track : track  (** lock-serialization instants *)
 
+val blame_track : track  (** per-site bottleneck-attribution instants *)
+
 (** {1 Spans and instants} *)
 
 (** [span ?track ?args name f] times [f ()] as a complete event (exception

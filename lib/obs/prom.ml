@@ -17,13 +17,41 @@ let sanitize name =
       | _ -> '_')
     name
 
+(* HELP text is the rest of the line: a raw newline would start a bogus
+   exposition line, and backslash starts an escape, so the format requires
+   [\\] and [\n] (literally backslash-n) there. *)
+let escape_help help =
+  let buf = Buffer.create (String.length help + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    help;
+  Buffer.contents buf
+
+(* Label values additionally live inside double quotes. *)
+let escape_label_value v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let float_str f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.9g" f
 
 let add_help buf name help kind =
   if help <> "" then
-    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf
+      (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
   Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
 
 (* Cumulative powers-of-two buckets covering the sample range, at most
@@ -60,7 +88,9 @@ let histogram buf h =
   in
   List.iter
     (fun (le, n) ->
-      let le_str = if le = Float.infinity then "+Inf" else float_str le in
+      let le_str =
+        escape_label_value (if le = Float.infinity then "+Inf" else float_str le)
+      in
       Buffer.add_string buf
         (Printf.sprintf "%s_bucket{le=\"%s\"} %.0f\n" name le_str
            (float_of_int n *. scale)))

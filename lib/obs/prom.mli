@@ -2,5 +2,17 @@
     log-bucketed histograms with [_sum]/[_count], and [_p50]/[_p95]/[_p99]
     companion gauges.  This is what [--metrics-out] writes. *)
 
+(** Sanitize a metric name to [[a-zA-Z_:][a-zA-Z0-9_:]*] (invalid
+    characters become ['_']). *)
+val sanitize : string -> string
+
+(** Escape HELP text per the exposition format: [\\] for backslash and
+    [\n] for newline. *)
+val escape_help : string -> string
+
+(** Escape a label value (lives inside double quotes): backslash, double
+    quote and newline. *)
+val escape_label_value : string -> string
+
 val to_string : Obs.snapshot -> string
 val to_file : string -> Obs.snapshot -> unit

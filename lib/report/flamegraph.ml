@@ -1,0 +1,81 @@
+(** Folded-stack flamegraph export of the replay (docs/observability.md).
+
+    The emulator accumulates warp issues per call stack; this module turns
+    that accumulation into the folded-stack text format consumed by
+    flamegraph.pl and speedscope: one line per distinct stack,
+
+    {v root;caller;...;leaf weight v}
+
+    Two weightings are supported: [Issues] (warp lock-step issues — where
+    replay time goes) and [Lost] (inactive-lane issue slots — where SIMT
+    efficiency goes; the flamegraph of the blame report). *)
+
+module Analyzer = Threadfuser.Analyzer
+
+type weight = Issues | Lost
+
+let weight_of_string = function
+  | "issues" -> Some Issues
+  | "lost" -> Some Lost
+  | _ -> None
+
+let weight_name = function Issues -> "issues" | Lost -> "lost"
+
+(* The folded format reserves ';' (frame separator) and the last ' '
+   (weight separator); surface function names could in principle contain
+   either, so sanitize them. *)
+let sanitize_frame name =
+  String.map (function ';' -> ':' | ' ' -> '_' | '\n' -> '_' | c -> c) name
+
+let stack_weight weight (s : Analyzer.flame_stack) =
+  match weight with
+  | Issues -> s.Analyzer.fl_issues
+  | Lost -> s.Analyzer.fl_lost
+
+(** Render the folded stacks; zero-weight stacks are omitted (a lost-lane
+    flamegraph only shows stacks that actually diverged). *)
+let folded ?(weight = Issues) (flame : Analyzer.flame_stack list) : string =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (s : Analyzer.flame_stack) ->
+      let w = stack_weight weight s in
+      if w > 0 && s.Analyzer.frames <> [] then begin
+        Buffer.add_string buf
+          (String.concat ";" (List.map sanitize_frame s.Analyzer.frames));
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (string_of_int w);
+        Buffer.add_char buf '\n'
+      end)
+    flame;
+  Buffer.contents buf
+
+(** Parse a folded-stack document back into [(frames, weight)] rows —
+    the validator the export tests round-trip through.  Rejects empty
+    frames, missing weights, and non-numeric or negative weights. *)
+let parse_folded (s : string) : ((string list * int) list, string) result =
+  let parse_line lineno line =
+    match String.rindex_opt line ' ' with
+    | None -> Error (Printf.sprintf "line %d: no weight separator" lineno)
+    | Some i ->
+        let stack = String.sub line 0 i in
+        let weight = String.sub line (i + 1) (String.length line - i - 1) in
+        let frames = String.split_on_char ';' stack in
+        if List.exists (fun f -> f = "") frames then
+          Error (Printf.sprintf "line %d: empty frame" lineno)
+        else
+          (match int_of_string_opt weight with
+          | Some w when w >= 0 -> Ok (frames, w)
+          | Some _ -> Error (Printf.sprintf "line %d: negative weight" lineno)
+          | None ->
+              Error (Printf.sprintf "line %d: bad weight %S" lineno weight))
+  in
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go (lineno + 1) acc rest
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Ok row -> go (lineno + 1) (row :: acc) rest
+        | Error _ as e -> e)
+  in
+  go 1 [] lines

@@ -1,0 +1,238 @@
+(** Report diffing: compare two analyzer JSON reports and flag
+    regressions beyond a relative tolerance (the `threadfuser diff`
+    engine, and `make bench-regress`'s gate).
+
+    Three levels are compared:
+
+    - whole-program scalars (SIMT efficiency, issues, transactions, ...),
+    - per-function efficiency, matched by function name,
+    - blame sites: divergence sites matched by [(function, block)] and
+      memory sites by [(function, block, instruction)].  A site missing
+      from one side counts as zero — a site that appears in the new
+      report is a new bottleneck, one that disappears is an improvement.
+
+    Each metric has a direction; a change is a regression when it moves
+    the wrong way by more than [tolerance * baseline] (any worsening from
+    a zero baseline is a regression — with deterministic replay there is
+    no noise to absorb). *)
+
+type direction = Higher_better | Lower_better
+
+type delta = {
+  metric : string;
+  direction : direction;
+  before : float;
+  after : float;
+  regression : bool;
+}
+
+type t = {
+  tolerance : float;
+  deltas : delta list;  (** every compared metric, report order *)
+  only_before : string list;  (** functions present only in the baseline *)
+  only_after : string list;  (** functions present only in the new report *)
+}
+
+let is_regression ~tolerance ~direction ~before ~after =
+  let slack = tolerance *. Float.abs before in
+  match direction with
+  | Higher_better -> after < before -. slack
+  | Lower_better -> after > before +. slack
+
+let delta ~tolerance metric direction before after =
+  {
+    metric;
+    direction;
+    before;
+    after;
+    regression = is_regression ~tolerance ~direction ~before ~after;
+  }
+
+let regressions t = List.filter (fun d -> d.regression) t.deltas
+let has_regression t = List.exists (fun d -> d.regression) t.deltas
+
+(* -- JSON access -------------------------------------------------------- *)
+
+exception Shape of string
+
+let member key = function
+  | Json.Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some v -> v
+      | None -> raise (Shape (Printf.sprintf "missing field %S" key)))
+  | _ -> raise (Shape (Printf.sprintf "expected object around %S" key))
+
+let number key j =
+  match member key j with
+  | Json.Int n -> float_of_int n
+  | Json.Float f -> f
+  | _ -> raise (Shape (Printf.sprintf "field %S is not a number" key))
+
+let string_field key j =
+  match member key j with
+  | Json.String s -> s
+  | _ -> raise (Shape (Printf.sprintf "field %S is not a string" key))
+
+let int_field key j =
+  match member key j with
+  | Json.Int n -> n
+  | _ -> raise (Shape (Printf.sprintf "field %S is not an integer" key))
+
+(* Lists of keyed entries ([per_function], blame sites) are optional so the
+   diff still works against reports from before these sections existed. *)
+let entries key j =
+  match j with
+  | Json.Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some (Json.List items) -> items
+      | Some _ -> raise (Shape (Printf.sprintf "field %S is not a list" key))
+      | None -> [])
+  | _ -> raise (Shape (Printf.sprintf "expected object around %S" key))
+
+(* -- the comparison ----------------------------------------------------- *)
+
+(* Whole-program scalars: (display name, path, direction). *)
+let scalar_metrics =
+  [
+    ("simt_efficiency", [ "simt_efficiency" ], Higher_better);
+    ("traced_fraction", [ "traced_fraction" ], Higher_better);
+    ("issues", [ "issues" ], Lower_better);
+    ("memory.total_transactions", [ "memory"; "total_transactions" ], Lower_better);
+    ( "memory.transactions_per_instruction",
+      [ "memory"; "transactions_per_instruction" ],
+      Lower_better );
+    ( "synchronization.serialized_instructions",
+      [ "synchronization"; "serialized_instructions" ],
+      Lower_better );
+  ]
+
+let path_number path j =
+  match path with
+  | [ k ] -> number k j
+  | [ k1; k2 ] -> number k2 (member k1 j)
+  | _ -> invalid_arg "path_number"
+
+(* Fold two keyed entry lists into per-key deltas.  [value] extracts the
+   compared number; entries missing from one side read as [zero] (when
+   [zero] is [None] the key is instead reported as only_before/only_after). *)
+let keyed_deltas ~tolerance ~direction ~prefix ~key ~value ?zero before after =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  let add side j =
+    let k = key j in
+    let v = value j in
+    (match Hashtbl.find_opt tbl k with
+    | None ->
+        Hashtbl.add tbl k (ref (None, None));
+        order := k :: !order
+    | Some _ -> ());
+    let cell = Hashtbl.find tbl k in
+    match side with
+    | `Before -> cell := (Some v, snd !cell)
+    | `After -> cell := (fst !cell, Some v)
+  in
+  List.iter (add `Before) before;
+  List.iter (add `After) after;
+  List.fold_left
+    (fun (deltas, only_b, only_a) k ->
+      let b, a = !(Hashtbl.find tbl k) in
+      let name = prefix ^ "[" ^ k ^ "]" in
+      match (b, a, zero) with
+      | Some b, Some a, _ ->
+          (delta ~tolerance name direction b a :: deltas, only_b, only_a)
+      | Some b, None, Some z ->
+          (delta ~tolerance name direction b z :: deltas, only_b, only_a)
+      | None, Some a, Some z ->
+          (delta ~tolerance name direction z a :: deltas, only_b, only_a)
+      | Some _, None, None -> (deltas, name :: only_b, only_a)
+      | None, Some _, None -> (deltas, only_b, name :: only_a)
+      | None, None, _ -> (deltas, only_b, only_a))
+    ([], [], []) (List.rev !order)
+  |> fun (d, b, a) -> (List.rev d, List.rev b, List.rev a)
+
+let compare_reports ?(tolerance = 0.0) (before : Json.t) (after : Json.t) :
+    (t, string) result =
+  match
+    let scalars =
+      List.map
+        (fun (name, path, direction) ->
+          delta ~tolerance name direction (path_number path before)
+            (path_number path after))
+        scalar_metrics
+    in
+    let funcs, fb, fa =
+      keyed_deltas ~tolerance ~direction:Higher_better
+        ~prefix:"per_function.efficiency"
+        ~key:(string_field "name")
+        ~value:(number "efficiency")
+        (entries "per_function" before)
+        (entries "per_function" after)
+    in
+    let div_key j =
+      Printf.sprintf "%s.b%d" (string_field "function" j) (int_field "block" j)
+    in
+    let divs, _, _ =
+      keyed_deltas ~tolerance ~direction:Lower_better
+        ~prefix:"divergence_sites.lost_lane_slots" ~key:div_key
+        ~value:(number "lost_lane_slots") ~zero:0.0
+        (entries "divergence_sites" before)
+        (entries "divergence_sites" after)
+    in
+    let mem_key j =
+      Printf.sprintf "%s.b%d+%d" (string_field "function" j)
+        (int_field "block" j) (int_field "instruction" j)
+    in
+    let mems, _, _ =
+      keyed_deltas ~tolerance ~direction:Lower_better
+        ~prefix:"memory_sites.excess" ~key:mem_key ~value:(number "excess")
+        ~zero:0.0
+        (entries "memory_sites" before)
+        (entries "memory_sites" after)
+    in
+    {
+      tolerance;
+      deltas = scalars @ funcs @ divs @ mems;
+      only_before = fb;
+      only_after = fa;
+    }
+  with
+  | t -> Ok t
+  | exception Shape msg -> Error msg
+
+(* -- rendering ---------------------------------------------------------- *)
+
+let pct_change d =
+  if d.before = 0.0 then if d.after = 0.0 then 0.0 else Float.infinity
+  else (d.after -. d.before) /. Float.abs d.before *. 100.0
+
+let pp_delta ppf d =
+  let arrow = if d.regression then "REGRESSED" else "" in
+  let pct = pct_change d in
+  let pct_s =
+    if Float.is_integer pct && Float.abs pct < 1e6 then
+      Printf.sprintf "%+.0f%%" pct
+    else if Float.is_finite pct then Printf.sprintf "%+.2f%%" pct
+    else "new"
+  in
+  Fmt.pf ppf "%-44s %12.6g -> %12.6g  %8s  %s" d.metric d.before d.after pct_s
+    arrow
+
+(** Print changed metrics (and all regressions); silent metrics stayed
+    identical. *)
+let pp ppf t =
+  let changed = List.filter (fun d -> d.before <> d.after) t.deltas in
+  if changed = [] && t.only_before = [] && t.only_after = [] then
+    Fmt.pf ppf "reports are identical@."
+  else begin
+    List.iter (fun d -> Fmt.pf ppf "%a@." pp_delta d) changed;
+    List.iter (fun m -> Fmt.pf ppf "%-44s only in baseline@." m) t.only_before;
+    List.iter (fun m -> Fmt.pf ppf "%-44s only in new report@." m) t.only_after;
+    let r = List.length (regressions t) in
+    if r > 0 then
+      Fmt.pf ppf "%d regression%s beyond tolerance %.2f%%@." r
+        (if r = 1 then "" else "s")
+        (100.0 *. t.tolerance)
+    else
+      Fmt.pf ppf "no regressions beyond tolerance %.2f%%@."
+        (100.0 *. t.tolerance)
+  end

@@ -30,6 +30,36 @@ let of_warp (w : Metrics.warp_stat) =
       ("efficiency", Json.Float w.Metrics.warp_efficiency);
     ]
 
+let of_label = function Some l -> Json.String l | None -> Json.Null
+
+let of_div_site (s : Metrics.div_site) =
+  Json.Obj
+    [
+      ("function", Json.String s.Metrics.ds_func);
+      ("block", Json.Int s.Metrics.ds_block);
+      ("label", of_label s.Metrics.ds_label);
+      ("kind", Json.String (Metrics.site_kind_name s.Metrics.ds_kind));
+      ("splits", Json.Int s.Metrics.ds_splits);
+      ("lost_lane_slots", Json.Int s.Metrics.ds_lost_lanes);
+      ("recoverable_efficiency", Json.Float s.Metrics.ds_recoverable);
+    ]
+
+let of_mem_site (m : Metrics.mem_site) =
+  Json.Obj
+    [
+      ("function", Json.String m.Metrics.ms_func);
+      ("block", Json.Int m.Metrics.ms_block);
+      ("instruction", Json.Int m.Metrics.ms_ioff);
+      ("label", of_label m.Metrics.ms_label);
+      ("mem_instructions", Json.Int m.Metrics.ms_issues);
+      ("transactions", Json.Int m.Metrics.ms_txns);
+      ("min_transactions", Json.Int m.Metrics.ms_min_txns);
+      ("excess", Json.Int m.Metrics.ms_excess);
+      ("excess_stack", Json.Int m.Metrics.ms_stack_excess);
+      ("excess_heap", Json.Int m.Metrics.ms_heap_excess);
+      ("excess_global", Json.Int m.Metrics.ms_global_excess);
+    ]
+
 let of_report (r : Metrics.report) =
   Json.Obj
     [
@@ -80,6 +110,9 @@ let of_report (r : Metrics.report) =
           ] );
       ("per_function", Json.List (List.map of_func r.Metrics.per_function));
       ("per_warp", Json.List (List.map of_warp r.Metrics.per_warp));
+      ( "divergence_sites",
+        Json.List (List.map of_div_site r.Metrics.divergence_sites) );
+      ("memory_sites", Json.List (List.map of_mem_site r.Metrics.mem_sites));
     ]
 
 let to_string r = Json.to_string (of_report r)

@@ -1,0 +1,282 @@
+(* Divergence blame: site-level attribution, the replay flamegraph and
+   report diffing (the `threadfuser blame` / `threadfuser diff` layer). *)
+
+module W = Threadfuser_workloads.Workload
+module Registry = Threadfuser_workloads.Registry
+module Analyzer = Threadfuser.Analyzer
+module Metrics = Threadfuser.Metrics
+module Json = Threadfuser_report.Json
+module Report_json = Threadfuser_report.Report_json
+module Flamegraph = Threadfuser_report.Flamegraph
+module Report_diff = Threadfuser_report.Report_diff
+
+let analyze name = W.analyze (Registry.find name)
+
+(* ------------------------------------------------------------------ *)
+(* Site attribution                                                     *)
+
+(* The paper's Fig. 7 diagnosis, automated: on hdsearch-mid the analyst
+   should be pointed straight at getpoint's data-dependent loop branch,
+   ahead of the allocator-lock serialization. *)
+let test_hdsearch_blames_getpoint () =
+  let r = analyze "hdsearch-mid" in
+  match r.Analyzer.report.Metrics.divergence_sites with
+  | [] -> Alcotest.fail "no divergence sites on a divergent workload"
+  | top :: _ ->
+      Alcotest.(check string) "top site is in getpoint" "getpoint"
+        top.Metrics.ds_func;
+      Alcotest.(check string) "top site is branch divergence" "branch"
+        (Metrics.site_kind_name top.Metrics.ds_kind);
+      Alcotest.(check bool) "non-zero lost-lane cost" true
+        (top.Metrics.ds_lost_lanes > 0);
+      Alcotest.(check bool) "non-zero split count" true
+        (top.Metrics.ds_splits > 0);
+      Alcotest.(check bool) "recoverable efficiency in (0, 1]" true
+        (top.Metrics.ds_recoverable > 0.0 && top.Metrics.ds_recoverable <= 1.0)
+
+(* Every inactive-lane issue slot is charged to exactly one site: summed
+   over sites, the blame equals the program's total lost slots
+   (issues * warp_size - thread_instrs).  Full warps only — a partial
+   tail warp loses slots no site caused. *)
+let test_blame_conservation () =
+  List.iter
+    (fun name ->
+      let r = analyze name in
+      let rep = r.Analyzer.report in
+      let total_lost =
+        (rep.Metrics.issues * rep.Metrics.warp_size)
+        - rep.Metrics.thread_instrs
+      in
+      let blamed =
+        List.fold_left
+          (fun acc s -> acc + s.Metrics.ds_lost_lanes)
+          0 rep.Metrics.divergence_sites
+      in
+      Alcotest.(check int)
+        (name ^ ": blame accounts for every lost slot")
+        total_lost blamed)
+    [ "hdsearch-mid"; "bfs" ]
+
+let test_mem_sites_consistent () =
+  let r = analyze "hdsearch-mid" in
+  let sites = r.Analyzer.report.Metrics.mem_sites in
+  Alcotest.(check bool) "memory sites found" true (sites <> []);
+  List.iter
+    (fun m ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s.b%d+%d: segment split sums to excess"
+           m.Metrics.ms_func m.Metrics.ms_block m.Metrics.ms_ioff)
+        m.Metrics.ms_excess
+        (m.Metrics.ms_stack_excess + m.Metrics.ms_heap_excess
+       + m.Metrics.ms_global_excess);
+      Alcotest.(check bool) "txns >= minimum" true
+        (m.Metrics.ms_txns >= m.Metrics.ms_min_txns))
+    sites;
+  (* ranking is by descending excess *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        a.Metrics.ms_excess >= b.Metrics.ms_excess && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "sites ranked by excess" true (sorted sites)
+
+(* ------------------------------------------------------------------ *)
+(* Flamegraph                                                           *)
+
+let test_flamegraph_roundtrip () =
+  let r = analyze "hdsearch-mid" in
+  let folded = Flamegraph.folded ~weight:Flamegraph.Issues r.Analyzer.flame in
+  match Flamegraph.parse_folded folded with
+  | Error m -> Alcotest.failf "emitted folded stacks do not parse: %s" m
+  | Ok rows ->
+      Alcotest.(check bool) "at least one stack" true (rows <> []);
+      List.iter
+        (fun (frames, weight) ->
+          Alcotest.(check bool) "stack is rooted at the worker" true
+            (List.hd frames = "worker");
+          Alcotest.(check bool) "positive weight" true (weight > 0))
+        rows;
+      (* issue weights partition the program's issues across stacks *)
+      let total = List.fold_left (fun acc (_, w) -> acc + w) 0 rows in
+      Alcotest.(check int) "weights sum to total issues"
+        r.Analyzer.report.Metrics.issues total
+
+let test_flamegraph_lost_weighting () =
+  let r = analyze "hdsearch-mid" in
+  let folded = Flamegraph.folded ~weight:Flamegraph.Lost r.Analyzer.flame in
+  match Flamegraph.parse_folded folded with
+  | Error m -> Alcotest.failf "lost-weighted stacks do not parse: %s" m
+  | Ok rows ->
+      let total = List.fold_left (fun acc (_, w) -> acc + w) 0 rows in
+      let rep = r.Analyzer.report in
+      Alcotest.(check int) "lost weights sum to total lost slots"
+        ((rep.Metrics.issues * rep.Metrics.warp_size)
+        - rep.Metrics.thread_instrs)
+        total
+
+let test_folded_parser_rejects_malformed () =
+  List.iter
+    (fun (label, input) ->
+      match Flamegraph.parse_folded input with
+      | Ok _ -> Alcotest.failf "parser accepted %s: %S" label input
+      | Error _ -> ())
+    [
+      ("a line with no weight", "main;leaf\n");
+      ("an empty frame", "main;;leaf 5\n");
+      ("a non-numeric weight", "main;leaf five\n");
+      ("a negative weight", "main;leaf -3\n");
+    ];
+  match Flamegraph.parse_folded "main;leaf 5\n\nmain 2\n" with
+  | Ok [ ([ "main"; "leaf" ], 5); ([ "main" ], 2) ] -> ()
+  | Ok _ -> Alcotest.fail "parsed the wrong rows"
+  | Error m -> Alcotest.failf "rejected a valid document: %s" m
+
+(* ------------------------------------------------------------------ *)
+(* Report diffing                                                       *)
+
+let report_json name =
+  match Json.parse (Report_json.to_string (analyze name).Analyzer.report) with
+  | Ok j -> j
+  | Error m -> Alcotest.failf "report JSON does not re-parse: %s" m
+
+(* Structural update of one field along a path (replay is deterministic,
+   so regressions have to be injected). *)
+let rec set_field path value (j : Json.t) =
+  match (path, j) with
+  | [ k ], Json.Obj fields ->
+      Json.Obj
+        (List.map (fun (k', v) -> if k' = k then (k', value) else (k', v)) fields)
+  | k :: rest, Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (k', v) -> if k' = k then (k', set_field rest value v) else (k', v))
+           fields)
+  | _ -> j
+
+let test_diff_identical () =
+  let j = report_json "bfs" in
+  match Report_diff.compare_reports ~tolerance:0.0 j j with
+  | Error m -> Alcotest.failf "diff failed on identical reports: %s" m
+  | Ok d ->
+      Alcotest.(check bool) "no regression on identical reports" false
+        (Report_diff.has_regression d);
+      Alcotest.(check bool) "no metric changed" true
+        (List.for_all
+           (fun dl -> dl.Report_diff.before = dl.Report_diff.after)
+           d.Report_diff.deltas)
+
+let test_diff_flags_efficiency_regression () =
+  let base = report_json "bfs" in
+  let worse = set_field [ "simt_efficiency" ] (Json.Float 0.01) base in
+  (match Report_diff.compare_reports ~tolerance:0.02 base worse with
+  | Error m -> Alcotest.failf "diff failed: %s" m
+  | Ok d ->
+      Alcotest.(check bool) "efficiency drop is a regression" true
+        (Report_diff.has_regression d);
+      let r = Report_diff.regressions d in
+      Alcotest.(check bool) "the flagged metric is simt_efficiency" true
+        (List.exists
+           (fun dl -> dl.Report_diff.metric = "simt_efficiency")
+           r));
+  (* the same change within a huge tolerance passes *)
+  match Report_diff.compare_reports ~tolerance:10.0 base worse with
+  | Error m -> Alcotest.failf "diff failed: %s" m
+  | Ok d ->
+      Alcotest.(check bool) "tolerance absorbs the change" false
+        (Report_diff.has_regression d)
+
+let test_diff_direction_aware () =
+  let base = report_json "bfs" in
+  (* an efficiency IMPROVEMENT must not be flagged *)
+  let better = set_field [ "simt_efficiency" ] (Json.Float 0.999) base in
+  (match Report_diff.compare_reports ~tolerance:0.0 base better with
+  | Ok d ->
+      Alcotest.(check bool) "improvement is not a regression" false
+        (Report_diff.has_regression d)
+  | Error m -> Alcotest.failf "diff failed: %s" m);
+  (* more issues (lower-better) IS a regression *)
+  let slower = set_field [ "issues" ] (Json.Int 99_999_999) base in
+  match Report_diff.compare_reports ~tolerance:0.01 base slower with
+  | Ok d ->
+      Alcotest.(check bool) "issue growth is a regression" true
+        (Report_diff.has_regression d)
+  | Error m -> Alcotest.failf "diff failed: %s" m
+
+let test_diff_site_level () =
+  let base = report_json "hdsearch-mid" in
+  (* double the top divergence site's lost slots in the "new" report *)
+  let bump = function
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (function
+               | "lost_lane_slots", Json.Int n ->
+                   ("lost_lane_slots", Json.Int (2 * n))
+               | kv -> kv)
+             fields)
+    | j -> j
+  in
+  let worse =
+    match base with
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (function
+               | "divergence_sites", Json.List (top :: rest) ->
+                   ("divergence_sites", Json.List (bump top :: rest))
+               | kv -> kv)
+             fields)
+    | j -> j
+  in
+  match Report_diff.compare_reports ~tolerance:0.05 base worse with
+  | Error m -> Alcotest.failf "diff failed: %s" m
+  | Ok d ->
+      let r = Report_diff.regressions d in
+      Alcotest.(check bool) "site-level regression flagged" true
+        (List.exists
+           (fun dl ->
+             String.length dl.Report_diff.metric >= 16
+             && String.sub dl.Report_diff.metric 0 16 = "divergence_sites")
+           r)
+
+let test_diff_rejects_non_reports () =
+  match
+    Report_diff.compare_reports (Json.Obj [ ("x", Json.Int 1) ])
+      (Json.Obj [ ("x", Json.Int 1) ])
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an object that is not a report"
+
+let () =
+  Alcotest.run "blame"
+    [
+      ( "sites",
+        [
+          Alcotest.test_case "hdsearch-mid blames getpoint" `Quick
+            test_hdsearch_blames_getpoint;
+          Alcotest.test_case "blame conserves lost slots" `Quick
+            test_blame_conservation;
+          Alcotest.test_case "memory sites consistent" `Quick
+            test_mem_sites_consistent;
+        ] );
+      ( "flamegraph",
+        [
+          Alcotest.test_case "folded round-trip (issues)" `Quick
+            test_flamegraph_roundtrip;
+          Alcotest.test_case "folded round-trip (lost)" `Quick
+            test_flamegraph_lost_weighting;
+          Alcotest.test_case "parser rejects malformed" `Quick
+            test_folded_parser_rejects_malformed;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "identical reports" `Quick test_diff_identical;
+          Alcotest.test_case "efficiency regression" `Quick
+            test_diff_flags_efficiency_regression;
+          Alcotest.test_case "direction aware" `Quick test_diff_direction_aware;
+          Alcotest.test_case "site-level regression" `Quick
+            test_diff_site_level;
+          Alcotest.test_case "rejects non-reports" `Quick
+            test_diff_rejects_non_reports;
+        ] );
+    ]

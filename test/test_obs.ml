@@ -180,6 +180,88 @@ let test_chrome_export_escaping () =
       | Ok () -> ()
       | Error m -> Alcotest.failf "escaping broke the JSON: %s" m)
 
+(* The full pipeline's emitted Chrome/Perfetto trace — including the new
+   blame-attribution instants — must re-parse with the report JSON parser
+   and keep the attribution payload intact. *)
+let test_trace_export_attribution_roundtrip () =
+  let w = Registry.find "hdsearch-mid" in
+  let tr = W.trace_cpu w in
+  with_collector (fun () ->
+      ignore (Analyzer.analyze tr.W.prog tr.W.traces);
+      let s = Trace_export.to_string (Obs.snapshot ()) in
+      match Json.parse s with
+      | Error m -> Alcotest.failf "emitted trace does not re-parse: %s" m
+      | Ok doc -> (
+          match member "traceEvents" doc with
+          | Some (Json.List events) ->
+              let sites =
+                List.filter
+                  (fun e ->
+                    member "name" e = Some (Json.String "divergence site"))
+                  events
+              in
+              Alcotest.(check bool) "attribution instants exported" true
+                (sites <> []);
+              List.iter
+                (fun e ->
+                  Alcotest.(check bool) "instant phase" true
+                    (member "ph" e = Some (Json.String "i"));
+                  match member "args" e with
+                  | Some (Json.Obj args) ->
+                      List.iter
+                        (fun k ->
+                          Alcotest.(check bool) ("arg " ^ k) true
+                            (List.mem_assoc k args))
+                        [ "func"; "block"; "kind"; "lost_lane_slots" ]
+                  | _ -> Alcotest.fail "attribution instant lost its args")
+                sites;
+              Alcotest.(check bool) "memory attribution exported" true
+                (List.exists
+                   (fun e ->
+                     member "name" e = Some (Json.String "memory site"))
+                   events)
+          | _ -> Alcotest.fail "no traceEvents array"))
+
+let contains_sub text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+  go 0
+
+(* Prometheus text exposition escaping: metric names sanitize to the legal
+   charset, HELP text escapes backslash and newline, label values escape
+   backslash, double quote and newline. *)
+let test_prometheus_escaping () =
+  Alcotest.(check string) "name sanitized" "tf_weird_name_0"
+    (Prom.sanitize "tf.weird name-0");
+  Alcotest.(check string) "leading digit sanitized" "_f" (Prom.sanitize "0f");
+  Alcotest.(check string) "help escapes" "line1\\nback\\\\slash"
+    (Prom.escape_help "line1\nback\\slash");
+  Alcotest.(check string) "label value escapes" "a\\\"b\\\\c\\nd"
+    (Prom.escape_label_value "a\"b\\c\nd");
+  let c =
+    Obs.Counter.make "tf.test prom-escape"
+      ~help:"first line\nsecond \\ line"
+  in
+  with_collector (fun () ->
+      Obs.Counter.incr c;
+      let text = Prom.to_string (Obs.snapshot ()) in
+      Alcotest.(check bool) "sanitized name in exposition" true
+        (contains_sub text "tf_test_prom_escape 1");
+      Alcotest.(check bool) "escaped help in exposition" true
+        (contains_sub text
+           "# HELP tf_test_prom_escape first line\\nsecond \\\\ line");
+      (* the raw newline must not have split the HELP line *)
+      String.split_on_char '\n' text
+      |> List.iter (fun line ->
+             if line <> "" && line.[0] <> '#' then
+               match String.rindex_opt line ' ' with
+               | None -> Alcotest.failf "unparseable exposition line: %s" line
+               | Some i ->
+                   Alcotest.(check bool) ("numeric sample: " ^ line) true
+                     (float_of_string_opt
+                        (String.sub line (i + 1) (String.length line - i - 1))
+                     <> None)))
+
 let test_prometheus_export () =
   let c = Obs.Counter.make "tf_test_prom_counter" ~help:"a test counter" in
   let h = Obs.Histogram.make "tf_test_prom_histo" ~help:"a test histogram" in
@@ -363,8 +445,12 @@ let () =
             test_chrome_export_well_formed;
           Alcotest.test_case "chrome trace escaping" `Quick
             test_chrome_export_escaping;
+          Alcotest.test_case "attribution events round-trip" `Quick
+            test_trace_export_attribution_roundtrip;
           Alcotest.test_case "prometheus exposition" `Quick
             test_prometheus_export;
+          Alcotest.test_case "prometheus escaping" `Quick
+            test_prometheus_escaping;
         ] );
       ( "log",
         [
