@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-regress csv examples fuzz lint profile check clean
+.PHONY: all build test bench bench-regress csv examples fuzz lint profile check clean suite
 
 all: build
 
@@ -41,7 +41,7 @@ bench:
 # only forgives float formatting.  Exits 5 on regression.
 # Regenerate baselines (after an INTENDED change) with:
 #   dune exec bin/threadfuser_cli.exe -- analyze <w> --json > bench/baselines/<w>.json
-REGRESS_WORKLOADS = bfs hdsearch-mid
+REGRESS_WORKLOADS = bfs hdsearch-mid vectoradd
 REGRESS_TOLERANCE = 0.02
 bench-regress: build
 	@for w in $(REGRESS_WORKLOADS); do \
@@ -52,6 +52,14 @@ bench-regress: build
 			bench/baselines/$$w.json /tmp/threadfuser-regress-$$w.json \
 			--tolerance $(REGRESS_TOLERANCE) || exit $$?; \
 	done
+
+# supervised batch analysis of a small workload set (fork isolation,
+# parallel, with deadlines); journal/reports/manifest land in .tfsuite/.
+# Resume an interrupted batch with:
+#   dune exec bin/threadfuser_cli.exe -- suite --resume
+suite: build
+	dune exec --no-build bin/threadfuser_cli.exe -- suite \
+		vectoradd uncoalesced bfs --jobs 2 --deadline 60 --retries 1
 
 # same, also dropping one CSV per table under artifacts/
 csv:

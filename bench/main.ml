@@ -18,7 +18,7 @@ module Analyzer = Threadfuser.Analyzer
 let all_ids =
   [
     "table1"; "fig1"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10";
-    "table2"; "xapp"; "scaling"; "simtcpu"; "ablations"; "perf";
+    "table2"; "xapp"; "scaling"; "simtcpu"; "ablations"; "perf"; "suite";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -199,6 +199,88 @@ let bechamel_suite () =
   Fmt.pr "wrote %s@.@." path
 
 (* ------------------------------------------------------------------ *)
+(* Suite-runner throughput: the same batch at --jobs 1/2/4, fork
+   isolation, plus a determinism check (per-workload reports must be
+   byte-identical however the supervisor schedules them). *)
+
+let suite_bench () =
+  let module Runner = Threadfuser_runner.Runner in
+  let module J = Threadfuser_report.Json in
+  let read_file p =
+    let ic = open_in_bin p in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let jobs =
+    List.map Runner.job
+      [ "vectoradd"; "bfs"; "uncoalesced"; "rotate"; "user"; "md5" ]
+  in
+  let n = List.length jobs in
+  Fmt.pr "suite-runner throughput (%d jobs, fork isolation):@." n;
+  let run_at parallelism =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tfsuite-bench-%d-j%d" (Unix.getpid ()) parallelism)
+    in
+    let m =
+      Runner.run
+        ~config:{ Runner.default_config with parallelism; dir }
+        jobs
+    in
+    if not (Runner.all_ok m) then
+      failwith "suite bench: batch did not complete clean";
+    let jps = float_of_int n /. m.Runner.wall_s in
+    Fmt.pr "  --jobs %d   %6.2f s wall   %6.1f jobs/s@." parallelism
+      m.Runner.wall_s jps;
+    (parallelism, dir, m)
+  in
+  let runs = List.map run_at [ 1; 2; 4 ] in
+  let _, dir1, m1 = List.nth runs 0 in
+  let _, dir4, _ = List.nth runs 2 in
+  let deterministic =
+    List.for_all
+      (fun (e : Runner.entry) ->
+        match e.Runner.report_file with
+        | None -> false
+        | Some rel ->
+            read_file (Filename.concat dir1 rel)
+            = read_file (Filename.concat dir4 rel))
+      m1.Runner.entries
+  in
+  Fmt.pr "  reports byte-identical across -j1/-j4: %b@." deterministic;
+  let doc =
+    J.Obj
+      [
+        ("schema", J.String "threadfuser-bench-suite/1");
+        ("jobs", J.Int n);
+        ("isolation", J.String "fork");
+        ( "levels",
+          J.List
+            (List.map
+               (fun (p, _, (m : Runner.manifest)) ->
+                 J.Obj
+                   [
+                     ("parallelism", J.Int p);
+                     ("wall_s", J.Float m.Runner.wall_s);
+                     ( "jobs_per_s",
+                       J.Float (float_of_int n /. m.Runner.wall_s) );
+                     ( "speedup_vs_j1",
+                       J.Float (m1.Runner.wall_s /. m.Runner.wall_s) );
+                   ])
+               runs) );
+        ("deterministic_across_parallelism", J.Bool deterministic);
+      ]
+  in
+  let path = "BENCH_suite.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Fmt.pr "wrote %s@.@." path
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -250,6 +332,7 @@ let () =
   if need "simtcpu" then ignore (E.Simt_cpu.run ctx);
   if need "ablations" then E.Ablations.run ctx;
   if need "perf" then bechamel_suite ();
+  if need "suite" then suite_bench ();
   List.iter
     (fun id ->
       if not (List.mem id all_ids) then

@@ -11,6 +11,8 @@
      threadfuser correlate                    the Fig. 5 correlation study
      threadfuser blame hdsearch-mid           divergence bottleneck ranking
      threadfuser diff base.json new.json      report regression gate
+     threadfuser suite bfs pigz -j 4          supervised batch analysis
+     threadfuser suite --resume               finish an interrupted batch
 
    Observability (docs/observability.md): --log-level / TF_LOG control the
    structured logger; --trace-out writes a Perfetto-loadable Chrome trace
@@ -35,6 +37,7 @@ module Obs = Threadfuser_obs.Obs
 module Log = Threadfuser_obs.Log
 module Trace_export = Threadfuser_obs.Trace_export
 module Prom = Threadfuser_obs.Prom
+module Runner = Threadfuser_runner.Runner
 module Json = Threadfuser_report.Json
 module Flamegraph = Threadfuser_report.Flamegraph
 module Report_diff = Threadfuser_report.Report_diff
@@ -47,17 +50,29 @@ let exit_regression = 5
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
 
+let unknown_workload_msg s =
+  match Registry.suggest s with
+  | Some hint -> Printf.sprintf "unknown workload %s (did you mean %s?)" s hint
+  | None -> Printf.sprintf "unknown workload %s (try `threadfuser list')" s
+
 let workload_arg =
   let parse s =
-    match Registry.find s with
-    | w -> Ok w
-    | exception Invalid_argument _ ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown workload %s (try `threadfuser list')" s))
+    match Registry.find_opt s with
+    | Some w -> Ok w
+    | None -> Error (`Msg (unknown_workload_msg s))
   in
   let print ppf (w : W.t) = Fmt.string ppf w.W.name in
   Arg.conv (parse, print)
+
+(* Like [workload_arg] but yields the registry name: suite jobs are keyed
+   by name, resolved again inside each isolated attempt. *)
+let workload_name_arg =
+  let parse s =
+    match Registry.find_opt s with
+    | Some w -> Ok w.W.name
+    | None -> Error (`Msg (unknown_workload_msg s))
+  in
+  Arg.conv (parse, Fmt.string)
 
 let workload_pos =
   Arg.(
@@ -901,6 +916,183 @@ let diff_cmd =
       const diff_run $ setup_term $ report_pos 0 "BASELINE"
       $ report_pos 1 "NEW" $ tolerance)
 
+(* ------------------------------------------------------------------ *)
+(* Suite: supervised batch execution with checkpoint/resume             *)
+
+let suite_run () trace_out metrics_out workloads jobs isolation deadline
+    retries backoff dir resume warps levels threads scale seed inject_crash
+    inject_stall stall_s every_attempt =
+  let workloads =
+    match workloads with
+    | [] -> List.map (fun w -> w.W.name) Registry.all
+    | ws -> ws
+  in
+  let chaos =
+    if inject_crash = 0 && inject_stall = 0 then None
+    else
+      Some
+        (Runner.Exec_fault.plan ~seed ~crash_pct:inject_crash
+           ~stall_pct:inject_stall ~stall_s
+           ~first_attempt_only:(not every_attempt) ())
+  in
+  let config =
+    {
+      Runner.parallelism = jobs;
+      isolation;
+      deadline_s = deadline;
+      retries;
+      backoff_s = backoff;
+      seed;
+      dir;
+      resume;
+      chaos;
+    }
+  in
+  let batch =
+    Runner.matrix ~workloads ~warp_sizes:warps ~levels ?threads ~scale ()
+  in
+  let m =
+    with_obs ~trace_out ~metrics_out (fun () -> Runner.run ~config batch)
+  in
+  Fmt.pr "%a" Runner.pp_manifest m;
+  Fmt.pr "manifest: %s@." (Runner.manifest_path dir);
+  if not (Runner.all_ok m) then exit exit_degraded
+
+let suite_cmd =
+  let workloads_pos =
+    Arg.(
+      value
+      & pos_all workload_name_arg []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:
+            "Workloads to analyze (default: the whole registry).  Each \
+             becomes one job per warp-size x opt-level combination.")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Jobs to run in parallel.")
+  in
+  let isolation_conv =
+    let parse = function
+      | "fork" -> Ok Runner.Fork
+      | "domains" -> Ok Runner.Domains
+      | _ -> Error (`Msg "isolation must be fork or domains")
+    in
+    Arg.conv (parse, fun ppf i -> Fmt.string ppf (Runner.isolation_name i))
+  in
+  let isolation_arg =
+    Arg.(
+      value
+      & opt isolation_conv Runner.Fork
+      & info [ "isolation" ] ~docv:"MODE"
+          ~doc:
+            "$(b,fork): each attempt in a forked child — crashes cannot \
+             touch the supervisor and deadlines SIGKILL for real.  \
+             $(b,domains): in-process OCaml domain pool — cheaper, but \
+             isolation is exception-deep and deadlines are cooperative.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-attempt wall-clock budget; over it the job times out.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Extra attempts after a failed first one.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "backoff" ] ~docv:"SECONDS"
+          ~doc:
+            "Base delay before the first retry; doubles per attempt with \
+             seeded jitter, capped at 30 s.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt string ".tfsuite"
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Suite directory: checkpoint journal, report artifacts and \
+             manifest.json.")
+  in
+  let resume_flag =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay the checkpoint journal in $(b,--dir) and re-run only \
+             jobs without a valid completed record.")
+  in
+  let warps_arg =
+    Arg.(
+      value
+      & opt (list int) [ 32 ]
+      & info [ "w"; "warp-size" ] ~docv:"N,..."
+          ~doc:"Warp widths to cross into the job matrix.")
+  in
+  let levels_arg =
+    Arg.(
+      value
+      & opt (list level_arg) [ Compiler.O1 ]
+      & info [ "O"; "opt-level" ] ~docv:"LEVEL,..."
+          ~doc:"Optimization levels to cross into the job matrix.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Root seed for backoff jitter and fault injection.")
+  in
+  let inject_crash_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "inject-crash" ] ~docv:"PCT"
+          ~doc:
+            "Chaos: crash each eligible attempt with this probability \
+             (deterministic per seed/job/attempt).")
+  in
+  let inject_stall_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "inject-stall" ] ~docv:"PCT"
+          ~doc:"Chaos: stall eligible attempts with this probability.")
+  in
+  let stall_s_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "stall-s" ] ~docv:"SECONDS"
+          ~doc:"How long an injected stall sleeps.")
+  in
+  let every_attempt_flag =
+    Arg.(
+      value & flag
+      & info [ "inject-every-attempt" ]
+          ~doc:
+            "Make retries as fault-prone as first attempts (default: \
+             faults fire on attempt 1 only, so retries recover).")
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:
+         "Analyze a batch of workloads under a supervisor: parallel \
+          crash-isolated jobs, per-job deadlines, seeded retry/backoff, \
+          and an fsync'd checkpoint journal so $(b,--resume) skips \
+          completed work.  Always writes a manifest accounting for every \
+          job; exits 3 unless every job completed clean.")
+    Term.(
+      const suite_run $ setup_term $ trace_out_arg $ metrics_out_arg
+      $ workloads_pos $ jobs_arg $ isolation_arg $ deadline_arg $ retries_arg
+      $ backoff_arg $ dir_arg $ resume_flag $ warps_arg $ levels_arg $ threads
+      $ scale $ seed_arg $ inject_crash_arg $ inject_stall_arg $ stall_s_arg
+      $ every_attempt_flag)
+
 let main =
   Cmd.group
     (Cmd.info "threadfuser" ~version:"1.0.0"
@@ -911,6 +1103,7 @@ let main =
       list_cmd; analyze_cmd; sweep_cmd; trace_cmd; tracefile_cmd; cfg_cmd;
       disasm_cmd; asm_cmd; warptrace_cmd; replay_cmd; simulate_cmd;
       profile_cmd; correlate_cmd; check_cmd; fuzz_cmd; blame_cmd; diff_cmd;
+      suite_cmd;
     ]
 
 (* Top-level error handler: uncaught-exception backtraces never reach the

@@ -1,0 +1,65 @@
+(** Execution faults: seeded crash and stall injection for the supervised
+    suite runner (lib/runner).
+
+    Where {!Injector} damages a job's *input* (trace bytes and events),
+    this module damages its *execution*: a job attempt can be made to
+    crash before doing any work, or to stall long enough to trip the
+    supervisor's wall-clock deadline.  The decision for a given
+    [(plan, job id, attempt)] triple is a pure function of the plan's seed
+    — via {!Threadfuser_util.Lcg.derive} stream splitting — so chaos runs
+    are replayable and CI-safe, exactly like the input-fault campaigns.
+    See the "Supervision" section of docs/robustness.md. *)
+
+module Lcg = Threadfuser_util.Lcg
+
+type action =
+  | No_fault
+  | Crash  (** die before producing a result (exit / raise) *)
+  | Stall of float  (** sleep this many seconds before working *)
+
+let action_name = function
+  | No_fault -> "none"
+  | Crash -> "crash"
+  | Stall _ -> "stall"
+
+type plan = {
+  seed : int;
+  crash_pct : int;  (** chance (percent) an eligible attempt crashes *)
+  stall_pct : int;  (** chance (percent) an eligible attempt stalls *)
+  stall_s : float;  (** stall duration when one fires *)
+  first_attempt_only : bool;
+      (** restrict faults to attempt 1, so retries always recover —
+          the deterministic shape CI smoke tests want *)
+  only_prefix : string option;
+      (** when set, only job ids with this prefix are eligible *)
+}
+
+let plan ?(seed = 1) ?(crash_pct = 0) ?(stall_pct = 0) ?(stall_s = 30.)
+    ?(first_attempt_only = true) ?only_prefix () =
+  if crash_pct < 0 || crash_pct > 100 || stall_pct < 0 || stall_pct > 100 then
+    invalid_arg "Exec_fault.plan: percentages must be in 0..100";
+  { seed; crash_pct; stall_pct; stall_s; first_attempt_only; only_prefix }
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(** [decide plan ~job ~attempt] — [attempt] is 1-based.  Pure: the same
+    triple always yields the same action. *)
+let decide p ~job ~attempt =
+  if attempt < 1 then invalid_arg "Exec_fault.decide: attempt is 1-based";
+  let eligible =
+    (not (p.first_attempt_only && attempt > 1))
+    && (match p.only_prefix with
+       | Some pre -> starts_with ~prefix:pre job
+       | None -> true)
+  in
+  if not eligible then No_fault
+  else
+    (* [Lcg.hash_string] keys the per-job stream: a stable hash, so chaos
+       decisions replay across OCaml versions. *)
+    let job_stream = Lcg.derive ~seed:p.seed ~index:(Lcg.hash_string job) in
+    let g = Lcg.create (Lcg.derive ~seed:job_stream ~index:attempt) in
+    if Lcg.chance g p.crash_pct 100 then Crash
+    else if Lcg.chance g p.stall_pct 100 then Stall p.stall_s
+    else No_fault

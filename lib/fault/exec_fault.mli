@@ -1,0 +1,37 @@
+(** Seeded execution-fault injection for the supervised suite runner:
+    crash a job attempt before it does any work, or stall it past the
+    supervisor's deadline.  Decisions are a pure function of
+    [(plan seed, job id, attempt)] via {!Threadfuser_util.Lcg.derive}, so
+    chaos runs are replayable.  See docs/robustness.md ("Supervision"). *)
+
+type action =
+  | No_fault
+  | Crash  (** die before producing a result (exit / raise) *)
+  | Stall of float  (** sleep this many seconds before working *)
+
+val action_name : action -> string
+
+type plan = {
+  seed : int;
+  crash_pct : int;  (** chance (percent) an eligible attempt crashes *)
+  stall_pct : int;  (** chance (percent) an eligible attempt stalls *)
+  stall_s : float;  (** stall duration when one fires *)
+  first_attempt_only : bool;  (** faults hit only attempt 1 (default) *)
+  only_prefix : string option;  (** restrict to job ids with this prefix *)
+}
+
+(** Build a plan; percentages are validated to 0..100.  Defaults: seed 1,
+    no faults, 30 s stalls, first attempt only, all jobs eligible. *)
+val plan :
+  ?seed:int ->
+  ?crash_pct:int ->
+  ?stall_pct:int ->
+  ?stall_s:float ->
+  ?first_attempt_only:bool ->
+  ?only_prefix:string ->
+  unit ->
+  plan
+
+(** [decide plan ~job ~attempt] — the action for this attempt ([attempt]
+    is 1-based; raises on 0).  Deterministic per triple. *)
+val decide : plan -> job:string -> attempt:int -> action

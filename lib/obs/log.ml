@@ -53,17 +53,29 @@ let emit_fields ppf fields =
     (fun (k, v) -> Format.fprintf ppf " %s=%s" k (field_value v))
     fields
 
+(* Records are rendered into a private buffer and emitted to the shared
+   formatter in one locked ["%s@."] — so concurrent domains (the suite
+   runner's worker pool) never interleave fragments of two records on one
+   line.  The lock is held only for the final write, not while the
+   caller's format arguments render. *)
+let emit_lock = Mutex.create ()
+
 let log lvl ?(fields = []) fmt =
-  let ppf = !out in
   if enabled lvl then begin
-    Format.fprintf ppf "threadfuser: [%s] " (to_string lvl);
+    let buf = Buffer.create 96 in
+    let bppf = Format.formatter_of_buffer buf in
+    Format.fprintf bppf "threadfuser: [%s] " (to_string lvl);
     Format.kfprintf
-      (fun ppf ->
-        emit_fields ppf fields;
-        Format.fprintf ppf "@.")
-      ppf fmt
+      (fun bppf ->
+        emit_fields bppf fields;
+        Format.pp_print_flush bppf ();
+        Mutex.lock emit_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock emit_lock)
+          (fun () -> Format.fprintf !out "%s@." (Buffer.contents buf)))
+      bppf fmt
   end
-  else Format.ifprintf ppf fmt
+  else Format.ifprintf Format.str_formatter fmt
 
 let debug ?fields fmt = log Debug ?fields fmt
 let info ?fields fmt = log Info ?fields fmt

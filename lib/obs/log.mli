@@ -1,6 +1,8 @@
 (** Leveled structured logger: one [key=value]-suffixed line per record on
     stderr.  Default level [warn]; [TF_LOG] / [--log-level] raise or lower
-    it.  See docs/observability.md for conventions. *)
+    it.  Emission is atomic per record, so concurrent domains never
+    interleave fragments of two records on one line.  See
+    docs/observability.md for conventions. *)
 
 type level = Debug | Info | Warn | Error
 

@@ -21,7 +21,16 @@ let enabled = ref false
 let set_enabled b = enabled := b
 
 (* One global mutex guards the event log, track registry and histogram
-   sample buffers.  Counters use [Atomic.t] and skip the lock. *)
+   sample buffers.  Counters use [Atomic.t] and skip the lock.
+
+   Domain-safety: the suite runner hammers this collector from several
+   [Domain.spawn]ed workers at once, so every mutation of shared state is
+   either atomic or under [lock] — including registry creation and
+   histogram sample growth/decimation.  The two plain refs ([enabled],
+   [t0]) are single-word flags written only from lifecycle entry points
+   ([set_enabled]/[reset]); concurrent readers may observe either value,
+   which is benign (an event more or less around the toggle), and OCaml's
+   memory model makes such races well-defined for immediate values. *)
 let lock = Mutex.create ()
 
 let locked f =
@@ -99,6 +108,12 @@ let record ev =
 
 let instant ?(args = []) ~track name =
   if !enabled then record (Instant { name; track; ts = now_us (); args })
+
+(* Raw complete-event entry point for supervisors that time work they do
+   not run inside a closure (a forked child's lifetime, observed from the
+   parent's reaping loop).  [ts]/[dur] in µs on this collector's clock. *)
+let complete ?(track = pipeline) ?(args = []) name ~ts ~dur =
+  if !enabled then record (Complete { name; track; ts; dur; args })
 
 (** [span ?track ?args name f] times [f ()] as a complete event.  Nested
     spans on the same track render as a hierarchy (Chrome trace viewers

@@ -1,5 +1,7 @@
 (** In-process observability: timed spans, instant events on named tracks,
-    counters and histograms feeding one global thread-safe collector.
+    counters and histograms feeding one global collector that is safe to
+    hammer from multiple domains (counters are atomic; the event log,
+    registries and histograms are mutex-guarded).
 
     Disabled (the default) every hook costs one load-and-branch; call
     sites that build arguments must guard them with [if !Obs.enabled].
@@ -40,6 +42,21 @@ val span :
 
 (** Zero-duration event on a track. *)
 val instant : ?args:(string * string) list -> track:track -> string -> unit
+
+(** [complete name ~ts ~dur] records a complete event whose interval was
+    measured externally ([ts]/[dur] in µs on this collector's clock, see
+    {!now_us}) — for supervisors timing work that does not run inside a
+    closure, e.g. a forked child observed from the parent. *)
+val complete :
+  ?track:track ->
+  ?args:(string * string) list ->
+  string ->
+  ts:float ->
+  dur:float ->
+  unit
+
+(** Collector clock: µs since the last {!reset}. *)
+val now_us : unit -> float
 
 (** {1 Counters} — monotonic within a run, atomic, reset by {!reset}. *)
 

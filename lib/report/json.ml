@@ -75,6 +75,49 @@ let to_string v =
   emit buf 0 v;
   Buffer.contents buf
 
+(* Single-line rendering for line-oriented formats (the suite runner's
+   append-only checkpoint journal is JSONL: one record per line). *)
+let rec emit_compact buf v =
+  match v with
+  | Null | Bool _ | Int _ | Float _ | String _ -> emit buf 0 v
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          emit_compact buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape k);
+          Buffer.add_string buf "\":";
+          emit_compact buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_compact_string v =
+  let buf = Buffer.create 256 in
+  emit_compact buf v;
+  Buffer.contents buf
+
+(* Field accessors for consumers that pick records apart (journal loading,
+   report validation); [None] on missing keys or shape mismatches. *)
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+
+let to_int_opt = function Int n -> Some n | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int n -> Some (float_of_int n)
+  | _ -> None
+
 (* -- parser ------------------------------------------------------------- *)
 
 exception Parse_error of string

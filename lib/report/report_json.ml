@@ -116,3 +116,37 @@ let of_report (r : Metrics.report) =
     ]
 
 let to_string r = Json.to_string (of_report r)
+
+(* ------------------------------------------------------------------ *)
+(* Shape validation of a parsed report.
+
+   Consumers that load previously-written report JSON (the suite runner's
+   checkpoint journal, CI scripts) use this to tell a genuine analyzer
+   report from a truncated or foreign JSON document before trusting it. *)
+
+let required_fields =
+  [
+    "warp_size"; "threads"; "warps"; "issues"; "thread_instructions";
+    "simt_efficiency"; "memory"; "synchronization"; "coverage";
+    "per_function";
+  ]
+
+(** [validate j] is [Ok ()] iff [j] has the shape of an {!of_report}
+    document: a JSON object carrying every required top-level field, with
+    numeric core metrics. *)
+let validate (j : Json.t) : (unit, string) result =
+  match j with
+  | Json.Obj _ -> (
+      match
+        List.find_opt (fun k -> Json.member k j = None) required_fields
+      with
+      | Some k -> Error (Printf.sprintf "report is missing field %S" k)
+      | None -> (
+          match
+            ( Option.bind (Json.member "warp_size" j) Json.to_int_opt,
+              Option.bind (Json.member "simt_efficiency" j) Json.to_float_opt )
+          with
+          | Some _, Some _ -> Ok ()
+          | None, _ -> Error "report field \"warp_size\" is not an integer"
+          | _, None -> Error "report field \"simt_efficiency\" is not a number"))
+  | _ -> Error "report is not a JSON object"

@@ -1,0 +1,10 @@
+(** Seeded exponential backoff with jitter (deterministic per
+    (seed, attempt); see lib/runner/backoff.ml). *)
+
+val max_delay_s : float
+
+(** [delay_s ~base ~seed ~attempt] is the sleep before retrying after the
+    failure of 1-based [attempt]: [base * 2^(attempt-1)], jittered to
+    [0.5x, 1.5x) from a generator derived from [seed] and [attempt],
+    capped at {!max_delay_s}.  Raises on [attempt < 1]. *)
+val delay_s : base:float -> seed:int -> attempt:int -> float

@@ -1,0 +1,182 @@
+(** The suite runner's append-only checkpoint journal.
+
+    One compact JSON record per terminal job outcome, one per line
+    ([.tfsuite/journal.jsonl]), fsync'd after every append so a record
+    either fully exists on disk or not at all — a SIGKILL'd suite loses at
+    most the in-flight job.  [threadfuser suite --resume] replays the
+    journal: successful records (whose report artifact still exists and
+    parses as an analyzer report) let the job be skipped; anything
+    unreadable — torn line, foreign JSON, missing or corrupt report file —
+    is quarantined to [journal.quarantine] and the job simply re-runs.
+    Corruption is never fatal.  See docs/robustness.md ("Supervision"). *)
+
+module Json = Threadfuser_report.Json
+module Report_json = Threadfuser_report.Report_json
+
+let schema = "tfsuite-job/1"
+
+type record = {
+  id : string;  (** stable job id, see {!Runner.job_id} *)
+  outcome : string;  (** "ok" | "degraded" | "crashed" | "timeout" | "gave-up" *)
+  detail : string;  (** last error message; "" for successes *)
+  attempts : int;
+  duration_s : float;  (** wall clock of the final attempt *)
+  report_file : string option;  (** dir-relative, successes only *)
+}
+
+let journal_file = "journal.jsonl"
+let quarantine_file = "journal.quarantine"
+let path dir = Filename.concat dir journal_file
+let quarantine_path dir = Filename.concat dir quarantine_file
+
+let success r = r.outcome = "ok" || r.outcome = "degraded"
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+
+type writer = { fd : Unix.file_descr }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(** [open_writer ~fresh dir] — [fresh] truncates any previous journal
+    (a non-resume run starts a new epoch); otherwise records append. *)
+let open_writer ~fresh dir =
+  mkdir_p dir;
+  let flags =
+    Unix.O_WRONLY :: Unix.O_CREAT
+    :: (if fresh then [ Unix.O_TRUNC ] else [ Unix.O_APPEND ])
+  in
+  { fd = Unix.openfile (path dir) flags 0o644 }
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ("id", Json.String r.id);
+      ("outcome", Json.String r.outcome);
+      ("detail", Json.String r.detail);
+      ("attempts", Json.Int r.attempts);
+      ("duration_s", Json.Float r.duration_s);
+      ( "report",
+        match r.report_file with Some f -> Json.String f | None -> Json.Null );
+    ]
+
+(* One write + fsync per record: the line is either durably whole or (if
+   we die mid-write) torn — and a torn line is exactly what the loader
+   quarantines. *)
+let append w r =
+  let line = Json.to_compact_string (record_to_json r) ^ "\n" in
+  let n = String.length line in
+  let written = Unix.write_substring w.fd line 0 n in
+  if written <> n then failwith "Journal.append: short write";
+  Unix.fsync w.fd
+
+let close w = try Unix.close w.fd with Unix.Unix_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Loading / validation                                                *)
+
+let known_outcomes = [ "ok"; "degraded"; "crashed"; "timeout"; "gave-up" ]
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A record is trusted only if it decodes, names a known outcome, and —
+   for successes — its report artifact still exists and parses as an
+   analyzer report (lib/report's parser + shape validator). *)
+let record_of_line ~dir line : (record, string) result =
+  match Json.parse line with
+  | Error m -> Error (Printf.sprintf "unparseable journal line: %s" m)
+  | Ok j -> (
+      let str k = Option.bind (Json.member k j) Json.to_string_opt in
+      let int_ k = Option.bind (Json.member k j) Json.to_int_opt in
+      let num k = Option.bind (Json.member k j) Json.to_float_opt in
+      match (str "id", str "outcome", int_ "attempts", num "duration_s") with
+      | Some id, Some outcome, Some attempts, Some duration_s ->
+          if not (List.mem outcome known_outcomes) then
+            Error (Printf.sprintf "unknown outcome %S" outcome)
+          else
+            let report_file = str "report" in
+            let r =
+              {
+                id;
+                outcome;
+                detail = Option.value ~default:"" (str "detail");
+                attempts;
+                duration_s;
+                report_file;
+              }
+            in
+            if not (success r) then Ok r
+            else (
+              match report_file with
+              | None -> Error "success record without a report file"
+              | Some f -> (
+                  let full = Filename.concat dir f in
+                  match read_file full with
+                  | exception Sys_error m ->
+                      Error (Printf.sprintf "report unreadable: %s" m)
+                  | contents -> (
+                      match Json.parse contents with
+                      | Error m ->
+                          Error (Printf.sprintf "report corrupt: %s" m)
+                      | Ok rj -> (
+                          match Report_json.validate rj with
+                          | Error m ->
+                              Error (Printf.sprintf "report invalid: %s" m)
+                          | Ok () -> Ok r))))
+      | _ -> Error "journal record missing id/outcome/attempts/duration_s")
+
+type loaded = {
+  records : (string, record) Hashtbl.t;  (** last valid record per job id *)
+  quarantined : int;  (** corrupt lines set aside, not fatal *)
+}
+
+(** Load and validate the journal under [dir].  Later records win (a
+    resumed run appends fresh outcomes for re-run jobs).  Corrupt lines
+    are appended to [journal.quarantine] with the reason and counted. *)
+let load dir : loaded =
+  let records = Hashtbl.create 64 in
+  let quarantined = ref 0 in
+  let p = path dir in
+  if Sys.file_exists p then begin
+    let ic = open_in_bin p in
+    let quarantine_oc = ref None in
+    let quarantine line reason =
+      incr quarantined;
+      let oc =
+        match !quarantine_oc with
+        | Some oc -> oc
+        | None ->
+            let oc =
+              open_out_gen [ Open_append; Open_creat ] 0o644
+                (quarantine_path dir)
+            in
+            quarantine_oc := Some oc;
+            oc
+      in
+      Printf.fprintf oc "# %s\n%s\n" reason line
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        close_in ic;
+        Option.iter close_out !quarantine_oc)
+      (fun () ->
+        try
+          while true do
+            let line = input_line ic in
+            if String.trim line <> "" then
+              match record_of_line ~dir line with
+              | Ok r -> Hashtbl.replace records r.id r
+              | Error reason -> quarantine line reason
+          done
+        with End_of_file -> ())
+  end;
+  { records; quarantined = !quarantined }

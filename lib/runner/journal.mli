@@ -1,0 +1,46 @@
+(** Append-only, fsync'd checkpoint journal for the suite runner: one
+    compact JSON record per terminal job outcome ([journal.jsonl] under
+    the suite directory).  On load, records are validated — successes must
+    still have a parseable report artifact (checked with lib/report) — and
+    corrupt lines are quarantined to [journal.quarantine], never fatal.
+    See docs/robustness.md ("Supervision") for the format. *)
+
+val schema : string
+
+type record = {
+  id : string;
+  outcome : string;  (** "ok" | "degraded" | "crashed" | "timeout" | "gave-up" *)
+  detail : string;
+  attempts : int;
+  duration_s : float;
+  report_file : string option;  (** relative to the suite directory *)
+}
+
+val path : string -> string
+(** [path dir] — the journal file under suite directory [dir]. *)
+
+val mkdir_p : string -> unit
+(** Recursive directory creation (shared with the runner's suite dir). *)
+
+val quarantine_path : string -> string
+
+val success : record -> bool
+(** "ok" or "degraded": outcomes whose jobs a resumed run may skip. *)
+
+type writer
+
+val open_writer : fresh:bool -> string -> writer
+(** Open the journal under a suite directory (created if needed).
+    [~fresh:true] truncates (new epoch); [~fresh:false] appends (resume). *)
+
+val append : writer -> record -> unit
+(** Write one record as a single line and fsync it. *)
+
+val close : writer -> unit
+
+type loaded = {
+  records : (string, record) Hashtbl.t;  (** last valid record per job id *)
+  quarantined : int;  (** corrupt lines set aside (see quarantine file) *)
+}
+
+val load : string -> loaded

@@ -1,0 +1,132 @@
+(** Supervised batch execution of analyses over the workload registry.
+
+    [run] takes a list of {!job}s (one analysis configuration each) and
+    executes them under a supervisor with crash isolation, per-job
+    wall-clock deadlines, seeded retry/backoff, and an append-only
+    checkpoint journal ({!Journal}) enabling [--resume].  It {e always}
+    terminates with a {!manifest} that accounts for every requested job.
+    See docs/robustness.md ("Supervision"). *)
+
+module Compiler = Threadfuser_compiler.Compiler
+module Exec_fault = Threadfuser_fault.Exec_fault
+
+(** {1 Jobs} *)
+
+type job = {
+  workload : string;  (** registry name *)
+  warp_size : int;
+  level : Compiler.level;
+  threads : int option;  (** [None] = the workload's default count *)
+  scale : int;
+}
+
+val job :
+  ?warp_size:int ->
+  ?level:Compiler.level ->
+  ?threads:int ->
+  ?scale:int ->
+  string ->
+  job
+(** Defaults: warp 32, O1, default threads, scale 1. *)
+
+val job_id : job -> string
+(** Stable, filesystem-safe id, e.g. ["bfs.w32.O1.s1"].  Doubles as the
+    journal key and the report filename stem. *)
+
+val matrix :
+  workloads:string list ->
+  warp_sizes:int list ->
+  levels:Compiler.level list ->
+  ?threads:int ->
+  ?scale:int ->
+  unit ->
+  job list
+(** Cross product in workload-major order. *)
+
+(** {1 Outcomes} *)
+
+module Outcome : sig
+  type t =
+    | Ok  (** clean report *)
+    | Degraded  (** partial report (quarantined threads) *)
+    | Crashed of string  (** attempt died: exception, signal, bad artifact *)
+    | Timeout  (** wall-clock deadline exceeded *)
+    | Gave_up of string  (** retry budget exhausted; payload = last failure *)
+
+  val name : t -> string
+  val detail : t -> string
+
+  val success : t -> bool
+  (** [Ok] or [Degraded]: skippable on resume. *)
+end
+
+type source = Fresh | Resumed
+
+val source_name : source -> string
+
+type entry = {
+  job : job;
+  id : string;
+  outcome : Outcome.t;
+  attempts : int;
+  duration_s : float;  (** wall clock of the final attempt *)
+  source : source;
+  report_file : string option;  (** relative to the suite directory *)
+}
+
+type manifest = {
+  entries : entry list;  (** one per requested job, in request order *)
+  quarantined : int;  (** corrupt journal lines set aside during resume *)
+  wall_s : float;
+}
+
+val all_ok : manifest -> bool
+(** Every entry is [Outcome.Ok] (degraded counts as not-ok here). *)
+
+val failures : manifest -> entry list
+(** Entries whose outcome is not a success. *)
+
+val manifest_to_json : manifest -> Threadfuser_report.Json.t
+
+val manifest_path : string -> string
+(** [manifest_path dir] — where {!run} writes [manifest.json]. *)
+
+val pp_manifest : Format.formatter -> manifest -> unit
+
+(** {1 Configuration} *)
+
+type isolation =
+  | Fork
+      (** each attempt in a [Unix.fork]ed child; preemptive SIGKILL
+          deadlines; crashes cannot touch the supervisor *)
+  | Domains
+      (** OCaml 5 domain pool, in-process; exception-deep isolation and
+          cooperative (post-hoc) deadline classification *)
+
+val isolation_name : isolation -> string
+
+type config = {
+  parallelism : int;  (** jobs in flight at once *)
+  isolation : isolation;
+  deadline_s : float option;  (** per-attempt wall-clock budget *)
+  retries : int;  (** extra attempts after the first *)
+  backoff_s : float;  (** base backoff before the first retry *)
+  seed : int;  (** root of every derived stream (backoff jitter) *)
+  dir : string;  (** suite directory: journal, reports, manifest *)
+  resume : bool;  (** skip journalled successes *)
+  chaos : Exec_fault.plan option;  (** execution-fault injection *)
+}
+
+val default_config : config
+(** parallelism 1, [Fork], no deadline, 1 retry, 0.25 s backoff, seed 1,
+    dir [".tfsuite"], no resume, no chaos. *)
+
+(** {1 Running} *)
+
+val run : ?config:config -> job list -> manifest
+(** Execute the batch.  Creates [config.dir] (with [reports/] and [tmp/]),
+    streams each terminal outcome to the journal, writes [manifest.json],
+    and returns the manifest — entries in request order, duplicates (by
+    {!job_id}) dropped with a warning.  Raises [Invalid_argument] only on
+    an empty job list or nonsensical config; job failures are data, not
+    exceptions. *)

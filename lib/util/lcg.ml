@@ -39,3 +39,54 @@ let shuffle t a =
     a.(i) <- a.(j);
     a.(j) <- tmp
   done
+
+(* ------------------------------------------------------------------ *)
+(* Stream splitting.
+
+   Consumers that run many independent seeded tasks (the suite runner's
+   per-job backoff jitter, the execution-fault injector) need one seed per
+   task such that the derived streams neither collide nor overlap.  Seeding
+   the LCG with [seed + index] would interleave: an LCG's successor
+   function is shared, so nearby seeds land on the same orbit a few steps
+   apart.  Instead the derived seed passes through the SplitMix64 finalizer
+   (a bijection on 64-bit words with full avalanche), placing each child
+   far from its siblings on the orbit. *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xff51afd7ed558ccdL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xc4ceb9fe1a85ec53L in
+  logxor z (shift_right_logical z 33)
+
+let golden = 0x9e3779b97f4a7c15L
+
+(** [derive ~seed ~index] is a well-mixed child seed; injective in [index]
+    up to the final 64→63-bit truncation ([mix64] is a bijection and
+    [golden] is odd, so distinct indices give distinct 64-bit words). *)
+let derive ~seed ~index =
+  if index < 0 then invalid_arg "Lcg.derive";
+  let z =
+    mix64
+      (Int64.add (Int64.of_int seed)
+         (Int64.mul (Int64.of_int (index + 1)) golden))
+  in
+  (* drop two bits, not one: OCaml's native int keeps 63 of the 64, so a
+     62-bit result is the widest that is always non-negative *)
+  Int64.to_int (Int64.shift_right_logical z 2)
+
+(** [split t] draws one value from [t] and mixes it into a fresh,
+    decorrelated generator; [t] itself advances by exactly one step. *)
+let split t = { state = mix64 (next_int64 t) }
+
+(** FNV-1a over a string, folded to a non-negative int: a *stable* hash
+    for keying derived streams by name (job ids, workload names).  OCaml's
+    [Hashtbl.hash] makes no cross-version promises; seeded campaigns must
+    replay across toolchains. *)
+let hash_string s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Int64.to_int (Int64.shift_right_logical !h 2)

@@ -23,3 +23,22 @@ val chance : t -> int -> int -> bool
 
 (** In-place Fisher–Yates shuffle. *)
 val shuffle : t -> 'a array -> unit
+
+(** {1 Stream splitting} — one independent stream per task (suite-runner
+    backoff jitter, fault injection), non-colliding and non-overlapping. *)
+
+(** [derive ~seed ~index] deterministically maps a parent seed and a task
+    index to a child seed through the SplitMix64 finalizer.  Distinct
+    indices give distinct child seeds (up to two bits of truncation), and
+    the resulting streams do not overlap within any practical draw count.
+    Raises on [index < 0]. *)
+val derive : seed:int -> index:int -> int
+
+(** [split t] advances [t] one step and returns a fresh generator
+    decorrelated from [t]'s continuation. *)
+val split : t -> t
+
+(** Stable (FNV-1a) non-negative hash of a string — for deriving streams
+    keyed by name; unlike [Hashtbl.hash], guaranteed identical across
+    OCaml versions. *)
+val hash_string : string -> int

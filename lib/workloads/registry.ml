@@ -19,12 +19,48 @@ let microservices : Workload.t list =
 
 let hdsearch_mid_fixed : Workload.t = W_usuite.hdsearch_mid_fixed
 
-let find name : Workload.t =
-  match
-    List.find_opt (fun (w : Workload.t) -> w.Workload.name = name)
+let find_opt name : Workload.t option =
+  List.find_opt (fun (w : Workload.t) -> w.Workload.name = name)
+    (hdsearch_mid_fixed :: all)
+
+(* Standard Levenshtein DP, two rolling rows. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggest name =
+  let name = String.lowercase_ascii name in
+  let best =
+    List.fold_left
+      (fun acc (w : Workload.t) ->
+        let d = edit_distance name w.Workload.name in
+        match acc with
+        | Some (d', _) when d' <= d -> acc
+        | _ -> Some (d, w.Workload.name))
+      None
       (hdsearch_mid_fixed :: all)
-  with
+  in
+  match best with
+  | Some (d, candidate) when d <= max 2 (String.length name / 3) ->
+      Some candidate
+  | _ -> None
+
+let find name : Workload.t =
+  match find_opt name with
   | Some w -> w
-  | None -> Fmt.invalid_arg "unknown workload %s" name
+  | None -> (
+      match suggest name with
+      | Some s -> Fmt.invalid_arg "unknown workload %s (did you mean %s?)" name s
+      | None -> Fmt.invalid_arg "unknown workload %s" name)
 
 let names () = List.map (fun (w : Workload.t) -> w.Workload.name) all

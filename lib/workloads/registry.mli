@@ -12,8 +12,17 @@ val microservices : Workload.t list
 (** The Fig. 7 case-study variant (not part of the 36). *)
 val hdsearch_mid_fixed : Workload.t
 
+(** Lookup by name (including [hdsearch-mid-fixed]). *)
+val find_opt : string -> Workload.t option
+
+(** Nearest registered name by edit distance, when close enough to be a
+    plausible typo ([hdserch-mid] → [hdsearch-mid]). *)
+val suggest : string -> string option
+
 (** Lookup by name (including [hdsearch-mid-fixed]); raises
-    [Invalid_argument] on unknown names. *)
+    [Invalid_argument] — with a did-you-mean hint when one is close — on
+    unknown names.  CLI code paths should prefer {!find_opt} + {!suggest}
+    and map the miss to a usage error. *)
 val find : string -> Workload.t
 
 val names : unit -> string list

@@ -360,6 +360,73 @@ let test_log_of_string () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Domain safety: hammer the collector and logger from real domains     *)
+
+(* Counters are atomic, the event log and histograms mutex-guarded, and
+   the logger emits each record under a lock — so four domains hammering
+   everything at once must lose nothing and interleave nothing. *)
+let test_domain_hammer () =
+  let domains = 4 and per_domain = 5_000 in
+  let c = Obs.Counter.make "tf_test_domain_hammer" in
+  let h = Obs.Histogram.make "tf_test_domain_hammer_hist" in
+  let tr = Obs.track "hammer" in
+  let log_out =
+    with_log_buffer (fun () ->
+        Log.set_level Log.Info;
+        with_collector (fun () ->
+            let worker d () =
+              for i = 1 to per_domain do
+                Obs.Counter.incr c;
+                Obs.Histogram.observe h (float_of_int i);
+                if i mod 50 = 0 then begin
+                  Obs.instant ~track:tr "tick"
+                    ~args:[ ("domain", string_of_int d) ];
+                  Obs.span ~track:tr "work" (fun () -> ())
+                end;
+                if i mod 100 = 0 then
+                  Log.info "hammer record"
+                    ~fields:
+                      [ ("domain", string_of_int d); ("i", string_of_int i) ]
+              done
+            in
+            let spawned =
+              List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+            in
+            worker 0 ();
+            List.iter Domain.join spawned;
+            Alcotest.(check int) "no lost counter increments"
+              (domains * per_domain) (Obs.Counter.value c);
+            Alcotest.(check int) "no lost histogram samples"
+              (domains * per_domain) (Obs.Histogram.count h);
+            let snap = Obs.snapshot () in
+            let mine =
+              List.filter
+                (function
+                  | Obs.Complete { track; _ } | Obs.Instant { track; _ } ->
+                      Obs.track_id track = Obs.track_id tr)
+                snap.Obs.events
+            in
+            Alcotest.(check int) "no lost or torn events"
+              (domains * (per_domain / 50) * 2)
+              (List.length mine + snap.Obs.events_dropped)))
+  in
+  let lines =
+    String.split_on_char '\n' log_out
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check int) "no lost log records"
+    (domains * (per_domain / 100))
+    (List.length lines);
+  List.iter
+    (fun l ->
+      if
+        not
+          (String.length l > 0
+          && String.sub l 0 (min 12 (String.length l)) = "threadfuser:")
+      then Alcotest.failf "interleaved log line: %S" l)
+    lines
+
+(* ------------------------------------------------------------------ *)
 (* End-to-end: the instrumented pipeline                                *)
 
 let test_pipeline_emits_phases () =
@@ -458,6 +525,11 @@ let () =
           Alcotest.test_case "fields" `Quick test_log_fields_and_format;
           Alcotest.test_case "quiet" `Quick test_log_quiet;
           Alcotest.test_case "of_string" `Quick test_log_of_string;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "four-domain hammer loses nothing" `Quick
+            test_domain_hammer;
         ] );
       ( "pipeline",
         [

@@ -1,0 +1,401 @@
+(* The supervised suite runner: manifest accounting under crashes, stalls
+   and deadlines; retry/backoff; the fsync'd checkpoint journal and
+   --resume (including a real SIGKILL of the supervisor); both isolation
+   modes; and determinism of report artifacts under parallelism. *)
+
+module Runner = Threadfuser_runner.Runner
+module Journal = Threadfuser_runner.Journal
+module Backoff = Threadfuser_runner.Backoff
+module Exec_fault = Threadfuser_fault.Exec_fault
+module Obs = Threadfuser_obs.Obs
+module Json = Threadfuser_report.Json
+
+(* Unique scratch directory per test; pid-qualified so orphans from a
+   previous killed run never collide. *)
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "tfsuite-test-%d-%d" (Unix.getpid ()) !dir_counter)
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let small = [ "vectoradd"; "bfs"; "uncoalesced" ]
+
+(* OCaml 5 forbids [Unix.fork] in a process that has ever spawned another
+   domain, so any test exercising [Runner.Domains] must itself run in a
+   forked subprocess: the child spawns domains and exits, the parent stays
+   fork-clean for the remaining fork-isolation tests.  (A real CLI run
+   picks one isolation mode per invocation, so the mix never arises.) *)
+let in_subprocess f =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      let code =
+        try
+          f ();
+          0
+        with e ->
+          prerr_endline (Printexc.to_string e);
+          1
+      in
+      Unix._exit code
+  | pid -> (
+      match snd (Unix.waitpid [] pid) with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED c -> Alcotest.failf "subprocess failed with exit %d" c
+      | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+          Alcotest.failf "subprocess killed by signal %d" s)
+
+let config ?(parallelism = 2) ?(isolation = Runner.Fork) ?deadline_s
+    ?(retries = 1) ?(backoff_s = 0.005) ?(resume = false) ?chaos dir =
+  {
+    Runner.default_config with
+    parallelism;
+    isolation;
+    deadline_s;
+    retries;
+    backoff_s;
+    resume;
+    chaos;
+    dir;
+  }
+
+let outcome_names m =
+  List.map (fun e -> Runner.Outcome.name e.Runner.outcome) m.Runner.entries
+
+(* ------------------------------------------------------------------ *)
+(* Job ids and matrices                                                 *)
+
+let test_job_id () =
+  Alcotest.(check string)
+    "defaults" "bfs.w32.O1.s1"
+    (Runner.job_id (Runner.job "bfs"));
+  Alcotest.(check string)
+    "full" "pigz.w16.O3.s2.t8"
+    (Runner.job_id
+       (Runner.job ~warp_size:16 ~level:Threadfuser_compiler.Compiler.O3
+          ~threads:8 ~scale:2 "pigz"))
+
+let test_matrix () =
+  let jobs =
+    Runner.matrix ~workloads:[ "a"; "b" ] ~warp_sizes:[ 8; 32 ]
+      ~levels:[ Threadfuser_compiler.Compiler.O0 ]
+      ()
+  in
+  Alcotest.(check (list string))
+    "workload-major order"
+    [ "a.w8.O0.s1"; "a.w32.O0.s1"; "b.w8.O0.s1"; "b.w32.O0.s1" ]
+    (List.map Runner.job_id jobs)
+
+(* ------------------------------------------------------------------ *)
+(* The happy path, both isolation modes                                 *)
+
+let check_happy isolation () =
+  let dir = fresh_dir () in
+  let m =
+    Runner.run
+      ~config:(config ~isolation dir)
+      (List.map Runner.job small)
+  in
+  Alcotest.(check int) "all jobs accounted" 3 (List.length m.Runner.entries);
+  Alcotest.(check bool) "all ok" true (Runner.all_ok m);
+  List.iter
+    (fun (e : Runner.entry) ->
+      Alcotest.(check int) "single attempt" 1 e.Runner.attempts;
+      match e.Runner.report_file with
+      | None -> Alcotest.fail "success without report"
+      | Some rel ->
+          let j =
+            match Json.parse (read_file (Filename.concat dir rel)) with
+            | Ok j -> j
+            | Error m -> Alcotest.fail m
+          in
+          (match Threadfuser_report.Report_json.validate j with
+          | Ok () -> ()
+          | Error m -> Alcotest.fail m))
+    m.Runner.entries;
+  (* the manifest file exists and matches *)
+  (match Json.parse (read_file (Runner.manifest_path dir)) with
+  | Error m -> Alcotest.fail m
+  | Ok j ->
+      Alcotest.(check (option int))
+        "manifest job count" (Some 3)
+        (Option.bind (Json.member "jobs" j) Json.to_int_opt));
+  (* dedup: the same job twice runs once *)
+  let m2 =
+    Runner.run
+      ~config:(config ~isolation (fresh_dir ()))
+      [ Runner.job "bfs"; Runner.job "bfs" ]
+  in
+  Alcotest.(check int) "duplicates dropped" 1 (List.length m2.Runner.entries)
+
+(* ------------------------------------------------------------------ *)
+(* Faults: crash, retry, give-up, stall/deadline                        *)
+
+(* 100% crash on attempt 1 only: every job fails once, retries, recovers.
+   Also exercises the Obs integration: the retries counter and the suite
+   track must record the recovery. *)
+let test_crash_then_recover () =
+  let dir = fresh_dir () in
+  let chaos = Exec_fault.plan ~crash_pct:100 ~first_attempt_only:true () in
+  let retries_ctr = Obs.Counter.make "tf_suite_retries" in
+  Obs.reset ();
+  Obs.set_enabled true;
+  let m =
+    Fun.protect
+      ~finally:(fun () -> Obs.set_enabled false)
+      (fun () ->
+        Runner.run ~config:(config ~chaos dir) (List.map Runner.job small))
+  in
+  Alcotest.(check bool) "recovered" true (Runner.all_ok m);
+  List.iter
+    (fun (e : Runner.entry) ->
+      Alcotest.(check int) "two attempts" 2 e.Runner.attempts)
+    m.Runner.entries;
+  Alcotest.(check int) "retries counted" 3 (Obs.Counter.value retries_ctr);
+  let snap = Obs.snapshot () in
+  let suite_events =
+    List.filter
+      (function
+        | Obs.Complete { track; _ } | Obs.Instant { track; _ } ->
+            List.assoc_opt track snap.Obs.tracks = Some "suite")
+      snap.Obs.events
+  in
+  Alcotest.(check bool) "suite track has events" true (suite_events <> []);
+  Obs.reset ()
+
+let test_gave_up () =
+  let dir = fresh_dir () in
+  let chaos = Exec_fault.plan ~crash_pct:100 ~first_attempt_only:false () in
+  let m =
+    Runner.run
+      ~config:(config ~retries:2 ~chaos dir)
+      [ Runner.job "vectoradd" ]
+  in
+  match m.Runner.entries with
+  | [ e ] ->
+      (match e.Runner.outcome with
+      | Runner.Outcome.Gave_up msg ->
+          Alcotest.(check bool)
+            "detail names the last failure" true
+            (String.length msg > 0)
+      | o -> Alcotest.fail ("expected gave-up, got " ^ Runner.Outcome.name o));
+      Alcotest.(check int) "budget exhausted" 3 e.Runner.attempts;
+      Alcotest.(check int) "nothing else in manifest" 1
+        (List.length m.Runner.entries);
+      Alcotest.(check (list string)) "failures lists it" [ e.Runner.id ]
+        (List.map (fun e -> e.Runner.id) (Runner.failures m))
+  | _ -> Alcotest.fail "expected exactly one entry"
+
+(* A first-attempt crash with no retry budget keeps its own kind. *)
+let test_crashed_kind () =
+  let dir = fresh_dir () in
+  let chaos = Exec_fault.plan ~crash_pct:100 () in
+  let m =
+    Runner.run ~config:(config ~retries:0 ~chaos dir) [ Runner.job "bfs" ]
+  in
+  Alcotest.(check (list string)) "crashed" [ "crashed" ] (outcome_names m)
+
+let test_stall_deadline_timeout () =
+  let dir = fresh_dir () in
+  let chaos = Exec_fault.plan ~stall_pct:100 ~stall_s:10. () in
+  let t0 = Unix.gettimeofday () in
+  let m =
+    Runner.run
+      ~config:(config ~retries:0 ~deadline_s:0.3 ~chaos dir)
+      [ Runner.job "vectoradd" ]
+  in
+  Alcotest.(check (list string)) "timed out" [ "timeout" ] (outcome_names m);
+  Alcotest.(check bool)
+    "SIGKILL preempted the 10s stall" true
+    (Unix.gettimeofday () -. t0 < 5.)
+
+(* ------------------------------------------------------------------ *)
+(* Journal: corruption quarantine and resume                            *)
+
+let test_resume_skips_and_quarantines () =
+  let dir = fresh_dir () in
+  let jobs = List.map Runner.job small in
+  let m1 = Runner.run ~config:(config dir) jobs in
+  Alcotest.(check bool) "first pass ok" true (Runner.all_ok m1);
+  (* sabotage: a torn line, foreign JSON, and one success whose report
+     artifact disappears — all must quarantine, none may be fatal *)
+  let oc = open_out_gen [ Open_append ] 0o644 (Journal.path dir) in
+  output_string oc "{\"schema\":\"tfsuite-job/1\",\"id\":\"torn";
+  output_string oc "\n{\"note\":\"not a job record\"}\n";
+  close_out oc;
+  Sys.remove (Filename.concat dir "reports/bfs.w32.O1.s1.json");
+  let m2 = Runner.run ~config:(config ~resume:true dir) jobs in
+  Alcotest.(check bool) "second pass ok" true (Runner.all_ok m2);
+  Alcotest.(check int)
+    "torn line + foreign record + invalidated success" 3 m2.Runner.quarantined;
+  let by_source s =
+    List.filter (fun e -> e.Runner.source = s) m2.Runner.entries
+  in
+  Alcotest.(check int) "two skipped" 2 (List.length (by_source Runner.Resumed));
+  Alcotest.(check (list string))
+    "only the invalidated job re-ran" [ "bfs.w32.O1.s1" ]
+    (List.map (fun e -> e.Runner.id) (by_source Runner.Fresh));
+  Alcotest.(check bool)
+    "quarantine file exists" true
+    (Sys.file_exists (Journal.quarantine_path dir))
+
+(* Kill the supervisor itself mid-suite (the journal's reason to exist):
+   run it in a forked child, SIGKILL it once the journal shows progress,
+   then resume in-process and check only incomplete jobs re-ran. *)
+let test_sigkill_resume () =
+  let dir = fresh_dir () in
+  (* a 100%-stall plan makes every first attempt take ~0.2 s, giving the
+     parent a window where some jobs are journalled and some are not *)
+  let chaos =
+    Exec_fault.plan ~stall_pct:100 ~stall_s:0.2 ~first_attempt_only:true ()
+  in
+  let jobs =
+    List.map Runner.job [ "vectoradd"; "bfs"; "uncoalesced"; "rotate"; "user" ]
+  in
+  flush stdout;
+  flush stderr;
+  let child =
+    match Unix.fork () with
+    | 0 ->
+        (try
+           ignore
+             (Runner.run ~config:(config ~parallelism:1 ~chaos dir) jobs)
+         with _ -> ());
+        Unix._exit 0
+    | pid -> pid
+  in
+  let journal_lines () =
+    if Sys.file_exists (Journal.path dir) then
+      String.split_on_char '\n' (read_file (Journal.path dir))
+      |> List.filter (fun l -> String.trim l <> "")
+      |> List.length
+    else 0
+  in
+  let deadline = Unix.gettimeofday () +. 30. in
+  while journal_lines () < 2 && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  let seen = journal_lines () in
+  Alcotest.(check bool) "made progress before the kill" true (seen >= 2);
+  Unix.kill child Sys.sigkill;
+  ignore (Unix.waitpid [] child);
+  let m = Runner.run ~config:(config ~resume:true dir) jobs in
+  Alcotest.(check bool) "resume completed the suite" true (Runner.all_ok m);
+  Alcotest.(check int) "all jobs accounted" 5 (List.length m.Runner.entries);
+  let resumed =
+    List.filter (fun e -> e.Runner.source = Runner.Resumed) m.Runner.entries
+  in
+  Alcotest.(check bool)
+    "journalled jobs were skipped, incomplete jobs re-ran" true
+    (List.length resumed >= 2 && List.length resumed < 5)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism under parallelism                                        *)
+
+let test_parallel_determinism () =
+  let jobs = List.map Runner.job small in
+  let d1 = fresh_dir () and d4 = fresh_dir () in
+  let m1 = Runner.run ~config:(config ~parallelism:1 d1) jobs in
+  let m4 = Runner.run ~config:(config ~parallelism:4 d4) jobs in
+  Alcotest.(check bool) "both ok" true (Runner.all_ok m1 && Runner.all_ok m4);
+  List.iter
+    (fun (e : Runner.entry) ->
+      let rel = Option.get e.Runner.report_file in
+      Alcotest.(check string)
+        (Printf.sprintf "%s report identical at -j1 and -j4" e.Runner.id)
+        (read_file (Filename.concat d1 rel))
+        (read_file (Filename.concat d4 rel)))
+    m1.Runner.entries
+
+(* ------------------------------------------------------------------ *)
+(* Backoff and execution-fault determinism                              *)
+
+let test_backoff () =
+  let d1 = Backoff.delay_s ~base:0.1 ~seed:42 ~attempt:1 in
+  let d1' = Backoff.delay_s ~base:0.1 ~seed:42 ~attempt:1 in
+  Alcotest.(check (float 0.)) "deterministic" d1 d1';
+  Alcotest.(check bool) "jitter stays in [0.5x, 1.5x]" true
+    (d1 >= 0.05 && d1 <= 0.15);
+  let huge = Backoff.delay_s ~base:5. ~seed:1 ~attempt:20 in
+  Alcotest.(check bool) "capped" true (huge <= Backoff.max_delay_s);
+  Alcotest.check_raises "attempt is 1-based"
+    (Invalid_argument "Backoff.delay_s: attempt is 1-based") (fun () ->
+      ignore (Backoff.delay_s ~base:0.1 ~seed:1 ~attempt:0))
+
+let test_exec_fault_determinism () =
+  let p = Exec_fault.plan ~seed:9 ~crash_pct:50 ~stall_pct:25 () in
+  for attempt = 1 to 1 do
+    List.iter
+      (fun job ->
+        Alcotest.(check string)
+          "same triple, same action"
+          (Exec_fault.action_name (Exec_fault.decide p ~job ~attempt))
+          (Exec_fault.action_name (Exec_fault.decide p ~job ~attempt)))
+      [ "a.w32.O1.s1"; "b.w32.O1.s1"; "c.w32.O1.s1" ]
+  done;
+  (* first_attempt_only really does shield retries *)
+  let always = Exec_fault.plan ~crash_pct:100 ~first_attempt_only:true () in
+  Alcotest.(check string)
+    "attempt 1 eligible" "crash"
+    (Exec_fault.action_name (Exec_fault.decide always ~job:"x" ~attempt:1));
+  Alcotest.(check string)
+    "attempt 2 shielded" "none"
+    (Exec_fault.action_name (Exec_fault.decide always ~job:"x" ~attempt:2));
+  (* prefix scoping *)
+  let scoped =
+    Exec_fault.plan ~crash_pct:100 ~only_prefix:"bfs" ()
+  in
+  Alcotest.(check string)
+    "prefix match" "crash"
+    (Exec_fault.action_name
+       (Exec_fault.decide scoped ~job:"bfs.w32.O1.s1" ~attempt:1));
+  Alcotest.(check string)
+    "prefix miss" "none"
+    (Exec_fault.action_name
+       (Exec_fault.decide scoped ~job:"pigz.w32.O1.s1" ~attempt:1))
+
+let () =
+  Alcotest.run "runner"
+    [
+      ( "jobs",
+        [
+          Alcotest.test_case "job_id" `Quick test_job_id;
+          Alcotest.test_case "matrix" `Quick test_matrix;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "fork happy path" `Quick (check_happy Runner.Fork);
+          Alcotest.test_case "domains happy path" `Quick (fun () ->
+              in_subprocess (check_happy Runner.Domains));
+          Alcotest.test_case "crash then recover" `Quick
+            test_crash_then_recover;
+          Alcotest.test_case "gave up" `Quick test_gave_up;
+          Alcotest.test_case "crashed kind" `Quick test_crashed_kind;
+          Alcotest.test_case "stall hits deadline" `Quick
+            test_stall_deadline_timeout;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "resume skips, corruption quarantined" `Quick
+            test_resume_skips_and_quarantines;
+          Alcotest.test_case "SIGKILL'd supervisor resumes" `Quick
+            test_sigkill_resume;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "reports identical under parallelism" `Quick
+            test_parallel_determinism;
+          Alcotest.test_case "backoff" `Quick test_backoff;
+          Alcotest.test_case "exec faults replay" `Quick
+            test_exec_fault_determinism;
+        ] );
+    ]

@@ -84,6 +84,67 @@ let prop_shuffle_permutation =
       Lcg.shuffle (Lcg.create seed) b;
       List.sort compare (Array.to_list a) = List.sort compare (Array.to_list b))
 
+(* --- stream splitting: derived per-task seeds ----------------------- *)
+
+let draws g n = List.init n (fun _ -> Lcg.bits g)
+
+let prop_derive_distinct =
+  QCheck.Test.make ~name:"derive gives distinct seeds per index" ~count:200
+    QCheck.(pair int (int_range 0 500))
+    (fun (seed, base_index) ->
+      let seeds =
+        List.init 64 (fun i -> Lcg.derive ~seed ~index:(base_index + i))
+      in
+      List.length (List.sort_uniq compare seeds) = 64)
+
+let prop_derive_streams_disjoint =
+  (* sibling streams must not overlap within a realistic draw count: 256
+     draws from each of two adjacent children share no values *)
+  QCheck.Test.make ~name:"derived sibling streams do not overlap" ~count:100
+    QCheck.(pair int (int_range 0 1000))
+    (fun (seed, index) ->
+      let a = draws (Lcg.create (Lcg.derive ~seed ~index)) 256 in
+      let b = draws (Lcg.create (Lcg.derive ~seed ~index:(index + 1))) 256 in
+      let seen = Hashtbl.create 512 in
+      List.iter (fun v -> Hashtbl.replace seen v ()) a;
+      not (List.exists (Hashtbl.mem seen) b))
+
+let prop_derive_deterministic =
+  QCheck.Test.make ~name:"derive is a pure function" ~count:500
+    QCheck.(pair int (int_range 0 10_000))
+    (fun (seed, index) ->
+      Lcg.derive ~seed ~index = Lcg.derive ~seed ~index
+      && Lcg.derive ~seed ~index >= 0)
+
+let test_derive_negative_index () =
+  Alcotest.check_raises "index must be non-negative"
+    (Invalid_argument "Lcg.derive") (fun () ->
+      ignore (Lcg.derive ~seed:1 ~index:(-1)))
+
+let prop_split_decorrelated =
+  QCheck.Test.make ~name:"split child shares no draws with parent" ~count:100
+    QCheck.int
+    (fun seed ->
+      let parent = Lcg.create seed in
+      let child = Lcg.split parent in
+      let a = draws parent 128 in
+      let b = draws child 128 in
+      let seen = Hashtbl.create 256 in
+      List.iter (fun v -> Hashtbl.replace seen v ()) a;
+      not (List.exists (Hashtbl.mem seen) b))
+
+let test_hash_string () =
+  Alcotest.(check int)
+    "deterministic" (Lcg.hash_string "bfs.w32.O1.s1")
+    (Lcg.hash_string "bfs.w32.O1.s1");
+  Alcotest.(check bool) "non-negative" true (Lcg.hash_string "" >= 0);
+  let names = [ ""; "a"; "b"; "ab"; "ba"; "bfs"; "pigz"; "hdsearch-mid" ] in
+  let hashes = List.map Lcg.hash_string names in
+  Alcotest.(check int)
+    "no collisions on registry-like names"
+    (List.length names)
+    (List.length (List.sort_uniq compare hashes))
+
 let () =
   Alcotest.run "util"
     [
@@ -103,5 +164,15 @@ let () =
           QCheck_alcotest.to_alcotest prop_lcg_bounds;
           QCheck_alcotest.to_alcotest prop_lcg_range;
           QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+        ] );
+      ( "lcg-streams",
+        [
+          QCheck_alcotest.to_alcotest prop_derive_distinct;
+          QCheck_alcotest.to_alcotest prop_derive_streams_disjoint;
+          QCheck_alcotest.to_alcotest prop_derive_deterministic;
+          Alcotest.test_case "derive rejects negative index" `Quick
+            test_derive_negative_index;
+          QCheck_alcotest.to_alcotest prop_split_decorrelated;
+          Alcotest.test_case "hash_string" `Quick test_hash_string;
         ] );
     ]
