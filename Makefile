@@ -52,6 +52,15 @@ bench-regress: build
 			bench/baselines/$$w.json /tmp/threadfuser-regress-$$w.json \
 			--tolerance $(REGRESS_TOLERANCE) || exit $$?; \
 	done
+	@echo "== parallel replay determinism (-j 4 vs baseline run) =="; \
+	for w in $(REGRESS_WORKLOADS); do \
+		dune exec --no-build bin/threadfuser_cli.exe -- analyze $$w --json -j 4 \
+			> /tmp/threadfuser-regress-$$w-j4.json || exit $$?; \
+		cmp -s /tmp/threadfuser-regress-$$w.json \
+			/tmp/threadfuser-regress-$$w-j4.json \
+			|| { echo "parallel replay diverged for $$w"; exit 5; }; \
+		echo "$$w: -j 4 byte-identical"; \
+	done
 
 # supervised batch analysis of a small workload set (fork isolation,
 # parallel, with deadlines); journal/reports/manifest land in .tfsuite/.

@@ -112,6 +112,40 @@ let ignore_sync =
     & info [ "ignore-sync" ]
         ~doc:"Do not serialize same-lock lanes (lock-oblivious estimate).")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "domains" ] ~docv:"N"
+        ~doc:
+          "Replay worker domains.  Warps shard across an OCaml 5 domain \
+           pool with a deterministic reduction, so any value yields \
+           byte-identical reports.  Defaults to $(b,TF_DOMAINS) when set, \
+           else 1 (sequential).")
+
+let schedule_conv =
+  let parse s =
+    match Threadfuser.Par_replay.schedule_of_string s with
+    | Some sch -> Ok sch
+    | None -> Error (`Msg "schedule must be static or dynamic")
+  in
+  Arg.conv
+    (parse, fun ppf s -> Fmt.string ppf (Threadfuser.Par_replay.schedule_name s))
+
+let schedule_arg =
+  Arg.(
+    value
+    & opt schedule_conv Threadfuser.Par_replay.Static
+    & info [ "schedule" ] ~docv:"POLICY"
+        ~doc:
+          "Warp-to-domain scheduling policy: $(b,static) contiguous chunks \
+           (default) or $(b,dynamic) atomic work pulling for skewed warp \
+           costs.  Output is byte-identical either way.")
+
+let resolve_domains = function
+  | Some d -> max 1 d
+  | None -> Threadfuser.Par_replay.default_domains ()
+
 let options ~warp_size ~ignore_sync =
   {
     Analyzer.default_options with
@@ -214,8 +248,15 @@ let with_obs ~trace_out ~metrics_out f =
   else begin
     Obs.reset ();
     Obs.set_enabled true;
+    (* these outputs exist for timeline inspection: record every
+       occurrence, not the thinned per-(warp, site) default *)
+    Obs.set_full_events true;
     let r =
-      Fun.protect ~finally:(fun () -> Obs.set_enabled false) f
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.set_enabled false;
+          Obs.set_full_events false)
+        f
     in
     obs_export ~trace_out ~metrics_out (Obs.snapshot ());
     r
@@ -230,9 +271,15 @@ let list_cmd =
     Term.(const run $ const ())
 
 let analyze_run () trace_out metrics_out w warp_size level threads scale
-    exclude ignore_sync per_function per_warp timeline blocks json =
+    exclude ignore_sync domains schedule per_function per_warp timeline blocks
+    json =
   let options =
-    { (options ~warp_size ~ignore_sync) with Analyzer.record_timeline = timeline }
+    {
+      (options ~warp_size ~ignore_sync) with
+      Analyzer.record_timeline = timeline;
+      domains = resolve_domains domains;
+      schedule;
+    }
   in
   let r =
     with_obs ~trace_out ~metrics_out (fun () ->
@@ -319,8 +366,8 @@ let analyze_cmd =
     Term.(
       const analyze_run $ setup_term $ trace_out_arg $ metrics_out_arg
       $ workload_pos $ warp_size $ opt_level $ threads
-      $ scale $ exclude $ ignore_sync $ per_function $ per_warp_flag
-      $ timeline_flag $ blocks_flag $ json_flag)
+      $ scale $ exclude $ ignore_sync $ domains_arg $ schedule_arg
+      $ per_function $ per_warp_flag $ timeline_flag $ blocks_flag $ json_flag)
 
 let sweep_run w threads =
   Fmt.pr "warp-width sweep for %s:@." w.W.name;
@@ -418,9 +465,12 @@ let simulate_cmd =
 let profile_run () w warp_size level threads scale trace_out metrics_out =
   Obs.reset ();
   Obs.set_enabled true;
+  Obs.set_full_events true;
   let result =
     Fun.protect
-      ~finally:(fun () -> Obs.set_enabled false)
+      ~finally:(fun () ->
+        Obs.set_enabled false;
+        Obs.set_full_events false)
       (fun () ->
         let tr =
           Obs.span "decode"

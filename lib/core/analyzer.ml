@@ -41,6 +41,8 @@ type options = {
   reconv : Emulator.reconv_mode; (* IPDOM or function-exit-only (ablation) *)
   gen_warp_trace : bool; (* also produce the simulator trace *)
   record_timeline : bool; (* record per-warp occupancy timelines *)
+  domains : int; (* replay domains; 1 = sequential (docs/performance.md) *)
+  schedule : Par_replay.schedule; (* warp-to-domain scheduling policy *)
 }
 
 let default_options =
@@ -51,6 +53,8 @@ let default_options =
     reconv = Emulator.Ipdom_reconv;
     gen_warp_trace = false;
     record_timeline = false;
+    domains = 1;
+    schedule = Par_replay.Static;
   }
 
 (* One folded call stack of the replay flamegraph: frames root-first,
@@ -170,9 +174,19 @@ let build_report (options : options) prog (emu : Emulator.t) ~n_threads ~n_warps
           :: acc)
       emu.Emulator.div_sites []
     |> List.sort (fun (a : Metrics.div_site) b ->
+           (* full tiebreak to (fid, block): sites are keyed by that pair,
+              so the order is total and Hashtbl iteration order (which
+              differs between sequential and shard-merged tables) can
+              never leak into the ranking *)
            compare
-             (b.Metrics.ds_lost_lanes, b.Metrics.ds_splits, a.Metrics.ds_fid)
-             (a.Metrics.ds_lost_lanes, a.Metrics.ds_splits, b.Metrics.ds_fid))
+             ( b.Metrics.ds_lost_lanes,
+               b.Metrics.ds_splits,
+               a.Metrics.ds_fid,
+               a.Metrics.ds_block )
+             ( a.Metrics.ds_lost_lanes,
+               a.Metrics.ds_splits,
+               b.Metrics.ds_fid,
+               b.Metrics.ds_block ))
     |> List.filteri (fun i _ -> i < 20)
   in
   let mem_sites =
@@ -201,9 +215,17 @@ let build_report (options : options) prog (emu : Emulator.t) ~n_threads ~n_warps
           :: acc)
       emu.Emulator.coalesce.Coalesce.sites []
     |> List.sort (fun (a : Metrics.mem_site) b ->
+           (* tiebreak down to ioff — the full site key — for the same
+              total-order reason as divergence_sites above *)
            compare
-             (b.Metrics.ms_excess, a.Metrics.ms_fid, a.Metrics.ms_block)
-             (a.Metrics.ms_excess, b.Metrics.ms_fid, b.Metrics.ms_block))
+             ( b.Metrics.ms_excess,
+               a.Metrics.ms_fid,
+               a.Metrics.ms_block,
+               a.Metrics.ms_ioff )
+             ( a.Metrics.ms_excess,
+               b.Metrics.ms_fid,
+               b.Metrics.ms_block,
+               b.Metrics.ms_ioff ))
     |> List.filteri (fun i _ -> i < 20)
   in
   let c = emu.Emulator.coalesce in
@@ -298,77 +320,141 @@ let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
            ~n_warps:(Array.length warps))
     else None
   in
-  let emu =
-    Emulator.create ?warp_trace:wt_builder prog ipdoms
-      {
-        Emulator.warp_size = options.warp_size;
-        sync = options.sync;
-        reconv = options.reconv;
-        record_timeline = options.record_timeline;
-      }
+  let econfig =
+    {
+      Emulator.warp_size = options.warp_size;
+      sync = options.sync;
+      reconv = options.reconv;
+      record_timeline = options.record_timeline;
+    }
   in
-  let skipped_io = ref 0 and skipped_spin = ref 0 in
-  let skipped_excluded = ref 0 in
-  let per_warp = ref [] in
-  let failures = ref [] in
-  Obs.span "replay"
-    ~args:[ ("warps", string_of_int (Array.length warps)) ]
-    (fun () ->
-      Array.iteri
-        (fun warp_id tids ->
-          let cursors =
-            Array.map (fun tid -> Cursor.of_trace traces.(tid)) tids
-          in
-          let issues0 = emu.Emulator.issues
-          and instrs0 = emu.Emulator.thread_instrs in
-          let replay () =
-            if not !Obs.enabled then Emulator.run_warp ?fuel emu ~warp_id cursors
-            else
-              Obs.span ~track:Obs.replay_track
-                ~args:[ ("lanes", string_of_int (Array.length tids)) ]
-                ("warp " ^ string_of_int warp_id)
-                (fun () ->
-                  Obs.timed h_warp_replay (fun () ->
-                      let r = Emulator.run_warp ?fuel emu ~warp_id cursors in
-                      Obs.Counter.incr c_warps;
-                      r))
-          in
-          (match replay () with
-          | () ->
-              let warp_issues = emu.Emulator.issues - issues0
-              and warp_instrs = emu.Emulator.thread_instrs - instrs0 in
-              per_warp :=
-                {
-                  Metrics.warp_id;
-                  warp_issues;
-                  warp_instrs;
-                  warp_efficiency =
-                    Metrics.efficiency ~issues:warp_issues
-                      ~thread_instrs:warp_instrs ~warp_size:options.warp_size;
-                  lanes = Array.length tids;
-                }
-                :: !per_warp
-          | exception e when catch && not (fatal e) ->
-              Obs.Counter.incr c_warp_failures;
-              let diag = diag_of_exn e in
-              Log.warn "warp replay aborted"
-                ~fields:
-                  [
-                    ("warp", string_of_int warp_id);
-                    ("lanes", string_of_int (Array.length tids));
-                    ("diag", Tf_error.to_string diag);
-                  ];
-              failures :=
-                { fw_warp = warp_id; fw_tids = tids; fw_diag = diag }
-                :: !failures);
-          Array.iter
-            (fun (c : Cursor.t) ->
-              skipped_io := !skipped_io + c.Cursor.skipped_io;
-              skipped_spin := !skipped_spin + c.Cursor.skipped_spin;
-              skipped_excluded := !skipped_excluded + c.Cursor.skipped_excluded)
-            cursors)
-        warps);
-  let failures = List.rev !failures in
+  (* Replay shard: one per worker domain.  The emulator (and the per-warp
+     stat / failure accumulators) are private to the shard, so nothing
+     shared is mutated during replay — the warp-trace builder is shared,
+     but its per-warp streams are preallocated and each domain only
+     touches the streams of its own warps.  Shards merge below in worker
+     order, which makes the output byte-identical at every domain count
+     (docs/performance.md). *)
+  let domains = max 1 options.domains in
+  let module Shard = struct
+    type t = {
+      sh_emu : Emulator.t;
+      mutable sh_per_warp : Metrics.warp_stat list; (* reversed *)
+      mutable sh_failures : warp_failure list; (* reversed *)
+      mutable sh_io : int;
+      mutable sh_spin : int;
+      mutable sh_excluded : int;
+    }
+  end in
+  let new_shard () =
+    {
+      Shard.sh_emu = Emulator.create ?warp_trace:wt_builder prog ipdoms econfig;
+      sh_per_warp = [];
+      sh_failures = [];
+      sh_io = 0;
+      sh_spin = 0;
+      sh_excluded = 0;
+    }
+  in
+  let replay_warp (sh : Shard.t) warp_id =
+    let tids = warps.(warp_id) in
+    let emu = sh.Shard.sh_emu in
+    let cursors = Array.map (fun tid -> Cursor.of_trace traces.(tid)) tids in
+    let issues0 = emu.Emulator.issues
+    and instrs0 = emu.Emulator.thread_instrs in
+    let replay () =
+      if not !Obs.enabled then Emulator.run_warp ?fuel emu ~warp_id cursors
+      else
+        Obs.span ~track:Obs.replay_track
+          ~args:[ ("lanes", Obs.itos (Array.length tids)) ]
+          ("warp " ^ Obs.itos warp_id)
+          (fun () ->
+            Obs.timed h_warp_replay (fun () ->
+                let r = Emulator.run_warp ?fuel emu ~warp_id cursors in
+                Obs.Counter.incr c_warps;
+                r))
+    in
+    (match replay () with
+    | () ->
+        let warp_issues = emu.Emulator.issues - issues0
+        and warp_instrs = emu.Emulator.thread_instrs - instrs0 in
+        sh.Shard.sh_per_warp <-
+          {
+            Metrics.warp_id;
+            warp_issues;
+            warp_instrs;
+            warp_efficiency =
+              Metrics.efficiency ~issues:warp_issues ~thread_instrs:warp_instrs
+                ~warp_size:options.warp_size;
+            lanes = Array.length tids;
+          }
+          :: sh.Shard.sh_per_warp
+    | exception e when catch && not (fatal e) ->
+        Obs.Counter.incr c_warp_failures;
+        let diag = diag_of_exn e in
+        Log.warn "warp replay aborted"
+          ~fields:
+            [
+              ("warp", string_of_int warp_id);
+              ("lanes", string_of_int (Array.length tids));
+              ("diag", Tf_error.to_string diag);
+            ];
+        sh.Shard.sh_failures <-
+          { fw_warp = warp_id; fw_tids = tids; fw_diag = diag }
+          :: sh.Shard.sh_failures);
+    Array.iter
+      (fun (c : Cursor.t) ->
+        sh.Shard.sh_io <- sh.Shard.sh_io + c.Cursor.skipped_io;
+        sh.Shard.sh_spin <- sh.Shard.sh_spin + c.Cursor.skipped_spin;
+        sh.Shard.sh_excluded <- sh.Shard.sh_excluded + c.Cursor.skipped_excluded)
+      cursors
+  in
+  let shards =
+    Obs.span "replay"
+      ~args:
+        [
+          ("warps", string_of_int (Array.length warps));
+          ("domains", string_of_int domains);
+          ("schedule", Par_replay.schedule_name options.schedule);
+        ]
+      (fun () ->
+        Par_replay.map_shards ~domains ~schedule:options.schedule
+          ~n:(Array.length warps) ~init:new_shard ~item:replay_warp)
+  in
+  (* Deterministic reduction: fold every shard into the first, then
+     restore global warp order (static chunks concatenate in order
+     already; dynamic scheduling interleaves, and warp ids are unique, so
+     the sort is total either way). *)
+  let emu =
+    match shards with
+    | s :: rest ->
+        List.iter
+          (fun (r : Shard.t) ->
+            Emulator.merge_into ~dst:s.Shard.sh_emu r.Shard.sh_emu)
+          rest;
+        s.Shard.sh_emu
+    | [] -> assert false (* map_shards always returns >= 1 shard *)
+  in
+  let per_warp =
+    List.concat_map (fun (s : Shard.t) -> List.rev s.Shard.sh_per_warp) shards
+    |> List.sort (fun (a : Metrics.warp_stat) b ->
+           compare a.Metrics.warp_id b.Metrics.warp_id)
+  in
+  let failures =
+    List.concat_map (fun (s : Shard.t) -> List.rev s.Shard.sh_failures) shards
+    |> List.sort (fun a b -> compare a.fw_warp b.fw_warp)
+  in
+  let skipped_io =
+    ref (List.fold_left (fun acc (s : Shard.t) -> acc + s.Shard.sh_io) 0 shards)
+  and skipped_spin =
+    ref
+      (List.fold_left (fun acc (s : Shard.t) -> acc + s.Shard.sh_spin) 0 shards)
+  and skipped_excluded =
+    ref
+      (List.fold_left
+         (fun acc (s : Shard.t) -> acc + s.Shard.sh_excluded)
+         0 shards)
+  in
   let replay_quarantined =
     List.fold_left (fun acc f -> acc + Array.length f.fw_tids) 0 failures
   in
@@ -392,9 +478,8 @@ let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
   in
   let report =
     build_report options prog emu ~n_threads:(Array.length traces)
-      ~n_warps:(Array.length warps) ~per_warp:(List.rev !per_warp)
-      ~skipped_io:!skipped_io ~skipped_spin:!skipped_spin
-      ~skipped_excluded:!skipped_excluded ~coverage
+      ~n_warps:(Array.length warps) ~per_warp ~skipped_io:!skipped_io
+      ~skipped_spin:!skipped_spin ~skipped_excluded:!skipped_excluded ~coverage
   in
   (* fold the per-call-stack accumulation into root-first named stacks *)
   let flame =
@@ -453,7 +538,12 @@ let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
   ( {
       report;
       warp_trace = Option.map Warp_trace.Builder.finish wt_builder;
-      timelines = List.rev emu.Emulator.timelines;
+      timelines =
+        (* warp order, under any shard count (each shard accumulates its
+           timelines reversed; the merged list interleaves shards) *)
+        List.sort
+          (fun (a : Timeline.t) b -> compare a.Timeline.warp_id b.Timeline.warp_id)
+          emu.Emulator.timelines;
       flame;
       dcfgs;
       ipdoms;

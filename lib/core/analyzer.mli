@@ -21,10 +21,19 @@ type options = {
   reconv : Emulator.reconv_mode;
   gen_warp_trace : bool;  (** also produce the simulator trace *)
   record_timeline : bool;  (** record per-warp occupancy timelines *)
+  domains : int;
+      (** replay worker domains; warps are sharded across an OCaml 5
+          domain pool and reduced deterministically, so any value >= 1
+          yields byte-identical output (docs/performance.md).  1 =
+          sequential replay in the calling domain. *)
+  schedule : Par_replay.schedule;
+      (** warp-to-domain scheduling policy; {!Par_replay.Static} unless
+          warp costs are heavily skewed *)
 }
 
 (** warp 32, sequential batching, lock serialization on, IPDOM
-    reconvergence, no warp-trace generation. *)
+    reconvergence, no warp-trace generation, 1 replay domain (static
+    schedule). *)
 val default_options : options
 
 (** One folded call stack of the replay flamegraph ({!result.flame}):

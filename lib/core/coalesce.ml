@@ -69,12 +69,29 @@ type site_counters = {
   mutable a_global_excess : int;
 }
 
+(* Per-segment staging for the allocation-free {!record_lanes} entry
+   point: the current instruction's accesses split by address segment.
+   Growable — a warp-level instruction usually has at most one access per
+   lane, but cracked instructions may carry more. *)
+type seg_scratch = {
+  mutable x_addr : int array;
+  mutable x_size : int array;
+  mutable x_n : int;
+}
+
 type t = {
   stack : seg_counters;
   heap : seg_counters;
   global : seg_counters;
   sites : (int * int * int, site_counters) Hashtbl.t;
+  xs : seg_scratch array; (* staging per segment: stack, heap, global *)
+  mutable lines_buf : int array; (* 32 B line ids of one access set *)
+  evt_seen : (int, unit) Hashtbl.t;
+      (* sites whose "serialized access" instant already fired this warp
+         (see [new_warp]); unused under [Obs.full_events] *)
 }
+
+let seg_scratch () = { x_addr = Array.make 64 0; x_size = Array.make 64 0; x_n = 0 }
 
 let create () =
   {
@@ -82,7 +99,16 @@ let create () =
     heap = seg_counters ();
     global = seg_counters ();
     sites = Hashtbl.create 64;
+    xs = [| seg_scratch (); seg_scratch (); seg_scratch () |];
+    lines_buf = Array.make 128 0;
+    evt_seen = Hashtbl.create 32;
   }
+
+(* Called when a warp's replay starts: per-occurrence instants are
+   thinned to the first occurrence per (warp, site) unless
+   [Obs.full_events] — warp-confined thinning state keeps the surviving
+   event set identical at every domain count (counters stay exact). *)
+let new_warp t = Hashtbl.reset t.evt_seen
 
 let site_counters t key =
   match Hashtbl.find_opt t.sites key with
@@ -113,18 +139,75 @@ let seg t (segment : Layout.segment) =
   | Layout.Heap -> t.heap
   | Layout.Global -> t.global
 
-(** Record one warp-level memory instruction: [lanes] is the (addr, size)
-    list over active lanes.  Accesses are split by segment and coalesced
-    within each; returns the total transaction count.  [site] attributes
-    the instruction (and any transactions beyond the perfectly-coalesced
-    minimum) to its originating [(fid, block, ioff)] instruction site. *)
-let record t ~is_store ?site (lanes : (int * int) list) =
-  let by_seg = [ (Layout.Stack, ref []); (Layout.Heap, ref []); (Layout.Global, ref []) ] in
-  List.iter
-    (fun (addr, size) ->
-      let cell = List.assoc (Layout.segment_of addr) by_seg in
-      cell := (addr, size) :: !cell)
-    lanes;
+let segment_of_index = function
+  | 0 -> Layout.Stack
+  | 1 -> Layout.Heap
+  | _ -> Layout.Global
+
+let seg_index = function Layout.Stack -> 0 | Layout.Heap -> 1 | Layout.Global -> 2
+
+let push_scratch (x : seg_scratch) addr size =
+  let n = x.x_n in
+  if n = Array.length x.x_addr then begin
+    let grow a =
+      let b = Array.make (2 * n) 0 in
+      Array.blit a 0 b 0 n;
+      b
+    in
+    x.x_addr <- grow x.x_addr;
+    x.x_size <- grow x.x_size
+  end;
+  x.x_addr.(n) <- addr;
+  x.x_size.(n) <- size;
+  x.x_n <- n + 1
+
+(* Distinct 32 B lines of the staged accesses, allocation-free: gather the
+   covered line ids into [t.lines_buf], insertion-sort the prefix (a warp
+   touches a handful of lines), count distinct.  Same result as the
+   Hashtbl-based {!count_transactions}. *)
+let count_transactions_scratch t (x : seg_scratch) =
+  let nl = ref 0 in
+  for i = 0 to x.x_n - 1 do
+    let first = x.x_addr.(i) / transaction_bytes
+    and last = (x.x_addr.(i) + max 1 x.x_size.(i) - 1) / transaction_bytes in
+    for line = first to last do
+      if !nl = Array.length t.lines_buf then begin
+        let b = Array.make (2 * !nl) 0 in
+        Array.blit t.lines_buf 0 b 0 !nl;
+        t.lines_buf <- b
+      end;
+      t.lines_buf.(!nl) <- line;
+      incr nl
+    done
+  done;
+  let buf = t.lines_buf in
+  for i = 1 to !nl - 1 do
+    let v = buf.(i) in
+    let j = ref (i - 1) in
+    while !j >= 0 && buf.(!j) > v do
+      buf.(!j + 1) <- buf.(!j);
+      decr j
+    done;
+    buf.(!j + 1) <- v
+  done;
+  let distinct = ref 0 in
+  for i = 0 to !nl - 1 do
+    if i = 0 || buf.(i) <> buf.(i - 1) then incr distinct
+  done;
+  !distinct
+
+(** Record one warp-level memory instruction from parallel arrays:
+    [addrs]/[sizes][0..n-1] are the active lanes' accesses.  The
+    allocation-free hot-path twin of {!record}: identical accounting
+    (segment split, site attribution, Obs instruments), returns the total
+    transaction count. *)
+let record_lanes t ~is_store ?site ~n (addrs : int array) (sizes : int array) =
+  t.xs.(0).x_n <- 0;
+  t.xs.(1).x_n <- 0;
+  t.xs.(2).x_n <- 0;
+  for i = 0 to n - 1 do
+    push_scratch t.xs.(seg_index (Layout.segment_of addrs.(i))) addrs.(i) sizes.(i)
+  done;
   let site_cell =
     match site with
     | None -> None
@@ -133,56 +216,115 @@ let record t ~is_store ?site (lanes : (int * int) list) =
         c.a_issues <- c.a_issues + 1;
         Some c
   in
-  List.fold_left
-    (fun total (segment, cell) ->
-      match !cell with
-      | [] -> total
-      | accesses ->
-          let txns = count_transactions accesses in
-          (match site_cell with
-          | None -> ()
-          | Some c ->
-              let min_txns = min_transactions accesses in
-              let excess = max 0 (txns - min_txns) in
-              c.a_txns <- c.a_txns + txns;
-              c.a_min_txns <- c.a_min_txns + min_txns;
-              (match segment with
-              | Layout.Stack -> c.a_stack_excess <- c.a_stack_excess + excess
-              | Layout.Heap -> c.a_heap_excess <- c.a_heap_excess + excess
-              | Layout.Global -> c.a_global_excess <- c.a_global_excess + excess));
-          if !Obs.enabled then begin
-            let lanes = List.length accesses in
-            Obs.Counter.incr c_mem_instrs;
-            Obs.Counter.add c_mem_txns txns;
-            Obs.Histogram.observe h_txns_per_instr (float_of_int txns);
-            if txns = 1 then Obs.Counter.incr c_mem_coalesced
-            else if txns >= lanes && lanes > 1 then begin
-              (* worst case: the instruction degenerated to one transaction
-                 per lane — surface it on the memory track *)
-              Obs.Counter.incr c_mem_serialized;
-              Obs.instant ~track:Obs.memory_track "serialized access"
-                ~args:
-                  [
-                    ("segment", Layout.segment_name segment);
-                    ("txns", string_of_int txns);
-                    ("lanes", string_of_int lanes);
-                    ("store", string_of_bool is_store);
-                  ]
-            end
-          end;
-          let c = seg t segment in
-          if is_store then begin
-            c.st_txns <- c.st_txns + txns;
-            c.st_issues <- c.st_issues + 1;
-            c.st_lanes <- c.st_lanes + List.length accesses
-          end
-          else begin
-            c.ld_txns <- c.ld_txns + txns;
-            c.ld_issues <- c.ld_issues + 1;
-            c.ld_lanes <- c.ld_lanes + List.length accesses
-          end;
-          total + txns)
-    0 by_seg
+  let total = ref 0 in
+  for si = 0 to 2 do
+    let x = t.xs.(si) in
+    if x.x_n > 0 then begin
+      let segment = segment_of_index si in
+      let txns = count_transactions_scratch t x in
+      (match site_cell with
+      | None -> ()
+      | Some c ->
+          let bytes = ref 0 in
+          for i = 0 to x.x_n - 1 do
+            bytes := !bytes + max 1 x.x_size.(i)
+          done;
+          let min_txns = max 1 ((!bytes + transaction_bytes - 1) / transaction_bytes) in
+          let excess = max 0 (txns - min_txns) in
+          c.a_txns <- c.a_txns + txns;
+          c.a_min_txns <- c.a_min_txns + min_txns;
+          (match segment with
+          | Layout.Stack -> c.a_stack_excess <- c.a_stack_excess + excess
+          | Layout.Heap -> c.a_heap_excess <- c.a_heap_excess + excess
+          | Layout.Global -> c.a_global_excess <- c.a_global_excess + excess));
+      if !Obs.enabled then begin
+        let lanes = x.x_n in
+        Obs.Counter.incr c_mem_instrs;
+        Obs.Counter.add c_mem_txns txns;
+        Obs.Histogram.observe h_txns_per_instr (float_of_int txns);
+        if txns = 1 then Obs.Counter.incr c_mem_coalesced
+        else if txns >= lanes && lanes > 1 then begin
+          (* worst case: the instruction degenerated to one transaction
+             per lane — surface it on the memory track *)
+          Obs.Counter.incr c_mem_serialized;
+          let key =
+            match site with
+            | Some (fid, block, ioff) ->
+                (fid lsl 40) lor (block lsl 20) lor ioff
+            | None -> -1
+          in
+          if
+            !Obs.full_events
+            || (not (Hashtbl.mem t.evt_seen key))
+               && begin
+                    Hashtbl.add t.evt_seen key ();
+                    true
+                  end
+          then
+            Obs.instant ~track:Obs.memory_track "serialized access"
+            ~args:
+              [
+                ("segment", Layout.segment_name segment);
+                ("txns", Obs.itos txns);
+                ("lanes", Obs.itos lanes);
+                ("store", string_of_bool is_store);
+              ]
+        end
+      end;
+      let c = seg t segment in
+      if is_store then begin
+        c.st_txns <- c.st_txns + txns;
+        c.st_issues <- c.st_issues + 1;
+        c.st_lanes <- c.st_lanes + x.x_n
+      end
+      else begin
+        c.ld_txns <- c.ld_txns + txns;
+        c.ld_issues <- c.ld_issues + 1;
+        c.ld_lanes <- c.ld_lanes + x.x_n
+      end;
+      total := !total + txns
+    end
+  done;
+  !total
+
+(** Record one warp-level memory instruction: [lanes] is the (addr, size)
+    list over active lanes.  Convenience wrapper over {!record_lanes} for
+    tests and cold call sites. *)
+let record t ~is_store ?site (lanes : (int * int) list) =
+  let n = List.length lanes in
+  let addrs = Array.make (max n 1) 0 and sizes = Array.make (max n 1) 0 in
+  List.iteri
+    (fun i (a, s) ->
+      addrs.(i) <- a;
+      sizes.(i) <- s)
+    lanes;
+  record_lanes t ~is_store ?site ~n addrs sizes
+
+(** Fold [src]'s counters into [dst] — the shard reduction of the
+    domain-parallel replay (see Par_replay): every field is a sum, so the
+    merged totals equal a sequential run's. *)
+let merge_into ~dst src =
+  let merge_seg (d : seg_counters) (s : seg_counters) =
+    d.ld_txns <- d.ld_txns + s.ld_txns;
+    d.st_txns <- d.st_txns + s.st_txns;
+    d.ld_issues <- d.ld_issues + s.ld_issues;
+    d.st_issues <- d.st_issues + s.st_issues;
+    d.ld_lanes <- d.ld_lanes + s.ld_lanes;
+    d.st_lanes <- d.st_lanes + s.st_lanes
+  in
+  merge_seg dst.stack src.stack;
+  merge_seg dst.heap src.heap;
+  merge_seg dst.global src.global;
+  Hashtbl.iter
+    (fun key (c : site_counters) ->
+      let d = site_counters dst key in
+      d.a_issues <- d.a_issues + c.a_issues;
+      d.a_txns <- d.a_txns + c.a_txns;
+      d.a_min_txns <- d.a_min_txns + c.a_min_txns;
+      d.a_stack_excess <- d.a_stack_excess + c.a_stack_excess;
+      d.a_heap_excess <- d.a_heap_excess + c.a_heap_excess;
+      d.a_global_excess <- d.a_global_excess + c.a_global_excess)
+    src.sites
 
 let totals t =
   let f c = (c.ld_txns + c.st_txns, c.ld_issues + c.st_issues) in

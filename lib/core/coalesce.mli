@@ -29,14 +29,26 @@ type site_counters = {
   mutable a_global_excess : int;
 }
 
+type seg_scratch
+(** Internal staging for the allocation-free record path. *)
+
 type t = {
   stack : seg_counters;
   heap : seg_counters;
   global : seg_counters;
   sites : (int * int * int, site_counters) Hashtbl.t;
+  xs : seg_scratch array;
+  mutable lines_buf : int array;
+  evt_seen : (int, unit) Hashtbl.t;
 }
 
 val create : unit -> t
+
+(** Reset the per-warp instant-thinning state; {!Emulator.run_warp}
+    calls this when a warp's replay starts.  Unless [Obs.full_events] is
+    on, the "serialized access" instant fires once per (warp, site) —
+    counters still count every occurrence. *)
+val new_warp : t -> unit
 
 (** Perfectly-coalesced floor for an access set: the 32 B lines needed if
     the same bytes were laid out contiguously (at least 1). *)
@@ -47,6 +59,23 @@ val min_transactions : (int * int) list -> int
     [site] attributes the instruction and its excess transactions to an
     [(fid, block, ioff)] instruction site. *)
 val record : t -> is_store:bool -> ?site:int * int * int -> (int * int) list -> int
+
+(** Allocation-free twin of {!record} over parallel arrays
+    [addrs]/[sizes][0..n-1] — the replay hot path ({!Emulator.count_block}
+    stages each instruction's accesses into reusable buffers).  Identical
+    accounting and return value. *)
+val record_lanes :
+  t ->
+  is_store:bool ->
+  ?site:int * int * int ->
+  n:int ->
+  int array ->
+  int array ->
+  int
+
+(** Fold [src]'s counters into [dst] (shard reduction of the
+    domain-parallel replay); every field is a sum. *)
+val merge_into : dst:t -> t -> unit
 
 (** Total (transactions, warp-level memory instructions) over all segments. *)
 val totals : t -> int * int

@@ -111,6 +111,33 @@ type blame = ((int * int) * int) list
    stack (leaf first) -> lock-step issues and lost-lane issue slots. *)
 type flame_cell = { mutable fc_issues : int; mutable fc_lost : int }
 
+(* Reusable hot-path buffers (the replay allocation diet): one warp
+   replays at a time per emulator, so [count_block] and [regroup] borrow
+   these instead of allocating per block / per instruction.  The [ld_*] /
+   [st_*] triples gather the current instruction's memory accesses
+   (growable: a lane may access several addresses per instruction); the
+   [grp_*] pair collects the distinct branch targets of a regroup. *)
+type scratch = {
+  lane_ids : int array; (* active lanes of the current block, ascending *)
+  lane_accs : Event.access array array;
+  lane_ptr : int array; (* per-active-lane read pointer *)
+  mutable n_lanes : int;
+  mutable ld_lane : int array;
+  mutable ld_addr : int array;
+  mutable ld_size : int array;
+  mutable n_ld : int;
+  mutable st_lane : int array;
+  mutable st_addr : int array;
+  mutable st_size : int array;
+  mutable n_st : int;
+  grp_target : int array; (* distinct regroup targets, first-seen order *)
+  mutable grp_mask : Mask.t array;
+  mutable n_groups : int;
+  evt_seen : (int, unit) Hashtbl.t;
+      (* replay instants already emitted this warp (cleared per warp);
+         keys encode kind|func|block.  Unused under [Obs.full_events]. *)
+}
+
 type t = {
   prog : Program.t;
   ipdoms : Ipdom.t array; (* per function *)
@@ -133,9 +160,13 @@ type t = {
   div_sites : (int * int, div_site_cell) Hashtbl.t; (* (fid, block) sites *)
   flame : (int list, flame_cell) Hashtbl.t; (* call stack (leaf first) *)
   mutable call_stack : int list; (* replaying warp's frames, leaf first *)
+  mutable flame_cur : flame_cell option; (* cached cell for [call_stack] *)
+  mutable obs_on : bool; (* [!Obs.enabled] cached per replay *)
+  scratch : scratch;
 }
 
 let create ?(warp_trace : Warp_trace.Builder.t option) prog ipdoms config =
+  let ws = config.warp_size in
   {
     prog;
     ipdoms;
@@ -162,7 +193,53 @@ let create ?(warp_trace : Warp_trace.Builder.t option) prog ipdoms config =
     div_sites = Hashtbl.create 64;
     flame = Hashtbl.create 64;
     call_stack = [];
+    flame_cur = None;
+    obs_on = false;
+    scratch =
+      {
+        lane_ids = Array.make ws 0;
+        lane_accs = Array.make ws [||];
+        lane_ptr = Array.make ws 0;
+        n_lanes = 0;
+        ld_lane = Array.make ws 0;
+        ld_addr = Array.make ws 0;
+        ld_size = Array.make ws 0;
+        n_ld = 0;
+        st_lane = Array.make ws 0;
+        st_addr = Array.make ws 0;
+        st_size = Array.make ws 0;
+        n_st = 0;
+        grp_target = Array.make ws 0;
+        grp_mask = Array.make ws Mask.empty;
+        n_groups = 0;
+        evt_seen = Hashtbl.create 32;
+      };
   }
+
+(* Every [call_stack] change goes through here so the flamegraph cell for
+   the current stack can be cached instead of hashed per block. *)
+let set_call_stack t cs =
+  t.call_stack <- cs;
+  t.flame_cur <- None
+
+(* Should this replay instant be emitted?  Per-occurrence instants
+   dominate the cost of an enabled collector, so unless
+   [Obs.full_events] is on they are thinned to the first occurrence per
+   (warp, site): [evt_seen] is cleared when a warp starts, and because a
+   warp never spans domains the surviving event set is a pure function
+   of the warp list — identical at every [domains].  Counters are not
+   thinned.  [key] packs kind|func|site into an int to keep the lookup
+   allocation-free. *)
+let emit_instant t key =
+  !Obs.full_events
+  ||
+  (not (Hashtbl.mem t.scratch.evt_seen key))
+  && begin
+       Hashtbl.add t.scratch.evt_seen key ();
+       true
+     end
+
+let evt_key tag func v = (tag lsl 58) lor (func lsl 29) lor v
 
 let div_site_cell t key kind =
   match Hashtbl.find_opt t.div_sites key with
@@ -185,17 +262,50 @@ let exit_node t fid = (Program.func t.prog fid).Program.blocks |> Array.length
 (* ------------------------------------------------------------------ *)
 (* Block execution: accounting, coalescing, warp-trace emission.       *)
 
-(* Execute block [block] of [func] for the lanes in [lane_accesses]
-   ((lane, trace accesses) pairs).  All bookkeeping lives here so the
-   lock-step path and the scalar serialized path stay consistent.
-   [blame] is the chain of divergence sites enclosing this execution;
-   each is charged its marginal lost-lane cost per issue. *)
-let count_block t ~func ~block ~mask ~(blame : blame)
-    ~(lane_accesses : (int * Event.access array) list) =
+(* Growable push into the load/store gather buffers. *)
+let push_mem s ~is_store lane addr size =
+  let grow n a =
+    let b = Array.make (2 * n) 0 in
+    Array.blit a 0 b 0 n;
+    b
+  in
+  if is_store then begin
+    let n = s.n_st in
+    if n = Array.length s.st_lane then begin
+      s.st_lane <- grow n s.st_lane;
+      s.st_addr <- grow n s.st_addr;
+      s.st_size <- grow n s.st_size
+    end;
+    s.st_lane.(n) <- lane;
+    s.st_addr.(n) <- addr;
+    s.st_size.(n) <- size;
+    s.n_st <- n + 1
+  end
+  else begin
+    let n = s.n_ld in
+    if n = Array.length s.ld_lane then begin
+      s.ld_lane <- grow n s.ld_lane;
+      s.ld_addr <- grow n s.ld_addr;
+      s.ld_size <- grow n s.ld_size
+    end;
+    s.ld_lane.(n) <- lane;
+    s.ld_addr.(n) <- addr;
+    s.ld_size.(n) <- size;
+    s.n_ld <- n + 1
+  end
+
+(* Execute block [block] of [func] for the active lanes staged in
+   [t.scratch] ([lane_ids]/[lane_accs][0..n_lanes), ascending lane order).
+   All bookkeeping lives here so the lock-step path and the scalar
+   serialized path stay consistent.  [blame] is the chain of divergence
+   sites enclosing this execution; each is charged its marginal lost-lane
+   cost per issue.  Allocation-free apart from warp-trace cracking. *)
+let count_block t ~func ~block ~mask ~(blame : blame) =
+  let s = t.scratch in
   let f = Program.func t.prog func in
   let instrs = f.Program.blocks.(block).Program.instrs in
   let n = Array.length instrs in
-  let active = List.length lane_accesses in
+  let active = s.n_lanes in
   Obs.Counter.incr c_blocks;
   t.issues <- t.issues + n;
   t.thread_instrs <- t.thread_instrs + (n * active);
@@ -206,7 +316,14 @@ let count_block t ~func ~block ~mask ~(blame : blame)
         c.sc_lost <- c.sc_lost + (n * lost)
       end)
     blame;
-  (let fc = flame_cell t t.call_stack in
+  (let fc =
+     match t.flame_cur with
+     | Some fc -> fc
+     | None ->
+         let fc = flame_cell t t.call_stack in
+         t.flame_cur <- Some fc;
+         fc
+   in
    fc.fc_issues <- fc.fc_issues + n;
    fc.fc_lost <- fc.fc_lost + (n * (t.config.warp_size - active)));
   (match t.tl_current with
@@ -217,48 +334,60 @@ let count_block t ~func ~block ~mask ~(blame : blame)
   t.block_issues.(func).(block) <- t.block_issues.(func).(block) + n;
   t.block_instrs.(func).(block) <- t.block_instrs.(func).(block) + (n * active);
   (* Per-lane read pointers into the (ioff-sorted) access arrays. *)
-  let ptrs = List.map (fun (lane, accs) -> (lane, accs, ref 0)) lane_accesses in
+  for i = 0 to active - 1 do
+    s.lane_ptr.(i) <- 0
+  done;
   let emit_wt = t.wt in
   for ioff = 0 to n - 1 do
-    let loads = ref [] and stores = ref [] in
-    (* gathered as (lane, addr, size), newest first *)
-    List.iter
-      (fun (lane, accs, p) ->
-        while
-          !p < Array.length accs && accs.(!p).Event.ioff = ioff
-        do
-          let a = accs.(!p) in
-          if a.Event.is_store then stores := (lane, a.Event.addr, a.Event.size) :: !stores
-          else loads := (lane, a.Event.addr, a.Event.size) :: !loads;
-          incr p
-        done)
-      ptrs;
-    if !loads <> [] then
+    s.n_ld <- 0;
+    s.n_st <- 0;
+    for i = 0 to active - 1 do
+      let accs = s.lane_accs.(i) in
+      let len = Array.length accs in
+      let p = ref s.lane_ptr.(i) in
+      while !p < len && accs.(!p).Event.ioff = ioff do
+        let a = accs.(!p) in
+        push_mem s ~is_store:a.Event.is_store s.lane_ids.(i) a.Event.addr
+          a.Event.size;
+        incr p
+      done;
+      s.lane_ptr.(i) <- !p
+    done;
+    if s.n_ld > 0 then
       ignore
-        (Coalesce.record t.coalesce ~is_store:false ~site:(func, block, ioff)
-           (List.map (fun (_, a, s) -> (a, s)) !loads));
-    if !stores <> [] then
+        (Coalesce.record_lanes t.coalesce ~is_store:false
+           ~site:(func, block, ioff) ~n:s.n_ld s.ld_addr s.ld_size);
+    if s.n_st > 0 then
       ignore
-        (Coalesce.record t.coalesce ~is_store:true ~site:(func, block, ioff)
-           (List.map (fun (_, a, s) -> (a, s)) !stores));
+        (Coalesce.record_lanes t.coalesce ~is_store:true
+           ~site:(func, block, ioff) ~n:s.n_st s.st_addr s.st_size);
     match emit_wt with
     | None -> ()
     | Some wt ->
-        let lane_addrs accesses =
-          match accesses with
-          | [] -> None
-          | l ->
-              let a = Array.make t.config.warp_size (-1) in
-              List.iter (fun (lane, addr, _) -> a.(lane) <- addr) l;
-              Some a
+        (* A lane's first access at this [ioff] wins, matching the
+           newest-first list gather this replaced (later entries of that
+           list were older and overwrote). *)
+        let lane_addrs count lanes addrs =
+          if count = 0 then None
+          else begin
+            let a = Array.make t.config.warp_size (-1) in
+            for i = 0 to count - 1 do
+              if a.(lanes.(i)) < 0 then a.(lanes.(i)) <- addrs.(i)
+            done;
+            Some a
+          end
         in
         let size =
-          match (!loads, !stores) with
-          | (_, _, s) :: _, _ | _, (_, _, s) :: _ -> s
-          | [], [] -> 0
+          if s.n_ld > 0 then s.ld_size.(s.n_ld - 1)
+          else if s.n_st > 0 then s.st_size.(s.n_st - 1)
+          else 0
         in
         let mem =
-          { Crack.load = lane_addrs !loads; store = lane_addrs !stores; size }
+          {
+            Crack.load = lane_addrs s.n_ld s.ld_lane s.ld_addr;
+            store = lane_addrs s.n_st s.st_lane s.st_addr;
+            size;
+          }
         in
         List.iter
           (fun op -> Warp_trace.Builder.emit wt ~warp:t.wt_warp mask op)
@@ -334,20 +463,22 @@ let scalar_critical_section ?(fuel : fuel = None) ~warp_id ~(blame : blame) t
   let c = cursors.(lane) in
   let before = t.thread_instrs in
   let saved_stack = t.call_stack in
+  let s = t.scratch in
   let rec go () =
     burn fuel ~warp_id;
     match Cursor.next c with
     | Cursor.C_block { func; block; accesses; _ } ->
-        ignore
-          (count_block t ~func ~block ~mask:(Mask.singleton lane) ~blame
-             ~lane_accesses:[ (lane, accesses) ]);
+        s.n_lanes <- 1;
+        s.lane_ids.(0) <- lane;
+        s.lane_accs.(0) <- accesses;
+        ignore (count_block t ~func ~block ~mask:(Mask.singleton lane) ~blame);
         go ()
     | Cursor.C_call f ->
-        t.call_stack <- f :: t.call_stack;
+        set_call_stack t (f :: t.call_stack);
         go ()
     | Cursor.C_ret ->
         (match t.call_stack with
-        | _ :: (_ :: _ as rest) -> t.call_stack <- rest
+        | _ :: (_ :: _ as rest) -> set_call_stack t rest
         | _ -> ());
         go ()
     | Cursor.C_lock _ ->
@@ -361,7 +492,7 @@ let scalar_critical_section ?(fuel : fuel = None) ~warp_id ~(blame : blame) t
            never released)"
           lane lock_addr
   in
-  Fun.protect ~finally:(fun () -> t.call_stack <- saved_stack) go;
+  Fun.protect ~finally:(fun () -> set_call_stack t saved_stack) go;
   Obs.Counter.add c_serialized_instrs (t.thread_instrs - before);
   t.serialized_instrs <- t.serialized_instrs + (t.thread_instrs - before)
 
@@ -370,65 +501,87 @@ let scalar_critical_section ?(fuel : fuel = None) ~warp_id ~(blame : blame) t
    split: a plain divergent branch, or lock serialization scattering the
    lanes ([Sync_site], from {!handle_locks}). *)
 let regroup ?(kind = Branch_site) t stack (e : entry) block cursors =
-  let lanes = Mask.to_list e.e_mask in
-  let targets =
-    List.map
-      (fun lane ->
-        match Cursor.peek cursors.(lane) with
-        | Cursor.C_block b when b.func = e.e_func -> (lane, b.block)
-        | c ->
-            errf "lane %d: expected a block of f%d after f%d.b%d, got %s" lane
-              e.e_func e.e_func block
-              (match c with
-              | Cursor.C_block b -> Printf.sprintf "block f%d.b%d" b.func b.block
-              | Cursor.C_call _ -> "call"
-              | Cursor.C_ret -> "return"
-              | Cursor.C_lock _ -> "lock"
-              | Cursor.C_unlock _ -> "unlock"
-              | Cursor.C_barrier _ -> "barrier"
-              | Cursor.C_end -> "end of trace"))
-      lanes
+  let s = t.scratch in
+  s.n_groups <- 0;
+  (* Group the active lanes by their next block: linear scan over the
+     (few) distinct targets, no Hashtbl, no lane list. *)
+  let parent_lanes =
+    Mask.fold
+      (fun n lane ->
+        let target =
+          match Cursor.peek cursors.(lane) with
+          | Cursor.C_block b when b.func = e.e_func -> b.block
+          | c ->
+              errf "lane %d: expected a block of f%d after f%d.b%d, got %s" lane
+                e.e_func e.e_func block
+                (match c with
+                | Cursor.C_block b ->
+                    Printf.sprintf "block f%d.b%d" b.func b.block
+                | Cursor.C_call _ -> "call"
+                | Cursor.C_ret -> "return"
+                | Cursor.C_lock _ -> "lock"
+                | Cursor.C_unlock _ -> "unlock"
+                | Cursor.C_barrier _ -> "barrier"
+                | Cursor.C_end -> "end of trace")
+        in
+        let g = ref (-1) in
+        for j = 0 to s.n_groups - 1 do
+          if s.grp_target.(j) = target then g := j
+        done;
+        if !g >= 0 then s.grp_mask.(!g) <- Mask.add s.grp_mask.(!g) lane
+        else begin
+          s.grp_target.(s.n_groups) <- target;
+          s.grp_mask.(s.n_groups) <- Mask.singleton lane;
+          s.n_groups <- s.n_groups + 1
+        end;
+        n + 1)
+      0 e.e_mask
   in
-  let groups = Hashtbl.create 4 in
-  List.iter
-    (fun (lane, target) ->
-      let mask = try Hashtbl.find groups target with Not_found -> Mask.empty in
-      Hashtbl.replace groups target (Mask.add mask lane))
-    targets;
-  if Hashtbl.length groups = 1 then
-    Hashtbl.iter (fun target _ -> e.pc <- target) groups
+  if s.n_groups = 1 then e.pc <- s.grp_target.(0)
   else begin
     Obs.Counter.incr c_div_splits;
     let site = (e.e_func, block) in
     let cell = div_site_cell t site kind in
     cell.sc_splits <- cell.sc_splits + 1;
     if kind = Sync_site then cell.sc_kind <- Sync_site;
-    if !Obs.enabled then
+    if t.obs_on && emit_instant t (evt_key 0 e.e_func block) then
       Obs.instant ~track:Obs.divergence_track "divergence split"
         ~args:
           [
-            ("func", string_of_int e.e_func);
-            ("block", string_of_int block);
-            ("paths", string_of_int (Hashtbl.length groups));
-            ("lanes", string_of_int (List.length lanes));
+            ("func", Obs.itos e.e_func);
+            ("block", Obs.itos block);
+            ("paths", Obs.itos s.n_groups);
+            ("lanes", Obs.itos parent_lanes);
             ("kind", (match kind with Branch_site -> "branch" | Sync_site -> "sync"));
           ];
-    let distinct = Hashtbl.fold (fun target _ acc -> target :: acc) groups [] in
-    let r = reconv_for t e distinct in
-    let parent_lanes = List.length lanes in
+    (* Sort the groups by target (insertion sort over a handful of
+       entries): the NCP fold is order-insensitive, and the children push
+       below gets the same ascending-target order the old
+       [List.sort compare] produced. *)
+    for i = 1 to s.n_groups - 1 do
+      let tg = s.grp_target.(i) and mk = s.grp_mask.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && s.grp_target.(!j) > tg do
+        s.grp_target.(!j + 1) <- s.grp_target.(!j);
+        s.grp_mask.(!j + 1) <- s.grp_mask.(!j);
+        decr j
+      done;
+      s.grp_target.(!j + 1) <- tg;
+      s.grp_mask.(!j + 1) <- mk
+    done;
+    let distinct = ref [] in
+    for j = s.n_groups - 1 downto 0 do
+      distinct := s.grp_target.(j) :: !distinct
+    done;
+    let r = reconv_for t e !distinct in
     e.pc <- r;
     (* Push one child per distinct destination (other than the
        reconvergence point itself), deterministically ordered.  Each child
        extends the blame chain with this site: while it executes, the
        lanes parked on the sibling paths are this split's fault. *)
-    let children =
-      Hashtbl.fold
-        (fun target mask acc -> if target = r then acc else (target, mask) :: acc)
-        groups []
-      |> List.sort compare
-    in
-    List.iter
-      (fun (target, mask) ->
+    for j = 0 to s.n_groups - 1 do
+      let target = s.grp_target.(j) and mask = s.grp_mask.(j) in
+      if target <> r then
         Vec.push stack
           {
             e_func = e.e_func;
@@ -437,8 +590,8 @@ let regroup ?(kind = Branch_site) t stack (e : entry) block cursors =
             e_mask = mask;
             e_blame = (site, parent_lanes - Mask.count mask) :: e.e_blame;
             e_frame = false;
-          })
-      children
+          }
+    done
   end
 
 (* Handle the lock-acquire terminator: consume the lock events, serialize
@@ -473,13 +626,13 @@ let handle_locks ?(fuel : fuel = None) ~warp_id t stack (e : entry) block
       if List.length addrs > 1 then begin
         t.serializations <- t.serializations + 1;
         Obs.Counter.incr c_lock_serializations;
-        if !Obs.enabled then
+        if t.obs_on && emit_instant t (evt_key 1 e.e_func block) then
           Obs.instant ~track:Obs.sync_track "lock serialization"
             ~args:
               [
-                ("contenders", string_of_int (List.length addrs));
-                ("func", string_of_int e.e_func);
-                ("block", string_of_int block);
+                ("contenders", Obs.itos (List.length addrs));
+                ("func", Obs.itos e.e_func);
+                ("block", Obs.itos block);
               ];
         let blame = serial_blame ~contenders:(List.length addrs) in
         List.iter
@@ -505,14 +658,14 @@ let handle_locks ?(fuel : fuel = None) ~warp_id t stack (e : entry) block
         (fun (a, lanes) ->
           t.serializations <- t.serializations + 1;
           Obs.Counter.incr c_lock_serializations;
-          if !Obs.enabled then
+          if t.obs_on && emit_instant t (evt_key 1 e.e_func block) then
             Obs.instant ~track:Obs.sync_track "lock serialization"
               ~args:
                 [
                   ("lock", Printf.sprintf "0x%x" a);
-                  ("contenders", string_of_int (List.length lanes));
-                  ("func", string_of_int e.e_func);
-                  ("block", string_of_int block);
+                  ("contenders", Obs.itos (List.length lanes));
+                  ("func", Obs.itos e.e_func);
+                  ("block", Obs.itos block);
                 ];
           let blame = serial_blame ~contenders:(List.length lanes) in
           List.iter
@@ -533,6 +686,9 @@ let handle_locks ?(fuel : fuel = None) ~warp_id t stack (e : entry) block
 let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
   let fuel : fuel = Option.map ref fuel in
   t.wt_warp <- warp_id;
+  t.obs_on <- !Obs.enabled;
+  Hashtbl.reset t.scratch.evt_seen;
+  Coalesce.new_warp t.coalesce;
   if t.config.record_timeline then
     t.tl_current <- Some (Vec.create ~capacity:256 { Timeline.n_instr = 0; active = 0 });
   let n_lanes = Array.length cursors in
@@ -565,22 +721,23 @@ let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
         e_blame = [];
         e_frame = true;
       };
-    t.call_stack <- [ worker ];
+    set_call_stack t [ worker ];
+    let s = t.scratch in
     while not (Vec.is_empty stack) do
       burn fuel ~warp_id;
       let e = Vec.top stack in
       if e.pc = e.e_reconv then begin
         Obs.Counter.incr c_reconv;
-        if !Obs.enabled then
+        if t.obs_on && emit_instant t (evt_key 2 e.e_func e.pc) then
           Obs.instant ~track:Obs.divergence_track "reconverge"
             ~args:
               [
-                ("func", string_of_int e.e_func);
-                ("node", string_of_int e.pc);
-                ("lanes", string_of_int (Mask.count e.e_mask));
+                ("func", Obs.itos e.e_func);
+                ("node", Obs.itos e.pc);
+                ("lanes", Obs.itos (Mask.count e.e_mask));
               ];
         if e.e_frame then
-          t.call_stack <-
+          set_call_stack t
             (match t.call_stack with _ :: rest -> rest | [] -> []);
         ignore (Vec.pop stack)
       end
@@ -588,30 +745,30 @@ let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
         errf "warp %d: entry reached f%d's exit without popping" warp_id e.e_func
       else begin
         let block = e.pc in
-        let lanes = Mask.to_list e.e_mask in
-        (* Consume this block from every active lane. *)
-        let lane_accesses =
-          List.map
-            (fun lane ->
-              let accesses = block_accesses_of_lane cursors e.e_func block lane in
-              Cursor.advance cursors.(lane);
-              (lane, accesses))
-            lanes
-        in
+        (* Consume this block from every active lane, staging the lanes and
+           their access arrays in the scratch buffers (ascending). *)
+        s.n_lanes <- 0;
+        Mask.iter
+          (fun lane ->
+            let accesses = block_accesses_of_lane cursors e.e_func block lane in
+            Cursor.advance cursors.(lane);
+            s.lane_ids.(s.n_lanes) <- lane;
+            s.lane_accs.(s.n_lanes) <- accesses;
+            s.n_lanes <- s.n_lanes + 1)
+          e.e_mask;
         let term =
           count_block t ~func:e.e_func ~block ~mask:e.e_mask ~blame:e.e_blame
-            ~lane_accesses
         in
         match term with
         | Instr.Call callee -> (
             (* an excluded callee leaves no Call event: the lanes jump
                straight to the continuation block (paper §III's selective
                tracing) *)
-            match Cursor.peek cursors.(List.hd lanes) with
+            match Cursor.peek cursors.(s.lane_ids.(0)) with
             | Cursor.C_call _ ->
-                List.iter (fun lane -> Cursor.advance cursors.(lane)) lanes;
+                Mask.iter (fun lane -> Cursor.advance cursors.(lane)) e.e_mask;
                 e.pc <- block + 1;
-                t.call_stack <- callee :: t.call_stack;
+                set_call_stack t (callee :: t.call_stack);
                 Vec.push stack
                   {
                     e_func = callee;
@@ -623,12 +780,12 @@ let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
                   }
             | _ -> regroup t stack e block cursors)
         | Instr.Ret ->
-            List.iter
+            Mask.iter
               (fun lane ->
                 match Cursor.next cursors.(lane) with
                 | Cursor.C_ret -> ()
                 | _ -> errf "lane %d: expected return after f%d.b%d" lane e.e_func block)
-              lanes;
+              e.e_mask;
             e.pc <- exit_node t e.e_func
         | Instr.Halt -> e.pc <- exit_node t e.e_func
         | Instr.Lock_acquire _ -> handle_locks ~fuel ~warp_id t stack e block cursors
@@ -637,7 +794,7 @@ let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
                team barrier is free; count it and continue in lockstep.  A
                lane without the arrival would block the whole team forever
                on real hardware — a typed deadlock verdict. *)
-            List.iter
+            Mask.iter
               (fun lane ->
                 match Cursor.next cursors.(lane) with
                 | Cursor.C_barrier _ -> ()
@@ -647,17 +804,17 @@ let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
                       "lane %d: no barrier arrival after f%d.b%d (barrier \
                        never satisfied)"
                       lane e.e_func block)
-              lanes;
+              e.e_mask;
             t.barrier_syncs <- t.barrier_syncs + 1;
             Obs.Counter.incr c_barrier_syncs;
             regroup t stack e block cursors
         | Instr.Lock_release _ ->
-            List.iter
+            Mask.iter
               (fun lane ->
                 match Cursor.next cursors.(lane) with
                 | Cursor.C_unlock _ -> ()
                 | _ -> errf "lane %d: expected unlock after f%d.b%d" lane e.e_func block)
-              lanes;
+              e.e_mask;
             regroup t stack e block cursors
         | Instr.Jcc _ | Instr.Jmp _ | Instr.Io _ | Instr.Mov _ | Instr.Cmov _
         | Instr.Lea _ | Instr.Binop _ | Instr.Unop _ | Instr.Cmp _
@@ -679,3 +836,45 @@ let run_warp ?fuel t ~warp_id (cursors : Cursor.t array) =
         t.tl_current <- None
     | None -> ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Shard reduction                                                      *)
+
+(** Fold [src]'s accumulated metrics into [dst] — the reduction step of
+    the domain-parallel replay (see Par_replay): each domain replays a
+    disjoint warp slice into a private emulator, then the shards merge in
+    worker order.  Every aggregate is a sum (or, for [sc_kind], a
+    site-determined constant), so the merged emulator carries exactly the
+    totals a sequential replay of all the warps would have produced.
+    Transient per-warp state (call stack, scratch buffers, warp-trace
+    handle) is left untouched. *)
+let merge_into ~dst src =
+  dst.issues <- dst.issues + src.issues;
+  dst.thread_instrs <- dst.thread_instrs + src.thread_instrs;
+  dst.lock_acquires <- dst.lock_acquires + src.lock_acquires;
+  dst.serializations <- dst.serializations + src.serializations;
+  dst.serialized_instrs <- dst.serialized_instrs + src.serialized_instrs;
+  dst.barrier_syncs <- dst.barrier_syncs + src.barrier_syncs;
+  let add_into d s = Array.iteri (fun i v -> d.(i) <- d.(i) + v) s in
+  add_into dst.func_issues src.func_issues;
+  add_into dst.func_instrs src.func_instrs;
+  Array.iteri (fun fid s -> add_into dst.block_issues.(fid) s) src.block_issues;
+  Array.iteri (fun fid s -> add_into dst.block_instrs.(fid) s) src.block_instrs;
+  Coalesce.merge_into ~dst:dst.coalesce src.coalesce;
+  Hashtbl.iter
+    (fun key (c : div_site_cell) ->
+      let d = div_site_cell dst key c.sc_kind in
+      d.sc_splits <- d.sc_splits + c.sc_splits;
+      d.sc_lost <- d.sc_lost + c.sc_lost;
+      (* a site's kind is determined by its terminator (lock blocks are
+         always [Sync_site], branch blocks always [Branch_site]), so
+         either side wins consistently *)
+      if c.sc_kind = Sync_site then d.sc_kind <- Sync_site)
+    src.div_sites;
+  Hashtbl.iter
+    (fun key (c : flame_cell) ->
+      let d = flame_cell dst key in
+      d.fc_issues <- d.fc_issues + c.fc_issues;
+      d.fc_lost <- d.fc_lost + c.fc_lost)
+    src.flame;
+  dst.timelines <- src.timelines @ dst.timelines

@@ -66,6 +66,10 @@ type blame = ((int * int) * int) list
     warp's call stack (leaf first). *)
 type flame_cell = { mutable fc_issues : int; mutable fc_lost : int }
 
+type scratch
+(** Reusable hot-path buffers (per-block lane staging, per-instruction
+    load/store gather, regroup target grouping); internal. *)
+
 type t = {
   prog : Threadfuser_prog.Program.t;
   ipdoms : Threadfuser_cfg.Ipdom.t array;
@@ -90,6 +94,10 @@ type t = {
   flame : (int list, flame_cell) Hashtbl.t;
       (** folded call stacks (leaf first), across all warps *)
   mutable call_stack : int list;  (** replaying warp's frames, leaf first *)
+  mutable flame_cur : flame_cell option;
+      (** cached flamegraph cell for [call_stack] *)
+  mutable obs_on : bool;  (** [!Obs.enabled], cached per replay *)
+  scratch : scratch;
 }
 
 val create :
@@ -105,3 +113,11 @@ val create :
     raising [Tf_error.Error] with kind [Timeout] when exhausted — the
     replay watchdog of {!Analyzer.analyze_checked}. *)
 val run_warp : ?fuel:int -> t -> warp_id:int -> Cursor.t array -> unit
+
+(** [merge_into ~dst src] folds [src]'s accumulated metrics into [dst] —
+    the shard-reduction step of the domain-parallel replay
+    ({!Analyzer.options.domains}): each domain replays a disjoint warp
+    slice into a private emulator, and merging the shards in worker order
+    reproduces exactly the totals of a sequential replay.  [src] is left
+    intact; transient per-warp state is untouched. *)
+val merge_into : dst:t -> t -> unit

@@ -1,0 +1,134 @@
+(** Domain-parallel warp replay: the fan-out/fan-in engine behind
+    [Analyzer.options.domains] (docs/performance.md).
+
+    Warps are independent after formation — each replays against its own
+    lanes' cursors and accumulates into per-warp or summable state — so the
+    replay loop is embarrassingly parallel.  This module owns only the
+    scheduling: it shards item indices [0..n-1] over an OCaml 5 domain
+    pool, gives every worker a private shard state (built {e inside} the
+    worker, so all mutable replay state is domain-confined by
+    construction), and hands the shards back in a deterministic order for
+    the caller to reduce.
+
+    Two schedules:
+
+    - {!Static} (default): worker [k] owns the contiguous chunk of
+      indices [k*ceil(n/d) ..]; zero coordination, perfect for uniform
+      warps.
+    - {!Dynamic}: workers pull the next index from a shared atomic
+      counter; better when warp costs are skewed (one giant warp plus
+      many small ones), at the price of one fetch-and-add per item.
+
+    Under both schedules every worker processes its indices in ascending
+    order, which keeps failure semantics deterministic: if items raise,
+    the exception re-raised after the join is the one from the {e lowest}
+    failing index — exactly the exception a sequential left-to-right loop
+    would have surfaced (later items may additionally have run, but their
+    shards are discarded by the raise). *)
+
+type schedule = Static | Dynamic
+
+let schedule_name = function Static -> "static" | Dynamic -> "dynamic"
+
+let schedule_of_string = function
+  | "static" -> Some Static
+  | "dynamic" -> Some Dynamic
+  | _ -> None
+
+(** Domain count for [None]-means-default call sites: [TF_DOMAINS] when
+    set to a positive int, else 1 (serial).  Clamped to
+    [Domain.recommended_domain_count] so an over-wide request cannot
+    oversubscribe the machine. *)
+let default_domains () =
+  match Sys.getenv_opt "TF_DOMAINS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d when d >= 1 -> min d (Domain.recommended_domain_count ())
+      | Some _ | None -> 1)
+
+(* The first exception each worker hit, tagged with its item index; the
+   join re-raises the lowest-index one with its original backtrace. *)
+type failure = {
+  f_index : int;
+  f_exn : exn;
+  f_bt : Printexc.raw_backtrace;
+}
+
+(** [map_shards ~domains ~schedule ~n ~init ~item] processes indices
+    [0..n-1] with up to [domains] workers.  Each worker runs
+    [init ()] {e in its own domain} to build a private shard, then
+    [item shard i] for every index it owns (ascending), and the shards
+    come back ordered by worker id — merge them in that order and any
+    order-sensitive reduction stays deterministic at every [domains].
+
+    A worker stops at its first exception; after all workers join, the
+    exception of the lowest failing index is re-raised.  [domains <= 1]
+    (or [n <= 1]) runs inline in the calling domain with no spawns —
+    byte-for-byte today's sequential behaviour. *)
+let map_shards ~domains ~schedule ~n ~(init : unit -> 'shard)
+    ~(item : 'shard -> int -> unit) : 'shard list =
+  let workers = max 1 (min domains n) in
+  if workers = 1 then begin
+    let shard = init () in
+    (try
+       for i = 0 to n - 1 do
+         item shard i
+       done
+     with e ->
+       let bt = Printexc.get_raw_backtrace () in
+       Printexc.raise_with_backtrace e bt);
+    [ shard ]
+  end
+  else begin
+    let next = Atomic.make 0 in
+    (* static chunking: worker k owns [k*chunk, min ((k+1)*chunk, n)) *)
+    let chunk = (n + workers - 1) / workers in
+    let failures : failure option array = Array.make workers None in
+    let run_worker k =
+      let shard = init () in
+      let fail i e =
+        failures.(k) <-
+          Some { f_index = i; f_exn = e; f_bt = Printexc.get_raw_backtrace () }
+      in
+      (match schedule with
+      | Static ->
+          let lo = k * chunk and hi = min n ((k + 1) * chunk) in
+          let i = ref lo in
+          while !i < hi && failures.(k) = None do
+            (try item shard !i with e -> fail !i e);
+            incr i
+          done
+      | Dynamic ->
+          let continue = ref true in
+          while !continue do
+            let i = Atomic.fetch_and_add next 1 in
+            if i >= n then continue := false
+            else
+              try item shard i
+              with e ->
+                fail i e;
+                continue := false
+          done);
+      shard
+    in
+    (* the calling domain doubles as worker 0 *)
+    let spawned =
+      List.init (workers - 1) (fun j ->
+          Domain.spawn (fun () -> run_worker (j + 1)))
+    in
+    let shard0 = run_worker 0 in
+    let shards = shard0 :: List.map Domain.join spawned in
+    (match
+       Array.fold_left
+         (fun acc f ->
+           match (acc, f) with
+           | None, f -> f
+           | Some _, None -> acc
+           | Some a, Some b -> if b.f_index < a.f_index then f else acc)
+         None failures
+     with
+    | None -> ()
+    | Some f -> Printexc.raise_with_backtrace f.f_exn f.f_bt);
+    shards
+  end

@@ -1,0 +1,40 @@
+(** Domain-parallel warp replay: shards item indices over an OCaml 5
+    domain pool with per-worker private state and a deterministic fan-in
+    order, so [Analyzer.analyze] can replay disjoint warp slices in
+    parallel yet reduce to byte-identical output at any domain count.
+    See docs/performance.md. *)
+
+type schedule =
+  | Static  (** contiguous index chunks per worker; zero coordination *)
+  | Dynamic
+      (** workers pull the next index from an atomic counter; for skewed
+          warp costs *)
+
+val schedule_name : schedule -> string
+
+val schedule_of_string : string -> schedule option
+
+(** Default worker count when the caller passed nothing: [TF_DOMAINS]
+    when set to a positive int (clamped to
+    [Domain.recommended_domain_count]), else 1. *)
+val default_domains : unit -> int
+
+(** [map_shards ~domains ~schedule ~n ~init ~item] processes indices
+    [0..n-1] with up to [domains] workers.  [init ()] runs {e inside}
+    each worker domain (its shard is domain-confined by construction);
+    [item shard i] runs for every index the worker owns, in ascending
+    order.  Returns the shards ordered by worker id — merging in that
+    order keeps order-sensitive reductions deterministic at every
+    [domains].
+
+    If items raise, every worker stops at its first exception and, after
+    the join, the exception of the {e lowest} failing index is re-raised
+    (the one a sequential loop would have surfaced).  [domains <= 1] or
+    [n <= 1] runs inline with no spawns. *)
+val map_shards :
+  domains:int ->
+  schedule:schedule ->
+  n:int ->
+  init:(unit -> 'shard) ->
+  item:('shard -> int -> unit) ->
+  'shard list

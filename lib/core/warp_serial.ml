@@ -36,25 +36,58 @@ let cls_of_string = function
   | "sync" -> Opclass.Sync
   | s -> raise (Corrupt ("unknown op class " ^ s))
 
+(* Direct decimal/hex emitters: serialization is a hot stage for large
+   warp traces, and one [Printf.sprintf] per field used to dominate its
+   profile (a fresh format interpretation + string per number).  These
+   write digits straight into the buffer. *)
+let rec add_udec buf n =
+  if n >= 10 then add_udec buf (n / 10);
+  Buffer.add_char buf (Char.chr (Char.code '0' + (n mod 10)))
+
+let add_dec buf n =
+  if n < 0 then begin
+    Buffer.add_char buf '-';
+    add_udec buf (-n)
+  end
+  else add_udec buf n
+
+let hex_digits = "0123456789abcdef"
+
+let rec add_hex buf n =
+  if n >= 16 then add_hex buf (n lsr 4);
+  Buffer.add_char buf hex_digits.[n land 15]
+
 let emit_entry buf warp_size (e : Warp_trace.entry) =
   let op = e.Warp_trace.op in
-  Buffer.add_string buf (Printf.sprintf "%x" (Mask.to_list e.Warp_trace.mask |> List.fold_left (fun a l -> a lor (1 lsl l)) 0));
+  (* a mask is already the bit pattern the format wants *)
+  add_hex buf (e.Warp_trace.mask :> int);
   Buffer.add_char buf ' ';
   Buffer.add_string buf (cls_to_string op.Warp_trace.cls);
-  Buffer.add_string buf (Printf.sprintf " %d %d" op.Warp_trace.dst (Array.length op.Warp_trace.srcs));
-  Array.iter (fun s -> Buffer.add_string buf (Printf.sprintf " %d" s)) op.Warp_trace.srcs;
+  Buffer.add_char buf ' ';
+  add_dec buf op.Warp_trace.dst;
+  Buffer.add_char buf ' ';
+  add_udec buf (Array.length op.Warp_trace.srcs);
+  Array.iter
+    (fun s ->
+      Buffer.add_char buf ' ';
+      add_dec buf s)
+    op.Warp_trace.srcs;
   (match op.Warp_trace.mem with
   | None -> Buffer.add_string buf " -"
   | Some m ->
+      Buffer.add_string buf (if m.Warp_trace.is_store then " M S " else " M L ");
+      add_udec buf m.Warp_trace.size;
       Buffer.add_string buf
-        (Printf.sprintf " M %c %d %c"
-           (if m.Warp_trace.is_store then 'S' else 'L')
-           m.Warp_trace.size
-           (match m.Warp_trace.space with Warp_trace.Global -> 'G' | Warp_trace.Local -> 'P'));
+        (match m.Warp_trace.space with
+        | Warp_trace.Global -> " G"
+        | Warp_trace.Local -> " P");
       for lane = 0 to warp_size - 1 do
         let a = m.Warp_trace.addrs.(lane) in
         if a < 0 then Buffer.add_string buf " -"
-        else Buffer.add_string buf (Printf.sprintf " %x" a)
+        else begin
+          Buffer.add_char buf ' ';
+          add_hex buf a
+        end
       done);
   Buffer.add_char buf '\n'
 

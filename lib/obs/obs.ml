@@ -20,6 +20,27 @@ module Stats = Threadfuser_stats.Stats
 let enabled = ref false
 let set_enabled b = enabled := b
 
+(* Replay-path instants (divergence splits, reconvergence, serialized
+   accesses, lock serializations) fire once per *dynamic occurrence*,
+   which dominates the cost of an enabled collector on replay-heavy
+   runs.  By default the emulator thins them to the first occurrence per
+   (warp, site) — counters still count every occurrence exactly, and the
+   thinning state is warp-confined, so event totals stay identical at
+   every [Analyzer.options.domains].  [set_full_events true] (the
+   [threadfuser profile] default) restores one instant per occurrence
+   for timeline debugging. *)
+let full_events = ref false
+let set_full_events b = full_events := b
+
+(* Memoized decimal rendering of small non-negative ints.  The replay
+   emits instants whose arguments are almost always lane counts, block
+   ids and function ids well under the cap; rendering them through this
+   table makes an enabled-path hook allocation-free for the common case.
+   The table is immutable after init, so sharing across domains is safe. *)
+let itos_cap = 4096
+let itos_table = Array.init itos_cap string_of_int
+let itos n = if n >= 0 && n < itos_cap then itos_table.(n) else string_of_int n
+
 (* One global mutex guards the event log, track registry and histogram
    sample buffers.  Counters use [Atomic.t] and skip the lock.
 
@@ -98,13 +119,17 @@ let events_rev : event list ref = ref []
 let n_events = ref 0
 let dropped = Atomic.make 0
 
+(* Hot path (one call per replay instant/span): plain lock/unlock, no
+   [locked] — the closure plus [Fun.protect] handler would double the
+   cost of recording, and nothing between lock and unlock can raise. *)
 let record ev =
-  locked (fun () ->
-      if !n_events >= !max_events then Atomic.incr dropped
-      else begin
-        events_rev := ev :: !events_rev;
-        incr n_events
-      end)
+  Mutex.lock lock;
+  if !n_events >= !max_events then Atomic.incr dropped
+  else begin
+    events_rev := ev :: !events_rev;
+    incr n_events
+  end;
+  Mutex.unlock lock
 
 let instant ?(args = []) ~track name =
   if !enabled then record (Instant { name; track; ts = now_us (); args })
@@ -188,27 +213,32 @@ module Histogram = struct
             order := name :: !order;
             h)
 
+  (* Hot path (one call per memory instruction when enabled): plain
+     lock/unlock like [record] — no closure, no [Fun.protect].  The body
+     cannot raise (growth is bounded by [cap]). *)
   let observe h x =
-    if !enabled then
-      locked (fun () ->
-          h.count <- h.count + 1;
-          h.sum <- h.sum +. x;
-          if h.n = Array.length h.samples then
-            if h.n < cap then begin
-              let bigger = Array.make (2 * h.n) 0.0 in
-              Array.blit h.samples 0 bigger 0 h.n;
-              h.samples <- bigger
-            end
-            else begin
-              (* decimate: keep every other sample *)
-              let m = h.n / 2 in
-              for i = 0 to m - 1 do
-                h.samples.(i) <- h.samples.(2 * i)
-              done;
-              h.n <- m
-            end;
-          h.samples.(h.n) <- x;
-          h.n <- h.n + 1)
+    if !enabled then begin
+      Mutex.lock lock;
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. x;
+      if h.n = Array.length h.samples then
+        if h.n < cap then begin
+          let bigger = Array.make (2 * h.n) 0.0 in
+          Array.blit h.samples 0 bigger 0 h.n;
+          h.samples <- bigger
+        end
+        else begin
+          (* decimate: keep every other sample *)
+          let m = h.n / 2 in
+          for i = 0 to m - 1 do
+            h.samples.(i) <- h.samples.(2 * i)
+          done;
+          h.n <- m
+        end;
+      h.samples.(h.n) <- x;
+      h.n <- h.n + 1;
+      Mutex.unlock lock
+    end
 
   let count h = h.count
   let sum h = h.sum

@@ -426,6 +426,52 @@ let test_domain_hammer () =
       then Alcotest.failf "interleaved log line: %S" l)
     lines
 
+(* The analyzer's own instrumentation under domain-parallel replay: four
+   domains recording into the shared collector must lose nothing, so
+   counter totals, histogram sample counts, the event total and the
+   Prometheus counter lines all match the serial replay exactly (event
+   *order* and span durations are the only things allowed to differ). *)
+let test_parallel_replay_obs_parity () =
+  let bfs = Registry.find "bfs" in
+  let tr = W.trace_cpu bfs in
+  let capture domains =
+    with_collector (fun () ->
+        ignore
+          (Analyzer.analyze
+             ~options:{ Analyzer.default_options with Analyzer.domains }
+             tr.W.prog tr.W.traces);
+        let snap = Obs.snapshot () in
+        let prom_counter_lines =
+          String.split_on_char '\n' (Prom.to_string snap)
+          |> List.filter (fun l ->
+                 List.exists
+                   (fun c ->
+                     let n = Obs.counter_name c in
+                     String.length l > String.length n
+                     && String.sub l 0 (String.length n) = n)
+                   snap.Obs.counters)
+          |> List.sort compare
+        in
+        ( List.map
+            (fun c -> (Obs.counter_name c, Obs.Counter.value c))
+            snap.Obs.counters,
+          List.map
+            (fun h -> (Obs.histogram_name h, Obs.Histogram.count h))
+            snap.Obs.histograms,
+          List.length snap.Obs.events + snap.Obs.events_dropped,
+          prom_counter_lines ))
+  in
+  let c1, h1, e1, p1 = capture 1 in
+  let c4, h4, e4, p4 = capture 4 in
+  Alcotest.(check (list (pair string int)))
+    "counter totals match serial" (List.sort compare c1)
+    (List.sort compare c4);
+  Alcotest.(check (list (pair string int)))
+    "histogram sample counts match serial" (List.sort compare h1)
+    (List.sort compare h4);
+  Alcotest.(check int) "no replay event lost or invented" e1 e4;
+  Alcotest.(check (list string)) "prometheus counter lines match serial" p1 p4
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end: the instrumented pipeline                                *)
 
@@ -530,6 +576,8 @@ let () =
         [
           Alcotest.test_case "four-domain hammer loses nothing" `Quick
             test_domain_hammer;
+          Alcotest.test_case "parallel replay obs parity" `Quick
+            test_parallel_replay_obs_parity;
         ] );
       ( "pipeline",
         [

@@ -1,0 +1,192 @@
+(* Domain-parallel warp replay: the deterministic-reduction contract.
+   Whatever the domain count or schedule, every analyzer artifact —
+   report JSON, blame rankings, folded flamegraph, timelines, warp
+   traces — must be byte-identical to the sequential replay. *)
+
+module W = Threadfuser_workloads.Workload
+module Registry = Threadfuser_workloads.Registry
+module Analyzer = Threadfuser.Analyzer
+module Metrics = Threadfuser.Metrics
+module Par_replay = Threadfuser.Par_replay
+module Warp_serial = Threadfuser.Warp_serial
+module Report_json = Threadfuser_report.Report_json
+module Flamegraph = Threadfuser_report.Flamegraph
+
+(* ------------------------------------------------------------------ *)
+(* map_shards unit behaviour                                            *)
+
+(* Each index lands in exactly one shard, visited in ascending order
+   within its worker, and shards come back in worker order. *)
+let test_shards_partition () =
+  List.iter
+    (fun (schedule, domains, n) ->
+      let shards =
+        Par_replay.map_shards ~domains ~schedule ~n
+          ~init:(fun () -> ref [])
+          ~item:(fun acc i -> acc := i :: !acc)
+      in
+      let seen = List.concat_map (fun acc -> List.rev !acc) shards in
+      let sorted = List.sort compare seen in
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s d=%d n=%d covers each index once"
+           (Par_replay.schedule_name schedule)
+           domains n)
+        (List.init n (fun i -> i))
+        sorted;
+      List.iter
+        (fun acc ->
+          let l = List.rev !acc in
+          Alcotest.(check (list int)) "ascending within worker"
+            (List.sort compare l) l)
+        shards;
+      (* static chunks are contiguous, so worker-order concatenation is
+         the identity permutation *)
+      if schedule = Par_replay.Static then
+        Alcotest.(check (list int)) "static: worker order = index order"
+          (List.init n (fun i -> i))
+          seen)
+    [
+      (Par_replay.Static, 1, 7);
+      (Par_replay.Static, 3, 7);
+      (Par_replay.Static, 4, 4);
+      (Par_replay.Static, 8, 3);
+      (Par_replay.Dynamic, 3, 7);
+      (Par_replay.Dynamic, 4, 16);
+    ]
+
+(* The exception a sequential loop would have raised first (lowest
+   index) is the one that surfaces, whatever worker hit it. *)
+let test_shards_exception () =
+  List.iter
+    (fun schedule ->
+      match
+        Par_replay.map_shards ~domains:4 ~schedule ~n:16
+          ~init:(fun () -> ())
+          ~item:(fun () i -> if i mod 5 = 3 then failwith (string_of_int i))
+      with
+      | _ -> Alcotest.fail "expected an item exception to propagate"
+      | exception Failure i ->
+          Alcotest.(check string)
+            (Par_replay.schedule_name schedule ^ ": lowest failing index wins")
+            "3" i)
+    [ Par_replay.Static; Par_replay.Dynamic ]
+
+let test_schedule_names () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (option string))
+        "schedule_of_string inverts schedule_name"
+        (Some (Par_replay.schedule_name s))
+        (Option.map Par_replay.schedule_name
+           (Par_replay.schedule_of_string (Par_replay.schedule_name s))))
+    [ Par_replay.Static; Par_replay.Dynamic ];
+  Alcotest.(check bool) "unknown schedule rejected" true
+    (Par_replay.schedule_of_string "fifo" = None)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end determinism over the workload registry                    *)
+
+let analyze_at ?(warp_size = 32) ~domains ~schedule traced =
+  Analyzer.analyze
+    ~options:
+      {
+        Analyzer.default_options with
+        Analyzer.warp_size;
+        domains;
+        schedule;
+        gen_warp_trace = true;
+        record_timeline = true;
+      }
+    traced.W.prog traced.W.traces
+
+(* Full artifact set at -j1 vs -j4, static and dynamic. *)
+let test_artifacts_identical () =
+  List.iter
+    (fun name ->
+      let traced = W.trace_cpu (Registry.find name) in
+      let base = analyze_at ~domains:1 ~schedule:Par_replay.Static traced in
+      List.iter
+        (fun schedule ->
+          let par = analyze_at ~domains:4 ~schedule traced in
+          let tag what =
+            Printf.sprintf "%s [%s]: %s identical" name
+              (Par_replay.schedule_name schedule)
+              what
+          in
+          Alcotest.(check string) (tag "report JSON")
+            (Report_json.to_string base.Analyzer.report)
+            (Report_json.to_string par.Analyzer.report);
+          Alcotest.(check string) (tag "folded flamegraph")
+            (Flamegraph.folded ~weight:Flamegraph.Lost base.Analyzer.flame)
+            (Flamegraph.folded ~weight:Flamegraph.Lost par.Analyzer.flame);
+          Alcotest.(check string) (tag "warp trace bytes")
+            (Warp_serial.to_string (Option.get base.Analyzer.warp_trace))
+            (Warp_serial.to_string (Option.get par.Analyzer.warp_trace));
+          Alcotest.(check bool) (tag "timelines") true
+            (base.Analyzer.timelines = par.Analyzer.timelines);
+          (* ranking order, not just content: blame output is consumed
+             top-down *)
+          Alcotest.(check (list string)) (tag "divergence ranking")
+            (List.map
+               (fun s ->
+                 Printf.sprintf "%s:%d:%d" s.Metrics.ds_func s.Metrics.ds_block
+                   s.Metrics.ds_lost_lanes)
+               base.Analyzer.report.Metrics.divergence_sites)
+            (List.map
+               (fun s ->
+                 Printf.sprintf "%s:%d:%d" s.Metrics.ds_func s.Metrics.ds_block
+                   s.Metrics.ds_lost_lanes)
+               par.Analyzer.report.Metrics.divergence_sites))
+        [ Par_replay.Static; Par_replay.Dynamic ])
+    [ "bfs"; "hdsearch-mid"; "uncoalesced"; "md5" ]
+
+(* Random (domains, schedule, warp size): the report never depends on
+   how the replay was sharded. *)
+let test_sharding_invisible =
+  let traced = lazy (W.trace_cpu (Registry.find "vectoradd")) in
+  let base = Hashtbl.create 4 in
+  let base_for warp_size =
+    match Hashtbl.find_opt base warp_size with
+    | Some s -> s
+    | None ->
+        let s =
+          Report_json.to_string
+            (analyze_at ~warp_size ~domains:1 ~schedule:Par_replay.Static
+               (Lazy.force traced))
+              .Analyzer.report
+        in
+        Hashtbl.add base warp_size s;
+        s
+  in
+  QCheck.Test.make ~name:"report independent of (domains, schedule, warp)"
+    ~count:12
+    QCheck.(
+      triple (int_range 1 6)
+        (map (fun b -> if b then Par_replay.Static else Par_replay.Dynamic)
+           bool)
+        (oneofl [ 2; 4; 8; 16; 32 ]))
+    (fun (domains, schedule, warp_size) ->
+      Report_json.to_string
+        (analyze_at ~warp_size ~domains ~schedule (Lazy.force traced))
+          .Analyzer.report
+      = base_for warp_size)
+
+let () =
+  Alcotest.run "par_replay"
+    [
+      ( "map_shards",
+        [
+          Alcotest.test_case "partition covers indices" `Quick
+            test_shards_partition;
+          Alcotest.test_case "lowest-index exception wins" `Quick
+            test_shards_exception;
+          Alcotest.test_case "schedule names round-trip" `Quick
+            test_schedule_names;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "artifacts identical at -j4" `Slow
+            test_artifacts_identical;
+          QCheck_alcotest.to_alcotest test_sharding_invisible;
+        ] );
+    ]
