@@ -61,6 +61,15 @@ bench-regress: build
 			|| { echo "parallel replay diverged for $$w"; exit 5; }; \
 		echo "$$w: -j 4 byte-identical"; \
 	done
+	@# Speedup gate over the last `make bench` run, if one is present.
+	@# Legs marked advisory (requested domains > available cores measure
+	@# time-slicing, not scaling) are skipped, never baselined.
+	@if [ -f BENCH_analyzer_par.json ]; then \
+		echo "== analyzer_par speedup gate (advisory legs skipped) =="; \
+		python3 scripts/check_par_speedup.py BENCH_analyzer_par.json || exit $$?; \
+	else \
+		echo "== analyzer_par speedup gate: no BENCH_analyzer_par.json (run 'make bench'), skipped =="; \
+	fi
 
 # supervised batch analysis of a small workload set (fork isolation,
 # parallel, with deadlines); journal/reports/manifest land in .tfsuite/.

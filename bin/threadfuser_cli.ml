@@ -13,13 +13,16 @@
      threadfuser diff base.json new.json      report regression gate
      threadfuser suite bfs pigz -j 4          supervised batch analysis
      threadfuser suite --resume               finish an interrupted batch
+     threadfuser serve bfs --socket tf.sock   streaming analysis daemon
+     threadfuser client bfs.tftrace           stream a trace to the daemon
 
    Observability (docs/observability.md): --log-level / TF_LOG control the
    structured logger; --trace-out writes a Perfetto-loadable Chrome trace
    of the run; --metrics-out writes a Prometheus text exposition.
 
    Exit codes: 0 success, 1 usage error, 2 corrupt input, 3 analysis
-   degraded (partial report / validation errors), 5 diff regression. *)
+   degraded (partial report / validation errors), 5 diff regression,
+   6 daemon busy. *)
 
 open Cmdliner
 module W = Threadfuser_workloads.Workload
@@ -38,6 +41,10 @@ module Log = Threadfuser_obs.Log
 module Trace_export = Threadfuser_obs.Trace_export
 module Prom = Threadfuser_obs.Prom
 module Runner = Threadfuser_runner.Runner
+module Serve = Threadfuser_serve.Serve
+module Sclient = Threadfuser_serve.Client
+module Sprotocol = Threadfuser_serve.Protocol
+module Stream = Threadfuser_trace.Stream
 module Json = Threadfuser_report.Json
 module Flamegraph = Threadfuser_report.Flamegraph
 module Report_diff = Threadfuser_report.Report_diff
@@ -46,6 +53,7 @@ let exit_usage = 1
 let exit_corrupt = 2
 let exit_degraded = 3
 let exit_regression = 5
+let exit_busy = 6
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                     *)
@@ -1001,6 +1009,16 @@ let suite_run () trace_out metrics_out workloads jobs isolation deadline
   let batch =
     Runner.matrix ~workloads ~warp_sizes:warps ~levels ?threads ~scale ()
   in
+  (* graceful shutdown: first signal drains (journal stays fsync'd and
+     --resume picks up the unfinished jobs); a second one kills for real *)
+  let signalled = ref false in
+  let on_signal _ =
+    if !signalled then exit 130;
+    signalled := true;
+    Runner.request_stop ()
+  in
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle on_signal));
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle on_signal));
   let m =
     with_obs ~trace_out ~metrics_out (fun () -> Runner.run ~config batch)
   in
@@ -1143,6 +1161,215 @@ let suite_cmd =
       $ scale $ seed_arg $ inject_crash_arg $ inject_stall_arg $ stall_s_arg
       $ every_attempt_flag)
 
+(* ------------------------------------------------------------------ *)
+(* Serve: the streaming analysis daemon and its client                  *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "threadfuser.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let serve_run () trace_out metrics_out w level warp_size ignore_sync domains
+    schedule max_sessions quota deadline workers seed backoff inject_disc
+    inject_stall inject_oversize stall_s disc_after socket =
+  let prog = W.link ~alloc:w.W.alloc w.W.cpu level in
+  let options =
+    {
+      (options ~warp_size ~ignore_sync) with
+      Analyzer.domains = resolve_domains domains;
+      schedule;
+    }
+  in
+  let fault =
+    if inject_disc = 0 && inject_stall = 0 && inject_oversize = 0 then None
+    else
+      Some
+        (Runner.Exec_fault.session_plan ~seed ~disconnect_pct:inject_disc
+           ~stall_writer_pct:inject_stall ~oversize_pct:inject_oversize
+           ~writer_stall_s:stall_s ~disconnect_after:disc_after ())
+  in
+  let cfg =
+    {
+      (Serve.default_config ~prog ~socket_path:socket) with
+      Serve.options;
+      max_sessions;
+      session_quota = quota;
+      deadline_s = deadline;
+      workers = max 1 workers;
+      seed;
+      backoff_base_s = backoff;
+      fault;
+    }
+  in
+  let stop = Atomic.make false in
+  let request_stop _ = Atomic.set stop true in
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle request_stop));
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle request_stop));
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  let stats =
+    with_obs ~trace_out ~metrics_out (fun () -> Serve.run ~stop cfg)
+  in
+  Fmt.pr "served %d session(s), %d failed, %d shed, %d byte(s) ingested@."
+    stats.Serve.served stats.Serve.failed stats.Serve.shed
+    stats.Serve.bytes_ingested
+
+let serve_cmd =
+  let max_sessions_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:
+            "Concurrent sessions before new connections are shed with a \
+             typed $(b,busy) reply.")
+  in
+  let quota_arg =
+    Arg.(
+      value
+      & opt int Threadfuser.Analyzer.Session.default_budget
+      & info [ "session-quota" ] ~docv:"BYTES"
+          ~doc:
+            "Per-session memory budget; ingested frames beyond it spool to \
+             disk, and a frame bigger than the whole budget is rejected as \
+             corrupt.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-session wall-clock budget; over it the session gets a \
+             typed $(b,timeout) reply covering the prefix it sent.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Analysis worker domains servicing the session pool.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Root seed for backoff jitter and fault injection.")
+  in
+  let backoff_arg =
+    Arg.(
+      value & opt float 0.05
+      & info [ "backoff" ] ~docv:"SECONDS"
+          ~doc:
+            "Base listener back-off after a transient accept failure; \
+             doubles per attempt with seeded jitter.")
+  in
+  let inject_disconnect_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "inject-disconnect" ] ~docv:"PCT"
+          ~doc:
+            "Chaos: cut this percentage of sessions mid-stream \
+             (deterministic per seed and accept ordinal).")
+  in
+  let inject_stall_writer_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "inject-stall-writer" ] ~docv:"PCT"
+          ~doc:"Chaos: stop reading this percentage of sessions' sockets.")
+  in
+  let inject_oversize_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "inject-oversize" ] ~docv:"PCT"
+          ~doc:
+            "Chaos: prepend an oversized frame header to this percentage \
+             of sessions.")
+  in
+  let stall_s_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "stall-s" ] ~docv:"SECONDS"
+          ~doc:"How long an injected writer stall lasts.")
+  in
+  let disconnect_after_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "disconnect-after" ] ~docv:"BYTES"
+          ~doc:"Upper bound on bytes read before an injected disconnect.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the streaming analysis daemon on a Unix-domain socket.  \
+          Each connection streams one trace (any chunking) and gets back \
+          a typed status plus a report byte-identical to batch \
+          $(b,threadfuser analyze --json).  Sessions are supervised: \
+          bounded memory per session, backpressure on slow consumers, \
+          $(b,busy) shedding at capacity, per-session deadlines, and \
+          crash isolation.  SIGTERM/SIGINT drain live sessions and exit \
+          cleanly.")
+    Term.(
+      const serve_run $ setup_term $ trace_out_arg $ metrics_out_arg
+      $ workload_pos $ opt_level $ warp_size $ ignore_sync $ domains_arg
+      $ schedule_arg $ max_sessions_arg $ quota_arg $ deadline_arg
+      $ workers_arg $ seed_arg $ backoff_arg $ inject_disconnect_arg
+      $ inject_stall_writer_arg $ inject_oversize_arg $ stall_s_arg
+      $ disconnect_after_arg $ socket_arg)
+
+let client_run () path socket chunk_bytes =
+  let traces = Serial.of_file path in
+  let outcome =
+    Sclient.session ~chunk_bytes ~socket_path:socket (Stream.encode traces)
+  in
+  let r = outcome.Sclient.reply in
+  Log.info "serve reply"
+    ~fields:
+      ([
+         ("status", Sprotocol.status_name r.Sprotocol.status);
+         ("threads", string_of_int r.Sprotocol.threads);
+         ("quarantined", string_of_int r.Sprotocol.quarantined);
+       ]
+      @ (match r.Sprotocol.kind with Some k -> [ ("kind", k) ] | None -> [])
+      @
+      match r.Sprotocol.message with
+      | Some m -> [ ("message", m) ]
+      | None -> []);
+  List.iter (fun d -> Fmt.epr "  %s@." d) r.Sprotocol.diagnostics;
+  (* frame bytes verbatim + the same trailing newline [analyze --json]
+     emits, so the outputs compare byte-for-byte *)
+  Option.iter print_endline outcome.Sclient.report;
+  match r.Sprotocol.status with
+  | Sprotocol.Ok_report -> ()
+  | Sprotocol.Degraded -> exit exit_degraded
+  | Sprotocol.Busy -> exit exit_busy
+  | Sprotocol.Error_reply | Sprotocol.Timeout -> exit exit_corrupt
+  | Sprotocol.Ready ->
+      Log.err "daemon never answered the stream";
+      exit exit_corrupt
+
+let client_cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Trace file written by $(b,threadfuser trace).")
+  in
+  let chunk_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "chunk-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Stream the trace in slices of this size (1 exercises \
+             byte-at-a-time ingestion).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Stream a trace file to a running $(b,threadfuser serve) daemon \
+          and print the returned report JSON on stdout.  Exit 0 on a \
+          clean report, 3 degraded, 6 busy, 2 on error or timeout.")
+    Term.(const client_run $ setup_term $ path $ socket_arg $ chunk_arg)
+
 let main =
   Cmd.group
     (Cmd.info "threadfuser" ~version:"1.0.0"
@@ -1153,7 +1380,7 @@ let main =
       list_cmd; analyze_cmd; sweep_cmd; trace_cmd; tracefile_cmd; cfg_cmd;
       disasm_cmd; asm_cmd; warptrace_cmd; replay_cmd; simulate_cmd;
       profile_cmd; correlate_cmd; check_cmd; fuzz_cmd; blame_cmd; diff_cmd;
-      suite_cmd;
+      suite_cmd; serve_cmd; client_cmd;
     ]
 
 (* Top-level error handler: uncaught-exception backtraces never reach the

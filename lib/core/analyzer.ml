@@ -18,6 +18,7 @@ module Program = Threadfuser_prog.Program
 module Thread_trace = Threadfuser_trace.Thread_trace
 module Validate = Threadfuser_trace.Validate
 module Serial = Threadfuser_trace.Serial
+module Stream = Threadfuser_trace.Stream
 module Tf_error = Threadfuser_util.Tf_error
 module Dcfg = Threadfuser_cfg.Dcfg
 module Ipdom = Threadfuser_cfg.Ipdom
@@ -291,6 +292,117 @@ let diag_of_exn ?thread = function
       Tf_error.diag ?thread Tf_error.Replay_error "unexpected exception: %s"
         (Printexc.to_string e)
 
+(* ------------------------------------------------------------------ *)
+(* Shared replay machinery (batch pipeline and streaming session).
+
+   Replay shard: one per worker domain.  The emulator (and the per-warp
+   stat / failure accumulators) are private to the shard, so nothing
+   shared is mutated during replay — the warp-trace builder is shared,
+   but its per-warp streams are preallocated and each domain only
+   touches the streams of its own warps.  Shards merge in worker order,
+   and [Emulator.merge_into] is additive in every field, so any grouping
+   of warps into batches reduces to byte-identical output at any domain
+   count (docs/performance.md). *)
+
+type shard = {
+  sh_emu : Emulator.t;
+  mutable sh_per_warp : Metrics.warp_stat list; (* reversed *)
+  mutable sh_failures : warp_failure list; (* reversed *)
+  mutable sh_io : int;
+  mutable sh_spin : int;
+  mutable sh_excluded : int;
+}
+
+let econfig_of (options : options) =
+  {
+    Emulator.warp_size = options.warp_size;
+    sync = options.sync;
+    reconv = options.reconv;
+    record_timeline = options.record_timeline;
+  }
+
+let new_shard ?wt_builder prog ipdoms econfig () =
+  {
+    sh_emu = Emulator.create ?warp_trace:wt_builder prog ipdoms econfig;
+    sh_per_warp = [];
+    sh_failures = [];
+    sh_io = 0;
+    sh_spin = 0;
+    sh_excluded = 0;
+  }
+
+(* Replay warp [warp_id] carrying lanes [tids] into [sh].  [lane_trace]
+   resolves a tid (an index into the analyzed set) to its trace: direct
+   array indexing in batch mode, a batch-relative lookup in streaming
+   mode. *)
+let shard_replay_warp ~(options : options) ?fuel ~catch sh ~warp_id ~tids
+    ~lane_trace =
+  let emu = sh.sh_emu in
+  let cursors = Array.map (fun tid -> Cursor.of_trace (lane_trace tid)) tids in
+  let issues0 = emu.Emulator.issues
+  and instrs0 = emu.Emulator.thread_instrs in
+  let replay () =
+    if not !Obs.enabled then Emulator.run_warp ?fuel emu ~warp_id cursors
+    else
+      Obs.span ~track:Obs.replay_track
+        ~args:[ ("lanes", Obs.itos (Array.length tids)) ]
+        ("warp " ^ Obs.itos warp_id)
+        (fun () ->
+          Obs.timed h_warp_replay (fun () ->
+              let r = Emulator.run_warp ?fuel emu ~warp_id cursors in
+              Obs.Counter.incr c_warps;
+              r))
+  in
+  (match replay () with
+  | () ->
+      let warp_issues = emu.Emulator.issues - issues0
+      and warp_instrs = emu.Emulator.thread_instrs - instrs0 in
+      sh.sh_per_warp <-
+        {
+          Metrics.warp_id;
+          warp_issues;
+          warp_instrs;
+          warp_efficiency =
+            Metrics.efficiency ~issues:warp_issues ~thread_instrs:warp_instrs
+              ~warp_size:options.warp_size;
+          lanes = Array.length tids;
+        }
+        :: sh.sh_per_warp
+  | exception e when catch && not (fatal e) ->
+      Obs.Counter.incr c_warp_failures;
+      let diag = diag_of_exn e in
+      Log.warn "warp replay aborted"
+        ~fields:
+          [
+            ("warp", string_of_int warp_id);
+            ("lanes", string_of_int (Array.length tids));
+            ("diag", Tf_error.to_string diag);
+          ];
+      sh.sh_failures <-
+        { fw_warp = warp_id; fw_tids = tids; fw_diag = diag }
+        :: sh.sh_failures);
+  Array.iter
+    (fun (c : Cursor.t) ->
+      sh.sh_io <- sh.sh_io + c.Cursor.skipped_io;
+      sh.sh_spin <- sh.sh_spin + c.Cursor.skipped_spin;
+      sh.sh_excluded <- sh.sh_excluded + c.Cursor.skipped_excluded)
+    cursors
+
+(* Fold the per-call-stack accumulation into root-first named stacks. *)
+let fold_flame prog (emu : Emulator.t) =
+  Hashtbl.fold
+    (fun stack (c : Emulator.flame_cell) acc ->
+      {
+        frames = List.rev_map (Program.func_name prog) stack;
+        fl_issues = c.Emulator.fc_issues;
+        fl_lost = c.Emulator.fc_lost;
+      }
+      :: acc)
+    emu.Emulator.flame []
+  |> List.sort (fun a b ->
+         compare (b.fl_issues, b.fl_lost, a.frames)
+           (a.fl_issues, a.fl_lost, b.frames))
+
 (* The shared pipeline body.  [catch = false] re-raises warp replay
    failures (the historical [analyze] contract); [catch = true] records
    them as {!warp_failure}s and keeps replaying the remaining warps.
@@ -320,94 +432,11 @@ let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
            ~n_warps:(Array.length warps))
     else None
   in
-  let econfig =
-    {
-      Emulator.warp_size = options.warp_size;
-      sync = options.sync;
-      reconv = options.reconv;
-      record_timeline = options.record_timeline;
-    }
-  in
-  (* Replay shard: one per worker domain.  The emulator (and the per-warp
-     stat / failure accumulators) are private to the shard, so nothing
-     shared is mutated during replay — the warp-trace builder is shared,
-     but its per-warp streams are preallocated and each domain only
-     touches the streams of its own warps.  Shards merge below in worker
-     order, which makes the output byte-identical at every domain count
-     (docs/performance.md). *)
+  let econfig = econfig_of options in
   let domains = max 1 options.domains in
-  let module Shard = struct
-    type t = {
-      sh_emu : Emulator.t;
-      mutable sh_per_warp : Metrics.warp_stat list; (* reversed *)
-      mutable sh_failures : warp_failure list; (* reversed *)
-      mutable sh_io : int;
-      mutable sh_spin : int;
-      mutable sh_excluded : int;
-    }
-  end in
-  let new_shard () =
-    {
-      Shard.sh_emu = Emulator.create ?warp_trace:wt_builder prog ipdoms econfig;
-      sh_per_warp = [];
-      sh_failures = [];
-      sh_io = 0;
-      sh_spin = 0;
-      sh_excluded = 0;
-    }
-  in
-  let replay_warp (sh : Shard.t) warp_id =
-    let tids = warps.(warp_id) in
-    let emu = sh.Shard.sh_emu in
-    let cursors = Array.map (fun tid -> Cursor.of_trace traces.(tid)) tids in
-    let issues0 = emu.Emulator.issues
-    and instrs0 = emu.Emulator.thread_instrs in
-    let replay () =
-      if not !Obs.enabled then Emulator.run_warp ?fuel emu ~warp_id cursors
-      else
-        Obs.span ~track:Obs.replay_track
-          ~args:[ ("lanes", Obs.itos (Array.length tids)) ]
-          ("warp " ^ Obs.itos warp_id)
-          (fun () ->
-            Obs.timed h_warp_replay (fun () ->
-                let r = Emulator.run_warp ?fuel emu ~warp_id cursors in
-                Obs.Counter.incr c_warps;
-                r))
-    in
-    (match replay () with
-    | () ->
-        let warp_issues = emu.Emulator.issues - issues0
-        and warp_instrs = emu.Emulator.thread_instrs - instrs0 in
-        sh.Shard.sh_per_warp <-
-          {
-            Metrics.warp_id;
-            warp_issues;
-            warp_instrs;
-            warp_efficiency =
-              Metrics.efficiency ~issues:warp_issues ~thread_instrs:warp_instrs
-                ~warp_size:options.warp_size;
-            lanes = Array.length tids;
-          }
-          :: sh.Shard.sh_per_warp
-    | exception e when catch && not (fatal e) ->
-        Obs.Counter.incr c_warp_failures;
-        let diag = diag_of_exn e in
-        Log.warn "warp replay aborted"
-          ~fields:
-            [
-              ("warp", string_of_int warp_id);
-              ("lanes", string_of_int (Array.length tids));
-              ("diag", Tf_error.to_string diag);
-            ];
-        sh.Shard.sh_failures <-
-          { fw_warp = warp_id; fw_tids = tids; fw_diag = diag }
-          :: sh.Shard.sh_failures);
-    Array.iter
-      (fun (c : Cursor.t) ->
-        sh.Shard.sh_io <- sh.Shard.sh_io + c.Cursor.skipped_io;
-        sh.Shard.sh_spin <- sh.Shard.sh_spin + c.Cursor.skipped_spin;
-        sh.Shard.sh_excluded <- sh.Shard.sh_excluded + c.Cursor.skipped_excluded)
-      cursors
+  let replay_warp sh warp_id =
+    shard_replay_warp ~options ?fuel ~catch sh ~warp_id ~tids:warps.(warp_id)
+      ~lane_trace:(fun tid -> traces.(tid))
   in
   let shards =
     Obs.span "replay"
@@ -419,7 +448,9 @@ let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
         ]
       (fun () ->
         Par_replay.map_shards ~domains ~schedule:options.schedule
-          ~n:(Array.length warps) ~init:new_shard ~item:replay_warp)
+          ~n:(Array.length warps)
+          ~init:(new_shard ?wt_builder prog ipdoms econfig)
+          ~item:replay_warp)
   in
   (* Deterministic reduction: fold every shard into the first, then
      restore global warp order (static chunks concatenate in order
@@ -429,31 +460,26 @@ let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
     match shards with
     | s :: rest ->
         List.iter
-          (fun (r : Shard.t) ->
-            Emulator.merge_into ~dst:s.Shard.sh_emu r.Shard.sh_emu)
+          (fun (r : shard) -> Emulator.merge_into ~dst:s.sh_emu r.sh_emu)
           rest;
-        s.Shard.sh_emu
+        s.sh_emu
     | [] -> assert false (* map_shards always returns >= 1 shard *)
   in
   let per_warp =
-    List.concat_map (fun (s : Shard.t) -> List.rev s.Shard.sh_per_warp) shards
+    List.concat_map (fun (s : shard) -> List.rev s.sh_per_warp) shards
     |> List.sort (fun (a : Metrics.warp_stat) b ->
            compare a.Metrics.warp_id b.Metrics.warp_id)
   in
   let failures =
-    List.concat_map (fun (s : Shard.t) -> List.rev s.Shard.sh_failures) shards
+    List.concat_map (fun (s : shard) -> List.rev s.sh_failures) shards
     |> List.sort (fun a b -> compare a.fw_warp b.fw_warp)
   in
   let skipped_io =
-    ref (List.fold_left (fun acc (s : Shard.t) -> acc + s.Shard.sh_io) 0 shards)
+    ref (List.fold_left (fun acc (s : shard) -> acc + s.sh_io) 0 shards)
   and skipped_spin =
-    ref
-      (List.fold_left (fun acc (s : Shard.t) -> acc + s.Shard.sh_spin) 0 shards)
+    ref (List.fold_left (fun acc (s : shard) -> acc + s.sh_spin) 0 shards)
   and skipped_excluded =
-    ref
-      (List.fold_left
-         (fun acc (s : Shard.t) -> acc + s.Shard.sh_excluded)
-         0 shards)
+    ref (List.fold_left (fun acc (s : shard) -> acc + s.sh_excluded) 0 shards)
   in
   let replay_quarantined =
     List.fold_left (fun acc f -> acc + Array.length f.fw_tids) 0 failures
@@ -481,21 +507,7 @@ let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
       ~n_warps:(Array.length warps) ~per_warp ~skipped_io:!skipped_io
       ~skipped_spin:!skipped_spin ~skipped_excluded:!skipped_excluded ~coverage
   in
-  (* fold the per-call-stack accumulation into root-first named stacks *)
-  let flame =
-    Hashtbl.fold
-      (fun stack (c : Emulator.flame_cell) acc ->
-        {
-          frames = List.rev_map (Program.func_name prog) stack;
-          fl_issues = c.Emulator.fc_issues;
-          fl_lost = c.Emulator.fc_lost;
-        }
-        :: acc)
-      emu.Emulator.flame []
-    |> List.sort (fun a b ->
-           compare (b.fl_issues, b.fl_lost, a.frames)
-             (a.fl_issues, a.fl_lost, b.frames))
-  in
+  let flame = fold_flame prog emu in
   if !Obs.enabled then begin
     List.iter
       (fun (s : Metrics.div_site) ->
@@ -657,3 +669,445 @@ let analyze_checked ?(options = default_options) ?fuel prog
           @ (Array.to_list survivors
             |> List.map (fun (t : Thread_trace.t) -> (t.Thread_trace.tid, d)));
       }
+
+(* ------------------------------------------------------------------ *)
+(* Streaming sessions: bounded-memory incremental analysis.            *)
+
+module Session = struct
+  let default_budget = 64 * 1024 * 1024
+
+  type phase = Ingest | Finished of checked | Closed
+
+  type t = {
+    s_options : options;
+    s_fuel : int option;
+    s_budget : int;
+    s_max_frame : int;
+    s_prog : Program.t;
+    s_bounds : Validate.bounds;
+    s_dec : Stream.t;
+    s_tmp_dir : string option;
+    (* The spool: every ingested thread re-framed in [Stream]'s format
+       (no magic), newest frames in [s_buf], older ones spilled to a temp
+       file once the in-memory tail passes half the budget.  Threads with
+       validation errors are spooled too: quarantine is by tid and a
+       clean thread sharing a tid with a later bad one must still be
+       excluded, exactly as [Validate.quarantine] does. *)
+    s_buf : Buffer.t;
+    mutable s_file : (string * out_channel) option;
+    mutable s_spilled : int;
+    (* Per-thread metadata, newest first (O(threads), not O(bytes)). *)
+    mutable s_n : int;
+    mutable s_tids : int list;
+    mutable s_seqs : int list list; (* barrier sequences, for the vote *)
+    mutable s_events : int list; (* event count per thread *)
+    mutable s_sizes : int list; (* spooled frame bytes per thread *)
+    mutable s_diags : (int * Tf_error.diagnostic list) list;
+        (* (ingest index, per-thread diagnostics newest-first); only
+           threads that produced any *)
+    mutable s_failure : Tf_error.diagnostic option;
+    mutable s_done : bool;
+    mutable s_phase : phase;
+  }
+
+  let create ?(options = default_options) ?fuel
+      ?(budget_bytes = default_budget) ?tmp_dir prog =
+    if budget_bytes <= 0 then
+      invalid_arg "Analyzer.Session.create: budget_bytes must be positive";
+    if options.batching <> Batching.Sequential then
+      invalid_arg
+        "Analyzer.Session.create: streaming analysis requires Sequential \
+         batching (other policies need every trace at once)";
+    let max_frame = max budget_bytes 65536 in
+    {
+      s_options = options;
+      s_fuel = fuel;
+      s_budget = budget_bytes;
+      s_max_frame = max_frame;
+      s_prog = prog;
+      s_bounds = bounds_of_program prog;
+      s_dec = Stream.create ~max_frame_bytes:max_frame ();
+      s_tmp_dir = tmp_dir;
+      s_buf = Buffer.create 4096;
+      s_file = None;
+      s_spilled = 0;
+      s_n = 0;
+      s_tids = [];
+      s_seqs = [];
+      s_events = [];
+      s_sizes = [];
+      s_diags = [];
+      s_failure = None;
+      s_done = false;
+      s_phase = Ingest;
+    }
+
+  let buffered_bytes t = Stream.buffered t.s_dec + Buffer.length t.s_buf
+  let spilled_bytes t = t.s_spilled
+  let bytes_ingested t = Stream.bytes_fed t.s_dec
+  let threads_ingested t = t.s_n
+  let input_done t = t.s_done
+  let failure t = t.s_failure
+
+  (* The in-memory spool tail stays under half the budget; the other half
+     covers the decoder's reassembly buffer and the replay batch. *)
+  let spill_at t = max 65536 (t.s_budget / 2)
+
+  let spill t =
+    let oc =
+      match t.s_file with
+      | Some (_, oc) -> oc
+      | None ->
+          let path =
+            Filename.temp_file ?temp_dir:t.s_tmp_dir "tfsession" ".spool"
+          in
+          let oc = open_out_bin path in
+          t.s_file <- Some (path, oc);
+          oc
+    in
+    Buffer.output_buffer oc t.s_buf;
+    t.s_spilled <- t.s_spilled + Buffer.length t.s_buf;
+    Buffer.clear t.s_buf
+
+  let require_ingest t what =
+    match t.s_phase with
+    | Ingest -> ()
+    | Finished _ | Closed ->
+        invalid_arg
+          (Printf.sprintf "Analyzer.Session.%s: session already %s" what
+             (match t.s_phase with Closed -> "closed" | _ -> "finished"))
+
+  let add_thread t (trace : Thread_trace.t) =
+    require_ingest t "add_thread";
+    t.s_tids <- trace.Thread_trace.tid :: t.s_tids;
+    t.s_seqs <- Validate.barrier_seq trace :: t.s_seqs;
+    t.s_events <- Array.length trace.Thread_trace.events :: t.s_events;
+    (let diags = Validate.thread ~bounds:t.s_bounds trace in
+     if diags <> [] then t.s_diags <- (t.s_n, diags) :: t.s_diags);
+    let before = Buffer.length t.s_buf in
+    Stream.add_thread t.s_buf trace;
+    t.s_sizes <- (Buffer.length t.s_buf - before) :: t.s_sizes;
+    t.s_n <- t.s_n + 1;
+    if Buffer.length t.s_buf > spill_at t then spill t
+
+  let feed t ?off ?len chunk =
+    require_ingest t "feed";
+    if t.s_failure = None then begin
+      Stream.feed t.s_dec ?off ?len chunk;
+      let continue_ = ref true in
+      while !continue_ do
+        match Stream.next t.s_dec with
+        | Stream.Need_more -> continue_ := false
+        | Stream.Frame tr -> add_thread t tr
+        | Stream.End_of_stream ->
+            t.s_done <- true;
+            (* loop once more only if trailing bytes remain: the decoder
+               reports them as a (sticky) protocol error *)
+            if Stream.buffered t.s_dec = 0 then continue_ := false
+        | Stream.Corrupt d ->
+            t.s_failure <- Some d;
+            continue_ := false
+      done
+    end
+
+  (* Iterate the spooled frames in ingest order — the spill file (oldest)
+     then the in-memory tail — re-decoded through a bounded decoder, so
+     the pass holds one frame plus one chunk, never the spool. *)
+  let iter_spool t f =
+    let dec =
+      Stream.create ~max_frame_bytes:t.s_max_frame ~expect_magic:false ()
+    in
+    let drain () =
+      let continue_ = ref true in
+      while !continue_ do
+        match Stream.next dec with
+        | Stream.Need_more -> continue_ := false
+        | Stream.Frame tr -> f tr
+        | Stream.End_of_stream | Stream.Corrupt _ ->
+            (* the spool is written only by [add_thread]: well-formed
+               thread frames, no end frame *)
+            assert false
+      done
+    in
+    (match t.s_file with
+    | Some (path, oc) ->
+        flush oc;
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () ->
+            let chunk = Bytes.create 65536 in
+            let rec go () =
+              let n = input ic chunk 0 (Bytes.length chunk) in
+              if n > 0 then begin
+                Stream.feed dec ~len:n (Bytes.unsafe_to_string chunk);
+                drain ();
+                go ()
+              end
+            in
+            go ())
+    | None -> ());
+    Stream.feed dec (Buffer.contents t.s_buf);
+    drain ()
+
+  (* The streaming equivalent of [analyze_checked]'s body.  Barrier vote
+     over the retained sequences -> quarantine by tid (exactly
+     [Validate.quarantine]'s rule) -> pass A re-feeds surviving spool
+     frames to a DCFG builder in ingest order (identical insertion order
+     to [Dcfg.of_traces], hence identical graphs and IPDOMs) -> pass B
+     replays Sequential warps in warp-aligned bounded batches, merging
+     every batch's shards into a running accumulator.
+     [Emulator.merge_into] is additive in every field and every ranking
+     [build_report] emits is totally ordered, so the result is
+     byte-identical to the batch pipeline at any chunking, batch size and
+     domain count. *)
+  let analyze_ingested t ~(options : options) : checked =
+    let prog = t.s_prog in
+    let n_total = t.s_n in
+    let tids = Array.of_list (List.rev t.s_tids) in
+    let seqs = Array.of_list (List.rev t.s_seqs) in
+    let evs = Array.of_list (List.rev t.s_events) in
+    let sizes = Array.of_list (List.rev t.s_sizes) in
+    (* diagnostics in [Validate.all]'s order: per thread in ingest order
+       (newest-first within a thread), then the barrier vote *)
+    let barrier_diags = Validate.barrier_check ~tids seqs in
+    let diagnostics =
+      List.concat_map (fun (_, ds) -> ds) (List.rev t.s_diags) @ barrier_diags
+    in
+    (* quarantine by tid with the first matching Error in list order *)
+    let first_err : (int, Tf_error.diagnostic) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (d : Tf_error.diagnostic) ->
+        match d.Tf_error.thread with
+        | Some tid when d.Tf_error.severity = Tf_error.Error ->
+            if not (Hashtbl.mem first_err tid) then Hashtbl.add first_err tid d
+        | _ -> ())
+      diagnostics;
+    let bad =
+      Array.to_list tids
+      |> List.filter_map (fun tid ->
+             Hashtbl.find_opt first_err tid |> Option.map (fun d -> (tid, d)))
+    in
+    let keep = Array.map (fun tid -> not (Hashtbl.mem first_err tid)) tids in
+    let surv_tids = ref [] and surv_events = ref [] in
+    Array.iteri
+      (fun i k ->
+        if k then begin
+          surv_tids := tids.(i) :: !surv_tids;
+          surv_events := evs.(i) :: !surv_events
+        end)
+      keep;
+    let surv_tids = Array.of_list (List.rev !surv_tids) in
+    let surv_events = Array.of_list (List.rev !surv_events) in
+    let n_surv = Array.length surv_tids in
+    let pre_quarantined = n_total - n_surv in
+    let pre_dropped =
+      let acc = ref 0 in
+      Array.iteri (fun i k -> if not k then acc := !acc + evs.(i)) keep;
+      !acc
+    in
+    let fuel =
+      match t.s_fuel with
+      | Some f -> f
+      | None -> (64 * Array.fold_left ( + ) 0 surv_events) + 4096
+    in
+    let run () =
+      (* pass A: DCFG over survivors in ingest order *)
+      let builder = Dcfg.Builder.create prog in
+      Obs.span "dcfg" (fun () ->
+          let idx = ref 0 in
+          iter_spool t (fun tr ->
+              if keep.(!idx) then Dcfg.Builder.feed builder tr;
+              incr idx));
+      let dcfgs = Dcfg.Builder.finish builder in
+      let ipdoms = Obs.span "ipdom" (fun () -> Ipdom.of_dcfgs dcfgs) in
+      let ws = options.warp_size in
+      let n_warps = (n_surv + ws - 1) / ws in
+      let wt_builder =
+        if options.gen_warp_trace then
+          Some (Warp_trace.Builder.create ~warp_size:ws ~n_warps)
+        else None
+      in
+      let econfig = econfig_of options in
+      let domains = max 1 options.domains in
+      let acc = Emulator.create prog ipdoms econfig in
+      let per_warp = ref [] and failures = ref [] in
+      let io = ref 0 and spin = ref 0 and excluded = ref 0 in
+      (* pass B: warp-aligned batches of roughly a budget's worth of
+         decoded trace, replayed over the domain pool *)
+      let batch_target = max 65536 (t.s_budget / 2) in
+      let batch = ref [] and batch_n = ref 0 and batch_bytes = ref 0 in
+      let base = ref 0 in
+      (* survivor index of the batch's first lane *)
+      let flush_batch () =
+        if !batch_n > 0 then begin
+          let traces_b = Array.of_list (List.rev !batch) in
+          let nb = !batch_n in
+          batch := [];
+          batch_n := 0;
+          batch_bytes := 0;
+          let warps_b = (nb + ws - 1) / ws in
+          let base_warp = !base / ws in
+          let replay sh i =
+            let lo = i * ws in
+            let hi = min nb (lo + ws) in
+            let tids_w = Array.init (hi - lo) (fun k -> !base + lo + k) in
+            shard_replay_warp ~options ~fuel ~catch:true sh
+              ~warp_id:(base_warp + i) ~tids:tids_w
+              ~lane_trace:(fun g -> traces_b.(g - !base))
+          in
+          let shards =
+            Par_replay.map_shards ~domains ~schedule:options.schedule
+              ~n:warps_b
+              ~init:(new_shard ?wt_builder prog ipdoms econfig)
+              ~item:replay
+          in
+          List.iter
+            (fun (s : shard) ->
+              Emulator.merge_into ~dst:acc s.sh_emu;
+              per_warp := List.rev_append s.sh_per_warp !per_warp;
+              failures := List.rev_append s.sh_failures !failures;
+              io := !io + s.sh_io;
+              spin := !spin + s.sh_spin;
+              excluded := !excluded + s.sh_excluded)
+            shards;
+          base := !base + nb
+        end
+      in
+      Obs.span "replay"
+        ~args:
+          [
+            ("warps", string_of_int n_warps);
+            ("domains", string_of_int domains);
+            ("schedule", Par_replay.schedule_name options.schedule);
+          ]
+        (fun () ->
+          let idx = ref 0 in
+          iter_spool t (fun tr ->
+              let i = !idx in
+              incr idx;
+              if keep.(i) then begin
+                batch := tr :: !batch;
+                incr batch_n;
+                batch_bytes := !batch_bytes + sizes.(i);
+                if !batch_n mod ws = 0 && !batch_bytes >= batch_target then
+                  flush_batch ()
+              end);
+          flush_batch ());
+      let per_warp =
+        List.sort
+          (fun (a : Metrics.warp_stat) b ->
+            compare a.Metrics.warp_id b.Metrics.warp_id)
+          !per_warp
+      in
+      let failures =
+        List.sort (fun a b -> compare a.fw_warp b.fw_warp) !failures
+      in
+      let replay_quarantined =
+        List.fold_left (fun a f -> a + Array.length f.fw_tids) 0 failures
+      in
+      let replay_dropped =
+        List.fold_left
+          (fun a f ->
+            Array.fold_left (fun a idx -> a + surv_events.(idx)) a f.fw_tids)
+          0 failures
+      in
+      let coverage =
+        {
+          Metrics.threads_total = n_total;
+          threads_analyzed = n_surv - replay_quarantined;
+          threads_quarantined = pre_quarantined + replay_quarantined;
+          events_dropped = pre_dropped + replay_dropped;
+          warps_failed = List.length failures;
+        }
+      in
+      let report =
+        build_report options prog acc ~n_threads:n_surv ~n_warps ~per_warp
+          ~skipped_io:!io ~skipped_spin:!spin ~skipped_excluded:!excluded
+          ~coverage
+      in
+      ( {
+          report;
+          warp_trace = Option.map Warp_trace.Builder.finish wt_builder;
+          timelines =
+            List.sort
+              (fun (a : Timeline.t) b ->
+                compare a.Timeline.warp_id b.Timeline.warp_id)
+              acc.Emulator.timelines;
+          flame = fold_flame prog acc;
+          dcfgs;
+          ipdoms;
+          options;
+        },
+        failures )
+    in
+    match run () with
+    | result, failures ->
+        let replay_quar =
+          List.concat_map
+            (fun f ->
+              Array.to_list f.fw_tids
+              |> List.map (fun idx -> (surv_tids.(idx), f.fw_diag)))
+            failures
+        in
+        {
+          result;
+          diagnostics = diagnostics @ List.map (fun f -> f.fw_diag) failures;
+          quarantined = bad @ replay_quar;
+        }
+    | exception e when not (fatal e) ->
+        (* mirror [analyze_checked]'s whole-set quarantine fallback *)
+        let d = diag_of_exn e in
+        let all_events = Array.fold_left ( + ) 0 evs in
+        let result, _ =
+          run_pipeline ~options ~fuel ~catch:true ~threads_total:n_total
+            ~pre_quarantined:n_total ~pre_dropped:all_events prog [||]
+        in
+        {
+          result;
+          diagnostics = diagnostics @ [ d ];
+          quarantined =
+            bad @ (Array.to_list surv_tids |> List.map (fun tid -> (tid, d)));
+        }
+
+  let snapshot t : Metrics.report =
+    match t.s_phase with
+    | Closed -> invalid_arg "Analyzer.Session.snapshot: session closed"
+    | Finished c -> c.result.report
+    | Ingest ->
+        (* advisory rolling report over the ingested prefix: skip the
+           warp-trace / timeline side products *)
+        let options =
+          { t.s_options with gen_warp_trace = false; record_timeline = false }
+        in
+        (analyze_ingested t ~options).result.report
+
+  let remove_spool t =
+    (match t.s_file with
+    | Some (path, oc) ->
+        (try close_out oc with Sys_error _ -> ());
+        (try Sys.remove path with Sys_error _ -> ())
+    | None -> ());
+    t.s_file <- None
+
+  let finish t : checked =
+    match t.s_phase with
+    | Closed -> invalid_arg "Analyzer.Session.finish: session closed"
+    | Finished c -> c
+    | Ingest ->
+        let c = analyze_ingested t ~options:t.s_options in
+        let c =
+          match t.s_failure with
+          | None -> c
+          | Some d -> { c with diagnostics = d :: c.diagnostics }
+        in
+        t.s_phase <- Finished c;
+        remove_spool t;
+        Buffer.reset t.s_buf;
+        c
+
+  let close t =
+    remove_spool t;
+    Buffer.reset t.s_buf;
+    t.s_phase <- (match t.s_phase with Finished c -> Finished c | _ -> Closed)
+end

@@ -93,3 +93,76 @@ val analyze_checked :
   Threadfuser_prog.Program.t ->
   Threadfuser_trace.Thread_trace.t array ->
   checked
+
+(** {1 Streaming sessions}
+
+    Bounded-memory incremental analysis: feed {!Threadfuser_trace.Stream}
+    chunks as they arrive, then {!Session.finish} for a report that is
+    byte-identical to {!analyze_checked} over the same traces — at any
+    chunking, any session budget and any [options.domains].  Memory is
+    bounded by the per-session budget, not the trace length: ingested
+    threads are re-framed into a spool that spills to a temp file, and
+    the finishing replay streams warp-aligned batches of roughly half a
+    budget back out of it.  Used by [threadfuser serve]
+    (docs/robustness.md §8). *)
+module Session : sig
+  type t
+
+  (** Default per-session budget (64 MiB). *)
+  val default_budget : int
+
+  (** [create prog] starts a session.  [budget_bytes] bounds both the
+      in-memory spool tail and a single stream frame (at least 64 KiB);
+      [tmp_dir] hosts the spill file (default: [Filename.temp_dir_name]).
+      @raise Invalid_argument if [budget_bytes <= 0] or
+        [options.batching] is not [Sequential] (other policies need every
+        trace at once, which streaming cannot provide). *)
+  val create :
+    ?options:options ->
+    ?fuel:int ->
+    ?budget_bytes:int ->
+    ?tmp_dir:string ->
+    Threadfuser_prog.Program.t ->
+    t
+
+  (** Feed a chunk of a {!Threadfuser_trace.Stream}-encoded trace set
+      (magic + thread frames + end frame), any chunk boundaries.  Decoded
+      threads are validated and spooled immediately.  Corruption is
+      recorded ({!failure}) rather than raised; chunks fed after it are
+      discarded, so a hostile stream cannot grow the session. *)
+  val feed : t -> ?off:int -> ?len:int -> string -> unit
+
+  (** Ingest an already-decoded thread directly (in-process use). *)
+  val add_thread : t -> Threadfuser_trace.Thread_trace.t -> unit
+
+  (** The stream's end frame has been consumed. *)
+  val input_done : t -> bool
+
+  (** The sticky stream-corruption diagnostic, if any. *)
+  val failure : t -> Threadfuser_util.Tf_error.diagnostic option
+
+  val threads_ingested : t -> int
+  val bytes_ingested : t -> int
+
+  (** Bytes currently held in memory (decoder reassembly + spool tail) —
+      the quantity the budget bounds. *)
+  val buffered_bytes : t -> int
+
+  (** Bytes moved to the spill file so far. *)
+  val spilled_bytes : t -> int
+
+  (** Rolling report over the threads ingested so far (the warp-trace and
+      timeline side products are skipped).  After {!finish}, returns the
+      final report. *)
+  val snapshot : t -> Metrics.report
+
+  (** Run the analysis over everything ingested.  Quarantine, coverage,
+      fuel defaulting and crash fallback match {!analyze_checked} exactly;
+      a stream {!failure} is prepended to [diagnostics].  Idempotent; the
+      spool is released. *)
+  val finish : t -> checked
+
+  (** Release the spool and temp file.  Safe to call at any point (e.g.
+      on a dropped connection); a finished session keeps its result. *)
+  val close : t -> unit
+end

@@ -63,3 +63,62 @@ let decide p ~job ~attempt =
     if Lcg.chance g p.crash_pct 100 then Crash
     else if Lcg.chance g p.stall_pct 100 then Stall p.stall_s
     else No_fault
+
+(* ------------------------------------------------------------------ *)
+(* Session faults: the serve daemon's chaos dimension.                  *)
+
+type session_action =
+  | Session_ok
+  | Disconnect of int
+  | Stall_writer of float
+  | Oversize_frame
+
+let session_action_name = function
+  | Session_ok -> "none"
+  | Disconnect _ -> "disconnect"
+  | Stall_writer _ -> "stall-writer"
+  | Oversize_frame -> "oversize-frame"
+
+type session_plan = {
+  sn_seed : int;
+  disconnect_pct : int;
+  stall_writer_pct : int;
+  oversize_pct : int;
+  writer_stall_s : float;
+  disconnect_after : int;
+}
+
+let session_plan ?(seed = 1) ?(disconnect_pct = 0) ?(stall_writer_pct = 0)
+    ?(oversize_pct = 0) ?(writer_stall_s = 30.) ?(disconnect_after = 4096) () =
+  let bad p = p < 0 || p > 100 in
+  if bad disconnect_pct || bad stall_writer_pct || bad oversize_pct then
+    invalid_arg "Exec_fault.session_plan: percentages must be in 0..100";
+  if disconnect_after < 0 then
+    invalid_arg "Exec_fault.session_plan: disconnect_after must be >= 0";
+  {
+    sn_seed = seed;
+    disconnect_pct;
+    stall_writer_pct;
+    oversize_pct;
+    writer_stall_s;
+    disconnect_after;
+  }
+
+let session_plan_active p =
+  p.disconnect_pct > 0 || p.stall_writer_pct > 0 || p.oversize_pct > 0
+
+(** [decide_session plan ~session] — the fault for the daemon's
+    [session]-th accepted connection (0-based ordinal).  Pure, so a chaos
+    smoke run replays byte-for-byte: the same seed always damages the
+    same sessions the same way. *)
+let decide_session p ~session =
+  if session < 0 then
+    invalid_arg "Exec_fault.decide_session: session ordinal is 0-based";
+  let g = Lcg.create (Lcg.derive ~seed:p.sn_seed ~index:session) in
+  if Lcg.chance g p.disconnect_pct 100 then
+    (* the cut point is derived from the same stream: replayable, but not
+       the same byte for every damaged session *)
+    Disconnect (Lcg.int_range g 0 p.disconnect_after)
+  else if Lcg.chance g p.stall_writer_pct 100 then Stall_writer p.writer_stall_s
+  else if Lcg.chance g p.oversize_pct 100 then Oversize_frame
+  else Session_ok

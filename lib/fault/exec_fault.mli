@@ -35,3 +35,52 @@ val plan :
 (** [decide plan ~job ~attempt] — the action for this attempt ([attempt]
     is 1-based; raises on 0).  Deterministic per triple. *)
 val decide : plan -> job:string -> attempt:int -> action
+
+(** {1 Session faults}
+
+    The serve daemon's chaos dimension ([threadfuser serve --inject-*]):
+    deterministic per (seed, session ordinal), so a chaos smoke run
+    replays exactly.  See docs/robustness.md §8. *)
+
+type session_action =
+  | Session_ok
+  | Disconnect of int
+      (** simulate the peer vanishing after this many ingested bytes:
+          the stream ends mid-frame and the session must degrade to a
+          typed truncation reply *)
+  | Stall_writer of float
+      (** simulate a writer that stops sending for this many seconds:
+          trips the per-session deadline *)
+  | Oversize_frame
+      (** inject a frame header that exceeds the frame bound before any
+          client bytes: trips the decoder's allocation defense *)
+
+val session_action_name : session_action -> string
+
+type session_plan = {
+  sn_seed : int;
+  disconnect_pct : int;
+  stall_writer_pct : int;
+  oversize_pct : int;
+  writer_stall_s : float;  (** stall length when one fires *)
+  disconnect_after : int;  (** upper bound on the cut point (bytes) *)
+}
+
+(** Build a session-fault plan; percentages validated to 0..100.
+    Defaults: seed 1, no faults, 30 s stalls, cut within 4096 bytes. *)
+val session_plan :
+  ?seed:int ->
+  ?disconnect_pct:int ->
+  ?stall_writer_pct:int ->
+  ?oversize_pct:int ->
+  ?writer_stall_s:float ->
+  ?disconnect_after:int ->
+  unit ->
+  session_plan
+
+(** At least one percentage is non-zero. *)
+val session_plan_active : session_plan -> bool
+
+(** The fault for the daemon's [session]-th accepted connection (0-based
+    ordinal).  Pure. *)
+val decide_session : session_plan -> session:int -> session_action

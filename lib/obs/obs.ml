@@ -181,6 +181,37 @@ module Counter = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+
+module Gauge = struct
+  (* A current-level instrument (sessions active, queue depth): unlike a
+     counter it moves both ways, and unlike an instant it is exported by
+     the Prometheus endpoint.  Same atomic discipline as [Counter], but
+     *not* gated on [enabled]: a gauge tracks live daemon state whose
+     level must stay correct whether or not the event collector is on. *)
+  type t = { name : string; help : string; value : int Atomic.t }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+  let order : string list ref = ref [] (* registration order, reversed *)
+
+  let make ?(help = "") name =
+    locked (fun () ->
+        match Hashtbl.find_opt registry name with
+        | Some g -> g
+        | None ->
+            let g = { name; help; value = Atomic.make 0 } in
+            Hashtbl.replace registry name g;
+            order := name :: !order;
+            g)
+
+  let incr g = Atomic.incr g.value
+  let decr g = Atomic.decr g.value
+  let add g n = ignore (Atomic.fetch_and_add g.value n)
+  let set g n = Atomic.set g.value n
+  let value g = Atomic.get g.value
+end
+
+(* ------------------------------------------------------------------ *)
 (* Histograms                                                          *)
 
 module Histogram = struct
@@ -270,6 +301,7 @@ type snapshot = {
   events : event list; (* chronological *)
   tracks : (track * string) list; (* registration order *)
   counters : Counter.t list; (* registration order *)
+  gauges : Gauge.t list; (* registration order *)
   histograms : Histogram.t list;
   events_dropped : int;
 }
@@ -283,6 +315,8 @@ let snapshot () =
           |> List.sort compare;
         counters =
           List.rev_map (fun n -> Hashtbl.find Counter.registry n) !Counter.order;
+        gauges =
+          List.rev_map (fun n -> Hashtbl.find Gauge.registry n) !Gauge.order;
         histograms =
           List.rev_map (fun n -> Hashtbl.find Histogram.registry n) !Histogram.order;
         events_dropped = Atomic.get dropped;
@@ -299,6 +333,8 @@ let reset () =
       t0 := Unix.gettimeofday ();
       Hashtbl.iter (fun _ (c : Counter.t) -> Atomic.set c.Counter.value 0)
         Counter.registry;
+      Hashtbl.iter (fun _ (g : Gauge.t) -> Atomic.set g.Gauge.value 0)
+        Gauge.registry;
       Hashtbl.iter
         (fun _ (h : Histogram.t) ->
           h.Histogram.n <- 0;
@@ -310,5 +346,7 @@ let reset () =
 let track_id (t : track) = t
 let counter_name (c : Counter.t) = c.Counter.name
 let counter_help (c : Counter.t) = c.Counter.help
+let gauge_name (g : Gauge.t) = g.Gauge.name
+let gauge_help (g : Gauge.t) = g.Gauge.help
 let histogram_name (h : Histogram.t) = h.Histogram.name
 let histogram_help (h : Histogram.t) = h.Histogram.help

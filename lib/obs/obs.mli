@@ -86,6 +86,24 @@ module Counter : sig
   val value : t -> int
 end
 
+(** {1 Gauges} — current levels (sessions active, queue depth), atomic and
+    bidirectional.  Unlike counters they are {e not} gated on {!enabled}:
+    they track live daemon state whose level must stay correct whether or
+    not the event collector is on. *)
+
+module Gauge : sig
+  type t
+
+  val make : ?help:string -> string -> t
+  (** Find-or-create in the global registry; safe at module-init time. *)
+
+  val incr : t -> unit
+  val decr : t -> unit
+  val add : t -> int -> unit
+  val set : t -> int -> unit
+  val value : t -> int
+end
+
 (** {1 Histograms} — distributions (latencies in µs, sizes in units of the
     caller's choosing).  Quantiles come from retained raw samples via
     {!Threadfuser_stats.Stats.percentile}; the Prometheus exporter buckets
@@ -131,6 +149,7 @@ type snapshot = {
   events : event list;  (** chronological *)
   tracks : (track * string) list;
   counters : Counter.t list;  (** registration order *)
+  gauges : Gauge.t list;  (** registration order *)
   histograms : Histogram.t list;
   events_dropped : int;  (** events past the cap (see {!set_max_events}) *)
 }
@@ -150,5 +169,7 @@ val reset : unit -> unit
 val track_id : track -> int
 val counter_name : Counter.t -> string
 val counter_help : Counter.t -> string
+val gauge_name : Gauge.t -> string
+val gauge_help : Gauge.t -> string
 val histogram_name : Histogram.t -> string
 val histogram_help : Histogram.t -> string

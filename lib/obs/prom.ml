@@ -76,6 +76,11 @@ let counter buf c =
   Buffer.add_string buf
     (Printf.sprintf "%s %d\n" name (Obs.Counter.value c))
 
+let gauge buf g =
+  let name = sanitize (Obs.gauge_name g) in
+  add_help buf name (Obs.gauge_help g) "gauge";
+  Buffer.add_string buf (Printf.sprintf "%s %d\n" name (Obs.Gauge.value g))
+
 let histogram buf h =
   let name = sanitize (Obs.histogram_name h) in
   add_help buf name (Obs.histogram_help h) "histogram";
@@ -111,6 +116,7 @@ let histogram buf h =
 let to_string (s : Obs.snapshot) =
   let buf = Buffer.create 4096 in
   List.iter (fun c -> counter buf c) s.Obs.counters;
+  List.iter (fun g -> gauge buf g) s.Obs.gauges;
   List.iter (fun h -> histogram buf h) s.Obs.histograms;
   if s.Obs.events_dropped > 0 then begin
     add_help buf "tf_obs_events_dropped_total"

@@ -115,12 +115,25 @@ type manifest = {
   entries : entry list;  (** one per requested job, in request order *)
   quarantined : int;  (** corrupt journal lines set aside during resume *)
   wall_s : float;
+  interrupted : bool;  (** stopped by {!request_stop} before finishing *)
 }
 
-let all_ok m = List.for_all (fun e -> e.outcome = Outcome.Ok) m.entries
+let all_ok m =
+  (not m.interrupted) && List.for_all (fun e -> e.outcome = Outcome.Ok) m.entries
 
 let failures m =
   List.filter (fun e -> not (Outcome.success e.outcome)) m.entries
+
+(* ------------------------------------------------------------------ *)
+(* Graceful shutdown: a signal handler (or any thread) requests a stop;
+   the supervisors notice between jobs.  Fork isolation additionally
+   kills in-flight children, so an interrupted suite exits promptly.
+   Unfinished jobs are simply never journalled — the journal holds only
+   fsync'd terminal outcomes, which is exactly what [--resume] replays. *)
+
+let stop_requested = Atomic.make false
+
+let request_stop () = Atomic.set stop_requested true
 
 (* ------------------------------------------------------------------ *)
 (* Configuration                                                       *)
@@ -450,6 +463,27 @@ let run_fork cfg (pendings : pending list) ~(finish : entry -> unit) =
             }
   in
   while !waiting <> [] || !running <> [] do
+    if Atomic.get stop_requested then begin
+      (* interrupted: kill and reap every child, drop every queued job.
+         Nothing is journalled for them, so --resume re-runs exactly
+         these; the journal already holds an fsync'd line per finished
+         job. *)
+      List.iter
+        (fun (r : running) ->
+          (try Unix.kill r.pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] r.pid) with Unix.Unix_error _ -> ());
+          cleanup_attempt_files r)
+        !running;
+      Log.warn
+        ~fields:
+          [
+            ("killed", string_of_int (List.length !running));
+            ("dropped", string_of_int (List.length !waiting));
+          ]
+        "suite interrupted; unfinished jobs left for --resume";
+      running := [];
+      waiting := []
+    end;
     let now = Unix.gettimeofday () in
     (* spawn every eligible job up to the parallelism cap, request order *)
     let rec fill () =
@@ -588,7 +622,11 @@ let run_domains cfg (pendings : pending list) ~(finish : entry -> unit) =
     Fun.protect
       ~finally:(fun () -> Mutex.unlock m)
       (fun () ->
-        let r = Queue.take_opt q in
+        (* interrupted: in-flight jobs run to completion (in-process work
+           cannot be safely killed) but nothing new starts *)
+        let r =
+          if Atomic.get stop_requested then None else Queue.take_opt q
+        in
         if !Obs.enabled then
           Obs.instant ~track:suite_track "queue_depth"
             ~args:[ ("waiting", string_of_int (Queue.length q)) ];
@@ -661,6 +699,7 @@ let manifest_to_json m =
           ] );
       ("quarantined_journal_lines", Json.Int m.quarantined);
       ("wall_s", Json.Float m.wall_s);
+      ("interrupted", Json.Bool m.interrupted);
       ("entries", Json.List (List.map entry_to_json m.entries));
     ]
 
@@ -685,6 +724,10 @@ let pp_manifest ppf m =
     (by "timeout") (by "gave-up")
     (count (fun e -> e.source = Resumed) m)
     m.quarantined m.wall_s;
+  if m.interrupted then
+    Fmt.pf ppf
+      "suite INTERRUPTED — unfinished jobs are not listed; run with \
+       --resume to complete them@.";
   List.iter (fun e -> Fmt.pf ppf "%a@." pp_entry e) m.entries
 
 (* ------------------------------------------------------------------ *)
@@ -694,6 +737,9 @@ let run ?(config = default_config) (jobs : job list) : manifest =
   if jobs = [] then invalid_arg "Runner.run: no jobs";
   if config.parallelism < 1 then invalid_arg "Runner.run: parallelism < 1";
   if config.retries < 0 then invalid_arg "Runner.run: negative retries";
+  (* a stop request only spans one batch: a resume run in the same
+     process starts fresh *)
+  Atomic.set stop_requested false;
   let t_start = Unix.gettimeofday () in
   (* dedup while preserving request order: the id is the journal key, so a
      duplicate would race itself *)
@@ -781,12 +827,18 @@ let run ?(config = default_config) (jobs : job list) : manifest =
         match config.isolation with
         | Fork -> run_fork config pendings ~finish
         | Domains -> run_domains config pendings ~finish);
-  let entries = List.map (fun j -> Hashtbl.find results (job_id j)) jobs in
+  let interrupted = Atomic.get stop_requested in
+  (* on an interrupt some jobs never produced an entry; the manifest
+     still accounts for every finished one *)
+  let entries =
+    List.filter_map (fun j -> Hashtbl.find_opt results (job_id j)) jobs
+  in
   let m =
     {
       entries;
       quarantined = prior.Journal.quarantined;
       wall_s = Unix.gettimeofday () -. t_start;
+      interrupted;
     }
   in
   write_manifest config.dir m;

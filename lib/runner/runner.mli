@@ -75,13 +75,17 @@ type entry = {
 }
 
 type manifest = {
-  entries : entry list;  (** one per requested job, in request order *)
+  entries : entry list;
+      (** one per requested job, in request order; on an interrupted run,
+          only the jobs that reached a terminal outcome *)
   quarantined : int;  (** corrupt journal lines set aside during resume *)
   wall_s : float;
+  interrupted : bool;  (** stopped by {!request_stop} before finishing *)
 }
 
 val all_ok : manifest -> bool
-(** Every entry is [Outcome.Ok] (degraded counts as not-ok here). *)
+(** Every entry is [Outcome.Ok] (degraded counts as not-ok here) and the
+    run was not interrupted. *)
 
 val failures : manifest -> entry list
 (** Entries whose outcome is not a success. *)
@@ -122,6 +126,14 @@ val default_config : config
     dir [".tfsuite"], no resume, no chaos. *)
 
 (** {1 Running} *)
+
+val request_stop : unit -> unit
+(** Ask a running {!run} to shut down gracefully (async-signal-safe: call
+    it from a SIGINT/SIGTERM handler).  Fork isolation kills and reaps
+    in-flight children; domains isolation lets in-flight jobs finish.
+    Either way nothing new starts, every already-journalled outcome is
+    fsync'd on disk, and the returned manifest has [interrupted = true] —
+    a later [--resume] run re-runs exactly the unfinished jobs. *)
 
 val run : ?config:config -> job list -> manifest
 (** Execute the batch.  Creates [config.dir] (with [reports/] and [tmp/]),

@@ -1,0 +1,22 @@
+(** Client side of the serve protocol ({!Protocol}): connect, stream a
+    trace, collect the typed reply and the raw report bytes. *)
+
+type outcome = {
+  reply : Protocol.reply;
+  report : string option;
+      (** raw report JSON, byte-identical to batch [analyze --json] *)
+}
+
+(** [session ?chunk_bytes ~socket_path bytes] runs one blocking session:
+    connect, read the greeting, stream [bytes] (a TFSTREAM1 stream) in
+    [chunk_bytes] slices (default 64KiB), read the reply.  A [busy]
+    greeting returns immediately with no report.  Raises [Unix.Unix_error]
+    on connection failure and [Tf_error.Error] on a malformed reply. *)
+val session : ?chunk_bytes:int -> socket_path:string -> string -> outcome
+
+(** As {!session}, encoding the traces first. *)
+val session_traces :
+  ?chunk_bytes:int ->
+  socket_path:string ->
+  Threadfuser_trace.Thread_trace.t array ->
+  outcome

@@ -1,0 +1,48 @@
+(** The [threadfuser serve] daemon: a supervised streaming analysis
+    service over a Unix-domain socket.
+
+    Clients connect, stream {!Threadfuser_trace.Stream} bytes, and
+    receive {!Protocol} reply frames: a status object plus — byte-for-byte
+    identical to batch [threadfuser analyze --json] — the report.  The
+    daemon runs every session through {!Threadfuser.Analyzer.Session}
+    under a per-session memory quota and supervises with [lib/runner]
+    semantics: backpressure instead of unbounded buffering, typed [busy]
+    shedding at [max_sessions], per-session deadlines, seeded backoff on
+    transient accept failures, crash isolation, and a graceful drain on
+    SIGTERM.  See docs/robustness.md §8. *)
+
+type config = {
+  socket_path : string;  (** Unix-domain socket to bind *)
+  prog : Threadfuser_prog.Program.t;  (** program every session analyzes *)
+  options : Threadfuser.Analyzer.options;
+  fuel : int option;  (** per-replay fuel override *)
+  max_sessions : int;  (** concurrent sessions before shedding *)
+  session_quota : int;  (** per-session memory budget (bytes) *)
+  deadline_s : float option;  (** per-session wall-clock budget *)
+  workers : int;  (** analysis worker domains *)
+  seed : int;  (** backoff jitter seed *)
+  backoff_base_s : float;  (** base accept-retry delay *)
+  fault : Threadfuser_fault.Exec_fault.session_plan option;
+      (** deterministic chaos injection, keyed by accept ordinal *)
+  tmp_dir : string option;  (** session spool directory *)
+}
+
+(** 8 sessions, {!Threadfuser.Analyzer.Session.default_budget} quota, no
+    deadline, 1 worker, seed 1, 50ms backoff base, no faults. *)
+val default_config :
+  prog:Threadfuser_prog.Program.t -> socket_path:string -> config
+
+type stats = {
+  served : int;  (** sessions answered with ok/degraded *)
+  failed : int;  (** sessions answered with error/timeout *)
+  shed : int;  (** connections turned away busy *)
+  bytes_ingested : int;
+}
+
+(** [run ?stop ?on_ready cfg] binds the socket, calls [on_ready] once
+    accepting, and serves until [stop] becomes [true] — then closes the
+    listener, drains live sessions to completion, removes the socket file
+    and returns.  A stale socket file left by a dead daemon is replaced.
+    Raises [Invalid_argument] on a non-positive [max_sessions] or
+    [workers]; [Unix.Unix_error] if the socket cannot be bound. *)
+val run : ?stop:bool Atomic.t -> ?on_ready:(unit -> unit) -> config -> stats

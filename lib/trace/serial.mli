@@ -26,3 +26,16 @@ val write_int : Buffer.t -> int -> unit
 val read_uint : reader -> int
 
 val read_int : reader -> int
+
+val read_count : reader -> min_bytes:int -> string -> int
+(** Bounded length header: reads a varint count and raises [Corrupt]
+    unless every counted item can pay for at least [min_bytes] of the
+    remaining input — an untrusted count can never drive a giant
+    allocation.  [what] names the counted thing in the error. *)
+
+(** {2 Event codec} (shared with {!Stream}'s framed format) *)
+
+val write_event : Buffer.t -> Event.t -> unit
+
+val read_event : reader -> Event.t
+(** Raises [Corrupt] on a bad tag, bad skip reason or truncation. *)

@@ -137,20 +137,19 @@ let barrier_seq (t : Thread_trace.t) =
   Array.to_list t.Thread_trace.events
   |> List.filter_map (function Event.Barrier a -> Some a | _ -> None)
 
-(** Validate a trace set: per-thread checks plus cross-thread barrier
-    consistency.  Threads whose barrier-address sequence differs from the
-    majority get a [Barrier_mismatch] error (a missing arrival would block
-    the team forever — the machine's barriers release only when every live
-    thread has arrived). *)
-let all ?(bounds = no_bounds) (traces : Thread_trace.t array) :
+(** Cross-thread barrier consistency over precomputed per-thread barrier
+    sequences: threads whose sequence differs from the majority get a
+    [Barrier_mismatch] error (a missing arrival would block the team
+    forever — the machine's barriers release only when every live thread
+    has arrived).  Factored out of {!all} so [Analyzer.Session], which
+    retains only the barrier sequences while the traces sit in its spool,
+    votes with {e exactly} this code — including the tie-breaking
+    [Hashtbl] fold order, which identical insertion sequences make
+    deterministic. *)
+let barrier_check ~(tids : int array) (seqs : int list array) :
     Tf_error.diagnostic list =
-  let diags =
-    Array.fold_left (fun acc t -> List.rev_append (thread ~bounds t) acc) []
-      traces
-  in
-  if Array.length traces < 2 then List.rev diags
+  if Array.length seqs < 2 then []
   else begin
-    let seqs = Array.map barrier_seq traces in
     (* majority vote over the distinct sequences *)
     let counts = Hashtbl.create 8 in
     Array.iter
@@ -167,15 +166,29 @@ let all ?(bounds = no_bounds) (traces : Thread_trace.t array) :
       (fun i s ->
         if s <> reference then
           barrier_diags :=
-            Tf_error.diag ~thread:traces.(i).Thread_trace.tid
-              Tf_error.Barrier_mismatch
+            Tf_error.diag ~thread:tids.(i) Tf_error.Barrier_mismatch
               "barrier sequence (%d arrivals) disagrees with the team \
                majority (%d): a missing arrival never satisfies the barrier"
               (List.length s) (List.length reference)
             :: !barrier_diags)
       seqs;
-    List.rev_append diags (List.rev !barrier_diags)
+    List.rev !barrier_diags
   end
+
+(** Validate a trace set: per-thread checks plus cross-thread barrier
+    consistency ({!barrier_check}). *)
+let all ?(bounds = no_bounds) (traces : Thread_trace.t array) :
+    Tf_error.diagnostic list =
+  let diags =
+    Array.fold_left (fun acc t -> List.rev_append (thread ~bounds t) acc) []
+      traces
+  in
+  let barrier_diags =
+    barrier_check
+      ~tids:(Array.map (fun (t : Thread_trace.t) -> t.Thread_trace.tid) traces)
+      (Array.map barrier_seq traces)
+  in
+  List.rev_append diags barrier_diags
 
 (** Threads with at least one [Error]-severity diagnostic, with the first
     such diagnostic (the quarantine set of [Analyzer.analyze_checked]). *)

@@ -23,6 +23,17 @@ val no_bounds : bounds
 val thread :
   ?bounds:bounds -> Thread_trace.t -> Tf_error.diagnostic list
 
+(** The thread's team-barrier address sequence (the vote cast in
+    {!barrier_check}). *)
+val barrier_seq : Thread_trace.t -> int list
+
+(** Cross-thread barrier majority vote over precomputed sequences;
+    [tids.(i)] labels [seqs.(i)].  [Analyzer.Session] uses this directly
+    (it retains barrier sequences, not whole traces); {!all} is built on
+    it, so both paths vote — and tie-break — identically. *)
+val barrier_check :
+  tids:int array -> int list array -> Tf_error.diagnostic list
+
 (** Per-thread checks plus cross-thread barrier consistency. *)
 val all :
   ?bounds:bounds -> Thread_trace.t array -> Tf_error.diagnostic list

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Gate on BENCH_analyzer_par.json speedup legs.
+
+A leg whose requested domain count exceeds the host's cores is marked
+"advisory": true by the bench (it measures time-slicing, not scaling);
+those legs are reported but never gated, so a 1-core CI box cannot
+baseline a sub-1x "speedup" as a regression bar.  Non-advisory legs must
+not fall below MIN_SPEEDUP of ideal-agnostic parity with -j 1.
+"""
+import json
+import sys
+
+MIN_SPEEDUP = 0.9  # parallel replay must never be >10% slower than -j 1
+
+
+def main(path: str) -> int:
+    with open(path) as f:
+        doc = json.load(f)
+    bad = []
+    for name, case in doc.get("workloads", {}).items():
+        for dom, leg in case.get("speedup_vs_j1", {}).items():
+            if not isinstance(leg, dict):  # pre-advisory schema: gate it
+                leg = {"x": leg, "advisory": False}
+            tag = f"{name} -j {dom}"
+            if leg.get("advisory"):
+                print(f"  {tag}: {leg['x']:.2f}x  skipped (advisory)")
+            else:
+                ok = leg["x"] >= MIN_SPEEDUP
+                print(f"  {tag}: {leg['x']:.2f}x  {'ok' if ok else 'REGRESSED'}")
+                if not ok:
+                    bad.append(tag)
+    if bad:
+        print(f"speedup regression in: {', '.join(bad)}", file=sys.stderr)
+        return 5
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_analyzer_par.json"))

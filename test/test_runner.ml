@@ -298,6 +298,99 @@ let test_sigkill_resume () =
     "journalled jobs were skipped, incomplete jobs re-ran" true
     (List.length resumed >= 2 && List.length resumed < 5)
 
+(* The journal's durability contract is "every line is whole or torn,
+   never silently wrong": [Journal.append] is one write + fsync.  Emulate
+   a crash at EVERY byte offset inside the final record and check the
+   loader's accounting at each cut — valid prefix records always survive,
+   the torn tail is quarantined (or, cut exactly before the newline, still
+   parses), and nothing raises. *)
+let test_journal_crash_at_any_byte () =
+  let dir = fresh_dir () in
+  let jobs = List.map Runner.job small in
+  let m = Runner.run ~config:(config ~parallelism:1 dir) jobs in
+  Alcotest.(check bool) "seed suite ok" true (Runner.all_ok m);
+  let full = read_file (Journal.path dir) in
+  let len = String.length full in
+  Alcotest.(check bool) "journal ends in newline" true (full.[len - 1] = '\n');
+  (* start of the last record's line *)
+  let boundary = 1 + String.rindex_from full (len - 2) '\n' in
+  for cut = boundary to len - 1 do
+    let oc = open_out_bin (Journal.path dir) in
+    output_string oc (String.sub full 0 cut);
+    close_out oc;
+    let l = Journal.load dir in
+    let records = Hashtbl.length l.Journal.records in
+    let expected_lines = if cut > boundary then 3 else 2 in
+    Alcotest.(check bool)
+      (Printf.sprintf "cut %d: prefix records survive" cut)
+      true (records >= 2);
+    Alcotest.(check int)
+      (Printf.sprintf "cut %d: every line valid or quarantined" cut)
+      expected_lines
+      (records + l.Journal.quarantined)
+  done;
+  (* one representative torn cut, driven through a real resume: the torn
+     job re-runs fresh, the intact two are skipped *)
+  let cut = boundary + ((len - boundary) / 2) in
+  let oc = open_out_bin (Journal.path dir) in
+  output_string oc (String.sub full 0 cut);
+  close_out oc;
+  let m2 = Runner.run ~config:(config ~parallelism:1 ~resume:true dir) jobs in
+  Alcotest.(check bool) "resume after torn tail ok" true (Runner.all_ok m2);
+  Alcotest.(check int) "torn line quarantined" 1 m2.Runner.quarantined;
+  let by_source s =
+    List.filter (fun e -> e.Runner.source = s) m2.Runner.entries
+  in
+  Alcotest.(check int) "intact records skipped" 2
+    (List.length (by_source Runner.Resumed));
+  Alcotest.(check int) "torn job re-ran" 1
+    (List.length (by_source Runner.Fresh))
+
+(* [Runner.request_stop] mid-run (what the CLI's SIGINT handler calls):
+   nothing new starts, in-flight work is journalled, the manifest says
+   interrupted, and --resume completes exactly the dropped jobs.  Domains
+   isolation + a stopper domain, so the whole thing runs [in_subprocess]
+   to keep the parent fork-clean. *)
+let test_interrupt_resume () =
+  let dir = fresh_dir () in
+  let jobs = List.map Runner.job small in
+  (* every first attempt stalls 0.3 s: the stopper fires inside job 1's
+     stall, so jobs 2 and 3 are never handed out *)
+  let chaos =
+    Exec_fault.plan ~stall_pct:100 ~stall_s:0.3 ~first_attempt_only:true ()
+  in
+  let stopper =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.1;
+        Runner.request_stop ())
+  in
+  let m1 =
+    Runner.run
+      ~config:
+        (config ~parallelism:1 ~isolation:Runner.Domains ~chaos dir)
+      jobs
+  in
+  Domain.join stopper;
+  Alcotest.(check bool) "manifest says interrupted" true m1.Runner.interrupted;
+  Alcotest.(check bool) "interrupted run is not all_ok" false
+    (Runner.all_ok m1);
+  let done1 = List.length m1.Runner.entries in
+  Alcotest.(check bool) "some jobs were dropped" true (done1 < 3);
+  (* [run] resets the stop flag on entry, so the same process can resume *)
+  let m2 =
+    Runner.run
+      ~config:
+        (config ~parallelism:1 ~isolation:Runner.Domains ~resume:true dir)
+      jobs
+  in
+  Alcotest.(check bool) "resume completed the suite" true (Runner.all_ok m2);
+  Alcotest.(check int) "all jobs accounted" 3 (List.length m2.Runner.entries);
+  Alcotest.(check int) "journalled work was not repeated" done1
+    (List.length
+       (List.filter
+          (fun e -> e.Runner.source = Runner.Resumed)
+          m2.Runner.entries))
+
 (* ------------------------------------------------------------------ *)
 (* Determinism under parallelism                                        *)
 
@@ -389,6 +482,10 @@ let () =
             test_resume_skips_and_quarantines;
           Alcotest.test_case "SIGKILL'd supervisor resumes" `Quick
             test_sigkill_resume;
+          Alcotest.test_case "crash at any byte of the last record" `Quick
+            test_journal_crash_at_any_byte;
+          Alcotest.test_case "request_stop then resume" `Quick (fun () ->
+              in_subprocess test_interrupt_resume);
         ] );
       ( "determinism",
         [
