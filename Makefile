@@ -70,6 +70,15 @@ bench-regress: build
 	else \
 		echo "== analyzer_par speedup gate: no BENCH_analyzer_par.json (run 'make bench'), skipped =="; \
 	fi
+	@# Observability overhead gate over the last `make bench` run: the
+	@# collector and the flight-recorder ring must stay within 1.20x of
+	@# the collector-off analyzer (paired interleaved measurement).
+	@if [ -f BENCH_pipeline.json ]; then \
+		echo "== obs overhead gate =="; \
+		python3 scripts/check_obs_ratio.py BENCH_pipeline.json || exit $$?; \
+	else \
+		echo "== obs overhead gate: no BENCH_pipeline.json (run 'make bench'), skipped =="; \
+	fi
 
 # supervised batch analysis of a small workload set (fork isolation,
 # parallel, with deadlines); journal/reports/manifest land in .tfsuite/.

@@ -175,7 +175,7 @@ let bechamel_suite () =
      cache, GC heap shape) can exceed the difference being measured.
      Interleaving off/on batches and taking each side's minimum pins the
      ratio down on noisy single-core hosts. *)
-  let obs_ratio_paired =
+  let obs_ratio_paired, obs_flight_ratio_paired =
     let module Obs = Threadfuser_obs.Obs in
     let analyze () = ignore (Analyzer.analyze traced.W.prog traced.W.traces) in
     let run_on () =
@@ -187,9 +187,26 @@ let bechamel_suite () =
           Obs.reset ())
         analyze
     in
-    let best_off = ref infinity and best_on = ref infinity in
+    (* third leg: collector on AND a flight recorder tapping this domain,
+       the configuration a served session runs under when --flight-dir is
+       set — its extra cost over plain obs-on is the ring append *)
+    let run_flight () =
+      Obs.reset ();
+      Obs.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.set_enabled false;
+          Obs.reset ())
+        (fun () ->
+          let fl = Obs.Flight.create ~capacity:2048 "bench" in
+          Obs.Flight.with_attached fl analyze)
+    in
+    let best_off = ref infinity
+    and best_on = ref infinity
+    and best_flight = ref infinity in
     analyze ();
     run_on ();
+    run_flight ();
     for _ = 1 to 12 do
       let batch best f =
         let t0 = Unix.gettimeofday () in
@@ -200,12 +217,15 @@ let bechamel_suite () =
         if d < !best then best := d
       in
       batch best_off analyze;
-      batch best_on run_on
+      batch best_on run_on;
+      batch best_flight run_flight
     done;
-    !best_on /. !best_off
+    (!best_on /. !best_off, !best_flight /. !best_off)
   in
-  Fmt.pr "  obs on/off analyzer ratio (paired, interleaved): %.3f@.@."
+  Fmt.pr "  obs on/off analyzer ratio (paired, interleaved): %.3f@."
     obs_ratio_paired;
+  Fmt.pr "  obs+flight/off analyzer ratio (paired, interleaved): %.3f@.@."
+    obs_flight_ratio_paired;
   (* machine-readable summary for CI trend tracking *)
   let module J = Threadfuser_report.Json in
   let num = function Some ns -> J.Float ns | None -> J.Null in
@@ -219,6 +239,7 @@ let bechamel_suite () =
         ( "tracing_overhead_vs_native",
           J.Obj (List.map (fun (n, r) -> (n, J.Float r)) overheads) );
         ("obs_on_vs_off_analyzer_ratio", obs_ratio);
+        ("obs_flight_vs_off_analyzer_ratio", J.Float obs_flight_ratio_paired);
       ]
   in
   let path = "BENCH_pipeline.json" in
@@ -441,6 +462,7 @@ let suite_bench () =
                        J.Float (float_of_int n /. m.Runner.wall_s) );
                      ( "speedup_vs_j1",
                        J.Float (m1.Runner.wall_s /. m.Runner.wall_s) );
+                     ("rollup", Runner.rollup_json m);
                    ])
                runs) );
         ("deterministic_across_parallelism", J.Bool deterministic);

@@ -15,6 +15,8 @@
      threadfuser suite --resume               finish an interrupted batch
      threadfuser serve bfs --socket tf.sock   streaming analysis daemon
      threadfuser client bfs.tftrace           stream a trace to the daemon
+     threadfuser stat --prom                  scrape a live daemon's stats
+     threadfuser top --interval 2             rolling daemon rate lines
 
    Observability (docs/observability.md): --log-level / TF_LOG control the
    structured logger; --trace-out writes a Perfetto-loadable Chrome trace
@@ -1173,7 +1175,8 @@ let socket_arg =
 
 let serve_run () trace_out metrics_out w level warp_size ignore_sync domains
     schedule max_sessions quota deadline workers seed backoff inject_disc
-    inject_stall inject_oversize stall_s disc_after socket =
+    inject_stall inject_oversize stall_s disc_after socket admin_socket
+    flight_dir =
   let prog = W.link ~alloc:w.W.alloc w.W.cpu level in
   let options =
     {
@@ -1201,6 +1204,11 @@ let serve_run () trace_out metrics_out w level warp_size ignore_sync domains
       seed;
       backoff_base_s = backoff;
       fault;
+      admin_path =
+        (match admin_socket with
+        | Some p -> Some p
+        | None -> Some (Serve.admin_path_of socket));
+      flight_dir;
     }
   in
   let stop = Atomic.make false in
@@ -1297,6 +1305,27 @@ let serve_cmd =
       & info [ "disconnect-after" ] ~docv:"BYTES"
           ~doc:"Upper bound on bytes read before an injected disconnect.")
   in
+  let admin_socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "admin-socket" ] ~docv:"PATH"
+          ~doc:
+            "Where the STATS admin socket listens (default: \
+             $(b,<socket>.stats)).  $(b,threadfuser stat) and $(b,top) \
+             scrape it.")
+  in
+  let flight_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dir" ] ~docv:"DIR"
+          ~doc:
+            "Enable the per-session flight recorder and dump \
+             $(b,session-<id>.trace.json) (Perfetto-loadable) plus a \
+             metrics snapshot there whenever a session ends in an error \
+             or timeout reply.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1314,7 +1343,7 @@ let serve_cmd =
       $ schedule_arg $ max_sessions_arg $ quota_arg $ deadline_arg
       $ workers_arg $ seed_arg $ backoff_arg $ inject_disconnect_arg
       $ inject_stall_writer_arg $ inject_oversize_arg $ stall_s_arg
-      $ disconnect_after_arg $ socket_arg)
+      $ disconnect_after_arg $ socket_arg $ admin_socket_arg $ flight_dir_arg)
 
 let client_run () path socket chunk_bytes =
   let traces = Serial.of_file path in
@@ -1370,6 +1399,181 @@ let client_cmd =
           clean report, 3 degraded, 6 busy, 2 on error or timeout.")
     Term.(const client_run $ setup_term $ path $ socket_arg $ chunk_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Stat / top: scrape a running daemon's admin socket                   *)
+
+let scrape ~format socket =
+  let admin = Serve.admin_path_of socket in
+  try Ok (Sclient.stats ~format ~socket_path:socket ())
+  with
+  | Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "%s: %s" admin (Unix.error_message e))
+  | End_of_file -> Error (Printf.sprintf "%s: daemon closed mid-reply" admin)
+
+let jint k j =
+  Option.value ~default:0 (Option.bind (Json.member k j) Json.to_int_opt)
+
+let jfloat k j =
+  Option.value ~default:0.0 (Option.bind (Json.member k j) Json.to_float_opt)
+
+let jstr k j =
+  Option.value ~default:"" (Option.bind (Json.member k j) Json.to_string_opt)
+
+let jbool k j =
+  match Json.member k j with Some (Json.Bool b) -> b | _ -> false
+
+let parse_stats body =
+  match Json.parse body with
+  | Ok j -> j
+  | Error m ->
+      Log.err "unparseable stats document: %s" m;
+      exit exit_corrupt
+
+let stat_print_human j =
+  let d = Option.value ~default:(Json.Obj []) (Json.member "daemon" j) in
+  let l = Option.value ~default:(Json.Obj []) (Json.member "latency_us" j) in
+  Fmt.pr
+    "daemon: up %.1fs — %d/%d session(s) active, %d worker(s), queue %d@."
+    (jfloat "uptime_s" j) (jint "active" d) (jint "max_sessions" d)
+    (jint "workers" d) (jint "worker_queue_depth" d);
+  Fmt.pr
+    "totals: %d served, %d failed, %d shed, %d byte(s) ingested; flight \
+     recorder %s@."
+    (jint "served" d) (jint "failed" d) (jint "shed" d)
+    (jint "bytes_ingested" d)
+    (if jbool "flight_recorder" d then "on" else "off");
+  Fmt.pr "latency: %d session(s) — p50 %.0fus  p95 %.0fus  p99 %.0fus@."
+    (jint "count" l) (jfloat "p50" l) (jfloat "p95" l) (jfloat "p99" l);
+  match Json.member "sessions" j with
+  | Some (Json.List (_ :: _ as sessions)) ->
+      Fmt.pr "@.  %-5s %-8s %-9s %8s %10s %10s  %s@." "id" "kind" "state"
+        "age_s" "bytes" "queue" "flags";
+      List.iter
+        (fun s ->
+          let flags =
+            List.filter_map
+              (fun (k, label) -> if jbool k s then Some label else None)
+              [
+                ("backpressure", "backpressure");
+                ("stalled", "stalled");
+                ("eof", "eof");
+                ("timed_out", "timed-out");
+                ("worker_owned", "in-worker");
+              ]
+          in
+          Fmt.pr "  %-5d %-8s %-9s %8.1f %10d %10d  %s@." (jint "id" s)
+            (jstr "kind" s) (jstr "state" s) (jfloat "age_s" s)
+            (jint "bytes_ingested" s) (jint "queue_bytes" s)
+            (String.concat "," flags))
+        sessions
+  | _ -> ()
+
+let stat_run () socket prom json =
+  let format =
+    if prom then Sprotocol.Stats_prom else Sprotocol.Stats_json
+  in
+  match scrape ~format socket with
+  | Error m ->
+      Log.err "cannot scrape daemon: %s" m;
+      exit exit_corrupt
+  | Ok body ->
+      if prom || json then print_string body
+      else stat_print_human (parse_stats body)
+
+let prom_flag =
+  Arg.(
+    value & flag
+    & info [ "prom" ]
+        ~doc:"Print the raw Prometheus text exposition instead of a summary.")
+
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Print the raw JSON status document ($(b,tfserve-stats/1)) \
+           instead of a summary.")
+
+let stat_cmd =
+  Cmd.v
+    (Cmd.info "stat"
+       ~doc:
+         "One-shot scrape of a running $(b,threadfuser serve) daemon's \
+          admin socket ($(b,<socket>.stats)): live per-session state, \
+          totals and latency quantiles.  $(b,--prom) and $(b,--json) emit \
+          the raw exposition for scripts and scrapers.  Exit 2 when no \
+          daemon answers.")
+    Term.(const stat_run $ setup_term $ socket_arg $ prom_flag $ json_flag)
+
+(* Poll loop over the JSON document: rates are deltas between consecutive
+   scrapes, so a dashboardless terminal still sees ingest B/s and session
+   throughput move. *)
+let top_run () socket interval count =
+  if interval <= 0.0 then begin
+    Log.err "--interval must be positive";
+    exit exit_usage
+  end;
+  let stop = ref false in
+  let handle _ = stop := true in
+  ignore (Sys.signal Sys.sigint (Sys.Signal_handle handle));
+  ignore (Sys.signal Sys.sigterm (Sys.Signal_handle handle));
+  let prev = ref None in
+  let iter = ref 0 in
+  while (not !stop) && (count = 0 || !iter < count) do
+    (match scrape ~format:Sprotocol.Stats_json socket with
+    | Error m ->
+        Log.err "cannot scrape daemon: %s" m;
+        exit exit_corrupt
+    | Ok body ->
+        let j = parse_stats body in
+        let d = Option.value ~default:(Json.Obj []) (Json.member "daemon" j) in
+        let l =
+          Option.value ~default:(Json.Obj []) (Json.member "latency_us" j)
+        in
+        let done_n = jint "served" d + jint "failed" d in
+        let bytes = jint "bytes_ingested" d in
+        let shed = jint "shed" d in
+        (match !prev with
+        | None ->
+            Fmt.pr "%-8s %8s %9s %12s %9s %9s %9s %9s@." "time" "active"
+              "sess/s" "ingest-B/s" "shed/s" "p50-us" "p95-us" "p99-us"
+        | Some (t0, done0, bytes0, shed0) ->
+            let dt = Unix.gettimeofday () -. t0 in
+            let dt = if dt <= 0.0 then interval else dt in
+            Fmt.pr "%-8.1f %8d %9.2f %12.0f %9.2f %9.0f %9.0f %9.0f@."
+              (jfloat "uptime_s" j) (jint "active" d)
+              (float_of_int (done_n - done0) /. dt)
+              (float_of_int (bytes - bytes0) /. dt)
+              (float_of_int (shed - shed0) /. dt)
+              (jfloat "p50" l) (jfloat "p95" l) (jfloat "p99" l));
+        prev := Some (Unix.gettimeofday (), done_n, bytes, shed));
+    incr iter;
+    if (not !stop) && (count = 0 || !iter < count) then Unix.sleepf interval
+  done
+
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between scrapes.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Stop after this many scrapes (0 = until interrupted).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Poll a running $(b,threadfuser serve) daemon's admin socket and \
+          print a rolling rate line per scrape: active sessions, \
+          sessions/s, ingest bytes/s, shed rate and session latency \
+          quantiles.  The first scrape prints the header; rates are \
+          deltas between consecutive scrapes.")
+    Term.(const top_run $ setup_term $ socket_arg $ interval_arg $ count_arg)
+
 let main =
   Cmd.group
     (Cmd.info "threadfuser" ~version:"1.0.0"
@@ -1380,7 +1584,7 @@ let main =
       list_cmd; analyze_cmd; sweep_cmd; trace_cmd; tracefile_cmd; cfg_cmd;
       disasm_cmd; asm_cmd; warptrace_cmd; replay_cmd; simulate_cmd;
       profile_cmd; correlate_cmd; check_cmd; fuzz_cmd; blame_cmd; diff_cmd;
-      suite_cmd; serve_cmd; client_cmd;
+      suite_cmd; serve_cmd; client_cmd; stat_cmd; top_cmd;
     ]
 
 (* Top-level error handler: uncaught-exception backtraces never reach the

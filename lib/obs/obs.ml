@@ -119,6 +119,87 @@ let events_rev : event list ref = ref []
 let n_events = ref 0
 let dropped = Atomic.make 0
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: a bounded ring of recent events, independent of the
+   global log.  One instance per serve session / suite job gives a
+   post-mortem timeline for exactly the runs that cannot be reproduced:
+   the ring holds the *last* [capacity] events, not the first, so the
+   dump always covers the moments before the failure.  [record] works
+   whether or not the global collector is enabled (supervisors note
+   lifecycle events explicitly); additionally, a recorder [attach]ed to
+   the current domain taps every event the enabled collector records
+   there, so analyzer spans land in the session's ring too. *)
+module Flight = struct
+  type t = {
+    label : string;
+    cap : int;
+    ring : event array;
+    mutable n : int;  (* total recorded; ring slot is [n mod cap] *)
+    fm : Mutex.t;  (* own mutex: the select loop and a worker both write *)
+  }
+
+  let filler = Instant { name = ""; track = pipeline; ts = 0.0; args = [] }
+
+  let create ?(capacity = 2048) label =
+    if capacity < 1 then invalid_arg "Obs.Flight.create: capacity must be >= 1";
+    {
+      label;
+      cap = capacity;
+      ring = Array.make capacity filler;
+      n = 0;
+      fm = Mutex.create ();
+    }
+
+  let label fl = fl.label
+  let capacity fl = fl.cap
+
+  let record fl ev =
+    Mutex.lock fl.fm;
+    fl.ring.(fl.n mod fl.cap) <- ev;
+    fl.n <- fl.n + 1;
+    Mutex.unlock fl.fm
+
+  let note ?(args = []) ?(track = pipeline) fl name =
+    record fl (Instant { name; track; ts = now_us (); args })
+
+  let recorded fl =
+    Mutex.lock fl.fm;
+    let n = fl.n in
+    Mutex.unlock fl.fm;
+    n
+
+  let dropped fl = max 0 (recorded fl - fl.cap)
+
+  (** Retained events, oldest first (the last [capacity] recorded). *)
+  let events fl =
+    Mutex.lock fl.fm;
+    let kept = min fl.n fl.cap in
+    let start = fl.n - kept in
+    let l = List.init kept (fun i -> fl.ring.((start + i) mod fl.cap)) in
+    Mutex.unlock fl.fm;
+    l
+
+  (* Per-domain tap.  [taps] counts attached domains so the global
+     [record] fast path stays one atomic load when no recorder is live. *)
+  let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+  let taps = Atomic.make 0
+
+  let attach fl =
+    (match Domain.DLS.get key with None -> Atomic.incr taps | Some _ -> ());
+    Domain.DLS.set key (Some fl)
+
+  let detach () =
+    match Domain.DLS.get key with
+    | None -> ()
+    | Some _ ->
+        Atomic.decr taps;
+        Domain.DLS.set key None
+
+  let with_attached fl f =
+    attach fl;
+    Fun.protect ~finally:detach f
+end
+
 (* Hot path (one call per replay instant/span): plain lock/unlock, no
    [locked] — the closure plus [Fun.protect] handler would double the
    cost of recording, and nothing between lock and unlock can raise. *)
@@ -129,7 +210,11 @@ let record ev =
     events_rev := ev :: !events_rev;
     incr n_events
   end;
-  Mutex.unlock lock
+  Mutex.unlock lock;
+  if Atomic.get Flight.taps > 0 then
+    match Domain.DLS.get Flight.key with
+    | Some fl -> Flight.record fl ev
+    | None -> ()
 
 let instant ?(args = []) ~track name =
   if !enabled then record (Instant { name; track; ts = now_us (); args })
@@ -304,22 +389,70 @@ type snapshot = {
   gauges : Gauge.t list; (* registration order *)
   histograms : Histogram.t list;
   events_dropped : int;
+  taken_us : float; (* collector clock when the snapshot was taken *)
 }
+
+(* A snapshot must be a *point-in-time* copy, not a bag of live handles:
+   exporters walk a histogram's samples, count and sum in separate steps,
+   and with live handles a concurrent [observe] between those reads skews
+   the bucket rescale (the [+Inf] bucket would disagree with [_count]).
+   Freezing every instrument under the same lock acquisition as the event
+   log makes the whole snapshot internally consistent under load — the
+   copies answer through the ordinary accessors, so exporters are
+   oblivious. *)
+let frozen_counters_locked () =
+  List.rev_map
+    (fun n ->
+      let c = Hashtbl.find Counter.registry n in
+      { c with Counter.value = Atomic.make (Atomic.get c.Counter.value) })
+    !Counter.order
+
+let frozen_gauges_locked () =
+  List.rev_map
+    (fun n ->
+      let g = Hashtbl.find Gauge.registry n in
+      { g with Gauge.value = Atomic.make (Atomic.get g.Gauge.value) })
+    !Gauge.order
+
+let frozen_histograms_locked () =
+  List.rev_map
+    (fun n ->
+      let h = Hashtbl.find Histogram.registry n in
+      { h with Histogram.samples = Array.sub h.Histogram.samples 0 h.Histogram.n })
+    !Histogram.order
+
+let tracks_locked () =
+  Hashtbl.fold (fun id name acc -> (id, name) :: acc) track_names []
+  |> List.sort compare
 
 let snapshot () =
   locked (fun () ->
       {
         events = List.rev !events_rev;
-        tracks =
-          Hashtbl.fold (fun id name acc -> (id, name) :: acc) track_names []
-          |> List.sort compare;
-        counters =
-          List.rev_map (fun n -> Hashtbl.find Counter.registry n) !Counter.order;
-        gauges =
-          List.rev_map (fun n -> Hashtbl.find Gauge.registry n) !Gauge.order;
-        histograms =
-          List.rev_map (fun n -> Hashtbl.find Histogram.registry n) !Histogram.order;
+        tracks = tracks_locked ();
+        counters = frozen_counters_locked ();
+        gauges = frozen_gauges_locked ();
+        histograms = frozen_histograms_locked ();
         events_dropped = Atomic.get dropped;
+        taken_us = now_us ();
+      })
+
+(** A snapshot whose events are the flight recorder's ring (and whose
+    dropped count is the ring's overwrite count) but whose instruments
+    are the global collector's current values — the "metrics snapshot"
+    part of a flight dump. *)
+let flight_snapshot fl =
+  let events = Flight.events fl in
+  let events_dropped = Flight.dropped fl in
+  locked (fun () ->
+      {
+        events;
+        tracks = tracks_locked ();
+        counters = frozen_counters_locked ();
+        gauges = frozen_gauges_locked ();
+        histograms = frozen_histograms_locked ();
+        events_dropped;
+        taken_us = now_us ();
       })
 
 (** Clear the event log, zero every counter and histogram, and restart the

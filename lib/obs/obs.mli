@@ -152,9 +152,65 @@ type snapshot = {
   gauges : Gauge.t list;  (** registration order *)
   histograms : Histogram.t list;
   events_dropped : int;  (** events past the cap (see {!set_max_events}) *)
+  taken_us : float;  (** collector clock ({!now_us}) at snapshot time *)
 }
 
 val snapshot : unit -> snapshot
+(** A {e point-in-time copy}: every instrument in the returned record is
+    frozen under one lock acquisition, so exporters reading a histogram's
+    samples, count and sum in separate steps stay mutually consistent even
+    while other domains keep observing. *)
+
+(** {1 Flight recorder} — a bounded ring of recent events, independent of
+    the global event log.  One instance per serve session or suite job:
+    the ring keeps the {e last} [capacity] events, giving a post-mortem
+    timeline for exactly the runs you can't reproduce.  {!Flight.record}
+    works whether or not the collector is enabled (supervisors note
+    lifecycle events explicitly); a recorder {!Flight.attach}ed to the
+    current domain additionally taps every event the enabled collector
+    records on that domain. *)
+
+module Flight : sig
+  type t
+
+  val create : ?capacity:int -> string -> t
+  (** [create ?capacity label]; default capacity 2048.  Raises
+      [Invalid_argument] on a capacity < 1. *)
+
+  val label : t -> string
+  val capacity : t -> int
+
+  val record : t -> event -> unit
+  (** Append, overwriting the oldest once full.  Never gated on
+      {!enabled}; safe from any domain. *)
+
+  val note :
+    ?args:(string * string) list -> ?track:track -> t -> string -> unit
+  (** [note fl name] records an instant stamped {!now_us} into the ring. *)
+
+  val recorded : t -> int
+  (** Total events ever recorded (≥ what the ring retains). *)
+
+  val dropped : t -> int
+  (** Events overwritten: [max 0 (recorded - capacity)]. *)
+
+  val events : t -> event list
+  (** Retained events, oldest first. *)
+
+  val attach : t -> unit
+  (** Tap the calling domain: every event the enabled collector records
+      on this domain is also appended to [fl]. *)
+
+  val detach : unit -> unit
+
+  val with_attached : t -> (unit -> 'a) -> 'a
+  (** [attach]/run/[detach], exception safe. *)
+end
+
+val flight_snapshot : Flight.t -> snapshot
+(** A snapshot whose events (and dropped count) come from the flight
+    recorder's ring but whose instruments are the global collector's
+    current frozen values — the payload of a flight-recorder dump. *)
 
 val set_max_events : int -> unit
 (** Event-log bound (default 500_000); excess events are dropped and

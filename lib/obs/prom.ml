@@ -113,17 +113,36 @@ let histogram buf h =
            (float_str (Obs.Histogram.quantile h q))))
     [ ("_p50", 0.5); ("_p95", 0.95); ("_p99", 0.99) ]
 
+(* Build metadata exported as an info-style gauge: labels carry the
+   version strings, the value is the constant 1 (the node-exporter
+   convention, so PromQL joins can pick the labels up). *)
+let version = "1.0.0"
+let build_info = [ ("version", version); ("ocaml", Sys.ocaml_version) ]
+
 let to_string (s : Obs.snapshot) =
   let buf = Buffer.create 4096 in
   List.iter (fun c -> counter buf c) s.Obs.counters;
   List.iter (fun g -> gauge buf g) s.Obs.gauges;
   List.iter (fun h -> histogram buf h) s.Obs.histograms;
-  if s.Obs.events_dropped > 0 then begin
-    add_help buf "tf_obs_events_dropped_total"
-      "trace events dropped past the collector cap" "counter";
-    Buffer.add_string buf
-      (Printf.sprintf "tf_obs_events_dropped_total %d\n" s.Obs.events_dropped)
-  end;
+  (* always emitted, even at 0: scrapers alert on the family appearing
+     with a rate, which requires a stable baseline sample *)
+  add_help buf "tf_obs_events_dropped_total"
+    "trace events dropped past the collector cap" "counter";
+  Buffer.add_string buf
+    (Printf.sprintf "tf_obs_events_dropped_total %d\n" s.Obs.events_dropped);
+  add_help buf "tf_build_info"
+    "build metadata carried in labels; value is constant 1" "gauge";
+  Buffer.add_string buf
+    (Printf.sprintf "tf_build_info{%s} 1\n"
+       (String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label_value v))
+             build_info)));
+  add_help buf "tf_uptime_seconds"
+    "seconds since the collector clock was last reset" "gauge";
+  Buffer.add_string buf
+    (Printf.sprintf "tf_uptime_seconds %s\n" (float_str (s.Obs.taken_us /. 1e6)));
   Buffer.contents buf
 
 let to_file path (s : Obs.snapshot) =

@@ -33,7 +33,10 @@ module Report_json = Threadfuser_report.Report_json
 module Exec_fault = Threadfuser_fault.Exec_fault
 module Lcg = Threadfuser_util.Lcg
 module Obs = Threadfuser_obs.Obs
+module Prom = Threadfuser_obs.Prom
+module Trace_export = Threadfuser_obs.Trace_export
 module Log = Threadfuser_obs.Log
+module Stats = Threadfuser_stats.Stats
 
 (* ------------------------------------------------------------------ *)
 (* Jobs                                                                *)
@@ -109,6 +112,9 @@ type entry = {
   duration_s : float;  (** wall clock of the final attempt *)
   source : source;
   report_file : string option;  (** relative to the suite directory *)
+  flight_file : string option;
+      (** flight-recorder trace for terminally-failed jobs, relative to
+          the suite directory *)
 }
 
 type manifest = {
@@ -203,10 +209,13 @@ let bump_outcome = function
 
 let reports_subdir = "reports"
 let tmp_subdir = "tmp"
+let flight_subdir = "flight"
 let reports_dir dir = Filename.concat dir reports_subdir
 let tmp_dir dir = Filename.concat dir tmp_subdir
+let flight_dir dir = Filename.concat dir flight_subdir
 let manifest_path dir = Filename.concat dir "manifest.json"
 let report_rel id = Filename.concat reports_subdir (id ^ ".json")
+let flight_rel id = Filename.concat flight_subdir (id ^ ".trace.json")
 
 let write_text path s =
   let oc = open_out path in
@@ -272,7 +281,40 @@ type pending = {
   pidx : int;  (** original request order *)
   mutable attempt : int;  (** next attempt, 1-based *)
   mutable eligible : float;  (** unix time when the next attempt may start *)
+  pfl : Obs.Flight.t;  (** per-job flight recorder (supervisor-side ring) *)
 }
+
+(* The per-job ring is small: supervisor-side lifecycle notes are a
+   handful per attempt, and in domains mode the attached tap only adds
+   the job's own spans. *)
+let job_flight_capacity = 512
+
+let fl_note (p : pending) ?(args = []) name =
+  Obs.Flight.note p.pfl ~track:suite_track ~args name
+
+(* A job out of retry budget dumps its flight recorder next to the
+   reports: the ring's Chrome-trace timeline plus a metrics snapshot,
+   named by job id so the manifest entry and the dump correlate. *)
+let dump_job_flight cfg (p : pending) (outcome : Outcome.t) =
+  fl_note p
+    ~args:
+      [
+        ("outcome", Outcome.name outcome); ("detail", Outcome.detail outcome);
+      ]
+    "job failed terminally";
+  let base = Filename.concat (flight_dir cfg.dir) p.pid_ in
+  try
+    Journal.mkdir_p (flight_dir cfg.dir);
+    let snap = Obs.flight_snapshot p.pfl in
+    Trace_export.to_file (base ^ ".trace.json") snap;
+    Prom.to_file (base ^ ".metrics.txt") snap;
+    Log.warn
+      ~fields:[ ("job", p.pid_); ("trace", base ^ ".trace.json") ]
+      "flight recorder dumped";
+    Some (flight_rel p.pid_)
+  with Sys_error m ->
+    Log.err ~fields:[ ("job", p.pid_); ("error", m) ] "flight dump failed";
+    None
 
 (* ------------------------------------------------------------------ *)
 (* Fork isolation                                                      *)
@@ -331,6 +373,9 @@ let spawn_child cfg (p : pending) : running =
   | 0 -> child_exec cfg p tmp
   | pid ->
       Obs.Counter.incr c_spawned;
+      fl_note p
+        ~args:[ ("attempt", Obs.itos p.attempt); ("pid", Obs.itos pid) ]
+        "attempt spawned";
       Log.debug
         ~fields:
           [
@@ -417,6 +462,9 @@ let run_fork cfg (pendings : pending list) ~(finish : entry -> unit) =
     match result with
     | A_success (degraded, rel) ->
         span r (if degraded then "degraded" else "ok");
+        fl_note r.rp
+          ~args:[ ("attempt", Obs.itos r.rp.attempt) ]
+          (if degraded then "attempt degraded" else "attempt ok");
         finish
           {
             job = r.rp.pjob;
@@ -426,6 +474,7 @@ let run_fork cfg (pendings : pending list) ~(finish : entry -> unit) =
             duration_s = dur;
             source = Fresh;
             report_file = Some rel;
+            flight_file = None;
           }
     | A_failed failure ->
         cleanup_attempt_files r;
@@ -433,10 +482,16 @@ let run_fork cfg (pendings : pending list) ~(finish : entry -> unit) =
           match failure with `Timeout -> "timeout" | `Crash _ -> "crash"
         in
         span r failure_name;
+        fl_note r.rp
+          ~args:[ ("attempt", Obs.itos r.rp.attempt); ("kind", failure_name) ]
+          "attempt failed";
         if r.rp.attempt <= cfg.retries then begin
           (* budget left: back off and requeue *)
           Obs.Counter.incr c_retries;
           let delay = backoff_delay cfg ~id:r.rp.pid_ ~attempt:r.rp.attempt in
+          fl_note r.rp
+            ~args:[ ("backoff_s", Printf.sprintf "%.3f" delay) ]
+            "retrying after backoff";
           Log.info
             ~fields:
               [
@@ -450,17 +505,21 @@ let run_fork cfg (pendings : pending list) ~(finish : entry -> unit) =
           r.rp.eligible <- Unix.gettimeofday () +. delay;
           waiting := !waiting @ [ r.rp ]
         end
-        else
+        else begin
+          let outcome = final_outcome ~attempt:r.rp.attempt failure in
+          let flight_file = dump_job_flight cfg r.rp outcome in
           finish
             {
               job = r.rp.pjob;
               id = r.rp.pid_;
-              outcome = final_outcome ~attempt:r.rp.attempt failure;
+              outcome;
               attempts = r.rp.attempt;
               duration_s = dur;
               source = Fresh;
               report_file = None;
+              flight_file;
             }
+        end
   in
   while !waiting <> [] || !running <> [] do
     if Atomic.get stop_requested then begin
@@ -512,6 +571,9 @@ let run_fork cfg (pendings : pending list) ~(finish : entry -> unit) =
                 (try Unix.kill r.pid Sys.sigkill
                  with Unix.Unix_error _ -> ());
                 ignore (Unix.waitpid [] r.pid);
+                fl_note r.rp
+                  ~args:[ ("deadline_s", Printf.sprintf "%.2f" d) ]
+                  "attempt killed at deadline";
                 Log.warn
                   ~fields:
                     [
@@ -549,14 +611,18 @@ let run_one_inproc cfg (p : pending) : entry =
     let started_wall = Unix.gettimeofday () in
     let started_obs = Obs.now_us () in
     Obs.Counter.incr c_spawned;
+    fl_note p ~args:[ ("attempt", Obs.itos attempt) ] "attempt started";
+    (* in-process: tap this domain so the attempt's own spans land in the
+       job's ring alongside the supervisor's lifecycle notes *)
     let result =
-      try
-        apply_chaos_inproc cfg.chaos ~id:p.pid_ ~attempt;
-        let json, degraded = exec_job p.pjob in
-        `Done (json, degraded)
-      with
-      | Injected_crash -> `Crash "injected crash"
-      | e -> `Crash (Printexc.to_string e)
+      Obs.Flight.with_attached p.pfl (fun () ->
+          try
+            apply_chaos_inproc cfg.chaos ~id:p.pid_ ~attempt;
+            let json, degraded = exec_job p.pjob in
+            `Done (json, degraded)
+          with
+          | Injected_crash -> `Crash "injected crash"
+          | e -> `Crash (Printexc.to_string e))
     in
     let dur = Unix.gettimeofday () -. started_wall in
     (* cooperative deadline: the attempt ran to completion (or died), but
@@ -579,6 +645,9 @@ let run_one_inproc cfg (p : pending) : entry =
         let rel = report_rel p.pid_ in
         write_text (Filename.concat cfg.dir rel) (json ^ "\n");
         span (if degraded then "degraded" else "ok");
+        fl_note p
+          ~args:[ ("attempt", Obs.itos attempt) ]
+          (if degraded then "attempt degraded" else "attempt ok");
         {
           job = p.pjob;
           id = p.pid_;
@@ -587,6 +656,7 @@ let run_one_inproc cfg (p : pending) : entry =
           duration_s = dur;
           source = Fresh;
           report_file = Some rel;
+          flight_file = None;
         }
     | (`Timeout | `Crash _) as failure ->
         let failure =
@@ -594,22 +664,32 @@ let run_one_inproc cfg (p : pending) : entry =
           | `Timeout -> `Timeout
           | `Crash m -> `Crash m
         in
-        span (match failure with `Timeout -> "timeout" | `Crash _ -> "crash");
+        let failure_name =
+          match failure with `Timeout -> "timeout" | `Crash _ -> "crash"
+        in
+        span failure_name;
+        fl_note p
+          ~args:[ ("attempt", Obs.itos attempt); ("kind", failure_name) ]
+          "attempt failed";
         if attempt <= cfg.retries then begin
           Obs.Counter.incr c_retries;
           Unix.sleepf (backoff_delay cfg ~id:p.pid_ ~attempt);
           go (attempt + 1)
         end
-        else
+        else begin
+          let outcome = final_outcome ~attempt failure in
+          let flight_file = dump_job_flight cfg p outcome in
           {
             job = p.pjob;
             id = p.pid_;
-            outcome = final_outcome ~attempt failure;
+            outcome;
             attempts = attempt;
             duration_s = dur;
             source = Fresh;
             report_file = None;
+            flight_file;
           }
+        end
   in
   go 1
 
@@ -677,9 +757,40 @@ let entry_to_json (e : entry) =
       ("source", Json.String (source_name e.source));
       ( "report",
         match e.report_file with Some f -> Json.String f | None -> Json.Null );
+      ( "flight",
+        match e.flight_file with Some f -> Json.String f | None -> Json.Null );
     ]
 
 let count pred m = List.length (List.filter pred m.entries)
+
+(* Fleet rollup: the manifest's per-job durations aggregated into the
+   latency distribution and throughput a fleet dashboard wants, so suite
+   consumers need not recompute them from the entries. *)
+let rollup_json m =
+  let durs = Array.of_list (List.map (fun e -> e.duration_s) m.entries) in
+  let n = Array.length durs in
+  let attempts = List.fold_left (fun a e -> a + e.attempts) 0 m.entries in
+  let pct q = if n = 0 then 0.0 else Stats.percentile ~q durs in
+  let mean =
+    if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 durs /. float_of_int n
+  in
+  Json.Obj
+    [
+      ("jobs", Json.Int n);
+      ("attempts_total", Json.Int attempts);
+      ( "jobs_per_s",
+        Json.Float (if m.wall_s > 0.0 then float_of_int n /. m.wall_s else 0.0)
+      );
+      ( "duration_s",
+        Json.Obj
+          [
+            ("mean", Json.Float mean);
+            ("p50", Json.Float (pct 0.5));
+            ("p95", Json.Float (pct 0.95));
+            ("p99", Json.Float (pct 0.99));
+            ("max", Json.Float (Array.fold_left Float.max 0.0 durs));
+          ] );
+    ]
 
 let manifest_to_json m =
   let by o = count (fun e -> Outcome.name e.outcome = o) m in
@@ -700,6 +811,7 @@ let manifest_to_json m =
       ("quarantined_journal_lines", Json.Int m.quarantined);
       ("wall_s", Json.Float m.wall_s);
       ("interrupted", Json.Bool m.interrupted);
+      ("rollup", rollup_json m);
       ("entries", Json.List (List.map entry_to_json m.entries));
     ]
 
@@ -814,11 +926,19 @@ let run ?(config = default_config) (jobs : job list) : manifest =
                    duration_s = r.Journal.duration_s;
                    source = Resumed;
                    report_file = r.Journal.report_file;
+                   flight_file = None;
                  };
                None
            | _ ->
                Some
-                 { pjob = j; pid_ = id; pidx = i; attempt = 1; eligible = 0.0 })
+                 {
+                   pjob = j;
+                   pid_ = id;
+                   pidx = i;
+                   attempt = 1;
+                   eligible = 0.0;
+                   pfl = Obs.Flight.create ~capacity:job_flight_capacity id;
+                 })
   in
   Fun.protect
     ~finally:(fun () -> Journal.close writer)

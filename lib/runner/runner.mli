@@ -72,6 +72,10 @@ type entry = {
   duration_s : float;  (** wall clock of the final attempt *)
   source : source;
   report_file : string option;  (** relative to the suite directory *)
+  flight_file : string option;
+      (** flight-recorder Chrome-trace dump ([flight/<id>.trace.json],
+          with a [.metrics.txt] snapshot beside it) written when the job
+          failed terminally; [None] on success or resume *)
 }
 
 type manifest = {
@@ -91,6 +95,12 @@ val failures : manifest -> entry list
 (** Entries whose outcome is not a success. *)
 
 val manifest_to_json : manifest -> Threadfuser_report.Json.t
+
+val rollup_json : manifest -> Threadfuser_report.Json.t
+(** Fleet rollup of a manifest: job count, total attempts, throughput
+    ([jobs_per_s]) and the per-job duration distribution
+    (mean/p50/p95/p99/max seconds).  Embedded in [manifest.json] under
+    ["rollup"] and in the suite bench's [BENCH_suite.json] per level. *)
 
 val manifest_path : string -> string
 (** [manifest_path dir] — where {!run} writes [manifest.json]. *)
@@ -139,6 +149,10 @@ val run : ?config:config -> job list -> manifest
 (** Execute the batch.  Creates [config.dir] (with [reports/] and [tmp/]),
     streams each terminal outcome to the journal, writes [manifest.json],
     and returns the manifest — entries in request order, duplicates (by
-    {!job_id}) dropped with a warning.  Raises [Invalid_argument] only on
-    an empty job list or nonsensical config; job failures are data, not
-    exceptions. *)
+    {!job_id}) dropped with a warning.  Every job carries a small flight
+    recorder of supervisor-side lifecycle events (attempts, retries,
+    deadline kills; in domains mode also the job's own spans); a job that
+    fails terminally dumps it to [flight/<id>.trace.json] +
+    [.metrics.txt], referenced from its entry.  Raises [Invalid_argument]
+    only on an empty job list or nonsensical config; job failures are
+    data, not exceptions. *)

@@ -61,3 +61,14 @@ let session ?(chunk_bytes = 65536) ~socket_path bytes =
 
 let session_traces ?chunk_bytes ~socket_path (traces : Thread_trace.t array) =
   session ?chunk_bytes ~socket_path (Stream.encode traces)
+
+(* One STATS scrape against the daemon's admin socket.  The request is a
+   single line; the reply is one frame — the JSON status document or the
+   Prometheus text exposition, both already newline-terminated text. *)
+let stats ?(format = Protocol.Stats_json) ~socket_path () =
+  let fd = connect (Serve.admin_path_of socket_path) in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Protocol.write_all fd (Protocol.stats_request format);
+      Protocol.read_frame fd)

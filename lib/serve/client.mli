@@ -20,3 +20,12 @@ val session_traces :
   socket_path:string ->
   Threadfuser_trace.Thread_trace.t array ->
   outcome
+
+(** [stats ?format ~socket_path ()] scrapes the daemon's admin socket
+    (derived via {!Serve.admin_path_of} from the {e session} socket path)
+    and returns the reply payload: the JSON status document
+    ([tfserve-stats/1], the default) or the Prometheus text exposition
+    ({!Protocol.Stats_prom}).  Raises [Unix.Unix_error] on connection
+    failure. *)
+val stats :
+  ?format:Protocol.stats_format -> socket_path:string -> unit -> string

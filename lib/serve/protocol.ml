@@ -73,6 +73,31 @@ let write_all fd s =
   let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
   go 0
 
+(* -- admin (STATS) requests --------------------------------------------- *)
+
+(* The daemon's admin socket speaks one line-oriented request per
+   connection: ["STATS json\n"] or ["STATS prom\n"] (case-insensitive;
+   bare ["STATS"] means JSON).  The answer is a single reply frame —
+   the JSON status document or the Prometheus text exposition — after
+   which the daemon closes.  Line-oriented on purpose: the request is
+   scrape-tool friendly (socat/netcat work), and the reply reuses the
+   session frame so clients share [read_frame]. *)
+
+(** Bound on an admin request line; longer is answered with an error. *)
+let max_admin_request = 256
+
+type stats_format = Stats_json | Stats_prom
+
+let stats_request = function
+  | Stats_json -> "STATS json\n"
+  | Stats_prom -> "STATS prom\n"
+
+let parse_stats_request line =
+  match String.lowercase_ascii (String.trim line) with
+  | "stats" | "stats json" -> Some Stats_json
+  | "stats prom" -> Some Stats_prom
+  | _ -> None
+
 (* -- status objects ----------------------------------------------------- *)
 
 type status =

@@ -33,15 +33,27 @@ module Tf_error = Threadfuser_util.Tf_error
 module Report_json = Threadfuser_report.Report_json
 module Exec_fault = Threadfuser_fault.Exec_fault
 module Backoff = Threadfuser_runner.Backoff
+module Journal = Threadfuser_runner.Journal
+module Json = Threadfuser_report.Json
 module Obs = Threadfuser_obs.Obs
+module Prom = Threadfuser_obs.Prom
+module Trace_export = Threadfuser_obs.Trace_export
 module Log = Threadfuser_obs.Log
 
-(* Service metrics (docs/observability.md).  The gauge tracks live daemon
-   state and is never gated; counters follow the collector switch. *)
+(* Service metrics (docs/observability.md).  Gauges track live daemon
+   state and are never gated; counters follow the collector switch — and
+   [run] turns the collector on for its lifetime, so a scrape of a live
+   daemon always sees them move. *)
 let g_active =
   Obs.Gauge.make "tf_serve_sessions_active" ~help:"sessions currently open"
+let g_queue =
+  Obs.Gauge.make "tf_serve_worker_queue_depth"
+    ~help:"sessions queued for a worker domain"
 let c_sessions =
   Obs.Counter.make "tf_serve_sessions_total" ~help:"sessions accepted"
+let c_served =
+  Obs.Counter.make "tf_serve_sessions_served_total"
+    ~help:"sessions answered with an ok or degraded report"
 let c_shed =
   Obs.Counter.make "tf_serve_sessions_shed_total"
     ~help:"connections shed with a busy reply at --max-sessions"
@@ -51,6 +63,15 @@ let c_failed =
 let c_bytes =
   Obs.Counter.make "tf_serve_bytes_ingested_total"
     ~help:"stream bytes read from session sockets"
+let c_scrapes =
+  Obs.Counter.make "tf_serve_admin_scrapes_total"
+    ~help:"admin STATS requests answered"
+let h_session =
+  Obs.Histogram.make "tf_serve_session_us"
+    ~help:"session latency in microseconds, accept to reply posted"
+
+(* Loop- and worker-side flight-recorder instants land on their own row. *)
+let serve_track = Obs.track "serve"
 
 type config = {
   socket_path : string;
@@ -65,7 +86,17 @@ type config = {
   backoff_base_s : float;  (** base accept-retry delay *)
   fault : Exec_fault.session_plan option;  (** chaos injection *)
   tmp_dir : string option;  (** session spool directory *)
+  admin_path : string option;  (** STATS admin socket; [None] disables *)
+  flight_dir : string option;
+      (** where poisoned/timed-out sessions dump their flight recorder;
+          [None] disables the recorder *)
 }
+
+(** Where the STATS admin socket lives relative to the session socket —
+    shared with the [threadfuser stat]/[top] clients. *)
+let admin_path_of socket_path =
+  if Filename.check_suffix socket_path ".stats" then socket_path
+  else socket_path ^ ".stats"
 
 let default_config ~prog ~socket_path =
   {
@@ -81,7 +112,11 @@ let default_config ~prog ~socket_path =
     backoff_base_s = 0.05;
     fault = None;
     tmp_dir = None;
+    admin_path = Some (admin_path_of socket_path);
+    flight_dir = None;
   }
+
+let flight_capacity = 2048
 
 type stats = {
   served : int;  (** sessions answered with ok/degraded *)
@@ -117,7 +152,19 @@ type sess = {
   mutable read_cap : int option;  (** injected disconnect: bytes left *)
   mutable stalled_until : float;  (** injected writer stall *)
   mutable counted_active : bool;  (** holds a [g_active] slot *)
+  accepted_wall : float;  (** wall clock at accept (stats: session age) *)
+  accepted_us : float;  (** collector clock at accept (latency histogram) *)
+  mutable bytes_in : int;  (** loop-side per-session ingest count *)
+  flight : Obs.Flight.t option;  (** per-session flight recorder *)
 }
+
+(* Flight notes from the select loop (which multiplexes sessions, so the
+   per-domain tap cannot be used there): explicit, and never gated on the
+   collector switch. *)
+let fl_note (s : sess) ?(args = []) name =
+  match s.flight with
+  | None -> ()
+  | Some fl -> Obs.Flight.note fl ~track:serve_track ~args name
 
 (* A full queue takes the session out of the read set; a worker posting
    [Drained] puts it back.  One quota of queued-but-unfed chunks plus the
@@ -219,6 +266,17 @@ let ready_reply () = Protocol.frame (Protocol.reply_to_json (Protocol.reply Prot
 (* ------------------------------------------------------------------ *)
 (* The service.                                                         *)
 
+(* One admin (STATS) connection: read a request line, write one reply
+   frame, close.  Owned entirely by the select loop. *)
+type admin = {
+  afd : Unix.file_descr;
+  abuf : Buffer.t;  (** request bytes until the newline *)
+  mutable areply : string;  (** framed reply; [""] = still reading *)
+  mutable areply_off : int;
+  mutable aclosed : bool;
+  adeadline : float;  (** a squatting scraper is cut off, not kept *)
+}
+
 type service = {
   cfg : config;
   mutex : Mutex.t;
@@ -229,11 +287,13 @@ type service = {
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   mutable sessions : sess list;
+  mutable admins : admin list;
   mutable n_active : int;  (** real (non-shed) open sessions *)
   mutable served : int;
   mutable failed : int;
   mutable shed_n : int;
   mutable bytes : int;
+  t_start : float;  (** wall clock at [run] entry (stats: uptime) *)
 }
 
 let wake svc =
@@ -251,10 +311,36 @@ let schedule_locked svc s =
   if (not s.worker_owned) && s.state = Reading then begin
     s.worker_owned <- true;
     Queue.push s svc.jobs;
+    Obs.Gauge.set g_queue (Queue.length svc.jobs);
     Condition.signal svc.cond
   end
 
 (* -- worker domains ----------------------------------------------------- *)
+
+(* A poisoned or timed-out session dumps its flight recorder: the ring's
+   Chrome-trace timeline plus a metrics snapshot, named by accept ordinal
+   so the CLI log line and the dump correlate. *)
+let dump_flight svc (s : sess) status =
+  match (svc.cfg.flight_dir, s.flight) with
+  | Some dir, Some fl -> (
+      fl_note s
+        ~args:[ ("session", Obs.itos s.id) ]
+        ("session " ^ Protocol.status_name status);
+      let base = Filename.concat dir (Printf.sprintf "session-%d" s.id) in
+      try
+        let snap = Obs.flight_snapshot fl in
+        Trace_export.to_file (base ^ ".trace.json") snap;
+        Prom.to_file (base ^ ".metrics.txt") snap;
+        Log.warn "flight recorder dumped"
+          ~fields:
+            [
+              ("session", string_of_int s.id);
+              ("trace", base ^ ".trace.json");
+            ]
+      with Sys_error m ->
+        Log.err "flight dump failed"
+          ~fields:[ ("session", string_of_int s.id); ("error", m) ])
+  | _ -> ()
 
 (* Feed every queued chunk, then either release the session (more input
    pending) or run the analysis and post the framed reply. *)
@@ -298,12 +384,18 @@ let worker_step svc (s : sess) =
     Session.close session;
     Mutex.lock svc.mutex;
     (match status with
-    | Protocol.Ok_report | Protocol.Degraded -> svc.served <- svc.served + 1
+    | Protocol.Ok_report | Protocol.Degraded ->
+        svc.served <- svc.served + 1;
+        Obs.Counter.incr c_served
     | _ ->
         svc.failed <- svc.failed + 1;
         Obs.Counter.incr c_failed);
     s.worker_owned <- false;
     Mutex.unlock svc.mutex;
+    Obs.Histogram.observe h_session (Obs.now_us () -. s.accepted_us);
+    (match status with
+    | Protocol.Error_reply | Protocol.Timeout -> dump_flight svc s status
+    | _ -> ());
     post svc (Finished (s.id, framed))
   in
   let rec feed_all () =
@@ -348,6 +440,13 @@ let worker_step svc (s : sess) =
   in
   feed_all ()
 
+(* With a flight recorder live, tap this worker domain while it feeds and
+   finishes the session so analyzer spans land in the session's ring. *)
+let worker_step svc (s : sess) =
+  match s.flight with
+  | None -> worker_step svc s
+  | Some fl -> Obs.Flight.with_attached fl (fun () -> worker_step svc s)
+
 let worker_loop svc =
   let rec next () =
     Mutex.lock svc.mutex;
@@ -357,6 +456,7 @@ let worker_loop svc =
     if svc.shutdown_workers && Queue.is_empty svc.jobs then Mutex.unlock svc.mutex
     else begin
       let s = Queue.pop svc.jobs in
+      Obs.Gauge.set g_queue (Queue.length svc.jobs);
       Mutex.unlock svc.mutex;
       (try worker_step svc s
        with exn ->
@@ -394,14 +494,17 @@ let apply_fault svc (s : sess) =
       | Exec_fault.Disconnect n ->
           Log.warn "chaos: session will disconnect"
             ~fields:[ ("session", string_of_int s.id); ("after", string_of_int n) ];
+          fl_note s ~args:[ ("after_bytes", Obs.itos n) ] "chaos: disconnect";
           s.read_cap <- Some n
       | Exec_fault.Stall_writer t ->
           Log.warn "chaos: session writer stalled"
             ~fields:[ ("session", string_of_int s.id); ("seconds", string_of_float t) ];
+          fl_note s ~args:[ ("seconds", string_of_float t) ] "chaos: stall writer";
           s.stalled_until <- now () +. t
       | Exec_fault.Oversize_frame ->
           Log.warn "chaos: oversized frame injected"
             ~fields:[ ("session", string_of_int s.id) ];
+          fl_note s "chaos: oversize frame";
           Option.iter
             (fun session -> Session.feed session (oversized_header ()))
             s.session)
@@ -436,6 +539,10 @@ let accept_session svc listen_fd =
             read_cap = None;
             stalled_until = 0.;
             counted_active = false;
+            accepted_wall = now ();
+            accepted_us = Obs.now_us ();
+            bytes_in = 0;
+            flight = None;
           }
         in
         svc.sessions <- s :: svc.sessions;
@@ -468,10 +575,21 @@ let accept_session svc listen_fd =
             read_cap = None;
             stalled_until = 0.;
             counted_active = true;
+            accepted_wall = now ();
+            accepted_us = Obs.now_us ();
+            bytes_in = 0;
+            flight =
+              (match svc.cfg.flight_dir with
+              | Some _ ->
+                  Some
+                    (Obs.Flight.create ~capacity:flight_capacity
+                       (Printf.sprintf "session-%d" id))
+              | None -> None);
           }
         in
         svc.n_active <- svc.n_active + 1;
         Obs.Gauge.incr g_active;
+        fl_note s "accepted";
         apply_fault svc s;
         svc.sessions <- s :: svc.sessions;
         `Accepted
@@ -484,10 +602,14 @@ let read_chunk svc (s : sess) =
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
     -> ()
   | exception Unix.Unix_error (_, _, _) -> s.eof <- true
-  | 0 -> s.eof <- true
+  | 0 ->
+      s.eof <- true;
+      fl_note s ~args:[ ("bytes_in", Obs.itos s.bytes_in) ] "peer closed"
   | n ->
       svc.bytes <- svc.bytes + n;
+      s.bytes_in <- s.bytes_in + n;
       Obs.Counter.add c_bytes n;
+      fl_note s ~args:[ ("bytes", Obs.itos n) ] "chunk";
       (match s.read_cap with
       | Some c ->
           let left = c - n in
@@ -536,6 +658,7 @@ let process_events svc =
           match List.find_opt (fun s -> s.id = id) svc.sessions with
           | None -> ()
           | Some s ->
+              fl_note s "reply posted";
               (* append after whatever is left of the greeting *)
               s.reply <-
                 String.sub s.reply s.reply_off
@@ -549,6 +672,153 @@ let process_events svc =
               s.deadline <- now () +. 30.))
     evs
 
+(* -- the admin (STATS) surface ------------------------------------------ *)
+
+(* Both documents are assembled on the select loop, which owns the session
+   list and every loop-side field, so a scrape never blocks on (or races
+   with) worker domains.  The few [Session.t] internals shown are plain
+   immediate fields mutated by the owning worker: a cross-domain read may
+   be one update stale — fine for stats — and immediates cannot tear. *)
+
+let sess_state_name = function
+  | Reading -> "reading"
+  | Replying -> "replying"
+  | Closing -> "closing"
+
+let session_json svc t (s : sess) =
+  let queue_bytes =
+    Mutex.lock svc.mutex;
+    let qb = s.queue_bytes in
+    Mutex.unlock svc.mutex;
+    qb
+  in
+  let threads, spilled =
+    match s.session with
+    | None -> (0, 0)
+    | Some sn -> (Session.threads_ingested sn, Session.spilled_bytes sn)
+  in
+  Json.Obj
+    [
+      ("id", Json.Int s.id);
+      ("kind", Json.String (if s.session = None then "shed" else "stream"));
+      ("state", Json.String (sess_state_name s.state));
+      ("age_s", Json.Float (t -. s.accepted_wall));
+      ("bytes_ingested", Json.Int s.bytes_in);
+      ("threads", Json.Int threads);
+      ("spilled_bytes", Json.Int spilled);
+      ("budget_bytes", Json.Int svc.cfg.session_quota);
+      ("queue_bytes", Json.Int queue_bytes);
+      ("backpressure", Json.Bool (queue_bytes >= svc.cfg.session_quota));
+      ("stalled", Json.Bool (t < s.stalled_until));
+      ("eof", Json.Bool s.eof);
+      ("timed_out", Json.Bool s.timed_out);
+      ("worker_owned", Json.Bool s.worker_owned);
+      ( "deadline_in_s",
+        if s.deadline = infinity then Json.Null else Json.Float (s.deadline -. t)
+      );
+    ]
+
+let stats_json svc =
+  let t = now () in
+  let queue_depth =
+    Mutex.lock svc.mutex;
+    let d = Queue.length svc.jobs in
+    Mutex.unlock svc.mutex;
+    d
+  in
+  let q p = Obs.Histogram.quantile h_session p in
+  Json.Obj
+    [
+      ("schema", Json.String "tfserve-stats/1");
+      ("uptime_s", Json.Float (t -. svc.t_start));
+      ( "daemon",
+        Json.Obj
+          [
+            ("max_sessions", Json.Int svc.cfg.max_sessions);
+            ("workers", Json.Int svc.cfg.workers);
+            ("session_quota", Json.Int svc.cfg.session_quota);
+            ("active", Json.Int svc.n_active);
+            ("served", Json.Int svc.served);
+            ("failed", Json.Int svc.failed);
+            ("shed", Json.Int svc.shed_n);
+            ("bytes_ingested", Json.Int svc.bytes);
+            ("worker_queue_depth", Json.Int queue_depth);
+            ("flight_recorder", Json.Bool (svc.cfg.flight_dir <> None));
+          ] );
+      ( "latency_us",
+        Json.Obj
+          [
+            ("count", Json.Int (Obs.Histogram.count h_session));
+            ("p50", Json.Float (q 0.5));
+            ("p95", Json.Float (q 0.95));
+            ("p99", Json.Float (q 0.99));
+          ] );
+      ("sessions", Json.List (List.rev_map (session_json svc t) svc.sessions));
+    ]
+
+let stats_reply svc fmt =
+  Obs.Counter.incr c_scrapes;
+  match fmt with
+  | Protocol.Stats_prom -> Protocol.frame (Prom.to_string (Obs.snapshot ()))
+  | Protocol.Stats_json ->
+      Protocol.frame (Json.to_compact_string (stats_json svc) ^ "\n")
+
+let error_stats_reply msg =
+  Protocol.frame
+    (Json.to_compact_string (Json.Obj [ ("error", Json.String msg) ]) ^ "\n")
+
+let admin_deadline_s = 5.0
+
+let accept_admin svc admin_fd =
+  match Unix.accept ~cloexec:true admin_fd with
+  | exception Unix.Unix_error _ -> ()
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      svc.admins <-
+        {
+          afd = fd;
+          abuf = Buffer.create 32;
+          areply = "";
+          areply_off = 0;
+          aclosed = false;
+          adeadline = now () +. admin_deadline_s;
+        }
+        :: svc.admins
+
+let read_admin svc (a : admin) =
+  let b = Bytes.create 256 in
+  match Unix.read a.afd b 0 256 with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> ()
+  | exception Unix.Unix_error _ -> a.aclosed <- true
+  | 0 -> a.aclosed <- true
+  | n ->
+      Buffer.add_subbytes a.abuf b 0 n;
+      let req = Buffer.contents a.abuf in
+      if String.contains req '\n' then
+        let line = List.hd (String.split_on_char '\n' req) in
+        a.areply <-
+          (match Protocol.parse_stats_request line with
+          | Some fmt -> stats_reply svc fmt
+          | None ->
+              error_stats_reply
+                (Printf.sprintf "unknown admin request %S" (String.trim line)))
+      else if Buffer.length a.abuf > Protocol.max_admin_request then
+        a.areply <- error_stats_reply "admin request too long"
+
+let write_admin (a : admin) =
+  let len = String.length a.areply - a.areply_off in
+  match Unix.write_substring a.afd a.areply a.areply_off len with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    -> ()
+  | exception Unix.Unix_error _ -> a.aclosed <- true
+  | n ->
+      a.areply_off <- a.areply_off + n;
+      (* one request, one reply: flushing it ends the connection *)
+      if a.areply_off >= String.length a.areply then a.aclosed <- true
+
+(* -- daemon entry -------------------------------------------------------- *)
+
 let run ?(stop = Atomic.make false) ?(on_ready = fun () -> ()) cfg =
   if cfg.max_sessions < 1 then invalid_arg "Serve.run: max_sessions must be >= 1";
   if cfg.workers < 1 then invalid_arg "Serve.run: workers must be >= 1";
@@ -558,17 +828,30 @@ let run ?(stop = Atomic.make false) ?(on_ready = fun () -> ()) cfg =
     try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
     with Invalid_argument _ | Sys_error _ -> None
   in
-  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  set_cloexec listen_fd;
-  Unix.set_nonblock listen_fd;
-  (try Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path)
-   with Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
-     (* a previous daemon left its socket behind; a live one would have
-        the path locked by a connectable listener — keep it simple and
-        treat the file as stale *)
-     Sys.remove cfg.socket_path;
-     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path));
-  Unix.listen listen_fd 64;
+  (* the collector backs every scrape; leave it the way we found it *)
+  let prev_obs = !Obs.enabled in
+  Obs.set_enabled true;
+  Option.iter Journal.mkdir_p cfg.flight_dir;
+  let bind_unix path =
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    set_cloexec fd;
+    Unix.set_nonblock fd;
+    (try Unix.bind fd (Unix.ADDR_UNIX path)
+     with Unix.Unix_error (Unix.EADDRINUSE, _, _) ->
+       (* a previous daemon left its socket behind; a live one would have
+          the path locked by a connectable listener — keep it simple and
+          treat the file as stale *)
+       Sys.remove path;
+       Unix.bind fd (Unix.ADDR_UNIX path));
+    Unix.listen fd 64;
+    fd
+  in
+  let listen_fd = bind_unix cfg.socket_path in
+  let admin_fd =
+    match cfg.admin_path with
+    | None -> None
+    | Some path -> Some (path, bind_unix path)
+  in
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
@@ -583,11 +866,13 @@ let run ?(stop = Atomic.make false) ?(on_ready = fun () -> ()) cfg =
       wake_r;
       wake_w;
       sessions = [];
+      admins = [];
       n_active = 0;
       served = 0;
       failed = 0;
       shed_n = 0;
       bytes = 0;
+      t_start = now ();
     }
   in
   let workers = List.init cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop svc)) in
@@ -608,6 +893,7 @@ let run ?(stop = Atomic.make false) ?(on_ready = fun () -> ()) cfg =
     if Atomic.get stop && !listening then begin
       listening := false;
       close_quietly listen_fd;
+      (match admin_fd with Some (_, fd) -> close_quietly fd | None -> ());
       Log.info "serve: draining"
         ~fields:[ ("sessions", string_of_int (List.length svc.sessions)) ]
     end;
@@ -620,6 +906,9 @@ let run ?(stop = Atomic.make false) ?(on_ready = fun () -> ()) cfg =
             match s.state with
             | Reading when not s.timed_out ->
                 s.timed_out <- true;
+                fl_note s
+                  ~args:[ ("bytes_in", Obs.itos s.bytes_in) ]
+                  "deadline expired";
                 Mutex.lock svc.mutex;
                 schedule_locked svc s;
                 Mutex.unlock svc.mutex
@@ -629,11 +918,21 @@ let run ?(stop = Atomic.make false) ?(on_ready = fun () -> ()) cfg =
       List.iter
         (fun s -> if s.state = Closing && not s.worker_owned then finalize_sess svc s)
         svc.sessions;
+      (* admin conns: reap the answered and the squatting *)
+      let dead_admin a = a.aclosed || t >= a.adeadline in
+      List.iter (fun a -> if dead_admin a then close_quietly a.afd) svc.admins;
+      svc.admins <- List.filter (fun a -> not (dead_admin a)) svc.admins;
       if finished () then ()
       else begin
         let readable =
           (if !listening && t >= !accept_muted_until then [ listen_fd ] else [])
+          @ (match admin_fd with
+            | Some (_, fd) when !listening -> [ fd ]
+            | _ -> [])
           @ [ svc.wake_r ]
+          @ List.filter_map
+              (fun a -> if a.areply = "" then Some a.afd else None)
+              svc.admins
           @ List.filter_map
               (fun s ->
                 match s.state with
@@ -656,6 +955,12 @@ let run ?(stop = Atomic.make false) ?(on_ready = fun () -> ()) cfg =
                 Some s.fd
               else None)
             svc.sessions
+          @ List.filter_map
+              (fun a ->
+                if a.areply <> "" && a.areply_off < String.length a.areply then
+                  Some a.afd
+                else None)
+              svc.admins
         in
         let next_deadline =
           List.fold_left
@@ -669,6 +974,10 @@ let run ?(stop = Atomic.make false) ?(on_ready = fun () -> ()) cfg =
             (if !listening && t < !accept_muted_until then !accept_muted_until
              else infinity)
             svc.sessions
+        in
+        let next_deadline =
+          List.fold_left (fun acc a -> min acc a.adeadline) next_deadline
+            svc.admins
         in
         let timeout =
           if Atomic.get stop then 0.1
@@ -700,6 +1009,15 @@ let run ?(stop = Atomic.make false) ?(on_ready = fun () -> ()) cfg =
                         ("attempt", string_of_int !accept_attempt);
                       ]
             end;
+            (match admin_fd with
+            | Some (_, fd) when !listening && List.mem fd rs ->
+                accept_admin svc fd
+            | _ -> ());
+            List.iter
+              (fun a ->
+                if List.mem a.afd rs then read_admin svc a;
+                if List.mem a.afd ws then write_admin a)
+              svc.admins;
             List.iter
               (fun s ->
                 if List.mem s.fd rs then begin
@@ -731,8 +1049,16 @@ let run ?(stop = Atomic.make false) ?(on_ready = fun () -> ()) cfg =
       end
     end
   done;
-  if !listening then close_quietly listen_fd;
+  if !listening then begin
+    close_quietly listen_fd;
+    match admin_fd with Some (_, fd) -> close_quietly fd | None -> ()
+  end;
+  List.iter (fun a -> close_quietly a.afd) svc.admins;
+  svc.admins <- [];
   (try Sys.remove cfg.socket_path with Sys_error _ -> ());
+  (match admin_fd with
+  | Some (path, _) -> ( try Sys.remove path with Sys_error _ -> ())
+  | None -> ());
   Mutex.lock svc.mutex;
   svc.shutdown_workers <- true;
   Condition.broadcast svc.cond;
@@ -743,6 +1069,7 @@ let run ?(stop = Atomic.make false) ?(on_ready = fun () -> ()) cfg =
   Option.iter
     (fun b -> try Sys.set_signal Sys.sigpipe b with Invalid_argument _ -> ())
     prev_sigpipe;
+  Obs.set_enabled prev_obs;
   Log.info "serve: drained"
     ~fields:
       [

@@ -25,10 +25,23 @@ type config = {
   fault : Threadfuser_fault.Exec_fault.session_plan option;
       (** deterministic chaos injection, keyed by accept ordinal *)
   tmp_dir : string option;  (** session spool directory *)
+  admin_path : string option;
+      (** STATS admin socket (see {!admin_path_of}); [None] disables the
+          admin surface *)
+  flight_dir : string option;
+      (** where poisoned/timed-out sessions dump their flight recorder
+          ([session-<id>.trace.json] + [.metrics.txt]); [None] disables
+          per-session recorders entirely *)
 }
 
+(** Where the STATS admin socket lives relative to the session socket
+    ([<socket>.stats]) — shared with the [threadfuser stat]/[top]
+    clients so they can derive it from [--socket] alone. *)
+val admin_path_of : string -> string
+
 (** 8 sessions, {!Threadfuser.Analyzer.Session.default_budget} quota, no
-    deadline, 1 worker, seed 1, 50ms backoff base, no faults. *)
+    deadline, 1 worker, seed 1, 50ms backoff base, no faults; admin
+    socket at [admin_path_of socket_path], flight recorder off. *)
 val default_config :
   prog:Threadfuser_prog.Program.t -> socket_path:string -> config
 
@@ -39,10 +52,13 @@ type stats = {
   bytes_ingested : int;
 }
 
-(** [run ?stop ?on_ready cfg] binds the socket, calls [on_ready] once
-    accepting, and serves until [stop] becomes [true] — then closes the
-    listener, drains live sessions to completion, removes the socket file
-    and returns.  A stale socket file left by a dead daemon is replaced.
+(** [run ?stop ?on_ready cfg] binds the socket (and the admin socket when
+    [cfg.admin_path] is set), calls [on_ready] once accepting, and serves
+    until [stop] becomes [true] — then closes the listeners, drains live
+    sessions to completion, removes the socket files and returns.  Stale
+    socket files left by a dead daemon are replaced.  The observability
+    collector is enabled for the daemon's lifetime (and restored after),
+    so [STATS prom] scrapes always see live [tf_serve_*] instruments.
     Raises [Invalid_argument] on a non-positive [max_sessions] or
-    [workers]; [Unix.Unix_error] if the socket cannot be bound. *)
+    [workers]; [Unix.Unix_error] if a socket cannot be bound. *)
 val run : ?stop:bool Atomic.t -> ?on_ready:(unit -> unit) -> config -> stats

@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Gate the observability overhead ratios in BENCH_pipeline.json.
+
+The bench measures the analyzer three ways, interleaved batch-by-batch so
+machine drift cancels: collector off, collector on, and collector on with
+a flight-recorder ring attached.  The paired ratios land in
+BENCH_pipeline.json; an enabled collector may cost a little, but if the
+flight recorder pushes the analyzer past MAX_FLIGHT_RATIO of the
+collector-off baseline it stopped being an always-on black box and became
+a profiler — gate it.
+
+Exit 0 ok, 1 on regression, 0 with a note when the field is absent
+(older bench artifact).
+"""
+import json
+import sys
+
+MAX_FLIGHT_RATIO = 1.20
+
+
+def main(path: str) -> int:
+    with open(path) as f:
+        doc = json.load(f)
+    rc = 0
+    for field, cap in (
+        ("obs_on_vs_off_analyzer_ratio", MAX_FLIGHT_RATIO),
+        ("obs_flight_vs_off_analyzer_ratio", MAX_FLIGHT_RATIO),
+    ):
+        ratio = doc.get(field)
+        if ratio is None:
+            print(f"  {field}: absent (older bench artifact), skipped")
+            continue
+        ok = ratio <= cap
+        print(f"  {field}: {ratio:.3f}x (cap {cap:.2f}x)  "
+              f"{'ok' if ok else 'REGRESSED'}")
+        if not ok:
+            rc = 1
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1] if len(sys.argv) > 1 else "BENCH_pipeline.json"))

@@ -16,11 +16,16 @@ MIN_SPEEDUP = 0.9  # parallel replay must never be >10% slower than -j 1
 def main(path: str) -> int:
     with open(path) as f:
         doc = json.load(f)
+    cores = doc.get("available_cores", 0)
     bad = []
     for name, case in doc.get("workloads", {}).items():
         for dom, leg in case.get("speedup_vs_j1", {}).items():
-            if not isinstance(leg, dict):  # pre-advisory schema: gate it
-                leg = {"x": leg, "advisory": False}
+            if not isinstance(leg, dict):
+                # pre-advisory schema: derive the flag from the artifact's
+                # own available_cores honesty field, same rule the bench
+                # applies now — a leg over the core count measures
+                # time-slicing, not scaling
+                leg = {"x": leg, "advisory": cores > 0 and int(dom) > cores}
             tag = f"{name} -j {dom}"
             if leg.get("advisory"):
                 print(f"  {tag}: {leg['x']:.2f}x  skipped (advisory)")

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text exposition (a `threadfuser stat --prom` scrape
+or a flight-recorder `.metrics.txt` snapshot).
+
+Checks, per family:
+  - every sample is preceded by its family's # TYPE line (# HELP is
+    optional: instruments registered without help text omit it)
+  - no family declares # TYPE twice
+  - every sample line parses as  name[{labels}] value
+  - histogram internal consistency: the +Inf bucket equals _count
+    (they are frozen under one snapshot, so any drift means tearing)
+  - the always-emitted families are present (tf_obs_events_dropped_total,
+    tf_build_info, tf_uptime_seconds)
+
+Exit 0 clean, 1 on any violation.  Reads the file argument, or stdin.
+"""
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9.eE+-]+|NaN|[+-]Inf)$"
+)
+ALWAYS = ("tf_obs_events_dropped_total", "tf_build_info", "tf_uptime_seconds")
+
+
+def family_of(name: str) -> str:
+    for suffix in ("_bucket", "_count", "_sum"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name  # _p50/_p95/_p99 companions are their own gauge families
+
+
+def main(text: str) -> int:
+    typed, sampled = set(), set()
+    buckets_inf, counts = {}, {}
+    errors = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            fam = line.split()[2]
+            if fam in typed:
+                errors.append(f"line {lineno}: duplicate # TYPE for {fam}")
+            typed.add(fam)
+            continue
+        if line.startswith("#"):
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparsable sample: {line!r}")
+            continue
+        name, labels, value = m.group(1), m.group(2) or "", m.group(3)
+        fam = family_of(name)
+        sampled.add(fam)
+        if fam not in typed:
+            errors.append(f"line {lineno}: sample {name} before # TYPE of {fam}")
+        if name.endswith("_bucket") and 'le="+Inf"' in labels:
+            buckets_inf[fam] = float(value)
+        elif name.endswith("_count"):
+            counts[fam] = float(value)
+    for fam, inf in buckets_inf.items():
+        if fam in counts and inf != counts[fam]:
+            errors.append(
+                f"{fam}: +Inf bucket {inf} != _count {counts[fam]} (torn export)"
+            )
+    for fam in ALWAYS:
+        if fam not in sampled:
+            errors.append(f"always-emitted family missing: {fam}")
+    declared_unused = typed - sampled
+    for fam in sorted(declared_unused):
+        errors.append(f"# TYPE declared but no samples: {fam}")
+    if errors:
+        for e in errors:
+            print(f"check_prom: {e}", file=sys.stderr)
+        return 1
+    print(
+        f"check_prom: ok ({len(sampled)} families, "
+        f"{len(buckets_inf)} histograms consistent)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1:
+        with open(sys.argv[1]) as f:
+            body = f.read()
+    else:
+        body = sys.stdin.read()
+    sys.exit(main(body))

@@ -472,6 +472,221 @@ let test_parallel_replay_obs_parity () =
   Alcotest.(check int) "no replay event lost or invented" e1 e4;
   Alcotest.(check (list string)) "prometheus counter lines match serial" p1 p4
 
+(* A snapshot is a point-in-time copy: with four domains observing into a
+   histogram while we snapshot and export, every exposition must stay
+   internally consistent — the +Inf bucket is computed from the frozen
+   samples and the count from the frozen count, so they can only agree if
+   both were frozen together.  Against the old live-reference snapshot
+   this test tears within a few iterations. *)
+let test_snapshot_consistent_under_load () =
+  let h = Obs.Histogram.make "tf_test_snapshot_load" ~help:"load test" in
+  let c = Obs.Counter.make "tf_test_snapshot_load_ctr" in
+  with_collector (fun () ->
+      let stop = Atomic.make false in
+      let spawned =
+        List.init 3 (fun d ->
+            Domain.spawn (fun () ->
+                let i = ref 0 in
+                while not (Atomic.get stop) do
+                  (* burst-then-sleep: a tight spin on the collector mutex
+                     starves the snapshotting domain (minutes instead of
+                     seconds) and balloons the sample array to its
+                     decimation cap, which makes every export expensive.
+                     A few thousand writes per second is ample pressure to
+                     catch a torn live-reference export. *)
+                  for _ = 1 to 32 do
+                    incr i;
+                    Obs.Counter.incr c;
+                    Obs.Histogram.observe h (float_of_int ((d * 31) + !i))
+                  done;
+                  Unix.sleepf 0.001
+                done))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          List.iter Domain.join spawned)
+        (fun () ->
+          for _ = 1 to 50 do
+            let snap = Obs.snapshot () in
+            (* frozen instruments: retained samples and count agree *)
+            List.iter
+              (fun fh ->
+                let count = Obs.Histogram.count fh in
+                let retained = Array.length (Obs.Histogram.samples fh) in
+                Alcotest.(check bool)
+                  "frozen count >= retained samples" true (count >= retained))
+              snap.Obs.histograms;
+            (* the exposition invariant: +Inf bucket equals _count exactly *)
+            let text = Prom.to_string snap in
+            let lines = String.split_on_char '\n' text in
+            let value_of prefix =
+              List.find_map
+                (fun l ->
+                  if
+                    String.length l > String.length prefix
+                    && String.sub l 0 (String.length prefix) = prefix
+                  then
+                    float_of_string_opt
+                      (String.sub l
+                         (String.length prefix)
+                         (String.length l - String.length prefix))
+                  else None)
+                lines
+            in
+            match
+              ( value_of "tf_test_snapshot_load_bucket{le=\"+Inf\"} ",
+                value_of "tf_test_snapshot_load_count " )
+            with
+            | Some inf, Some count ->
+                Alcotest.(check (float 0.0))
+                  "+Inf bucket equals _count in one frozen snapshot" count inf
+            | _ -> () (* histogram still empty this early *)
+          done))
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                      *)
+
+let test_flight_ring_bounds () =
+  (try
+     ignore (Obs.Flight.create ~capacity:0 "bad");
+     Alcotest.fail "capacity 0 accepted"
+   with Invalid_argument _ -> ());
+  let fl = Obs.Flight.create ~capacity:4 "ring" in
+  Alcotest.(check string) "label" "ring" (Obs.Flight.label fl);
+  Alcotest.(check int) "capacity" 4 (Obs.Flight.capacity fl);
+  for i = 1 to 10 do
+    Obs.Flight.note fl (Printf.sprintf "e%d" i)
+  done;
+  Alcotest.(check int) "recorded counts everything" 10 (Obs.Flight.recorded fl);
+  Alcotest.(check int) "dropped = recorded - capacity" 6 (Obs.Flight.dropped fl);
+  let names =
+    List.map
+      (function
+        | Obs.Instant { name; _ } -> name
+        | Obs.Complete { name; _ } -> name)
+      (Obs.Flight.events fl)
+  in
+  Alcotest.(check (list string)) "last capacity events, oldest first"
+    [ "e7"; "e8"; "e9"; "e10" ] names
+
+let test_flight_records_while_disabled () =
+  Obs.reset ();
+  (* no with_collector: the ring must work with the collector off, since
+     supervisors note lifecycle events for sessions they cannot reproduce *)
+  let fl = Obs.Flight.create ~capacity:8 "cold" in
+  Obs.Flight.note fl "lifecycle";
+  Alcotest.(check int) "note lands with collector off" 1
+    (Obs.Flight.recorded fl)
+
+let test_flight_attach_taps_domain () =
+  let fl = Obs.Flight.create ~capacity:64 "tap" in
+  with_collector (fun () ->
+      Obs.Flight.with_attached fl (fun () ->
+          Obs.instant ~track:Obs.pipeline "tapped";
+          Obs.span "tapped_span" (fun () -> ()));
+      (* detached again: this event goes only to the global log *)
+      Obs.instant ~track:Obs.pipeline "not_tapped";
+      (* an unattached domain records nothing into the ring *)
+      Domain.join
+        (Domain.spawn (fun () ->
+             Obs.instant ~track:Obs.pipeline "other_domain"));
+      let names =
+        List.map
+          (function
+            | Obs.Instant { name; _ } -> name
+            | Obs.Complete { name; _ } -> name)
+          (Obs.Flight.events fl)
+      in
+      Alcotest.(check (list string))
+        "ring holds exactly the attached domain's events"
+        [ "tapped"; "tapped_span" ] names;
+      Alcotest.(check int) "global log saw all four" 4
+        (List.length (Obs.snapshot ()).Obs.events))
+
+let test_flight_snapshot_roundtrip () =
+  let c = Obs.Counter.make "tf_test_flight_ctr" ~help:"flight test" in
+  with_collector (fun () ->
+      let fl = Obs.Flight.create ~capacity:4 "dump" in
+      Obs.Counter.add c 3;
+      for i = 1 to 6 do
+        Obs.Flight.note fl ~args:[ ("i", string_of_int i) ]
+          (Printf.sprintf "n%d" i)
+      done;
+      let snap = Obs.flight_snapshot fl in
+      Alcotest.(check int) "snapshot events come from the ring" 4
+        (List.length snap.Obs.events);
+      Alcotest.(check int) "snapshot dropped comes from the ring" 2
+        snap.Obs.events_dropped;
+      (* instruments are the global collector's *)
+      Alcotest.(check bool) "global counters present" true
+        (List.exists
+           (fun fc -> Obs.counter_name fc = "tf_test_flight_ctr")
+           snap.Obs.counters);
+      (* the dump payload: Chrome trace re-parses and keeps the ring's
+         events; the metrics snapshot is a valid exposition *)
+      match Json.parse (Trace_export.to_string snap) with
+      | Error m -> Alcotest.failf "flight trace does not re-parse: %s" m
+      | Ok doc -> (
+          match member "traceEvents" doc with
+          | Some (Json.List events) ->
+              let names =
+                List.filter_map
+                  (fun e ->
+                    match member "name" e with
+                    | Some (Json.String n) -> Some n
+                    | _ -> None)
+                  events
+              in
+              List.iter
+                (fun n ->
+                  Alcotest.(check bool) (n ^ " survives the dump") true
+                    (List.mem n names))
+                [ "n3"; "n4"; "n5"; "n6" ];
+              Alcotest.(check bool) "overwritten events are gone" false
+                (List.mem "n1" names)
+          | _ -> Alcotest.fail "no traceEvents array"))
+
+(* ------------------------------------------------------------------ *)
+(* Always-emitted exposition families                                   *)
+
+let test_prometheus_always_emitted () =
+  Obs.reset ();
+  (* collector off and empty: the standing families must still be there *)
+  let text = Prom.to_string (Obs.snapshot ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true
+        (contains_sub text needle))
+    [
+      "# TYPE tf_obs_events_dropped_total counter";
+      "# HELP tf_obs_events_dropped_total";
+      "tf_obs_events_dropped_total 0";
+      "# TYPE tf_build_info gauge";
+      Printf.sprintf "tf_build_info{version=\"%s\",ocaml=\"%s\"} 1"
+        (Prom.escape_label_value Prom.version)
+        (Prom.escape_label_value Sys.ocaml_version);
+      "# TYPE tf_uptime_seconds gauge";
+      "tf_uptime_seconds ";
+    ];
+  (* uptime is the snapshot's collector-clock age, in seconds *)
+  let snap = Obs.snapshot () in
+  Alcotest.(check bool) "uptime is non-negative" true (snap.Obs.taken_us >= 0.0);
+  (* a dropped count > 0 is reported too *)
+  let dropped_text =
+    with_collector (fun () ->
+        Obs.set_max_events 2;
+        Fun.protect
+          ~finally:(fun () -> Obs.set_max_events 500_000)
+          (fun () ->
+            for _ = 1 to 5 do
+              Obs.instant ~track:Obs.pipeline "x"
+            done;
+            Prom.to_string (Obs.snapshot ())))
+  in
+  Alcotest.(check bool) "non-zero drops exported" true
+    (contains_sub dropped_text "tf_obs_events_dropped_total 3")
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end: the instrumented pipeline                                *)
 
@@ -564,6 +779,19 @@ let () =
             test_prometheus_export;
           Alcotest.test_case "prometheus escaping" `Quick
             test_prometheus_escaping;
+          Alcotest.test_case "always-emitted families" `Quick
+            test_prometheus_always_emitted;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "ring bounds and drop accounting" `Quick
+            test_flight_ring_bounds;
+          Alcotest.test_case "records with collector off" `Quick
+            test_flight_records_while_disabled;
+          Alcotest.test_case "attach taps the calling domain" `Quick
+            test_flight_attach_taps_domain;
+          Alcotest.test_case "flight snapshot round-trips" `Quick
+            test_flight_snapshot_roundtrip;
         ] );
       ( "log",
         [
@@ -576,6 +804,8 @@ let () =
         [
           Alcotest.test_case "four-domain hammer loses nothing" `Quick
             test_domain_hammer;
+          Alcotest.test_case "snapshot consistent under load" `Quick
+            test_snapshot_consistent_under_load;
           Alcotest.test_case "parallel replay obs parity" `Quick
             test_parallel_replay_obs_parity;
         ] );

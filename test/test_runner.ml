@@ -204,6 +204,132 @@ let test_crashed_kind () =
   in
   Alcotest.(check (list string)) "crashed" [ "crashed" ] (outcome_names m)
 
+(* A terminal failure dumps the job's flight recorder: the entry points
+   at [flight/<id>.trace.json], the trace re-parses with the supervisor's
+   lifecycle notes in it, and a metrics snapshot sits beside it.
+   Successful jobs dump nothing. *)
+let test_flight_dump_on_terminal_failure () =
+  let dir = fresh_dir () in
+  let chaos =
+    Exec_fault.plan ~crash_pct:100 ~first_attempt_only:false
+      ~only_prefix:"bfs" ()
+  in
+  let m =
+    Runner.run
+      ~config:(config ~retries:1 ~chaos dir)
+      [ Runner.job "bfs"; Runner.job "vectoradd" ]
+  in
+  let entry id =
+    List.find (fun (e : Runner.entry) -> e.Runner.id = id) m.Runner.entries
+  in
+  let failed = entry "bfs.w32.O1.s1" and ok = entry "vectoradd.w32.O1.s1" in
+  Alcotest.(check string) "bfs gave up" "gave-up"
+    (Runner.Outcome.name failed.Runner.outcome);
+  Alcotest.(check (option string))
+    "success has no flight dump" None ok.Runner.flight_file;
+  match failed.Runner.flight_file with
+  | None -> Alcotest.fail "terminal failure without a flight dump"
+  | Some rel ->
+      Alcotest.(check string)
+        "dump path is flight/<id>.trace.json" "flight/bfs.w32.O1.s1.trace.json"
+        rel;
+      let trace_path = Filename.concat dir rel in
+      Alcotest.(check bool) "trace exists" true (Sys.file_exists trace_path);
+      let j =
+        match Json.parse (read_file trace_path) with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "trace unparsable: %s" m
+      in
+      let evs =
+        match Json.member "traceEvents" j with
+        | Some (Json.List evs) -> evs
+        | _ -> Alcotest.fail "traceEvents missing or not a list"
+      in
+      Alcotest.(check bool) "trace has events" true (evs <> []);
+      let names =
+        List.filter_map
+          (fun e -> Option.bind (Json.member "name" e) Json.to_string_opt)
+          evs
+      in
+      List.iter
+        (fun expect ->
+          Alcotest.(check bool) ("note present: " ^ expect) true
+            (List.mem expect names))
+        [ "attempt spawned"; "attempt failed"; "job failed terminally" ];
+      let metrics_path =
+        Filename.concat dir
+          (Filename.chop_suffix rel ".trace.json" ^ ".metrics.txt")
+      in
+      Alcotest.(check bool) "metrics snapshot beside the trace" true
+        (Sys.file_exists metrics_path);
+      (* the manifest's entry carries the same relative path *)
+      let mj =
+        match Json.parse (read_file (Runner.manifest_path dir)) with
+        | Ok j -> j
+        | Error m -> Alcotest.fail m
+      in
+      let entries =
+        match Json.member "entries" mj with
+        | Some (Json.List es) -> es
+        | _ -> Alcotest.fail "manifest entries missing"
+      in
+      Alcotest.(check bool) "manifest references the dump" true
+        (List.exists
+           (fun e -> Json.member "flight" e = Some (Json.String rel))
+           entries)
+
+(* Fleet rollups: the manifest embeds a per-suite aggregate whose counts
+   and duration percentiles are consistent with the entries. *)
+let test_manifest_rollup () =
+  let dir = fresh_dir () in
+  let m = Runner.run ~config:(config dir) (List.map Runner.job small) in
+  Alcotest.(check bool) "suite ok" true (Runner.all_ok m);
+  let r = Runner.rollup_json m in
+  let mem k v =
+    match Json.member k v with
+    | Some x -> x
+    | None -> Alcotest.failf "rollup missing %S" k
+  in
+  let jint k v =
+    match Json.to_int_opt (mem k v) with
+    | Some n -> n
+    | None -> Alcotest.failf "rollup %s not an int" k
+  in
+  let jfloat k v =
+    match Json.to_float_opt (mem k v) with
+    | Some f -> f
+    | None -> Alcotest.failf "rollup %s not a number" k
+  in
+  Alcotest.(check int) "jobs" 3 (jint "jobs" r);
+  Alcotest.(check int) "attempts" 3 (jint "attempts_total" r);
+  Alcotest.(check bool) "throughput positive" true (jfloat "jobs_per_s" r > 0.);
+  let d = mem "duration_s" r in
+  let p50 = jfloat "p50" d and p95 = jfloat "p95" d and mx = jfloat "max" d in
+  Alcotest.(check bool) "percentiles ordered" true (p50 <= p95 && p95 <= mx);
+  Alcotest.(check bool) "max matches slowest entry" true
+    (List.exists
+       (fun (e : Runner.entry) -> abs_float (e.Runner.duration_s -. mx) < 1e-9)
+       m.Runner.entries);
+  (* the manifest file embeds the same rollup *)
+  (match Json.parse (read_file (Runner.manifest_path dir)) with
+  | Error m -> Alcotest.fail m
+  | Ok j ->
+      Alcotest.(check bool) "manifest has rollup" true
+        (Json.member "rollup" j <> None));
+  (* empty-duration guard: an interrupted manifest with no entries still
+     rolls up without raising *)
+  let empty =
+    {
+      Runner.entries = [];
+      quarantined = 0;
+      wall_s = 0.;
+      interrupted = true;
+    }
+  in
+  match Runner.rollup_json empty with
+  | Json.Obj _ -> ()
+  | _ -> Alcotest.fail "empty rollup not an object"
+
 let test_stall_deadline_timeout () =
   let dir = fresh_dir () in
   let chaos = Exec_fault.plan ~stall_pct:100 ~stall_s:10. () in
@@ -475,6 +601,9 @@ let () =
           Alcotest.test_case "crashed kind" `Quick test_crashed_kind;
           Alcotest.test_case "stall hits deadline" `Quick
             test_stall_deadline_timeout;
+          Alcotest.test_case "flight dump on terminal failure" `Quick
+            test_flight_dump_on_terminal_failure;
+          Alcotest.test_case "manifest rollup" `Quick test_manifest_rollup;
         ] );
       ( "journal",
         [

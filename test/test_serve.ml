@@ -11,6 +11,7 @@ module Client = Threadfuser_serve.Client
 module Protocol = Threadfuser_serve.Protocol
 module Exec_fault = Threadfuser_fault.Exec_fault
 module Report_json = Threadfuser_report.Report_json
+module Json = Threadfuser_report.Json
 module Log = Threadfuser_obs.Log
 
 let () = Log.set_quiet ()
@@ -32,7 +33,7 @@ let fresh_socket () =
 
 (* Run [f] against a live daemon; always drain it afterwards. *)
 let with_daemon ?(max_sessions = 4) ?(workers = 2) ?deadline_s ?fault
-    ?(quota = Analyzer.Session.default_budget) f =
+    ?flight_dir ?(quota = Analyzer.Session.default_budget) f =
   let prog, _ = Lazy.force fixture in
   let socket_path = fresh_socket () in
   let stop = Atomic.make false in
@@ -46,6 +47,7 @@ let with_daemon ?(max_sessions = 4) ?(workers = 2) ?deadline_s ?fault
       workers;
       deadline_s;
       fault;
+      flight_dir;
       session_quota = quota;
     }
   in
@@ -243,6 +245,152 @@ let test_injected_faults () =
             (Exec_fault.session_action_name a))
     outcomes
 
+(* The admin surface, scraped mid-flight: a poisoned session and a live
+   squatter, then a STATS scrape on the admin socket.  The JSON document
+   is per-daemon state, so its counts are exact; the Prometheus text
+   comes from the process-global collector, so we only assert family
+   presence and the always-emitted lines there. *)
+let test_admin_stats_scrape () =
+  let (), _stats =
+    with_daemon (fun socket_path ->
+        (* a poisoned session: counted failed, then closed *)
+        let o = Client.session ~socket_path (String.make 64 '\xff') in
+        Alcotest.(check string) "poison -> error" "error"
+          (Protocol.status_name o.Client.reply.Protocol.status);
+        (* a squatter holding its slot: visible as an active session *)
+        let holder = squat socket_path in
+        Fun.protect
+          ~finally:(fun () -> Unix.close holder)
+          (fun () ->
+            let body = Client.stats ~socket_path () in
+            let j =
+              match Json.parse body with
+              | Ok j -> j
+              | Error m -> Alcotest.failf "stats json unparsable: %s" m
+            in
+            let mem k v =
+              match Json.member k v with
+              | Some x -> x
+              | None -> Alcotest.failf "stats doc missing %S" k
+            in
+            Alcotest.(check (option string))
+              "schema" (Some "tfserve-stats/1")
+              (Json.to_string_opt (mem "schema" j));
+            let d = mem "daemon" j in
+            let dint k =
+              match Json.to_int_opt (mem k d) with
+              | Some n -> n
+              | None -> Alcotest.failf "daemon.%s not an int" k
+            in
+            Alcotest.(check int) "failed counted" 1 (dint "failed");
+            Alcotest.(check int) "nothing served yet" 0 (dint "served");
+            Alcotest.(check bool) "squatter active" true (dint "active" >= 1);
+            Alcotest.(check bool) "flight recorder off" true
+              (mem "flight_recorder" d = Json.Bool false);
+            (match mem "sessions" j with
+            | Json.List ss ->
+                Alcotest.(check bool) "squatter listed reading" true
+                  (List.exists
+                     (fun s ->
+                       Json.member "state" s = Some (Json.String "reading"))
+                     ss)
+            | _ -> Alcotest.fail "sessions is not a list");
+            (* Prometheus exposition from the same socket *)
+            let prom =
+              Client.stats ~format:Protocol.Stats_prom ~socket_path ()
+            in
+            let has needle =
+              let nl = String.length needle and pl = String.length prom in
+              let rec go i =
+                i + nl <= pl && (String.sub prom i nl = needle || go (i + 1))
+              in
+              go 0
+            in
+            List.iter
+              (fun family ->
+                Alcotest.(check bool) ("prom has " ^ family) true (has family))
+              [
+                "tf_serve_sessions_total";
+                "tf_serve_sessions_failed_total";
+                "tf_serve_sessions_active";
+                "tf_serve_admin_scrapes_total";
+                "tf_build_info{";
+                "tf_uptime_seconds";
+                "tf_obs_events_dropped_total";
+              ];
+            (* a garbage admin request gets a framed error, not a hang *)
+            let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+            Fun.protect
+              ~finally:(fun () ->
+                try Unix.close fd with Unix.Unix_error _ -> ())
+              (fun () ->
+                Unix.connect fd
+                  (Unix.ADDR_UNIX (Serve.admin_path_of socket_path));
+                Protocol.write_all fd "FLAMEGRAPH please\n";
+                match Json.parse (Protocol.read_frame fd) with
+                | Ok e ->
+                    Alcotest.(check bool) "typed error reply" true
+                      (Json.member "error" e <> None)
+                | Error m -> Alcotest.failf "admin error unparsable: %s" m)))
+  in
+  ()
+
+(* A poisoned session with the flight recorder on: the daemon dumps a
+   Chrome-trace timeline plus a metrics snapshot, and the trace re-parses
+   with a non-empty [traceEvents] list that includes worker-side spans. *)
+let test_flight_dump_on_poison () =
+  let flight_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tf-flight-%d-%d" (Unix.getpid ()) !sock_ctr)
+  in
+  let (), stats =
+    with_daemon ~flight_dir (fun socket_path ->
+        let o = Client.session ~socket_path (String.make 64 '\xff') in
+        Alcotest.(check string) "poison -> error" "error"
+          (Protocol.status_name o.Client.reply.Protocol.status))
+  in
+  Alcotest.(check int) "one failure" 1 stats.Serve.failed;
+  let dumps =
+    Sys.readdir flight_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".trace.json")
+  in
+  Alcotest.(check int) "exactly one trace dump" 1 (List.length dumps);
+  let trace_file = Filename.concat flight_dir (List.hd dumps) in
+  let read_all path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (match Json.parse (read_all trace_file) with
+  | Error m -> Alcotest.failf "trace dump unparsable: %s" m
+  | Ok j -> (
+      match Json.member "traceEvents" j with
+      | Some (Json.List evs) ->
+          Alcotest.(check bool) "trace has events" true (List.length evs > 0);
+          let names =
+            List.filter_map
+              (fun e ->
+                Option.bind (Json.member "name" e) Json.to_string_opt)
+              evs
+          in
+          Alcotest.(check bool) "loop-side accept note present" true
+            (List.mem "accepted" names);
+          Alcotest.(check bool) "terminal status note present" true
+            (List.mem "session error" names)
+      | _ -> Alcotest.fail "traceEvents missing or not a list"));
+  let metrics_file =
+    Filename.concat flight_dir
+      (Filename.chop_suffix (List.hd dumps) ".trace.json" ^ ".metrics.txt")
+  in
+  Alcotest.(check bool) "metrics snapshot beside the trace" true
+    (Sys.file_exists metrics_file);
+  let metrics = read_all metrics_file in
+  Alcotest.(check bool) "metrics snapshot is an exposition" true
+    (String.length metrics > 0
+    && String.sub metrics 0 6 = "# HELP")
+
 let test_drain_idle () =
   let (), stats = with_daemon (fun _ -> ()) in
   Alcotest.(check int) "no sessions" 0
@@ -259,6 +407,10 @@ let () =
           Alcotest.test_case "poison isolation" `Quick test_poison_isolation;
           Alcotest.test_case "deadline timeout" `Quick test_deadline_timeout;
           Alcotest.test_case "injected faults" `Quick test_injected_faults;
+          Alcotest.test_case "admin stats scrape" `Quick
+            test_admin_stats_scrape;
+          Alcotest.test_case "flight dump on poison" `Quick
+            test_flight_dump_on_poison;
           Alcotest.test_case "idle drain" `Quick test_drain_idle;
         ] );
     ]
