@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-regress csv examples fuzz lint profile check clean suite
+.PHONY: all build test bench bench-regress csv examples fuzz lint profile check clean suite suite-cached
 
 all: build
 
@@ -87,6 +87,18 @@ bench-regress: build
 suite: build
 	dune exec --no-build bin/threadfuser_cli.exe -- suite \
 		vectoradd uncoalesced bfs --jobs 2 --deadline 60 --retries 1
+
+# the same batch through the artifact cache, twice: the second pass must
+# serve every job as a verified hit (see docs/robustness.md §9), then
+# scrub/verify leave the store provably clean.
+suite-cached: build
+	dune exec --no-build bin/threadfuser_cli.exe -- suite \
+		vectoradd uncoalesced bfs --jobs 2 --cache --dir .tfsuite-cold
+	dune exec --no-build bin/threadfuser_cli.exe -- suite \
+		vectoradd uncoalesced bfs --jobs 2 --cache --dir .tfsuite-warm
+	dune exec --no-build bin/threadfuser_cli.exe -- cache scrub
+	dune exec --no-build bin/threadfuser_cli.exe -- cache verify
+	dune exec --no-build bin/threadfuser_cli.exe -- cache stat
 
 # same, also dropping one CSV per table under artifacts/
 csv:

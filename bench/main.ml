@@ -444,6 +444,37 @@ let suite_bench () =
       m1.Runner.entries
   in
   Fmt.pr "  reports byte-identical across -j1/-j4: %b@." deterministic;
+  (* artifact-cache leg: a cold populate then a warm rerun over the same
+     cache — the warm rollup carries the hit ratio, and the wall-clock
+     pair is the headline number for [suite --cache] *)
+  let module Cache = Threadfuser_cache.Cache in
+  let cache_root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tfsuite-bench-%d-cache" (Unix.getpid ()))
+  in
+  let cache = Cache.open_ cache_root in
+  let run_cached tag =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "tfsuite-bench-%d-%s" (Unix.getpid ()) tag)
+    in
+    let m =
+      Runner.run
+        ~config:
+          { Runner.default_config with parallelism = 2; dir; cache = Some cache }
+        jobs
+    in
+    if not (Runner.all_ok m) then
+      failwith "suite bench: cached batch did not complete clean";
+    m
+  in
+  let m_cold = run_cached "cachecold" in
+  let m_warm = run_cached "cachewarm" in
+  Cache.close cache;
+  Fmt.pr "  warm cache: %d/%d job(s) served as hits   %6.2f s wall (cold %6.2f s)@."
+    m_warm.Runner.cache_hits n m_warm.Runner.wall_s m_cold.Runner.wall_s;
   let doc =
     J.Obj
       [
@@ -466,6 +497,15 @@ let suite_bench () =
                    ])
                runs) );
         ("deterministic_across_parallelism", J.Bool deterministic);
+        ( "cache",
+          J.Obj
+            [
+              ("cold_wall_s", J.Float m_cold.Runner.wall_s);
+              ("warm_wall_s", J.Float m_warm.Runner.wall_s);
+              ( "warm_speedup",
+                J.Float (m_cold.Runner.wall_s /. m_warm.Runner.wall_s) );
+              ("warm_rollup", Runner.rollup_json m_warm);
+            ] );
       ]
   in
   let path = "BENCH_suite.json" in

@@ -13,6 +13,9 @@
      threadfuser diff base.json new.json      report regression gate
      threadfuser suite bfs pigz -j 4          supervised batch analysis
      threadfuser suite --resume               finish an interrupted batch
+     threadfuser suite --cache                skip jobs via the artifact cache
+     threadfuser cache stat|verify|scrub|gc   artifact-store maintenance
+     threadfuser trace bfs --pack             compact TFPACK1 trace container
      threadfuser serve bfs --socket tf.sock   streaming analysis daemon
      threadfuser client bfs.tftrace           stream a trace to the daemon
      threadfuser stat --prom                  scrape a live daemon's stats
@@ -33,7 +36,10 @@ module Compiler = Threadfuser_compiler.Compiler
 module Analyzer = Threadfuser.Analyzer
 module Metrics = Threadfuser.Metrics
 module Serial = Threadfuser_trace.Serial
+module Pack = Threadfuser_trace.Pack
 module Validate = Threadfuser_trace.Validate
+module Cache = Threadfuser_cache.Cache
+module Store_fault = Threadfuser_fault.Store_fault
 module Tf_error = Threadfuser_util.Tf_error
 module Injector = Threadfuser_fault.Injector
 module Fuzz = Threadfuser_fault.Fuzz
@@ -395,16 +401,18 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"SIMT efficiency across warp widths (2..32).")
     Term.(const sweep_run $ workload_pos $ threads)
 
-let trace_run w level threads output =
+let trace_run w level threads output pack =
   let tr = W.trace_cpu ~level ?threads w in
-  Serial.to_file output tr.W.traces;
+  if pack then Pack.to_file output tr.W.traces
+  else Serial.to_file output tr.W.traces;
   let stats =
     Array.fold_left
       (fun acc t ->
         acc + (Threadfuser_trace.Thread_trace.stats t).Threadfuser_trace.Thread_trace.traced_instrs)
       0 tr.W.traces
   in
-  Fmt.pr "wrote %s: %d threads, %d traced instructions@." output
+  Fmt.pr "wrote %s (%s): %d threads, %d traced instructions@." output
+    (if pack then "TFPACK1" else "TFTRACE1")
     (Array.length tr.W.traces) stats
 
 let trace_cmd =
@@ -414,10 +422,20 @@ let trace_cmd =
       & opt string "trace.tftrace"
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Trace file to write.")
   in
+  let pack_flag =
+    Arg.(
+      value & flag
+      & info [ "pack" ]
+          ~doc:
+            "Write the compact columnar TFPACK1 container (delta-encoded, \
+             per-block CRC-32) instead of flat TFTRACE1.  $(b,threadfuser \
+             check) accepts both.")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:"Capture a workload's per-thread dynamic traces to a file.")
-    Term.(const trace_run $ workload_pos $ opt_level $ threads $ output)
+    Term.(const trace_run $ workload_pos $ opt_level $ threads $ output
+          $ pack_flag)
 
 let gpu_preset_arg =
   let presets =
@@ -706,8 +724,20 @@ let replay_cmd =
 
 let pp_diag ppf d = Fmt.pf ppf "  %s" (Tf_error.to_string d)
 
+(* Format sniffing: both trace containers are accepted, keyed on their
+   magic.  Either decoder raises [Serial.Corrupt] on damage — TFPACK1
+   additionally from a per-block CRC-32 mismatch — which the top-level
+   handler maps to exit 2, the same typed treatment as .tfwarp files. *)
+let load_traces path =
+  let data = read_file path in
+  let has_prefix p =
+    String.length data >= String.length p
+    && String.sub data 0 (String.length p) = p
+  in
+  if has_prefix Pack.magic then Pack.decode data else Serial.of_string data
+
 let check_run () path workload level =
-  let traces = Serial.of_file path in
+  let traces = load_traces path in
   match workload with
   | None ->
       (* no program at hand: structural checks only *)
@@ -752,7 +782,10 @@ let check_cmd =
     Arg.(
       required
       & pos 0 (some file) None
-      & info [] ~docv:"FILE" ~doc:"Trace file written by $(b,threadfuser trace).")
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Trace file written by $(b,threadfuser trace) — flat TFTRACE1 \
+             or compact TFPACK1 ($(b,--pack)), sniffed by magic.")
   in
   let workload =
     Arg.(
@@ -765,9 +798,11 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Validate a serialized trace file: decode, run the diagnostic \
-          passes, and (given a workload) the quarantining checked analysis. \
-          Exits 2 on corrupt input, 3 on validation/replay errors.")
+         "Validate a serialized trace file (TFTRACE1 or TFPACK1): decode — \
+          including magic/version and per-block CRC-32 checks for packed \
+          traces — run the diagnostic passes, and (given a workload) the \
+          quarantining checked analysis.  Exits 2 on corrupt input, 3 on \
+          validation/replay errors.")
     Term.(const check_run $ setup_term $ path $ workload $ opt_level)
 
 (* fuzzing corrupts traces on purpose, so replay-abort warnings are the
@@ -981,7 +1016,7 @@ let diff_cmd =
 
 let suite_run () trace_out metrics_out workloads jobs isolation deadline
     retries backoff dir resume warps levels threads scale seed inject_crash
-    inject_stall stall_s every_attempt =
+    inject_stall stall_s every_attempt use_cache cache_dir =
   let workloads =
     match workloads with
     | [] -> List.map (fun w -> w.W.name) Registry.all
@@ -995,6 +1030,11 @@ let suite_run () trace_out metrics_out workloads jobs isolation deadline
            ~stall_pct:inject_stall ~stall_s
            ~first_attempt_only:(not every_attempt) ())
   in
+  let cache =
+    if use_cache || cache_dir <> None then
+      Some (Cache.open_ (Option.value cache_dir ~default:".tfcache"))
+    else None
+  in
   let config =
     {
       Runner.parallelism = jobs;
@@ -1006,6 +1046,7 @@ let suite_run () trace_out metrics_out workloads jobs isolation deadline
       dir;
       resume;
       chaos;
+      cache;
     }
   in
   let batch =
@@ -1022,9 +1063,15 @@ let suite_run () trace_out metrics_out workloads jobs isolation deadline
   ignore (Sys.signal Sys.sigint (Sys.Signal_handle on_signal));
   ignore (Sys.signal Sys.sigterm (Sys.Signal_handle on_signal));
   let m =
-    with_obs ~trace_out ~metrics_out (fun () -> Runner.run ~config batch)
+    Fun.protect
+      ~finally:(fun () -> Option.iter Cache.close cache)
+      (fun () ->
+        with_obs ~trace_out ~metrics_out (fun () -> Runner.run ~config batch))
   in
   Fmt.pr "%a" Runner.pp_manifest m;
+  if cache <> None then
+    Fmt.pr "cache: %d hit(s), %d miss(es)@." m.Runner.cache_hits
+      m.Runner.cache_misses;
   Fmt.pr "manifest: %s@." (Runner.manifest_path dir);
   if not (Runner.all_ok m) then exit exit_degraded
 
@@ -1148,6 +1195,24 @@ let suite_cmd =
             "Make retries as fault-prone as first attempts (default: \
              faults fire on attempt 1 only, so retries recover).")
   in
+  let cache_flag =
+    Arg.(
+      value & flag
+      & info [ "cache" ]
+          ~doc:
+            "Serve jobs from the content-addressed artifact cache when the \
+             key (workload, opt level, warp size, analyzer version) hits; \
+             write clean fresh results through.  Composes with \
+             $(b,--resume).  Default root $(b,.tfcache); override with \
+             $(b,--cache-dir).")
+  in
+  let cache_dir_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Artifact-cache root (implies $(b,--cache)).")
+  in
   Cmd.v
     (Cmd.info "suite"
        ~doc:
@@ -1161,7 +1226,112 @@ let suite_cmd =
       $ workloads_pos $ jobs_arg $ isolation_arg $ deadline_arg $ retries_arg
       $ backoff_arg $ dir_arg $ resume_flag $ warps_arg $ levels_arg $ threads
       $ scale $ seed_arg $ inject_crash_arg $ inject_stall_arg $ stall_s_arg
-      $ every_attempt_flag)
+      $ every_attempt_flag $ cache_flag $ cache_dir_opt)
+
+(* ------------------------------------------------------------------ *)
+(* Cache: artifact-store maintenance                                    *)
+
+let cache_root_arg =
+  Arg.(
+    value
+    & opt string ".tfcache"
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Artifact-cache root directory.")
+
+let with_cache dir f =
+  let c = Cache.open_ dir in
+  Fun.protect ~finally:(fun () -> Cache.close c) (fun () -> f c)
+
+let pp_cache_check dir what (r : Cache.check) =
+  Fmt.pr
+    "cache %s %s: %d checked — %d ok, %d corrupt, %d missing, %d orphaned@."
+    dir what r.Cache.checked r.Cache.ok r.Cache.corrupt r.Cache.missing
+    r.Cache.orphaned
+
+let cache_stat_run () trace_out metrics_out dir =
+  with_obs ~trace_out ~metrics_out (fun () ->
+      with_cache dir (fun c ->
+          let s = Cache.stat c in
+          Fmt.pr
+            "cache %s: %d live entrie(s), %d byte(s), %d quarantined, %d tmp \
+             file(s)@."
+            dir s.Cache.entries_live s.Cache.bytes_live s.Cache.quarantined
+            s.Cache.tmp_files))
+
+let cache_verify_run () trace_out metrics_out dir =
+  let r =
+    with_obs ~trace_out ~metrics_out (fun () -> with_cache dir Cache.verify)
+  in
+  pp_cache_check dir "verify" r;
+  if r.Cache.corrupt > 0 || r.Cache.missing > 0 then exit exit_degraded
+
+let cache_scrub_run () trace_out metrics_out dir =
+  (* scrub repairs: quarantining damage is its job, so it exits 0 unless
+     the store itself is unusable *)
+  let r =
+    with_obs ~trace_out ~metrics_out (fun () -> with_cache dir Cache.scrub)
+  in
+  pp_cache_check dir "scrub" r
+
+let cache_gc_run () trace_out metrics_out dir budget =
+  let evicted =
+    with_obs ~trace_out ~metrics_out (fun () ->
+        with_cache dir (fun c -> Cache.gc c ~budget_bytes:budget))
+  in
+  Fmt.pr "cache %s gc: %d entrie(s) evicted to fit %d byte(s)@." dir evicted
+    budget
+
+let cache_cmd =
+  let budget_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"BYTES"
+          ~doc:"Live-set size budget; least-recently-used entries beyond \
+                it are evicted.")
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Maintain the content-addressed artifact cache used by \
+          $(b,threadfuser suite --cache): inspect it, re-verify every \
+          entry, repair it after a crash, and enforce a size budget.")
+    [
+      Cmd.v
+        (Cmd.info "stat"
+           ~doc:"Print live entry count, byte total, quarantine and tmp \
+                 counts.")
+        Term.(
+          const cache_stat_run $ setup_term $ trace_out_arg $ metrics_out_arg
+          $ cache_root_arg);
+      Cmd.v
+        (Cmd.info "verify"
+           ~doc:
+             "Re-verify every blob (magic, CRC-32, structure, report \
+              validator) and cross-check the index, read-only.  Exits 3 if \
+              anything is corrupt or missing.")
+        Term.(
+          const cache_verify_run $ setup_term $ trace_out_arg
+          $ metrics_out_arg $ cache_root_arg);
+      Cmd.v
+        (Cmd.info "scrub"
+           ~doc:
+             "Repair the store: quarantine damaged blobs, adopt valid \
+              orphans, sweep commit leftovers, and atomically rebuild the \
+              index from the survivors.  Exits 0 — quarantining damage is \
+              the repair, not a failure.")
+        Term.(
+          const cache_scrub_run $ setup_term $ trace_out_arg $ metrics_out_arg
+          $ cache_root_arg);
+      Cmd.v
+        (Cmd.info "gc"
+           ~doc:
+             "Evict least-recently-used entries until the live set fits \
+              $(b,--budget) bytes (recency = journal order, \
+              deterministic).")
+        Term.(
+          const cache_gc_run $ setup_term $ trace_out_arg $ metrics_out_arg
+          $ cache_root_arg $ budget_arg);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Serve: the streaming analysis daemon and its client                  *)
@@ -1176,7 +1346,7 @@ let socket_arg =
 let serve_run () trace_out metrics_out w level warp_size ignore_sync domains
     schedule max_sessions quota deadline workers seed backoff inject_disc
     inject_stall inject_oversize stall_s disc_after socket admin_socket
-    flight_dir =
+    flight_dir cache_dir =
   let prog = W.link ~alloc:w.W.alloc w.W.cpu level in
   let options =
     {
@@ -1193,6 +1363,7 @@ let serve_run () trace_out metrics_out w level warp_size ignore_sync domains
            ~stall_writer_pct:inject_stall ~oversize_pct:inject_oversize
            ~writer_stall_s:stall_s ~disconnect_after:disc_after ())
   in
+  let cache = Option.map Cache.open_ cache_dir in
   let cfg =
     {
       (Serve.default_config ~prog ~socket_path:socket) with
@@ -1209,6 +1380,7 @@ let serve_run () trace_out metrics_out w level warp_size ignore_sync domains
         | Some p -> Some p
         | None -> Some (Serve.admin_path_of socket));
       flight_dir;
+      cache;
     }
   in
   let stop = Atomic.make false in
@@ -1217,7 +1389,9 @@ let serve_run () trace_out metrics_out w level warp_size ignore_sync domains
   ignore (Sys.signal Sys.sigint (Sys.Signal_handle request_stop));
   ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
   let stats =
-    with_obs ~trace_out ~metrics_out (fun () -> Serve.run ~stop cfg)
+    Fun.protect
+      ~finally:(fun () -> Option.iter Cache.close cache)
+      (fun () -> with_obs ~trace_out ~metrics_out (fun () -> Serve.run ~stop cfg))
   in
   Fmt.pr "served %d session(s), %d failed, %d shed, %d byte(s) ingested@."
     stats.Serve.served stats.Serve.failed stats.Serve.shed
@@ -1326,6 +1500,16 @@ let serve_cmd =
              metrics snapshot there whenever a session ends in an error \
              or timeout reply.")
   in
+  let serve_cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Serve clean report frames from (and write them through to) \
+             the artifact cache at $(docv), keyed by the stream's content \
+             digest.  Cache failures degrade to uncached replies.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1343,7 +1527,8 @@ let serve_cmd =
       $ schedule_arg $ max_sessions_arg $ quota_arg $ deadline_arg
       $ workers_arg $ seed_arg $ backoff_arg $ inject_disconnect_arg
       $ inject_stall_writer_arg $ inject_oversize_arg $ stall_s_arg
-      $ disconnect_after_arg $ socket_arg $ admin_socket_arg $ flight_dir_arg)
+      $ disconnect_after_arg $ socket_arg $ admin_socket_arg $ flight_dir_arg
+      $ serve_cache_dir_arg)
 
 let client_run () path socket chunk_bytes =
   let traces = Serial.of_file path in
@@ -1584,7 +1769,7 @@ let main =
       list_cmd; analyze_cmd; sweep_cmd; trace_cmd; tracefile_cmd; cfg_cmd;
       disasm_cmd; asm_cmd; warptrace_cmd; replay_cmd; simulate_cmd;
       profile_cmd; correlate_cmd; check_cmd; fuzz_cmd; blame_cmd; diff_cmd;
-      suite_cmd; serve_cmd; client_cmd; stat_cmd; top_cmd;
+      suite_cmd; cache_cmd; serve_cmd; client_cmd; stat_cmd; top_cmd;
     ]
 
 (* Top-level error handler: uncaught-exception backtraces never reach the

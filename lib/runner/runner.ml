@@ -31,6 +31,7 @@ module Metrics = Threadfuser.Metrics
 module Json = Threadfuser_report.Json
 module Report_json = Threadfuser_report.Report_json
 module Exec_fault = Threadfuser_fault.Exec_fault
+module Cache = Threadfuser_cache.Cache
 module Lcg = Threadfuser_util.Lcg
 module Obs = Threadfuser_obs.Obs
 module Prom = Threadfuser_obs.Prom
@@ -100,9 +101,36 @@ module Outcome = struct
   let success = function Ok | Degraded -> true | _ -> false
 end
 
-type source = Fresh | Resumed
+type source = Fresh | Resumed | Cached
 
-let source_name = function Fresh -> "fresh" | Resumed -> "resumed"
+let source_name = function
+  | Fresh -> "fresh"
+  | Resumed -> "resumed"
+  | Cached -> "cached"
+
+(* Bump when replay or report rendering changes semantically: it is part
+   of every cache key, so stale-analyzer artifacts can never be served. *)
+let analyzer_version = "tf-analyzer/1"
+
+(* The cache key is the full input identity of an analysis.  The registry
+   name plus scale/thread overrides pins the workload (registry workloads
+   are generated deterministically from the suite seed baked into the
+   binary); [analyzer_version] pins the code. *)
+let cache_key (j : job) =
+  {
+    Cache.workload =
+      (match j.threads with
+      | None -> Printf.sprintf "%s.s%d" j.workload j.scale
+      | Some t -> Printf.sprintf "%s.s%d.t%d" j.workload j.scale t);
+    opt_level =
+      (match j.level with
+      | Compiler.O0 -> 0
+      | Compiler.O1 -> 1
+      | Compiler.O2 -> 2
+      | Compiler.O3 -> 3);
+    warp_size = j.warp_size;
+    analyzer_version;
+  }
 
 type entry = {
   job : job;
@@ -122,6 +150,8 @@ type manifest = {
   quarantined : int;  (** corrupt journal lines set aside during resume *)
   wall_s : float;
   interrupted : bool;  (** stopped by {!request_stop} before finishing *)
+  cache_hits : int;  (** jobs served from the artifact cache *)
+  cache_misses : int;  (** cache lookups that had to run the job *)
 }
 
 let all_ok m =
@@ -158,6 +188,7 @@ type config = {
   dir : string;  (** suite directory: journal, reports, manifest *)
   resume : bool;  (** skip journalled successes *)
   chaos : Exec_fault.plan option;  (** execution-fault injection *)
+  cache : Cache.t option;  (** artifact cache: hit = job skipped *)
 }
 
 let default_config =
@@ -171,6 +202,7 @@ let default_config =
     dir = ".tfsuite";
     resume = false;
     chaos = None;
+    cache = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -774,6 +806,7 @@ let rollup_json m =
   let mean =
     if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 durs /. float_of_int n
   in
+  let lookups = m.cache_hits + m.cache_misses in
   Json.Obj
     [
       ("jobs", Json.Int n);
@@ -781,6 +814,12 @@ let rollup_json m =
       ( "jobs_per_s",
         Json.Float (if m.wall_s > 0.0 then float_of_int n /. m.wall_s else 0.0)
       );
+      ("cache_hits", Json.Int m.cache_hits);
+      ("cache_misses", Json.Int m.cache_misses);
+      ( "cache_hit_ratio",
+        Json.Float
+          (if lookups = 0 then 0.0
+           else float_of_int m.cache_hits /. float_of_int lookups) );
       ( "duration_s",
         Json.Obj
           [
@@ -807,6 +846,7 @@ let manifest_to_json m =
             ("timeout", Json.Int (by "timeout"));
             ("gave_up", Json.Int (by "gave-up"));
             ("resumed", Json.Int (count (fun e -> e.source = Resumed) m));
+            ("cached", Json.Int (count (fun e -> e.source = Cached) m));
           ] );
       ("quarantined_journal_lines", Json.Int m.quarantined);
       ("wall_s", Json.Float m.wall_s);
@@ -878,9 +918,26 @@ let run ?(config = default_config) (jobs : job list) : manifest =
   in
   let writer = Journal.open_writer ~fresh:(not config.resume) config.dir in
   let results : (string, entry) Hashtbl.t = Hashtbl.create 64 in
+  let cache_hits = ref 0 and cache_misses = ref 0 in
   let finish (e : entry) =
     Hashtbl.replace results e.id e;
     bump_outcome e.outcome;
+    (* write-through: only clean fresh runs are cached, so a hit always
+       certifies a verified, non-degraded report *)
+    (match config.cache with
+    | Some c when e.source = Fresh && e.outcome = Outcome.Ok -> (
+        match e.report_file with
+        | Some rel -> (
+            try
+              Cache.put c ~key:(cache_key e.job) ~kind:Cache.Report
+                (read_text (Filename.concat config.dir rel))
+            with exn ->
+              Log.warn
+                ~fields:
+                  [ ("job", e.id); ("error", Printexc.to_string exn) ]
+                "cache put failed; continuing uncached")
+        | None -> ())
+    | _ -> ());
     Journal.append writer
       {
         Journal.id = e.id;
@@ -908,6 +965,51 @@ let run ?(config = default_config) (jobs : job list) : manifest =
         ("resume", string_of_bool config.resume);
       ]
     "suite starting";
+  (* artifact-cache lookup: a verified hit materializes the report into
+     the suite directory and journals a terminal outcome, so [--resume]
+     composes with hits exactly as with any other success *)
+  let try_cache (j : job) ~id =
+    match config.cache with
+    | None -> false
+    | Some c -> (
+        let on_corrupt d =
+          Log.warn
+            ~fields:
+              [
+                ("job", id);
+                ("error", Threadfuser_util.Tf_error.to_string d);
+              ]
+            "corrupt cache entry quarantined"
+        in
+        match
+          Cache.find ~on_corrupt c ~key:(cache_key j) ~kind:Cache.Report
+        with
+        | exception exn ->
+            Log.warn
+              ~fields:[ ("job", id); ("error", Printexc.to_string exn) ]
+              "cache lookup failed; running job";
+            incr cache_misses;
+            false
+        | None ->
+            incr cache_misses;
+            false
+        | Some payload ->
+            incr cache_hits;
+            let rel = report_rel id in
+            write_text (Filename.concat config.dir rel) payload;
+            finish
+              {
+                job = j;
+                id;
+                outcome = Outcome.Ok;
+                attempts = 0;
+                duration_s = 0.0;
+                source = Cached;
+                report_file = Some rel;
+                flight_file = None;
+              };
+            true)
+  in
   (* resume: journalled successes (already re-validated by Journal.load)
      become manifest entries without running anything *)
   let pendings =
@@ -930,15 +1032,17 @@ let run ?(config = default_config) (jobs : job list) : manifest =
                  };
                None
            | _ ->
-               Some
-                 {
-                   pjob = j;
-                   pid_ = id;
-                   pidx = i;
-                   attempt = 1;
-                   eligible = 0.0;
-                   pfl = Obs.Flight.create ~capacity:job_flight_capacity id;
-                 })
+               if try_cache j ~id then None
+               else
+                 Some
+                   {
+                     pjob = j;
+                     pid_ = id;
+                     pidx = i;
+                     attempt = 1;
+                     eligible = 0.0;
+                     pfl = Obs.Flight.create ~capacity:job_flight_capacity id;
+                   })
   in
   Fun.protect
     ~finally:(fun () -> Journal.close writer)
@@ -959,6 +1063,8 @@ let run ?(config = default_config) (jobs : job list) : manifest =
       quarantined = prior.Journal.quarantined;
       wall_s = Unix.gettimeofday () -. t_start;
       interrupted;
+      cache_hits = !cache_hits;
+      cache_misses = !cache_misses;
     }
   in
   write_manifest config.dir m;

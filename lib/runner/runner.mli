@@ -9,6 +9,7 @@
 
 module Compiler = Threadfuser_compiler.Compiler
 module Exec_fault = Threadfuser_fault.Exec_fault
+module Cache = Threadfuser_cache.Cache
 
 (** {1 Jobs} *)
 
@@ -60,9 +61,17 @@ module Outcome : sig
   (** [Ok] or [Degraded]: skippable on resume. *)
 end
 
-type source = Fresh | Resumed
+type source = Fresh | Resumed | Cached
 
 val source_name : source -> string
+
+val analyzer_version : string
+(** Part of every cache key; bumped when replay or report rendering
+    changes semantically, so stale-analyzer artifacts can never hit. *)
+
+val cache_key : job -> Cache.key
+(** The artifact-cache key of a job: its full input identity
+    [(workload id, opt level, warp size, analyzer version)]. *)
 
 type entry = {
   job : job;
@@ -85,6 +94,8 @@ type manifest = {
   quarantined : int;  (** corrupt journal lines set aside during resume *)
   wall_s : float;
   interrupted : bool;  (** stopped by {!request_stop} before finishing *)
+  cache_hits : int;  (** jobs served from the artifact cache *)
+  cache_misses : int;  (** cache lookups that had to run the job *)
 }
 
 val all_ok : manifest -> bool
@@ -98,9 +109,11 @@ val manifest_to_json : manifest -> Threadfuser_report.Json.t
 
 val rollup_json : manifest -> Threadfuser_report.Json.t
 (** Fleet rollup of a manifest: job count, total attempts, throughput
-    ([jobs_per_s]) and the per-job duration distribution
-    (mean/p50/p95/p99/max seconds).  Embedded in [manifest.json] under
-    ["rollup"] and in the suite bench's [BENCH_suite.json] per level. *)
+    ([jobs_per_s]), artifact-cache effectiveness ([cache_hits],
+    [cache_misses], [cache_hit_ratio]) and the per-job duration
+    distribution (mean/p50/p95/p99/max seconds).  Embedded in
+    [manifest.json] under ["rollup"] and in the suite bench's
+    [BENCH_suite.json] per level. *)
 
 val manifest_path : string -> string
 (** [manifest_path dir] — where {!run} writes [manifest.json]. *)
@@ -129,11 +142,17 @@ type config = {
   dir : string;  (** suite directory: journal, reports, manifest *)
   resume : bool;  (** skip journalled successes *)
   chaos : Exec_fault.plan option;  (** execution-fault injection *)
+  cache : Cache.t option;
+      (** artifact cache: a verified key hit materializes the cached
+          report into the suite directory and journals a terminal [Ok]
+          outcome (source [Cached]) without running the job; clean fresh
+          runs are written through.  Composes with [resume]: the journal
+          check runs first, then the cache. *)
 }
 
 val default_config : config
 (** parallelism 1, [Fork], no deadline, 1 retry, 0.25 s backoff, seed 1,
-    dir [".tfsuite"], no resume, no chaos. *)
+    dir [".tfsuite"], no resume, no chaos, no cache. *)
 
 (** {1 Running} *)
 

@@ -34,6 +34,9 @@ module Report_json = Threadfuser_report.Report_json
 module Exec_fault = Threadfuser_fault.Exec_fault
 module Backoff = Threadfuser_runner.Backoff
 module Journal = Threadfuser_runner.Journal
+module Runner = Threadfuser_runner.Runner
+module Cache = Threadfuser_cache.Cache
+module Crc32 = Threadfuser_util.Crc32
 module Json = Threadfuser_report.Json
 module Obs = Threadfuser_obs.Obs
 module Prom = Threadfuser_obs.Prom
@@ -90,6 +93,10 @@ type config = {
   flight_dir : string option;
       (** where poisoned/timed-out sessions dump their flight recorder;
           [None] disables the recorder *)
+  cache : Cache.t option;
+      (** artifact cache for clean report lookups, keyed by the stream's
+          content digest; [None] disables.  Cache failures degrade to
+          uncached replies — they never kill a session or the daemon. *)
 }
 
 (** Where the STATS admin socket lives relative to the session socket —
@@ -114,6 +121,7 @@ let default_config ~prog ~socket_path =
     tmp_dir = None;
     admin_path = Some (admin_path_of socket_path);
     flight_dir = None;
+    cache = None;
   }
 
 let flight_capacity = 2048
@@ -155,6 +163,7 @@ type sess = {
   accepted_wall : float;  (** wall clock at accept (stats: session age) *)
   accepted_us : float;  (** collector clock at accept (latency histogram) *)
   mutable bytes_in : int;  (** loop-side per-session ingest count *)
+  mutable crc_in : int;  (** running CRC-32 of the ingested stream *)
   flight : Obs.Flight.t option;  (** per-session flight recorder *)
 }
 
@@ -203,7 +212,36 @@ let monotonic_ids = Atomic.make 0
 let diag_strings diags =
   List.map (fun d -> Tf_error.to_string d) diags
 
-let reply_of_checked ~timed_out ~truncated (c : Analyzer.checked) =
+(* The report frame of a clean [Ok_report] reply can be served from (and
+   written through to) the artifact cache, keyed on the stream's content
+   digest.  A verified hit is byte-identical to fresh serialization by
+   construction — the daemon is deterministic over the stream bytes — and
+   any cache failure, corrupt entry included, silently degrades to the
+   freshly rendered report. *)
+let report_frame ?cache status rep =
+  let fresh () = Report_json.to_string rep in
+  match (status, cache) with
+  | Protocol.Ok_report, Some (t, key) -> (
+      match
+        Cache.find t ~key ~kind:Cache.Report ~on_corrupt:(fun d ->
+            Log.warn "corrupt cache entry quarantined"
+              ~fields:[ ("error", Tf_error.to_string d) ])
+      with
+      | Some payload -> payload
+      | None ->
+          let s = fresh () in
+          (try Cache.put t ~key ~kind:Cache.Report s
+           with exn ->
+             Log.warn "cache put failed; reply served uncached"
+               ~fields:[ ("exn", Printexc.to_string exn) ]);
+          s
+      | exception exn ->
+          Log.warn "cache lookup failed; reply served uncached"
+            ~fields:[ ("exn", Printexc.to_string exn) ];
+          fresh ())
+  | _ -> fresh ()
+
+let reply_of_checked ?cache ~timed_out ~truncated (c : Analyzer.checked) =
   let rep = c.Analyzer.result.Analyzer.report in
   let threads = rep.Metrics.coverage.Metrics.threads_total in
   let quarantined = List.length c.Analyzer.quarantined in
@@ -233,7 +271,7 @@ let reply_of_checked ~timed_out ~truncated (c : Analyzer.checked) =
   in
   let buf = Buffer.create 4096 in
   Protocol.add_frame buf (Protocol.reply_to_json status_reply);
-  Protocol.add_frame buf (Report_json.to_string rep);
+  Protocol.add_frame buf (report_frame ?cache status_reply.Protocol.status rep);
   (status_reply.Protocol.status, Buffer.contents buf)
 
 let reply_of_crash exn =
@@ -368,7 +406,28 @@ let worker_step svc (s : sess) =
             ]
           (fun () -> Session.finish session)
       with
-      | checked -> reply_of_checked ~timed_out ~truncated checked
+      | checked ->
+          let cache =
+            match svc.cfg.cache with
+            | None -> None
+            | Some t ->
+                (* input is complete here, so the loop-side digest is
+                   final; lock anyway against a late timeout read. *)
+                Mutex.lock svc.mutex;
+                let crc = s.crc_in and len = s.bytes_in in
+                Mutex.unlock svc.mutex;
+                let key =
+                  {
+                    Cache.workload =
+                      Printf.sprintf "serve:crc32=%08x:len=%d" crc len;
+                    opt_level = 0;
+                    warp_size = svc.cfg.options.Analyzer.warp_size;
+                    analyzer_version = Runner.analyzer_version;
+                  }
+                in
+                Some (t, key)
+          in
+          reply_of_checked ?cache ~timed_out ~truncated checked
       | exception exn ->
           (* [Session.finish] already catches non-fatal analysis failures;
              anything landing here is a daemon-side bug or a resource
@@ -542,6 +601,7 @@ let accept_session svc listen_fd =
             accepted_wall = now ();
             accepted_us = Obs.now_us ();
             bytes_in = 0;
+            crc_in = 0;
             flight = None;
           }
         in
@@ -578,6 +638,7 @@ let accept_session svc listen_fd =
             accepted_wall = now ();
             accepted_us = Obs.now_us ();
             bytes_in = 0;
+            crc_in = 0;
             flight =
               (match svc.cfg.flight_dir with
               | Some _ ->
@@ -606,8 +667,10 @@ let read_chunk svc (s : sess) =
       s.eof <- true;
       fl_note s ~args:[ ("bytes_in", Obs.itos s.bytes_in) ] "peer closed"
   | n ->
+      let chunk = Bytes.sub_string b 0 n in
       svc.bytes <- svc.bytes + n;
       s.bytes_in <- s.bytes_in + n;
+      s.crc_in <- Crc32.update s.crc_in chunk 0 n;
       Obs.Counter.add c_bytes n;
       fl_note s ~args:[ ("bytes", Obs.itos n) ] "chunk";
       (match s.read_cap with
@@ -618,7 +681,7 @@ let read_chunk svc (s : sess) =
           if left <= 0 then s.eof <- true
       | None -> ());
       Mutex.lock svc.mutex;
-      Queue.push (Bytes.sub_string b 0 n) s.queue;
+      Queue.push chunk s.queue;
       s.queue_bytes <- s.queue_bytes + n;
       Mutex.unlock svc.mutex
 

@@ -32,6 +32,13 @@ type config = {
       (** where poisoned/timed-out sessions dump their flight recorder
           ([session-<id>.trace.json] + [.metrics.txt]); [None] disables
           per-session recorders entirely *)
+  cache : Threadfuser_cache.Cache.t option;
+      (** artifact cache for clean report lookups: the report frame of an
+          [ok] reply is keyed by the stream's CRC-32 content digest and
+          length, served from a verified hit or written through on a
+          miss.  Cache failures of any kind (corrupt entries included)
+          degrade to a freshly rendered report — they never kill a
+          session or the daemon.  [None] disables. *)
 }
 
 (** Where the STATS admin socket lives relative to the session socket
@@ -41,7 +48,8 @@ val admin_path_of : string -> string
 
 (** 8 sessions, {!Threadfuser.Analyzer.Session.default_budget} quota, no
     deadline, 1 worker, seed 1, 50ms backoff base, no faults; admin
-    socket at [admin_path_of socket_path], flight recorder off. *)
+    socket at [admin_path_of socket_path], flight recorder off, no
+    cache. *)
 val default_config :
   prog:Threadfuser_prog.Program.t -> socket_path:string -> config
 

@@ -1,0 +1,423 @@
+(** TFPACK1: compact columnar, delta-encoded binary trace container (see
+    pack.mli).
+
+    Wire format (all integers LEB128 varints via {!Serial}):
+
+    {v
+      "TFPACK1" n_threads:varint block*
+      block   := tid:varint payload_len:varint payload crc32:4B-LE
+      payload := n_events:varint tags[n_events] args-column access-column
+    v}
+
+    The tag column is one byte per event ({!Serial}'s tag numbering).  The
+    args column stores, per event in order: Block as zigzag deltas of
+    (func, block) against the previous Block plus n_instr and the access
+    count; Call as a zigzag delta against the previous Call target; lock
+    and barrier addresses as zigzag deltas against the previous sync
+    address; Skip as reason and n_instr.  The access column stores, for
+    each Block's accesses in order, ioff, a zigzag delta of the address
+    against the previous access (the stream crosses block boundaries),
+    size, and the store flag.  All predictors reset per thread block, so
+    each block decodes independently — which is what lets the CRC-32
+    trailer sit per block and the streaming decoder emit threads as their
+    bytes arrive.
+
+    Hot traces are loops: block ids, lock addresses and access strides
+    repeat with small deltas, so the columns varint-pack far better than
+    the flat TFTRACE1 encoding. *)
+
+module Tf_error = Threadfuser_util.Tf_error
+module Crc32 = Threadfuser_util.Crc32
+
+let magic = "TFPACK1"
+
+(* -- zigzag ------------------------------------------------------------- *)
+
+(* Maps small-magnitude deltas of either sign to small non-negative codes:
+   0,-1,1,-2,... -> 0,1,2,3,...  [asr (int_size-1)] smears the sign bit, so
+   the pair round-trips every OCaml int including [min_int] (whose shifted
+   code wraps consistently on both sides). *)
+let zigzag n = (n lsl 1) lxor (n asr (Sys.int_size - 1))
+let unzigzag z = (z lsr 1) lxor (- (z land 1))
+
+(* -- per-thread delta predictors ---------------------------------------- *)
+
+type predictor = {
+  mutable p_func : int;  (* previous Block's function id *)
+  mutable p_block : int;  (* previous Block's block id *)
+  mutable p_call : int;  (* previous Call target *)
+  mutable p_sync : int;  (* previous lock/barrier address *)
+  mutable p_addr : int;  (* previous memory-access address *)
+}
+
+let predictor () = { p_func = 0; p_block = 0; p_call = 0; p_sync = 0; p_addr = 0 }
+
+(* -- encoding ----------------------------------------------------------- *)
+
+let tag_of_event : Event.t -> int = function
+  | Event.Block _ -> 0
+  | Event.Call _ -> 1
+  | Event.Return -> 2
+  | Event.Lock_acq _ -> 3
+  | Event.Lock_rel _ -> 4
+  | Event.Skip _ -> 5
+  | Event.Barrier _ -> 6
+
+let encode_payload (t : Thread_trace.t) =
+  let buf = Buffer.create 512 in
+  let events = t.Thread_trace.events in
+  Serial.write_uint buf (Array.length events);
+  Array.iter (fun e -> Buffer.add_char buf (Char.chr (tag_of_event e))) events;
+  let p = predictor () in
+  (* args column *)
+  Array.iter
+    (fun (e : Event.t) ->
+      match e with
+      | Event.Block b ->
+          Serial.write_uint buf (zigzag (b.func - p.p_func));
+          Serial.write_uint buf (zigzag (b.block - p.p_block));
+          Serial.write_uint buf b.n_instr;
+          Serial.write_uint buf (Array.length b.accesses);
+          p.p_func <- b.func;
+          p.p_block <- b.block
+      | Event.Call f ->
+          Serial.write_uint buf (zigzag (f - p.p_call));
+          p.p_call <- f
+      | Event.Return -> ()
+      | Event.Lock_acq a | Event.Lock_rel a | Event.Barrier a ->
+          Serial.write_uint buf (zigzag (a - p.p_sync));
+          p.p_sync <- a
+      | Event.Skip { reason; n_instr } ->
+          Serial.write_uint buf
+            (match reason with
+            | Event.Io -> 0
+            | Event.Spin -> 1
+            | Event.Excluded -> 2);
+          Serial.write_uint buf n_instr)
+    events;
+  (* access column *)
+  Array.iter
+    (fun (e : Event.t) ->
+      match e with
+      | Event.Block b ->
+          Array.iter
+            (fun (a : Event.access) ->
+              Serial.write_uint buf a.ioff;
+              Serial.write_uint buf (zigzag (a.addr - p.p_addr));
+              Serial.write_uint buf a.size;
+              Serial.write_uint buf (if a.is_store then 1 else 0);
+              p.p_addr <- a.addr)
+            b.accesses
+      | _ -> ())
+    events;
+  Buffer.contents buf
+
+let add_thread buf (t : Thread_trace.t) =
+  let payload = encode_payload t in
+  Serial.write_uint buf t.Thread_trace.tid;
+  Serial.write_uint buf (String.length payload);
+  Buffer.add_string buf payload;
+  Crc32.add_le buf (Crc32.string payload)
+
+let encode (traces : Thread_trace.t array) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Serial.write_uint buf (Array.length traces);
+  Array.iter (add_thread buf) traces;
+  Buffer.contents buf
+
+(* -- payload decoding --------------------------------------------------- *)
+
+(* The payload is a fully-buffered substring, so {!Serial}'s bounded
+   readers apply with all counts relative to the payload, exactly like a
+   TFSTREAM1 frame. *)
+let decode_payload ~tid payload : Thread_trace.t =
+  let r = { Serial.data = payload; pos = 0 } in
+  (* an event costs at least its 1 tag byte *)
+  let n_events = Serial.read_count r ~min_bytes:1 "event" in
+  let tags =
+    Array.init n_events (fun _ ->
+        let t = Serial.read_byte r in
+        if t > 6 then raise (Serial.Corrupt (Printf.sprintf "bad event tag %d" t));
+        t)
+  in
+  let p = predictor () in
+  (* args column: partial events, access counts remembered for the access
+     column *)
+  let n_acc = Array.make n_events 0 in
+  let events =
+    Array.mapi
+      (fun i tag ->
+        match tag with
+        | 0 ->
+            let func = p.p_func + unzigzag (Serial.read_uint r) in
+            let block = p.p_block + unzigzag (Serial.read_uint r) in
+            let n_instr = Serial.read_uint r in
+            if n_instr < 0 then raise (Serial.Corrupt "negative n_instr");
+            (* an access costs at least 4 varint bytes in its column *)
+            let n = Serial.read_count r ~min_bytes:4 "access" in
+            n_acc.(i) <- n;
+            p.p_func <- func;
+            p.p_block <- block;
+            Event.Block { func; block; n_instr; accesses = Event.no_accesses }
+        | 1 ->
+            let f = p.p_call + unzigzag (Serial.read_uint r) in
+            p.p_call <- f;
+            Event.Call f
+        | 2 -> Event.Return
+        | 3 | 4 | 6 ->
+            let a = p.p_sync + unzigzag (Serial.read_uint r) in
+            p.p_sync <- a;
+            if tag = 3 then Event.Lock_acq a
+            else if tag = 4 then Event.Lock_rel a
+            else Event.Barrier a
+        | 5 ->
+            let reason =
+              match Serial.read_uint r with
+              | 0 -> Event.Io
+              | 1 -> Event.Spin
+              | 2 -> Event.Excluded
+              | n -> raise (Serial.Corrupt (Printf.sprintf "bad skip reason %d" n))
+            in
+            let n_instr = Serial.read_uint r in
+            Event.Skip { reason; n_instr }
+        | _ -> assert false)
+      tags
+  in
+  (* access column *)
+  let events =
+    Array.mapi
+      (fun i e ->
+        match e with
+        | Event.Block b when n_acc.(i) > 0 ->
+            let accesses =
+              Array.init n_acc.(i) (fun _ ->
+                  let ioff = Serial.read_uint r in
+                  let addr = p.p_addr + unzigzag (Serial.read_uint r) in
+                  let size = Serial.read_uint r in
+                  let is_store = Serial.read_uint r = 1 in
+                  p.p_addr <- addr;
+                  { Event.ioff; addr; size; is_store })
+            in
+            Event.Block { b with accesses }
+        | e -> e)
+      events
+  in
+  if r.Serial.pos <> String.length payload then
+    raise
+      (Serial.Corrupt
+         (Printf.sprintf "pack payload has %d trailing byte(s)"
+            (String.length payload - r.Serial.pos)));
+  { Thread_trace.tid; events }
+
+let check_crc ~payload ~stored =
+  let computed = Crc32.string payload in
+  if computed <> stored then
+    raise
+      (Serial.Corrupt
+         (Printf.sprintf "pack block crc mismatch (stored %08x, computed %08x)"
+            stored computed))
+
+(* -- whole-buffer decoding ---------------------------------------------- *)
+
+let decode s : Thread_trace.t array =
+  let n_magic = String.length magic in
+  if String.length s < n_magic || String.sub s 0 n_magic <> magic then
+    raise (Serial.Corrupt "bad pack magic");
+  let r = { Serial.data = s; pos = n_magic } in
+  (* a thread block costs at least tid + len + 1-byte payload + 4-byte crc *)
+  let n_threads = Serial.read_count r ~min_bytes:7 "thread" in
+  let traces =
+    Array.init n_threads (fun _ ->
+        let tid = Serial.read_uint r in
+        if tid < 0 then raise (Serial.Corrupt "negative thread id");
+        let payload_len = Serial.read_uint r in
+        if payload_len < 0 || payload_len + 4 > String.length s - r.Serial.pos
+        then raise (Serial.Corrupt "pack block length exceeds remaining input");
+        let payload = String.sub s r.Serial.pos payload_len in
+        r.Serial.pos <- r.Serial.pos + payload_len;
+        let stored = Crc32.read_le s r.Serial.pos in
+        r.Serial.pos <- r.Serial.pos + 4;
+        check_crc ~payload ~stored;
+        decode_payload ~tid payload)
+  in
+  if r.Serial.pos <> String.length s then
+    raise
+      (Serial.Corrupt
+         (Printf.sprintf "%d byte(s) after the last pack block"
+            (String.length s - r.Serial.pos)));
+  traces
+
+(* -- files -------------------------------------------------------------- *)
+
+let to_file path traces =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode traces))
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> decode (really_input_string ic (in_channel_length ic)))
+
+(* -- incremental decoding ----------------------------------------------- *)
+
+module Dec = struct
+  type status =
+    | Expect_magic
+    | Expect_count
+    | Blocks of int  (* thread blocks still to come *)
+    | Done
+    | Failed of Tf_error.diagnostic  (* sticky *)
+
+  type t = {
+    mutable buf : Bytes.t;
+    mutable len : int;
+    mutable pos : int;
+    mutable state : status;
+    max_block : int;
+  }
+
+  let create ?(max_block_bytes = 16 * 1024 * 1024) () =
+    if max_block_bytes <= 0 then
+      invalid_arg "Pack.Dec.create: max_block_bytes must be positive";
+    {
+      buf = Bytes.create 4096;
+      len = 0;
+      pos = 0;
+      state = Expect_magic;
+      max_block = max_block_bytes;
+    }
+
+  let buffered t = t.len - t.pos
+
+  let feed t ?(off = 0) ?len s =
+    let len = match len with Some l -> l | None -> String.length s - off in
+    if off < 0 || len < 0 || off + len > String.length s then
+      invalid_arg "Pack.Dec.feed: bad substring";
+    if t.pos > 0 && (t.pos = t.len || t.pos >= 4096) then begin
+      Bytes.blit t.buf t.pos t.buf 0 (t.len - t.pos);
+      t.len <- t.len - t.pos;
+      t.pos <- 0
+    end;
+    if t.len + len > Bytes.length t.buf then begin
+      let cap = ref (max 4096 (2 * Bytes.length t.buf)) in
+      while t.len + len > !cap do
+        cap := 2 * !cap
+      done;
+      let bigger = Bytes.create !cap in
+      Bytes.blit t.buf 0 bigger 0 t.len;
+      t.buf <- bigger
+    end;
+    Bytes.blit_string s off t.buf t.len len;
+    t.len <- t.len + len
+
+  type step =
+    | Need_more
+    | Thread of Thread_trace.t
+    | End_of_pack
+    | Corrupt of Tf_error.diagnostic
+
+  exception Short
+  exception Bad of string
+
+  (* Varint over the reassembly buffer: [Serial.read_uint]'s overlong
+     bound, but [Short] on exhaustion (more input may still arrive). *)
+  let read_uint_b t p =
+    let rec go shift acc =
+      if !p >= t.len then raise Short;
+      let b = Char.code (Bytes.get t.buf !p) in
+      incr p;
+      if shift >= 63 then raise (Bad "overlong varint");
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 <> 0 then go (shift + 7) acc else acc
+    in
+    go 0 0
+
+  let fail t fmt =
+    Format.kasprintf
+      (fun m ->
+        let d = Tf_error.diag Tf_error.Corrupt_input "%s" m in
+        t.state <- Failed d;
+        Corrupt d)
+      fmt
+
+  let rec next t =
+    match t.state with
+    | Failed d -> Corrupt d
+    | Done ->
+        if t.pos < t.len then
+          fail t "%d byte(s) after the last pack block" (t.len - t.pos)
+        else End_of_pack
+    | Expect_magic ->
+        let n = String.length magic in
+        if t.len - t.pos < n then Need_more
+        else if Bytes.sub_string t.buf t.pos n <> magic then
+          fail t "bad pack magic"
+        else begin
+          t.pos <- t.pos + n;
+          t.state <- Expect_count;
+          next t
+        end
+    | Expect_count -> (
+        let p = ref t.pos in
+        match read_uint_b t p with
+        | n ->
+            if n < 0 then fail t "negative thread count"
+            else begin
+              t.pos <- !p;
+              t.state <- (if n = 0 then Done else Blocks n);
+              next t
+            end
+        | exception Short -> Need_more
+        | exception Bad m -> fail t "%s" m)
+    | Blocks remaining -> (
+        let p = ref t.pos in
+        match
+          let tid = read_uint_b t p in
+          if tid < 0 then raise (Bad "negative thread id");
+          let payload_len = read_uint_b t p in
+          (* bound before buffering: an oversized declaration must fail
+             from the header alone *)
+          if payload_len < 0 || payload_len > t.max_block then
+            raise
+              (Bad
+                 (Printf.sprintf
+                    "pack block of %d bytes exceeds the %d-byte bound"
+                    payload_len t.max_block));
+          if t.len - !p < payload_len + 4 then raise Short;
+          let payload = Bytes.sub_string t.buf !p payload_len in
+          let stored =
+            Crc32.read_le
+              (Bytes.sub_string t.buf (!p + payload_len) 4)
+              0
+          in
+          check_crc ~payload ~stored;
+          (!p + payload_len + 4, decode_payload ~tid payload)
+        with
+        | pos, trace ->
+            t.pos <- pos;
+            t.state <- (if remaining = 1 then Done else Blocks (remaining - 1));
+            Thread trace
+        | exception Short -> Need_more
+        | exception Bad m -> fail t "%s" m
+        | exception Serial.Corrupt m -> fail t "%s" m)
+
+  let decode_all s =
+    let t = create () in
+    feed t s;
+    let acc = ref [] in
+    let rec go () =
+      match next t with
+      | Thread tr ->
+          acc := tr :: !acc;
+          go ()
+      | End_of_pack -> Ok (Array.of_list (List.rev !acc))
+      | Need_more ->
+          Error (Tf_error.diag Tf_error.Corrupt_input "pack truncated mid-block")
+      | Corrupt d -> Error d
+    in
+    go ()
+end

@@ -19,6 +19,9 @@ val of_file : string -> Thread_trace.t array
 
 type reader = { data : string; mutable pos : int }
 
+val read_byte : reader -> int
+(** One raw byte; raises [Corrupt] at end of input. *)
+
 val write_uint : Buffer.t -> int -> unit
 
 val write_int : Buffer.t -> int -> unit

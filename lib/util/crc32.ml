@@ -1,0 +1,40 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven, pure
+    OCaml.  Used as the integrity trailer of the TFPACK1 compact trace
+    format and the cache blob envelope: a 32-bit checksum catches every
+    single-bit flip and any burst shorter than the polynomial, which is
+    exactly the torn-write / bit-flip damage the artifact store must
+    refuse to serve. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 <> 0 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+(* The running value stays below 2^32 throughout: the table entries are
+   32-bit, [lsr 8] only shrinks, and [lxor] cannot set higher bits. *)
+let update crc s pos len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update: bad substring";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xffffffff) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code s.[i]) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let string s = update 0 s 0 (String.length s)
+
+let add_le buf crc =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((crc lsr (8 * i)) land 0xff))
+  done
+
+let read_le s pos =
+  if pos < 0 || pos + 4 > String.length s then
+    invalid_arg "Crc32.read_le: out of bounds";
+  let b i = Char.code s.[pos + i] in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)

@@ -1,0 +1,19 @@
+(** CRC-32 (IEEE 802.3 polynomial, reflected, as in zlib/PNG), pure OCaml.
+
+    Checksums are non-negative ints in [0, 2^32): safe arithmetic on a
+    63-bit OCaml int.  The incremental {!update} lets callers checksum a
+    stream chunk by chunk; [update (update 0 a) b = string (a ^ b)]. *)
+
+val string : string -> int
+(** CRC of a whole string. *)
+
+val update : int -> string -> int -> int -> int
+(** [update crc s pos len] extends [crc] with [s.[pos .. pos+len-1]].
+    Start from [0].  Raises [Invalid_argument] on a bad substring. *)
+
+val add_le : Buffer.t -> int -> unit
+(** Append the checksum as 4 little-endian bytes. *)
+
+val read_le : string -> int -> int
+(** Read 4 little-endian bytes at [pos].  Raises [Invalid_argument] when
+    fewer than 4 bytes remain. *)

@@ -11,6 +11,8 @@ Checks, per family:
     (they are frozen under one snapshot, so any drift means tearing)
   - the always-emitted families are present (tf_obs_events_dropped_total,
     tf_build_info, tf_uptime_seconds)
+  - any family named via --require fam1,fam2 is present (CI uses this to
+    pin the tf_cache_* surface)
 
 Exit 0 clean, 1 on any violation.  Reads the file argument, or stdin.
 """
@@ -30,7 +32,7 @@ def family_of(name: str) -> str:
     return name  # _p50/_p95/_p99 companions are their own gauge families
 
 
-def main(text: str) -> int:
+def main(text: str, require=()) -> int:
     typed, sampled = set(), set()
     buckets_inf, counts = {}, {}
     errors = []
@@ -68,6 +70,9 @@ def main(text: str) -> int:
     for fam in ALWAYS:
         if fam not in sampled:
             errors.append(f"always-emitted family missing: {fam}")
+    for fam in require:
+        if fam not in sampled:
+            errors.append(f"required family missing: {fam}")
     declared_unused = typed - sampled
     for fam in sorted(declared_unused):
         errors.append(f"# TYPE declared but no samples: {fam}")
@@ -83,9 +88,19 @@ def main(text: str) -> int:
 
 
 if __name__ == "__main__":
-    if len(sys.argv) > 1:
-        with open(sys.argv[1]) as f:
+    args = sys.argv[1:]
+    required = []
+    if "--require" in args:
+        i = args.index("--require")
+        try:
+            required = [f for f in args[i + 1].split(",") if f]
+        except IndexError:
+            print("check_prom: --require needs fam1,fam2,...", file=sys.stderr)
+            sys.exit(1)
+        del args[i : i + 2]
+    if args:
+        with open(args[0]) as f:
             body = f.read()
     else:
         body = sys.stdin.read()
-    sys.exit(main(body))
+    sys.exit(main(body, require=required))

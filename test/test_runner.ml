@@ -324,6 +324,8 @@ let test_manifest_rollup () =
       quarantined = 0;
       wall_s = 0.;
       interrupted = true;
+      cache_hits = 0;
+      cache_misses = 0;
     }
   in
   match Runner.rollup_json empty with
