@@ -70,6 +70,16 @@ bench-regress: build
 	else \
 		echo "== analyzer_par speedup gate: no BENCH_analyzer_par.json (run 'make bench'), skipped =="; \
 	fi
+	@# Same gate over the cycle-level simulator scaling artifact: gpusim's
+	@# SM partition and cpusim's core partition at -j 1/2/4, plus the
+	@# byte-identity / epoch-invariance flags (those gate even when the
+	@# host downgrades speedups to advisory).
+	@if [ -f BENCH_sim_par.json ]; then \
+		echo "== sim_par speedup gate (advisory legs skipped) =="; \
+		python3 scripts/check_par_speedup.py BENCH_sim_par.json || exit $$?; \
+	else \
+		echo "== sim_par speedup gate: no BENCH_sim_par.json (run 'make bench'), skipped =="; \
+	fi
 	@# Observability overhead gate over the last `make bench` run: the
 	@# collector and the flight-recorder ring must stay within 1.20x of
 	@# the collector-off analyzer (paired interleaved measurement).

@@ -19,7 +19,7 @@ let all_ids =
   [
     "table1"; "fig1"; "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "fig10";
     "table2"; "xapp"; "scaling"; "simtcpu"; "ablations"; "perf"; "suite";
-    "analyzer_par";
+    "analyzer_par"; "sim_par";
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -303,16 +303,31 @@ let analyzer_par_bench () =
         in
         let r1 = analyze 1 () in
         let warps = r1.Analyzer.report.Threadfuser.Metrics.n_warps in
+        (* what the auto -j heuristic actually grants per level, so a
+           flat bfs512 curve reads as "collapsed to serial by design"
+           rather than "failed to scale" *)
+        let work =
+          Array.fold_left
+            (fun acc (t : Threadfuser_trace.Thread_trace.t) ->
+              acc + Array.length t.Threadfuser_trace.Thread_trace.events)
+            0 traced.W.traces
+        in
+        let effective d =
+          Threadfuser.Par_replay.auto_domains ~requested:d ~items:warps ~work
+        in
         let timings = List.map (fun d -> (d, time_ns (analyze d))) levels in
         let t1 = List.assoc 1 timings in
         (* a leg asking for more domains than the host has cores measures
            time-slicing, not scaling: mark it advisory so bench-regress
            skips it instead of baselining a sub-1x "speedup" *)
         let advisory d = d > cores in
-        Fmt.pr "  %-12s (%d warps)@." name warps;
+        Fmt.pr "  %-12s (%d warps, %d events)@." name warps work;
         List.iter
           (fun (d, ns) ->
-            Fmt.pr "    -j %d   %12.0f ns/run   %.2fx%s@." d ns (t1 /. ns)
+            Fmt.pr "    -j %d   %12.0f ns/run   %.2fx%s%s@." d ns (t1 /. ns)
+              (if effective d < d then
+                 Printf.sprintf "   (auto -j ran %d)" (effective d)
+               else "")
               (if advisory d then "   (advisory: only " ^ string_of_int cores
                                   ^ " cores)"
                else ""))
@@ -335,6 +350,11 @@ let analyzer_par_bench () =
                   (List.map
                      (fun (d, ns) -> (string_of_int d, J.Float ns))
                      timings) );
+              ( "effective_domains",
+                J.Obj
+                  (List.map
+                     (fun d -> (string_of_int d, J.Int (effective d)))
+                     levels) );
               ( "speedup_vs_j1",
                 J.Obj
                   (List.map
@@ -373,17 +393,162 @@ let analyzer_par_bench () =
   in
   let obs_ratio = on /. off in
   Fmt.pr "  obs on/off ratio at -j 4 (bfs512): %.3f@." obs_ratio;
+  (* gate_mode tells bench-regress whether speedups were measurable at
+     all: a host with fewer cores than the widest level can only report
+     advisory numbers, and the gate downgrades itself to warnings *)
+  let gate_mode =
+    if cores >= List.fold_left max 1 levels then "enforced" else "advisory"
+  in
   let doc =
     J.Obj
       [
         ("schema", J.String "threadfuser-bench-analyzer-par/1");
         ("available_cores", J.Int cores);
+        ("gate_mode", J.String gate_mode);
         ("domain_levels", J.List (List.map (fun d -> J.Int d) levels));
         ("workloads", J.Obj case_docs);
         ("obs_on_vs_off_ratio_j4", J.Float obs_ratio);
       ]
   in
   let path = "BENCH_analyzer_par.json" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.to_string doc);
+      output_char oc '\n');
+  Fmt.pr "wrote %s@.@." path
+
+(* ------------------------------------------------------------------ *)
+(* Cycle-level simulator scaling across domains: gpusim's SM partition
+   and cpusim's core partition at -j 1/2/4, with the byte-identity and
+   epoch-invariance contracts enforced on the bench path. *)
+
+let sim_par_bench () =
+  let module J = Threadfuser_report.Json in
+  let module Gpusim = Threadfuser_gpusim.Gpusim in
+  let module Cpusim = Threadfuser_cpusim.Cpusim in
+  let smoke = Sys.getenv_opt "TF_BENCH_SMOKE" <> None in
+  let reps = if smoke then 2 else 7 in
+  let time_ns f =
+    ignore (f ());
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best *. 1e9
+  in
+  let levels = [ 1; 2; 4 ] in
+  let cores = Domain.recommended_domain_count () in
+  let advisory d = d > cores in
+  let gate_mode =
+    if cores >= List.fold_left max 1 levels then "enforced" else "advisory"
+  in
+  Fmt.pr "== cycle-level simulator scaling across domains (-j) ==@.";
+  Fmt.pr "  host offers %d core%s to this process@." cores
+    (if cores = 1 then "" else "s");
+  let warp_trace ~threads ~warp_size name =
+    let traced = W.trace_cpu ~threads (Registry.find name) in
+    let r =
+      Analyzer.analyze
+        ~options:
+          { Analyzer.default_options with warp_size; gen_warp_trace = true }
+        traced.W.prog traced.W.traces
+    in
+    (traced, Option.get r.Analyzer.warp_trace)
+  in
+  let pigz_traced, pigz_wt = warp_trace ~threads:16 ~warp_size:4 "pigz" in
+  let _, bfs_wt = warp_trace ~threads:512 ~warp_size:32 "bfs" in
+  let gpu_config = Threadfuser_gpusim.Config.rtx3070 in
+  (* one case = (name, run-at-j, extra determinism probes at j4) *)
+  let gpu_case name wt =
+    let run d () = Gpusim.run ~config:gpu_config ~domains:d wt in
+    let base = run 1 () in
+    let identical = base = run 4 () in
+    (* epoch invariance on the bench path: extreme barrier lengths must
+       not move a single counter *)
+    let epoch_ok =
+      base = Gpusim.run ~config:gpu_config ~domains:4 ~epoch:1 wt
+      && base = Gpusim.run ~config:gpu_config ~domains:4 ~epoch:100_000 wt
+    in
+    (name, (fun d -> time_ns (run d)), identical, Some epoch_ok)
+  in
+  let cpu_case name traces =
+    let run d () = Cpusim.run ~domains:d traces in
+    let base = run 1 () in
+    let identical = base = run 4 () in
+    (name, (fun d -> time_ns (run d)), identical, None)
+  in
+  let cases =
+    [
+      gpu_case "gpusim_pigz16_w4" pigz_wt;
+      gpu_case "gpusim_bfs512" bfs_wt;
+      cpu_case "cpusim_pigz16" pigz_traced.W.traces;
+    ]
+  in
+  let case_docs =
+    List.map
+      (fun (name, time_at, identical, epoch_ok) ->
+        let timings = List.map (fun d -> (d, time_at d)) levels in
+        let t1 = List.assoc 1 timings in
+        Fmt.pr "  %-18s@." name;
+        List.iter
+          (fun (d, ns) ->
+            Fmt.pr "    -j %d   %12.0f ns/run   %.2fx%s@." d ns (t1 /. ns)
+              (if advisory d then "   (advisory: only " ^ string_of_int cores
+                                  ^ " cores)"
+               else ""))
+          timings;
+        Fmt.pr "    stats byte-identical -j1 vs -j4: %b@." identical;
+        if not identical then
+          failwith ("sim_par: " ^ name ^ " diverged at -j 4");
+        (match epoch_ok with
+        | Some ok ->
+            Fmt.pr "    stats epoch-invariant (1 and 100000): %b@." ok;
+            if not ok then
+              failwith ("sim_par: " ^ name ^ " diverged across epochs")
+        | None -> ());
+        ( name,
+          J.Obj
+            ([
+               ( "domains_ns_per_run",
+                 J.Obj
+                   (List.map
+                      (fun (d, ns) -> (string_of_int d, J.Float ns))
+                      timings) );
+               ( "speedup_vs_j1",
+                 J.Obj
+                   (List.map
+                      (fun (d, ns) ->
+                        ( string_of_int d,
+                          J.Obj
+                            [
+                              ("x", J.Float (t1 /. ns));
+                              ("advisory", J.Bool (advisory d));
+                            ] ))
+                      timings) );
+               ("byte_identical_j1_j4", J.Bool identical);
+             ]
+            @
+            match epoch_ok with
+            | Some ok -> [ ("epoch_invariant", J.Bool ok) ]
+            | None -> []) ))
+      cases
+  in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.String "threadfuser-bench-sim-par/1");
+        ("available_cores", J.Int cores);
+        ("gate_mode", J.String gate_mode);
+        ("domain_levels", J.List (List.map (fun d -> J.Int d) levels));
+        ("workloads", J.Obj case_docs);
+      ]
+  in
+  let path = "BENCH_sim_par.json" in
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
@@ -569,6 +734,7 @@ let () =
   if need "perf" then bechamel_suite ();
   if need "suite" then suite_bench ();
   if need "analyzer_par" then analyzer_par_bench ();
+  if need "sim_par" then sim_par_bench ();
   List.iter
     (fun id ->
       if not (List.mem id all_ids) then

@@ -452,19 +452,36 @@ let gpu_preset_arg =
     & info [ "gpu" ] ~docv:"PRESET"
         ~doc:"GPU configuration: scaled (default), rtx3070, h100 or tiny.")
 
-let simulate_run () trace_out metrics_out w threads gpu_config =
+let sim_epoch_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "epoch" ] ~docv:"CYCLES"
+        ~doc:
+          "Cycle-epoch barrier length for the domain-parallel simulator \
+           merge.  Statistics are byte-identical at any value >= 1; only \
+           the wall-clock changes.  Default 4096.")
+
+let simulate_run () trace_out metrics_out w threads gpu_config domains epoch =
+  let domains = resolve_domains domains in
+  let epoch =
+    match epoch with
+    | Some e -> max 1 e
+    | None -> Threadfuser_gpusim.Gpusim.default_epoch
+  in
   let ctx = E.Ctx.create ?threads () in
   let tr = E.Ctx.traced ctx w in
-  let cpu_t = E.Fig6.cpu_seconds tr in
+  let cpu_t = E.Fig6.cpu_seconds ~domains tr in
   let stats =
     with_obs ~trace_out ~metrics_out (fun () ->
         let r =
           Threadfuser.Analyzer.analyze
-            ~options:{ Analyzer.default_options with gen_warp_trace = true }
+            ~options:
+              { Analyzer.default_options with gen_warp_trace = true; domains }
             tr.W.prog tr.W.traces
         in
         let wt = Option.get r.Analyzer.warp_trace in
-        Threadfuser_gpusim.Gpusim.run ~config:gpu_config wt)
+        Threadfuser_gpusim.Gpusim.run ~config:gpu_config ~domains ~epoch wt)
   in
   let gpu_t = Threadfuser_gpusim.Gpusim.seconds ~config:gpu_config stats in
   Fmt.pr "workload: %s@." w.W.name;
@@ -485,12 +502,13 @@ let simulate_cmd =
           and project speedup over the multicore CPU model.")
     Term.(
       const simulate_run $ setup_term $ trace_out_arg $ metrics_out_arg
-      $ workload_pos $ threads $ gpu_preset_arg)
+      $ workload_pos $ threads $ gpu_preset_arg $ domains_arg $ sim_epoch_arg)
 
 (* profile: the whole pipeline under the collector, plus a human summary.
    Unlike --trace-out on other commands the collector is always on here,
    so the summary works even with no output files requested. *)
-let profile_run () w warp_size level threads scale trace_out metrics_out =
+let profile_run () w warp_size level threads scale trace_out metrics_out
+    domains =
   Obs.reset ();
   Obs.set_enabled true;
   Obs.set_full_events true;
@@ -506,7 +524,12 @@ let profile_run () w warp_size level threads scale trace_out metrics_out =
             (fun () -> W.trace_cpu ~level ?threads ~scale w)
         in
         Analyzer.analyze
-          ~options:{ Analyzer.default_options with warp_size }
+          ~options:
+            {
+              Analyzer.default_options with
+              warp_size;
+              domains = resolve_domains domains;
+            }
           tr.W.prog tr.W.traces)
   in
   let snap = Obs.snapshot () in
@@ -553,7 +576,7 @@ let profile_cmd =
           Chrome trace; $(b,--metrics-out) writes Prometheus metrics.")
     Term.(
       const profile_run $ setup_term $ workload_pos $ warp_size $ opt_level
-      $ threads $ scale $ trace_out_arg $ metrics_out_arg)
+      $ threads $ scale $ trace_out_arg $ metrics_out_arg $ domains_arg)
 
 let correlate_cmd =
   let run () = ignore (E.Fig5.run (E.Ctx.create ())) in
@@ -697,13 +720,16 @@ let warptrace_cmd =
          "Generate the warp-level RISC trace (the simulator integration           format) and write it to a file.")
     Term.(const warptrace_run $ workload_pos $ warp_size $ threads $ output)
 
-let replay_run path =
+let replay_run path domains =
   let wt = Threadfuser.Warp_serial.of_file path in
   Fmt.pr "%s: %d warps (width %d), %d micro-ops@." path
     (Array.length wt.Threadfuser.Warp_trace.warps)
     wt.Threadfuser.Warp_trace.warp_size
     (Threadfuser.Warp_trace.total_ops wt);
-  let stats = Threadfuser_gpusim.Gpusim.run ~config:E.Fig6.gpu_config wt in
+  let stats =
+    Threadfuser_gpusim.Gpusim.run ~config:E.Fig6.gpu_config
+      ~domains:(resolve_domains domains) wt
+  in
   Fmt.pr "GPU (scaled 8-SM part): %a@." Threadfuser_gpusim.Gpusim.pp_stats stats
 
 let replay_cmd =
@@ -717,7 +743,7 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Run the cycle-level simulator on a saved warp-trace file.")
-    Term.(const replay_run $ path)
+    Term.(const replay_run $ path $ domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Robustness commands: trace validation and fault injection            *)
@@ -1016,7 +1042,7 @@ let diff_cmd =
 
 let suite_run () trace_out metrics_out workloads jobs isolation deadline
     retries backoff dir resume warps levels threads scale seed inject_crash
-    inject_stall stall_s every_attempt use_cache cache_dir =
+    inject_stall stall_s every_attempt use_cache cache_dir domains =
   let workloads =
     match workloads with
     | [] -> List.map (fun w -> w.W.name) Registry.all
@@ -1047,6 +1073,7 @@ let suite_run () trace_out metrics_out workloads jobs isolation deadline
       resume;
       chaos;
       cache;
+      domains = (match domains with Some d -> max 1 d | None -> 1);
     }
   in
   let batch =
@@ -1213,6 +1240,18 @@ let suite_cmd =
       & info [ "cache-dir" ] ~docv:"DIR"
           ~doc:"Artifact-cache root (implies $(b,--cache)).")
   in
+  (* suite already uses -j for job-level parallelism, so the replay-domain
+     knob is long-form only here *)
+  let suite_domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Replay worker domains inside each job's analysis (the \
+             analyzer's $(b,-j)); byte-identical reports at any value.  \
+             Orthogonal to $(b,--jobs).")
+  in
   Cmd.v
     (Cmd.info "suite"
        ~doc:
@@ -1226,7 +1265,7 @@ let suite_cmd =
       $ workloads_pos $ jobs_arg $ isolation_arg $ deadline_arg $ retries_arg
       $ backoff_arg $ dir_arg $ resume_flag $ warps_arg $ levels_arg $ threads
       $ scale $ seed_arg $ inject_crash_arg $ inject_stall_arg $ stall_s_arg
-      $ every_attempt_flag $ cache_flag $ cache_dir_opt)
+      $ every_attempt_flag $ cache_flag $ cache_dir_opt $ suite_domains_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Cache: artifact-store maintenance                                    *)

@@ -34,6 +34,9 @@ let c_warp_failures =
 let h_warp_replay =
   Obs.Histogram.make "tf_warp_replay_us"
     ~help:"per-warp SIMT-stack replay latency (us)"
+let c_par_merge_ns =
+  Obs.Counter.make "tf_par_merge_ns"
+    ~help:"cumulative wall time spent merging replay shards (ns)"
 
 type options = {
   warp_size : int;
@@ -44,6 +47,9 @@ type options = {
   record_timeline : bool; (* record per-warp occupancy timelines *)
   domains : int; (* replay domains; 1 = sequential (docs/performance.md) *)
   schedule : Par_replay.schedule; (* warp-to-domain scheduling policy *)
+  auto_domains : bool;
+      (* cap [domains] by trace volume ([Par_replay.auto_domains]) so tiny
+         workloads don't pay hand-off costs; identical output either way *)
 }
 
 let default_options =
@@ -56,6 +62,7 @@ let default_options =
     record_timeline = false;
     domains = 1;
     schedule = Par_replay.Static;
+    auto_domains = true;
   }
 
 (* One folded call stack of the replay flamegraph: frames root-first,
@@ -306,7 +313,6 @@ let diag_of_exn ?thread = function
 
 type shard = {
   sh_emu : Emulator.t;
-  mutable sh_per_warp : Metrics.warp_stat list; (* reversed *)
   mutable sh_failures : warp_failure list; (* reversed *)
   mutable sh_io : int;
   mutable sh_spin : int;
@@ -324,7 +330,6 @@ let econfig_of (options : options) =
 let new_shard ?wt_builder prog ipdoms econfig () =
   {
     sh_emu = Emulator.create ?warp_trace:wt_builder prog ipdoms econfig;
-    sh_per_warp = [];
     sh_failures = [];
     sh_io = 0;
     sh_spin = 0;
@@ -334,9 +339,11 @@ let new_shard ?wt_builder prog ipdoms econfig () =
 (* Replay warp [warp_id] carrying lanes [tids] into [sh].  [lane_trace]
    resolves a tid (an index into the analyzed set) to its trace: direct
    array indexing in batch mode, a batch-relative lookup in streaming
-   mode. *)
-let shard_replay_warp ~(options : options) ?fuel ~catch sh ~warp_id ~tids
-    ~lane_trace =
+   mode.  Per-warp stats land in the preallocated [stats] slot for
+   [warp_id]: each warp is owned by exactly one worker, so the writes are
+   domain-confined and no post-merge sort/concat is needed. *)
+let shard_replay_warp ~(options : options) ?fuel ~catch sh
+    ~(stats : Metrics.warp_stat option array) ~warp_id ~tids ~lane_trace =
   let emu = sh.sh_emu in
   let cursors = Array.map (fun tid -> Cursor.of_trace (lane_trace tid)) tids in
   let issues0 = emu.Emulator.issues
@@ -357,17 +364,17 @@ let shard_replay_warp ~(options : options) ?fuel ~catch sh ~warp_id ~tids
   | () ->
       let warp_issues = emu.Emulator.issues - issues0
       and warp_instrs = emu.Emulator.thread_instrs - instrs0 in
-      sh.sh_per_warp <-
-        {
-          Metrics.warp_id;
-          warp_issues;
-          warp_instrs;
-          warp_efficiency =
-            Metrics.efficiency ~issues:warp_issues ~thread_instrs:warp_instrs
-              ~warp_size:options.warp_size;
-          lanes = Array.length tids;
-        }
-        :: sh.sh_per_warp
+      stats.(warp_id) <-
+        Some
+          {
+            Metrics.warp_id;
+            warp_issues;
+            warp_instrs;
+            warp_efficiency =
+              Metrics.efficiency ~issues:warp_issues ~thread_instrs:warp_instrs
+                ~warp_size:options.warp_size;
+            lanes = Array.length tids;
+          }
   | exception e when catch && not (fatal e) ->
       Obs.Counter.incr c_warp_failures;
       let diag = diag_of_exn e in
@@ -387,6 +394,44 @@ let shard_replay_warp ~(options : options) ?fuel ~catch sh ~warp_id ~tids
       sh.sh_spin <- sh.sh_spin + c.Cursor.skipped_spin;
       sh.sh_excluded <- sh.sh_excluded + c.Cursor.skipped_excluded)
     cursors
+
+(* Deterministic shard reduction, timed: fold every later shard into the
+   first, in worker order (merge-in-place over the first shard's
+   preallocated accumulators), summing the scalar skip counters as we
+   go.  [tf_par_merge_ns] (and the "par_merge" span) make the fan-in
+   overhead visible in `threadfuser profile`. *)
+let merge_shards (shards : shard list) : shard =
+  Obs.span "par_merge" @@ fun () ->
+  let t0 = Obs.now_us () in
+  let first, rest =
+    match shards with
+    | s :: rest -> (s, rest)
+    | [] -> assert false (* map_shards always returns >= 1 shard *)
+  in
+  List.iter
+    (fun (r : shard) ->
+      Emulator.merge_into ~dst:first.sh_emu r.sh_emu;
+      first.sh_failures <- List.rev_append r.sh_failures first.sh_failures;
+      first.sh_io <- first.sh_io + r.sh_io;
+      first.sh_spin <- first.sh_spin + r.sh_spin;
+      first.sh_excluded <- first.sh_excluded + r.sh_excluded)
+    rest;
+  Obs.Counter.add c_par_merge_ns
+    (int_of_float ((Obs.now_us () -. t0) *. 1e3));
+  first
+
+(* Total trace events — the cheap up-front work estimate feeding the
+   auto -j cap. *)
+let work_of (traces : Thread_trace.t array) =
+  Array.fold_left
+    (fun acc (t : Thread_trace.t) -> acc + Array.length t.Thread_trace.events)
+    0 traces
+
+let effective_domains (options : options) ~items ~work =
+  let requested = max 1 options.domains in
+  if options.auto_domains then
+    Par_replay.auto_domains ~requested ~items ~work
+  else requested
 
 (* Fold the per-call-stack accumulation into root-first named stacks. *)
 let fold_flame prog (emu : Emulator.t) =
@@ -433,9 +478,18 @@ let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
     else None
   in
   let econfig = econfig_of options in
-  let domains = max 1 options.domains in
+  let domains =
+    effective_domains options ~items:(Array.length warps)
+      ~work:(work_of traces)
+  in
+  (* per-warp stats land in preallocated warp-id slots (warp-confined
+     writes), so the fan-in needs no sort/concat *)
+  let warp_stats : Metrics.warp_stat option array =
+    Array.make (Array.length warps) None
+  in
   let replay_warp sh warp_id =
-    shard_replay_warp ~options ?fuel ~catch sh ~warp_id ~tids:warps.(warp_id)
+    shard_replay_warp ~options ?fuel ~catch sh ~stats:warp_stats ~warp_id
+      ~tids:warps.(warp_id)
       ~lane_trace:(fun tid -> traces.(tid))
   in
   let shards =
@@ -444,6 +498,7 @@ let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
         [
           ("warps", string_of_int (Array.length warps));
           ("domains", string_of_int domains);
+          ("requested_domains", string_of_int (max 1 options.domains));
           ("schedule", Par_replay.schedule_name options.schedule);
         ]
       (fun () ->
@@ -452,35 +507,20 @@ let run_pipeline ~(options : options) ?fuel ~catch ~threads_total
           ~init:(new_shard ?wt_builder prog ipdoms econfig)
           ~item:replay_warp)
   in
-  (* Deterministic reduction: fold every shard into the first, then
-     restore global warp order (static chunks concatenate in order
-     already; dynamic scheduling interleaves, and warp ids are unique, so
-     the sort is total either way). *)
-  let emu =
-    match shards with
-    | s :: rest ->
-        List.iter
-          (fun (r : shard) -> Emulator.merge_into ~dst:s.sh_emu r.sh_emu)
-          rest;
-        s.sh_emu
-    | [] -> assert false (* map_shards always returns >= 1 shard *)
-  in
+  (* Deterministic reduction: fold every shard into the first; per-warp
+     stats are already in global warp order, and failure warp ids are
+     unique, so the failure sort is total at any schedule. *)
+  let merged = merge_shards shards in
+  let emu = merged.sh_emu in
   let per_warp =
-    List.concat_map (fun (s : shard) -> List.rev s.sh_per_warp) shards
-    |> List.sort (fun (a : Metrics.warp_stat) b ->
-           compare a.Metrics.warp_id b.Metrics.warp_id)
+    Array.to_list warp_stats |> List.filter_map (fun s -> s)
   in
   let failures =
-    List.concat_map (fun (s : shard) -> List.rev s.sh_failures) shards
-    |> List.sort (fun a b -> compare a.fw_warp b.fw_warp)
+    List.sort (fun a b -> compare a.fw_warp b.fw_warp) merged.sh_failures
   in
-  let skipped_io =
-    ref (List.fold_left (fun acc (s : shard) -> acc + s.sh_io) 0 shards)
-  and skipped_spin =
-    ref (List.fold_left (fun acc (s : shard) -> acc + s.sh_spin) 0 shards)
-  and skipped_excluded =
-    ref (List.fold_left (fun acc (s : shard) -> acc + s.sh_excluded) 0 shards)
-  in
+  let skipped_io = ref merged.sh_io
+  and skipped_spin = ref merged.sh_spin
+  and skipped_excluded = ref merged.sh_excluded in
   let replay_quarantined =
     List.fold_left (fun acc f -> acc + Array.length f.fw_tids) 0 failures
   in
@@ -929,9 +969,12 @@ module Session = struct
         else None
       in
       let econfig = econfig_of options in
-      let domains = max 1 options.domains in
+      let requested_domains = max 1 options.domains in
       let acc = Emulator.create prog ipdoms econfig in
-      let per_warp = ref [] and failures = ref [] in
+      let warp_stats : Metrics.warp_stat option array =
+        Array.make n_warps None
+      in
+      let failures = ref [] in
       let io = ref 0 and spin = ref 0 and excluded = ref 0 in
       (* pass B: warp-aligned batches of roughly a budget's worth of
          decoded trace, replayed over the domain pool *)
@@ -953,8 +996,11 @@ module Session = struct
             let hi = min nb (lo + ws) in
             let tids_w = Array.init (hi - lo) (fun k -> !base + lo + k) in
             shard_replay_warp ~options ~fuel ~catch:true sh
-              ~warp_id:(base_warp + i) ~tids:tids_w
+              ~stats:warp_stats ~warp_id:(base_warp + i) ~tids:tids_w
               ~lane_trace:(fun g -> traces_b.(g - !base))
+          in
+          let domains =
+            effective_domains options ~items:warps_b ~work:(work_of traces_b)
           in
           let shards =
             Par_replay.map_shards ~domains ~schedule:options.schedule
@@ -962,15 +1008,12 @@ module Session = struct
               ~init:(new_shard ?wt_builder prog ipdoms econfig)
               ~item:replay
           in
-          List.iter
-            (fun (s : shard) ->
-              Emulator.merge_into ~dst:acc s.sh_emu;
-              per_warp := List.rev_append s.sh_per_warp !per_warp;
-              failures := List.rev_append s.sh_failures !failures;
-              io := !io + s.sh_io;
-              spin := !spin + s.sh_spin;
-              excluded := !excluded + s.sh_excluded)
-            shards;
+          let merged = merge_shards shards in
+          Emulator.merge_into ~dst:acc merged.sh_emu;
+          failures := List.rev_append merged.sh_failures !failures;
+          io := !io + merged.sh_io;
+          spin := !spin + merged.sh_spin;
+          excluded := !excluded + merged.sh_excluded;
           base := !base + nb
         end
       in
@@ -978,7 +1021,7 @@ module Session = struct
         ~args:
           [
             ("warps", string_of_int n_warps);
-            ("domains", string_of_int domains);
+            ("domains", string_of_int requested_domains);
             ("schedule", Par_replay.schedule_name options.schedule);
           ]
         (fun () ->
@@ -995,10 +1038,7 @@ module Session = struct
               end);
           flush_batch ());
       let per_warp =
-        List.sort
-          (fun (a : Metrics.warp_stat) b ->
-            compare a.Metrics.warp_id b.Metrics.warp_id)
-          !per_warp
+        Array.to_list warp_stats |> List.filter_map (fun s -> s)
       in
       let failures =
         List.sort (fun a b -> compare a.fw_warp b.fw_warp) !failures

@@ -29,11 +29,17 @@ type options = {
   schedule : Par_replay.schedule;
       (** warp-to-domain scheduling policy; {!Par_replay.Static} unless
           warp costs are heavily skewed *)
+  auto_domains : bool;
+      (** cap [domains] by trace volume ({!Par_replay.auto_domains}) so a
+          workload too small to amortize domain hand-offs replays on
+          fewer domains than requested.  The reduction is
+          grouping-invariant, so output is byte-identical either way;
+          only the wall-clock changes.  On by default. *)
 }
 
 (** warp 32, sequential batching, lock serialization on, IPDOM
     reconvergence, no warp-trace generation, 1 replay domain (static
-    schedule). *)
+    schedule, auto -j cap on). *)
 val default_options : options
 
 (** One folded call stack of the replay flamegraph ({!result.flame}):

@@ -877,4 +877,6 @@ let merge_into ~dst src =
       d.fc_issues <- d.fc_issues + c.fc_issues;
       d.fc_lost <- d.fc_lost + c.fc_lost)
     src.flame;
-  dst.timelines <- src.timelines @ dst.timelines
+  (* order is irrelevant here — consumers sort by warp id (unique), so
+     the constant-space prepend keeps the reduction allocation-light *)
+  dst.timelines <- List.rev_append src.timelines dst.timelines

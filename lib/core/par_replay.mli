@@ -1,8 +1,9 @@
-(** Domain-parallel warp replay: shards item indices over an OCaml 5
-    domain pool with per-worker private state and a deterministic fan-in
-    order, so [Analyzer.analyze] can replay disjoint warp slices in
-    parallel yet reduce to byte-identical output at any domain count.
-    See docs/performance.md. *)
+(** Domain-parallel fan-out/fan-in: shards item indices over a persistent
+    OCaml 5 helper-domain pool with per-worker private state and a
+    deterministic fan-in order, so [Analyzer.analyze] can replay disjoint
+    warp slices — and the cycle-level simulators disjoint SM/core
+    partitions — in parallel yet reduce to byte-identical output at any
+    domain count.  See docs/performance.md. *)
 
 type schedule =
   | Static  (** contiguous index chunks per worker; zero coordination *)
@@ -19,18 +20,29 @@ val schedule_of_string : string -> schedule option
     [Domain.recommended_domain_count]), else 1. *)
 val default_domains : unit -> int
 
+(** [auto_domains ~requested ~items ~work] caps a requested domain count
+    for a workload of [items] shardable units carrying [work] total work
+    units: one domain is granted per [TF_DOMAINS_MIN_WORK] work units
+    (default 20000; [<= 0] disables the cap), never more than [items] or
+    [requested].  Tiny workloads thus collapse toward serial instead of
+    paying hand-off costs they cannot amortize; the reduction is
+    grouping-invariant, so output is byte-identical either way. *)
+val auto_domains : requested:int -> items:int -> work:int -> int
+
 (** [map_shards ~domains ~schedule ~n ~init ~item] processes indices
-    [0..n-1] with up to [domains] workers.  [init ()] runs {e inside}
-    each worker domain (its shard is domain-confined by construction);
-    [item shard i] runs for every index the worker owns, in ascending
-    order.  Returns the shards ordered by worker id — merging in that
-    order keeps order-sensitive reductions deterministic at every
-    [domains].
+    [0..n-1] with up to [domains] workers drawn from the persistent
+    pool.  [init ()] runs {e inside} each worker domain (its shard is
+    domain-confined by construction); [item shard i] runs for every
+    index the worker owns, in ascending order.  Returns the shards
+    ordered by worker id — merging in that order keeps order-sensitive
+    reductions deterministic at every [domains].
 
     If items raise, every worker stops at its first exception and, after
     the join, the exception of the {e lowest} failing index is re-raised
     (the one a sequential loop would have surfaced).  [domains <= 1] or
-    [n <= 1] runs inline with no spawns. *)
+    [n <= 1] runs inline with no spawns.  When another domain is already
+    coordinating a fork-join (concurrent serve sessions), the call runs
+    all workers inline — same results, just not accelerated. *)
 val map_shards :
   domains:int ->
   schedule:schedule ->
@@ -38,3 +50,19 @@ val map_shards :
   init:(unit -> 'shard) ->
   item:('shard -> int -> unit) ->
   'shard list
+
+(** [parallel_for ~domains ~n body] runs [body i] for [i] in [0..n-1]
+    over the pool in static contiguous chunks.  The [body] instances
+    must touch disjoint state (the simulators index disjoint SMs or
+    cores).  On exceptions the lowest failing index re-raises after the
+    join; [domains <= 1] runs inline. *)
+val parallel_for : domains:int -> n:int -> (int -> unit) -> unit
+
+(** Helper domains currently parked in the process pool (0 before first
+    parallel use, after {!quiesce}, and always in forked children). *)
+val pool_domains : unit -> int
+
+(** Stop and join the pool's helper domains.  Idempotent; also installed
+    as an [at_exit] hook.  A supervisor that is about to [fork] should
+    call this first so children start single-threaded. *)
+val quiesce : unit -> unit

@@ -4,7 +4,12 @@
     Each thread's trace replays on an in-order core at 1 IPC plus memory
     stalls from a private-L1 / shared-L2 / DRAM hierarchy; threads are
     assigned round-robin to cores and the program finishes when the slowest
-    core does. *)
+    core does.
+
+    Execution is decoupled into core-local legs plus one deterministic
+    shared-L2 merge in [(cycle, core)] order, so the core partition can
+    run across OCaml 5 domains ([-j]) with byte-identical statistics at
+    any domain count (docs/performance.md). *)
 
 module Cache = Threadfuser_gpusim.Cache
 
@@ -27,6 +32,13 @@ type stats = {
   l1_hit_rate : float;
 }
 
-val run : ?config:config -> Threadfuser_trace.Thread_trace.t array -> stats
+(** Simulate the trace set.  [domains] partitions the cores over the
+    persistent domain pool ({!Threadfuser.Par_replay}); statistics are
+    byte-identical at any [domains >= 1]. *)
+val run :
+  ?config:config ->
+  ?domains:int ->
+  Threadfuser_trace.Thread_trace.t array ->
+  stats
 
 val seconds : config:config -> stats -> float

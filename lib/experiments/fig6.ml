@@ -39,14 +39,19 @@ type row = {
 let warp_options =
   { Analyzer.default_options with Analyzer.gen_warp_trace = true }
 
-let gpu_seconds (tr : W.traced) =
-  let r = Analyzer.analyze ~options:warp_options tr.W.prog tr.W.traces in
+let gpu_seconds ?(domains = 1) (tr : W.traced) =
+  let r =
+    Analyzer.analyze
+      ~options:{ warp_options with Analyzer.domains }
+      tr.W.prog tr.W.traces
+  in
   let wt = Option.get r.Analyzer.warp_trace in
-  let stats = Gpusim.run ~config:gpu_config wt in
+  let stats = Gpusim.run ~config:gpu_config ~domains wt in
   (Gpusim.seconds ~config:gpu_config stats, stats)
 
-let cpu_seconds (tr : W.traced) =
-  Cpusim.seconds ~config:cpu_config (Cpusim.run ~config:cpu_config tr.W.traces)
+let cpu_seconds ?(domains = 1) (tr : W.traced) =
+  Cpusim.seconds ~config:cpu_config
+    (Cpusim.run ~config:cpu_config ~domains tr.W.traces)
 
 let series ctx : row list =
   List.map

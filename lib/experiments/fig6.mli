@@ -13,10 +13,15 @@ type row = {
   gpu : Threadfuser_gpusim.Gpusim.stats;
 }
 
-(** (GPU seconds, simulator stats) for a traced run's warp trace. *)
-val gpu_seconds : Threadfuser_workloads.Workload.traced -> float * Threadfuser_gpusim.Gpusim.stats
+(** (GPU seconds, simulator stats) for a traced run's warp trace.
+    [domains] parallelizes both the analyzer replay and the SM partition;
+    results are byte-identical at any value. *)
+val gpu_seconds :
+  ?domains:int ->
+  Threadfuser_workloads.Workload.traced ->
+  float * Threadfuser_gpusim.Gpusim.stats
 
-val cpu_seconds : Threadfuser_workloads.Workload.traced -> float
+val cpu_seconds : ?domains:int -> Threadfuser_workloads.Workload.traced -> float
 
 val series : Ctx.t -> row list
 

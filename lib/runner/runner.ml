@@ -189,6 +189,7 @@ type config = {
   resume : bool;  (** skip journalled successes *)
   chaos : Exec_fault.plan option;  (** execution-fault injection *)
   cache : Cache.t option;  (** artifact cache: hit = job skipped *)
+  domains : int;  (** replay domains inside each job's analysis *)
 }
 
 let default_config =
@@ -203,6 +204,7 @@ let default_config =
     resume = false;
     chaos = None;
     cache = None;
+    domains = 1;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -266,9 +268,15 @@ exception Injected_crash
 
 (** Run one analysis to a report-JSON string.  Deterministic: replay and
     report rendering depend only on the job, never on scheduling. *)
-let exec_job (j : job) : string * bool =
+let exec_job ~domains (j : job) : string * bool =
   let w = Registry.find j.workload in
-  let options = { Analyzer.default_options with Analyzer.warp_size = j.warp_size } in
+  let options =
+    {
+      Analyzer.default_options with
+      Analyzer.warp_size = j.warp_size;
+      domains = max 1 domains;
+    }
+  in
   let r =
     W.analyze ~options ~level:j.level ?threads:j.threads ~scale:j.scale w
   in
@@ -379,7 +387,7 @@ let child_exec cfg (p : pending) tmp : 'never =
           | Exec_fault.Crash ->
               write_text (tmp ^ ".err") "injected crash";
               Unix._exit exit_injected));
-      let json, degraded = exec_job p.pjob in
+      let json, degraded = exec_job ~domains:cfg.domains p.pjob in
       write_text tmp (json ^ "\n");
       if degraded then exit_degraded_child else 0
     with e ->
@@ -462,6 +470,11 @@ let classify_exit cfg (r : running) status : attempt_result =
   | Unix.WSTOPPED s -> A_failed (`Crash (Printf.sprintf "stopped by signal %d" s))
 
 let run_fork cfg (pendings : pending list) ~(finish : entry -> unit) =
+  (* fork-in-multithreaded-process is the classic footgun: join any helper
+     domains a previous analysis parked in the replay pool so every child
+     starts single-threaded.  Children rebuild their own pool lazily if
+     their job runs with [domains > 1]. *)
+  Threadfuser.Par_replay.quiesce ();
   let waiting = ref pendings in
   let running = ref [] in
   let last_depth = ref (-1) in
@@ -650,7 +663,7 @@ let run_one_inproc cfg (p : pending) : entry =
       Obs.Flight.with_attached p.pfl (fun () ->
           try
             apply_chaos_inproc cfg.chaos ~id:p.pid_ ~attempt;
-            let json, degraded = exec_job p.pjob in
+            let json, degraded = exec_job ~domains:cfg.domains p.pjob in
             `Done (json, degraded)
           with
           | Injected_crash -> `Crash "injected crash"

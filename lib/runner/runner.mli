@@ -148,11 +148,15 @@ type config = {
           outcome (source [Cached]) without running the job; clean fresh
           runs are written through.  Composes with [resume]: the journal
           check runs first, then the cache. *)
+  domains : int;
+      (** replay worker domains inside each job's analysis
+          ({!Threadfuser.Analyzer.options}); byte-identical reports at
+          any value.  Orthogonal to [parallelism], which is job-level. *)
 }
 
 val default_config : config
 (** parallelism 1, [Fork], no deadline, 1 retry, 0.25 s backoff, seed 1,
-    dir [".tfsuite"], no resume, no chaos, no cache. *)
+    dir [".tfsuite"], no resume, no chaos, no cache, 1 replay domain. *)
 
 (** {1 Running} *)
 

@@ -1,22 +1,35 @@
 #!/usr/bin/env python3
-"""Gate on BENCH_analyzer_par.json speedup legs.
+"""Gate on the domain-scaling bench artifacts.
+
+Works on both BENCH_analyzer_par.json (analyzer replay sharding) and
+BENCH_sim_par.json (gpusim/cpusim domain partition) — the speedup leg
+shape is shared.
 
 A leg whose requested domain count exceeds the host's cores is marked
 "advisory": true by the bench (it measures time-slicing, not scaling);
 those legs are reported but never gated, so a 1-core CI box cannot
-baseline a sub-1x "speedup" as a regression bar.  Non-advisory legs must
-not fall below MIN_SPEEDUP of ideal-agnostic parity with -j 1.
+baseline a sub-1x "speedup" as a regression bar.  When the host has
+fewer cores than the widest domain level the bench records
+gate_mode == "advisory" and the WHOLE gate downgrades to warnings
+(exit 0): every leg on such a host is either advisory already or
+measured under contention.  Non-advisory legs on an "enforced" host
+must not fall below MIN_SPEEDUP of parity with -j 1.
 """
 import json
 import sys
 
-MIN_SPEEDUP = 0.9  # parallel replay must never be >10% slower than -j 1
+MIN_SPEEDUP = 0.9  # parallel legs must never be >10% slower than -j 1
 
 
 def main(path: str) -> int:
     with open(path) as f:
         doc = json.load(f)
     cores = doc.get("available_cores", 0)
+    levels = [int(d) for d in doc.get("domain_levels", [])] or [4]
+    gate_mode = doc.get("gate_mode")
+    if gate_mode is None:
+        # pre-gate_mode artifact: derive it the way the bench does now
+        gate_mode = "enforced" if cores >= max(levels) else "advisory"
     bad = []
     for name, case in doc.get("workloads", {}).items():
         for dom, leg in case.get("speedup_vs_j1", {}).items():
@@ -34,7 +47,23 @@ def main(path: str) -> int:
                 print(f"  {tag}: {leg['x']:.2f}x  {'ok' if ok else 'REGRESSED'}")
                 if not ok:
                     bad.append(tag)
+        # determinism flags ride along in the same artifacts; a False is a
+        # hard failure whatever the gate mode, since identity is
+        # core-count-independent
+        for flag in ("byte_identical_j1_j4", "epoch_invariant"):
+            if case.get(flag) is False:
+                print(f"  {name}: {flag} FAILED", file=sys.stderr)
+                bad.append(f"{name} {flag}")
+                gate_mode = "enforced"  # never advisory-out of an identity break
     if bad:
+        if gate_mode == "advisory":
+            print(
+                f"WARNING: speedup below bar in: {', '.join(bad)} "
+                f"(not gating: host has {cores} core(s) < max level "
+                f"{max(levels)}; gate_mode=advisory)",
+                file=sys.stderr,
+            )
+            return 0
         print(f"speedup regression in: {', '.join(bad)}", file=sys.stderr)
         return 5
     return 0

@@ -213,6 +213,93 @@ let test_analyzer_gpusim_lane_consistency () =
         (abs_float (mop_eff -. eff) < 0.12))
     [ "vectoradd"; "bfs"; "b+tree"; "md5" ]
 
+(* -- domain-parallel simulation: epoch/domain invariance ------------------ *)
+
+let check_stats_equal msg (a : Gpusim.stats) (b : Gpusim.stats) =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %d/%d cycles, %d/%d l2m, %d/%d dram" msg
+       a.Gpusim.cycles b.Gpusim.cycles a.Gpusim.l2_misses b.Gpusim.l2_misses
+       a.Gpusim.dram_transactions b.Gpusim.dram_transactions)
+    true (a = b)
+
+(* Random kernels: mixed ALU / load ops, partial masks, skewed warp
+   sizes — everything that could expose an ordering leak in the
+   SM-partition + cycle-epoch merge. *)
+let gen_kernel =
+  QCheck.Gen.(
+    let gen_op warp seed =
+      if seed mod 3 = 0 then
+        load_op
+          (Array.init 32 (fun l ->
+               (warp * 4096) + (seed * 256 mod 32768) + (64 * l)))
+      else if seed mod 3 = 1 then alu_op
+      else indep_op (seed mod 8)
+    in
+    let* n_warps = int_range 1 8 in
+    let* lens = array_repeat n_warps (int_range 1 60) in
+    let* seeds = array_repeat n_warps (int_range 0 1000) in
+    return
+      {
+        Warp_trace.warp_size = 32;
+        warps =
+          Array.init n_warps (fun warp_id ->
+              let mask =
+                if seeds.(warp_id) mod 4 = 0 then Mask.full 17 else Mask.full 32
+              in
+              {
+                Warp_trace.warp_id;
+                ops =
+                  Array.init lens.(warp_id) (fun i ->
+                      entry ~mask (gen_op warp_id (seeds.(warp_id) + i)));
+              });
+      })
+
+(* The tentpole invariant: stats are a pure function of the kernel —
+   never of the domain count or the epoch length. *)
+let test_gpusim_epoch_domain_invariance =
+  QCheck.Test.make ~name:"gpusim stats independent of (domains, epoch)"
+    ~count:30
+    (QCheck.make
+       QCheck.Gen.(triple gen_kernel (int_range 1 6) (int_range 1 200)))
+    (fun (k, domains, epoch) ->
+      let serial = Gpusim.run ~config:tiny k in
+      let par = Gpusim.run ~config:tiny ~domains ~epoch k in
+      serial = par)
+
+let test_gpusim_epoch_extremes () =
+  let k =
+    {
+      Warp_trace.warp_size = 32;
+      warps =
+        Array.init 6 (fun warp_id ->
+            {
+              Warp_trace.warp_id;
+              ops =
+                Array.init 80 (fun i ->
+                    if i mod 4 = 0 then
+                      entry (load_op (Array.init 32 (fun l -> (warp_id * 32768) + (i * 512) + (64 * l))))
+                    else entry alu_op);
+            });
+    }
+  in
+  let base = Gpusim.run ~config:tiny k in
+  List.iter
+    (fun (domains, epoch) ->
+      check_stats_equal
+        (Printf.sprintf "j%d epoch=%d" domains epoch)
+        base
+        (Gpusim.run ~config:tiny ~domains ~epoch k))
+    [ (1, 1); (4, 1); (4, 3); (2, 100_000); (8, Gpusim.default_epoch) ]
+
+let test_gpusim_empty_kernel () =
+  let k = { Warp_trace.warp_size = 32; warps = [||] } in
+  List.iter
+    (fun domains ->
+      let s = Gpusim.run ~config:tiny ~domains k in
+      Alcotest.(check int) "no cycles" 0 s.Gpusim.cycles;
+      Alcotest.(check int) "no instrs" 0 s.Gpusim.instructions)
+    [ 1; 4 ]
+
 (* -- cpusim --------------------------------------------------------------- *)
 
 let cpu_traces n =
@@ -289,6 +376,21 @@ let test_cpusim_uses_all_cores () =
   Alcotest.(check bool) "cycles = max core" true
     (s.Cpusim.cycles = Array.fold_left max 0 s.Cpusim.core_cycles)
 
+let test_cpusim_domain_invariance () =
+  let traces = cpu_traces 32 in
+  List.iter
+    (fun n_cores ->
+      let cfg = { Cpusim.default_config with Cpusim.n_cores } in
+      let base = Cpusim.run ~config:cfg traces in
+      List.iter
+        (fun domains ->
+          let s = Cpusim.run ~config:cfg ~domains traces in
+          Alcotest.(check bool)
+            (Printf.sprintf "cores=%d j%d identical" n_cores domains)
+            true (s = base))
+        [ 2; 5; 8 ])
+    [ 1; 3; 4; 20 ]
+
 let () =
   Alcotest.run "gpusim"
     [
@@ -312,11 +414,19 @@ let () =
           Alcotest.test_case "lane consistency" `Quick
             test_analyzer_gpusim_lane_consistency;
         ] );
+      ( "parallel",
+        [
+          QCheck_alcotest.to_alcotest test_gpusim_epoch_domain_invariance;
+          Alcotest.test_case "epoch extremes" `Quick test_gpusim_epoch_extremes;
+          Alcotest.test_case "empty kernel" `Quick test_gpusim_empty_kernel;
+        ] );
       ( "cpusim",
         [
           Alcotest.test_case "cycle accounting" `Quick test_cpusim_cycle_accounting;
           Alcotest.test_case "cache reuse" `Quick test_cpusim_cache_reuse;
           Alcotest.test_case "thread scaling" `Quick test_cpusim_scales_with_threads;
           Alcotest.test_case "core usage" `Quick test_cpusim_uses_all_cores;
+          Alcotest.test_case "domain invariance" `Quick
+            test_cpusim_domain_invariance;
         ] );
     ]

@@ -434,6 +434,14 @@ let test_domain_hammer () =
 let test_parallel_replay_obs_parity () =
   let bfs = Registry.find "bfs" in
   let tr = W.trace_cpu bfs in
+  (* wall-clock counters (tf_par_merge_ns) are honest about elapsed time,
+     which of course differs run to run — parity is about the
+     deterministic counts *)
+  let is_timing name =
+    let suffix = "_ns" in
+    let ln = String.length name and ls = String.length suffix in
+    ln >= ls && String.sub name (ln - ls) ls = suffix
+  in
   let capture domains =
     with_collector (fun () ->
         ignore
@@ -441,6 +449,11 @@ let test_parallel_replay_obs_parity () =
              ~options:{ Analyzer.default_options with Analyzer.domains }
              tr.W.prog tr.W.traces);
         let snap = Obs.snapshot () in
+        let counters =
+          List.filter
+            (fun c -> not (is_timing (Obs.counter_name c)))
+            snap.Obs.counters
+        in
         let prom_counter_lines =
           String.split_on_char '\n' (Prom.to_string snap)
           |> List.filter (fun l ->
@@ -449,12 +462,12 @@ let test_parallel_replay_obs_parity () =
                      let n = Obs.counter_name c in
                      String.length l > String.length n
                      && String.sub l 0 (String.length n) = n)
-                   snap.Obs.counters)
+                   counters)
           |> List.sort compare
         in
         ( List.map
             (fun c -> (Obs.counter_name c, Obs.Counter.value c))
-            snap.Obs.counters,
+            counters,
           List.map
             (fun h -> (Obs.histogram_name h, Obs.Histogram.count h))
             snap.Obs.histograms,

@@ -71,6 +71,76 @@ let test_shards_exception () =
             "3" i)
     [ Par_replay.Static; Par_replay.Dynamic ]
 
+(* parallel_for: the simulators' disjoint-range primitive *)
+let test_parallel_for_coverage () =
+  List.iter
+    (fun (domains, n) ->
+      let hits = Array.make n 0 in
+      Par_replay.parallel_for ~domains ~n (fun i -> hits.(i) <- hits.(i) + 1);
+      Alcotest.(check (list int))
+        (Printf.sprintf "d=%d n=%d each index exactly once" domains n)
+        (List.init n (fun _ -> 1))
+        (Array.to_list hits))
+    [ (1, 5); (3, 7); (4, 4); (8, 3); (6, 0) ]
+
+let test_parallel_for_exception () =
+  match
+    Par_replay.parallel_for ~domains:4 ~n:12 (fun i ->
+        if i mod 5 = 2 then failwith (string_of_int i))
+  with
+  | () -> Alcotest.fail "expected the body exception to propagate"
+  | exception Failure i ->
+      Alcotest.(check string) "lowest failing index wins" "2" i
+
+(* auto -j: the work-based cap that keeps tiny workloads off the pool *)
+let test_auto_domains () =
+  let with_min_work v f =
+    let old = Sys.getenv_opt "TF_DOMAINS_MIN_WORK" in
+    Unix.putenv "TF_DOMAINS_MIN_WORK" v;
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.putenv "TF_DOMAINS_MIN_WORK"
+          (Option.value old ~default:""))
+      f
+  in
+  with_min_work "1000" (fun () ->
+      Alcotest.(check int) "big workload keeps its domains" 4
+        (Par_replay.auto_domains ~requested:4 ~items:16 ~work:100_000);
+      Alcotest.(check int) "tiny workload collapses to 1" 1
+        (Par_replay.auto_domains ~requested:4 ~items:16 ~work:900);
+      Alcotest.(check int) "mid workload gets partial credit" 2
+        (Par_replay.auto_domains ~requested:4 ~items:16 ~work:2_500);
+      Alcotest.(check int) "items cap still applies" 3
+        (Par_replay.auto_domains ~requested:8 ~items:3 ~work:1_000_000);
+      Alcotest.(check int) "requested 1 stays 1" 1
+        (Par_replay.auto_domains ~requested:1 ~items:16 ~work:100_000));
+  with_min_work "0" (fun () ->
+      Alcotest.(check int) "threshold <= 0 disables the heuristic" 4
+        (Par_replay.auto_domains ~requested:4 ~items:16 ~work:1))
+
+(* The pool persists across fork-join sections: helper count only ever
+   grows to the machine cap, never one pool per analysis. *)
+let test_pool_persistent () =
+  let cap = max 0 (Domain.recommended_domain_count () - 1) in
+  for round = 1 to 5 do
+    let hits = Array.make 8 0 in
+    Par_replay.parallel_for ~domains:4 ~n:8 (fun i -> hits.(i) <- round);
+    Alcotest.(check int) "round complete" (8 * round)
+      (Array.fold_left ( + ) 0 hits)
+  done;
+  let after = Par_replay.pool_domains () in
+  Alcotest.(check bool)
+    (Printf.sprintf "helpers %d bounded by machine cap %d" after cap)
+    true
+    (after <= cap);
+  (* and a second burst neither loses results nor grows the pool *)
+  let acc = Array.make 16 0 in
+  Par_replay.parallel_for ~domains:4 ~n:16 (fun i -> acc.(i) <- i);
+  Alcotest.(check int) "work still correct on the warm pool" 120
+    (Array.fold_left ( + ) 0 acc);
+  Alcotest.(check int) "pool did not grow past the cap"
+    after (Par_replay.pool_domains ())
+
 let test_schedule_names () =
   List.iter
     (fun s ->
@@ -140,6 +210,38 @@ let test_artifacts_identical () =
         [ Par_replay.Static; Par_replay.Dynamic ])
     [ "bfs"; "hdsearch-mid"; "uncoalesced"; "md5" ]
 
+(* Degenerate shapes: sharding must be invisible when there is nothing
+   (or almost nothing) to shard. *)
+let test_edge_warp_counts () =
+  let traced = W.trace_cpu (Registry.find "vectoradd") in
+  (* 0 warps: an empty trace set analyzes cleanly at any -j *)
+  let empty_report domains =
+    Report_json.to_string
+      (Analyzer.analyze
+         ~options:{ Analyzer.default_options with Analyzer.domains }
+         traced.W.prog [||])
+        .Analyzer.report
+  in
+  Alcotest.(check string) "0 warps: -j8 = -j1" (empty_report 1) (empty_report 8);
+  (* 1 warp (a single thread), domains >> warps *)
+  let one_report domains =
+    Report_json.to_string
+      (Analyzer.analyze
+         ~options:{ Analyzer.default_options with Analyzer.domains }
+         traced.W.prog [| traced.W.traces.(0) |])
+        .Analyzer.report
+  in
+  Alcotest.(check string) "1 warp: -j8 = -j1" (one_report 1) (one_report 8);
+  (* more domains than warps: every artifact still byte-identical *)
+  let base = analyze_at ~domains:1 ~schedule:Par_replay.Static traced in
+  let wide = analyze_at ~domains:64 ~schedule:Par_replay.Static traced in
+  Alcotest.(check string) "domains >> warps: report identical"
+    (Report_json.to_string base.Analyzer.report)
+    (Report_json.to_string wide.Analyzer.report);
+  Alcotest.(check string) "domains >> warps: warp trace identical"
+    (Warp_serial.to_string (Option.get base.Analyzer.warp_trace))
+    (Warp_serial.to_string (Option.get wide.Analyzer.warp_trace))
+
 (* Random (domains, schedule, warp size): the report never depends on
    how the replay was sharded. *)
 let test_sharding_invisible =
@@ -180,6 +282,13 @@ let () =
             test_shards_partition;
           Alcotest.test_case "lowest-index exception wins" `Quick
             test_shards_exception;
+          Alcotest.test_case "parallel_for coverage" `Quick
+            test_parallel_for_coverage;
+          Alcotest.test_case "parallel_for exception" `Quick
+            test_parallel_for_exception;
+          Alcotest.test_case "auto -j caps by work" `Quick test_auto_domains;
+          Alcotest.test_case "pool persists across sections" `Quick
+            test_pool_persistent;
           Alcotest.test_case "schedule names round-trip" `Quick
             test_schedule_names;
         ] );
@@ -187,6 +296,8 @@ let () =
         [
           Alcotest.test_case "artifacts identical at -j4" `Slow
             test_artifacts_identical;
+          Alcotest.test_case "0/1-warp and domains > warps" `Quick
+            test_edge_warp_counts;
           QCheck_alcotest.to_alcotest test_sharding_invisible;
         ] );
     ]
